@@ -1,0 +1,57 @@
+"""A2 — ablation: scalar vs numpy-vectorized containment joins.
+
+The scalar indexed join pays two Python-level binary searches per left
+region; the vectorized variant batches them into two ``searchsorted``
+calls.  Shape: crossover in the tens of regions, then the gap grows
+with the left side's size.
+"""
+
+import random
+
+import pytest
+
+from repro.core.regionset import RegionSet
+from repro.core.vectorized import vectorized_included_in, vectorized_including
+
+SIZES = (100, 1000, 10_000)
+
+
+def _pair(size: int):
+    rng = random.Random(size)
+    make = lambda: RegionSet.of(
+        *{
+            (left, left + rng.randint(0, 60))
+            for left in rng.sample(range(size * 40), size)
+        }
+    )
+    return make(), make()
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.benchmark(group="a2-including")
+def bench_a2_scalar_including(benchmark, size):
+    a, b = _pair(size)
+    result = benchmark(a.including, b)
+    assert result == vectorized_including(a, b)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.benchmark(group="a2-including")
+def bench_a2_vectorized_including(benchmark, size):
+    a, b = _pair(size)
+    result = benchmark(vectorized_including, a, b)
+    assert result == a.including(b)
+
+
+@pytest.mark.parametrize("size", SIZES[1:])
+@pytest.mark.benchmark(group="a2-included-in")
+def bench_a2_scalar_included_in(benchmark, size):
+    a, b = _pair(size)
+    benchmark(a.included_in, b)
+
+
+@pytest.mark.parametrize("size", SIZES[1:])
+@pytest.mark.benchmark(group="a2-included-in")
+def bench_a2_vectorized_included_in(benchmark, size):
+    a, b = _pair(size)
+    benchmark(vectorized_included_in, a, b)

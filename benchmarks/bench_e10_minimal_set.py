@@ -1,0 +1,80 @@
+"""E10 — Section 6 / Proposition 6.1: shrinking the interference set.
+
+The chain program's per-iteration cost "is dominated by the inclusion
+test involving the set All … and is heavily influenced by the size of
+the set.  Can the size be reduced?"  Reproduced shapes:
+
+* restricting ``All`` to a RIG-derived covering subset speeds up the
+  single-operator program without changing its output;
+* the polynomial min-cut solution for one pair vs exhaustive search;
+* the Proposition 6.1 reduction: minimal-set search inherits vertex
+  cover's exponential brute-force growth.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.programs import direct_including_program
+from repro.engine.sourcecode import generate_program_source, parse_source
+from repro.rig.graph import figure_1_rig
+from repro.rig.minimal_set import (
+    minimal_set_bruteforce,
+    minimal_set_single_pair,
+    vertex_cover_to_minimal_set,
+)
+
+
+@pytest.fixture(scope="module")
+def source_instance():
+    rng = random.Random(77)
+    text = generate_program_source(rng, procedures=120, max_nesting=6, max_vars=4)
+    return parse_source(text).instance
+
+
+@pytest.mark.benchmark(group="e10-interference")
+def bench_e10_full_interference_set(benchmark, source_instance):
+    result = benchmark(
+        direct_including_program,
+        source_instance,
+        source_instance.region_set("Proc"),
+        source_instance.region_set("Var"),
+    )
+    assert result.regions == evaluate("Proc dcontaining Var", source_instance)
+
+
+@pytest.mark.benchmark(group="e10-interference")
+def bench_e10_minimal_interference_set(benchmark, source_instance):
+    """All restricted to the min-cut cover of (Proc, Var)."""
+    cover = minimal_set_single_pair(figure_1_rig(), "Proc", "Var")
+    result = benchmark(
+        direct_including_program,
+        source_instance,
+        source_instance.region_set("Proc"),
+        source_instance.region_set("Var"),
+        tuple(cover),
+    )
+    assert result.regions == evaluate("Proc dcontaining Var", source_instance)
+
+
+@pytest.mark.benchmark(group="e10-solvers")
+def bench_e10_min_cut_single_pair(benchmark):
+    rig = figure_1_rig()
+    cover = benchmark(minimal_set_single_pair, rig, "Program", "Var")
+    brute = minimal_set_bruteforce(rig, ["Program", "Var"])
+    assert len(cover) == len(brute)
+
+
+@pytest.mark.parametrize("vertices", (4, 6, 8))
+@pytest.mark.benchmark(group="e10-hardness")
+def bench_e10_bruteforce_growth(benchmark, vertices):
+    """Brute-force minimal set on VC-reduced instances grows exponentially."""
+    rng = random.Random(vertices)
+    names = [f"v{i}" for i in range(vertices)]
+    edges = sorted(
+        {tuple(sorted(rng.sample(names, 2))) for _ in range(vertices * 2)}
+    )
+    rig, chain = vertex_cover_to_minimal_set(names, edges)
+    result = benchmark(minimal_set_bruteforce, rig, chain)
+    assert result is not None

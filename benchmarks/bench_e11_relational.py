@@ -1,0 +1,74 @@
+"""E11 — Section 7: the n-ary relational extension.
+
+The conclusion proposes full joins over region relations; "it is easy to
+see that direct inclusion and both-included can be expressed by this
+extended language".  Reproduced shape: the relational formulations are
+correct but pay the polynomial join blow-up, while the specialized
+operators stay near-linear — quantifying the efficiency the restricted
+algebra trades expressiveness for.
+"""
+
+import pytest
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.algebra.relational import (
+    RegionRelation,
+    relational_both_included,
+    relational_directly_including,
+)
+from repro.workloads.generators import balanced_tree, figure_3_instance
+
+SIZES = (2, 3)  # balanced-tree depth knobs
+
+
+@pytest.mark.parametrize("depth", (3, 4))
+@pytest.mark.benchmark(group="e11-direct")
+def bench_e11_relational_direct(benchmark, depth):
+    instance = balanced_tree(depth, 3, ("R0", "R1"))
+    result = benchmark(
+        relational_directly_including,
+        instance,
+        instance.region_set("R0"),
+        instance.region_set("R1"),
+    )
+    assert result == evaluate("R0 dcontaining R1", instance)
+
+
+@pytest.mark.parametrize("depth", (3, 4, 6))
+@pytest.mark.benchmark(group="e11-direct")
+def bench_e11_native_direct(benchmark, depth):
+    instance = balanced_tree(depth, 3, ("R0", "R1"))
+    result = benchmark(evaluate, parse("R0 dcontaining R1"), instance)
+    assert result
+
+
+@pytest.mark.parametrize("k", (4, 8))
+@pytest.mark.benchmark(group="e11-bi")
+def bench_e11_relational_bi(benchmark, k):
+    family = figure_3_instance(k)
+    result = benchmark(
+        relational_both_included,
+        family.region_set("C"),
+        family.region_set("B"),
+        family.region_set("A"),
+    )
+    assert len(result) == 1
+
+
+@pytest.mark.parametrize("k", (4, 8, 64))
+@pytest.mark.benchmark(group="e11-bi")
+def bench_e11_native_bi(benchmark, k):
+    family = figure_3_instance(k)
+    result = benchmark(evaluate, parse("bi(C, B, A)"), family)
+    assert len(result) == 1
+
+
+@pytest.mark.benchmark(group="e11-join")
+def bench_e11_raw_join_cost(benchmark):
+    """A single theta-join over two 60-region columns."""
+    instance = balanced_tree(4, 3, ("R0", "R1"))
+    left = RegionRelation.from_region_set("r", instance.region_set("R0"))
+    right = RegionRelation.from_region_set("s", instance.region_set("R1"))
+    joined = benchmark(left.join, right, "r", "includes", "s")
+    assert len(joined) > 0

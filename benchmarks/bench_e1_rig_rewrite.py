@@ -1,0 +1,52 @@
+"""E1 — Figure 1 / Section 2.2: RIG-based query rewriting.
+
+The paper's motivating optimization: under the Figure 1 RIG,
+``e1 = Name ⊂ Proc_header ⊂ Proc ⊂ Program`` is equivalent to
+``e2 = Name ⊂ Proc_header ⊂ Program``, and "the second expression has
+less operations … and can be evaluated more efficiently".
+
+Reproduced shape: e2 beats e1 on a generated source corpus, and the
+optimizer turns e1 into e2 fast enough to pay for itself.
+"""
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.optimize.optimizer import optimize
+from repro.rig.graph import figure_1_rig
+
+E1 = "Name within Proc_header within Proc within Program"
+E2 = "Name within Proc_header within Program"
+
+
+@pytest.mark.benchmark(group="e1-query")
+def bench_e1_original_chain(benchmark, source_engine):
+    expr = parse(E1)
+    result = benchmark(source_engine.query, expr)
+    assert result == source_engine.query(E2)
+
+
+@pytest.mark.benchmark(group="e1-query")
+def bench_e1_rewritten_chain(benchmark, source_engine):
+    expr = parse(E2)
+    result = benchmark(source_engine.query, expr)
+    assert len(result) == len(source_engine.instance.region_set("Proc"))
+
+
+@pytest.mark.benchmark(group="e1-query")
+def bench_e1_optimize_then_run(benchmark, source_engine):
+    def optimized_run():
+        plan = optimize(parse(E1), rig=figure_1_rig())
+        return source_engine.query(plan.expression)
+
+    result = benchmark(optimized_run)
+    assert result == source_engine.query(E2)
+
+
+@pytest.mark.benchmark(group="e1-optimizer")
+def bench_e1_rewrite_cost(benchmark):
+    """The polynomial chain-simplification pass itself."""
+    rig = figure_1_rig()
+    expr = parse(E1)
+    plan = benchmark(optimize, expr, rig)
+    assert plan.expression == parse(E2)

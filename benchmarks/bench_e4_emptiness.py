@@ -1,0 +1,67 @@
+"""E4 — Theorems 3.4/3.5: emptiness testing and its hardness wall.
+
+Reproduced shape: bounded-model emptiness testing is feasible for tiny
+bounds and blows up combinatorially as the model bound or the number of
+region names grows — the practical face of Co-NP-hardness.  The 3-CNF
+reduction itself (Theorem 3.5) is linear-time to *construct*; deciding
+it is what explodes.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.parser import parse
+from repro.fmft.hardness import CNF, Literal, cnf_to_expression
+from repro.fmft.satisfiability import find_nonempty_witness, is_empty_bounded
+from repro.optimize.equivalence import check_equivalence
+
+SATISFIABLE = parse("A containing (B before B)")
+EMPTY = parse("(A containing B) except (A containing B)")
+
+
+@pytest.mark.parametrize("max_nodes", (2, 3, 4))
+@pytest.mark.benchmark(group="e4-emptiness-bound")
+def bench_e4_emptiness_search_growth(benchmark, max_nodes):
+    """Cost grows combinatorially with the model bound."""
+    result = benchmark(
+        is_empty_bounded, EMPTY, ("A", "B"), (), max_nodes
+    )
+    assert result is True
+
+
+@pytest.mark.benchmark(group="e4-witness")
+def bench_e4_witness_found_early(benchmark):
+    """Non-empty expressions exit as soon as a witness instance appears."""
+    witness = benchmark(find_nonempty_witness, SATISFIABLE, ("A", "B"), (), 4)
+    assert witness is not None
+
+
+@pytest.mark.parametrize("variables", (2, 4, 8, 16))
+@pytest.mark.benchmark(group="e4-reduction")
+def bench_e4_cnf_reduction_construction(benchmark, variables):
+    """Theorem 3.5's reduction is polynomial (here: linear) to build."""
+    rng = random.Random(variables)
+    cnf = CNF(
+        variables,
+        tuple(
+            tuple(
+                Literal(rng.randint(1, variables), rng.random() < 0.5)
+                for _ in range(3)
+            )
+            for _ in range(2 * variables)
+        ),
+    )
+    expr = benchmark(cnf_to_expression, cnf)
+    assert expr is not None
+
+
+@pytest.mark.benchmark(group="e4-equivalence")
+def bench_e4_equivalence_check(benchmark):
+    """The optimizer's equivalence test = one emptiness test (Sec 3)."""
+    first = parse("A containing B containing A")
+    second = parse("A containing B")
+    verdict = benchmark(
+        check_equivalence, first, second, None, 3
+    )
+    assert not verdict.equivalent

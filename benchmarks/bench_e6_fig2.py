@@ -1,0 +1,46 @@
+"""E6 — Figure 2 / Theorem 5.1: the direct-inclusion counter-example.
+
+Reproduced artifacts: the alternating-nesting tower scales linearly for
+the native forest-based ``⊃_d`` but costs one loop iteration per layer
+in the Section 6 while-program; and the Theorem 5.1 refuter disposes of
+candidate expressions quickly (the sweep in the tests exhausts them).
+"""
+
+import pytest
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.algebra.programs import direct_including_program
+from repro.properties.counterexamples import refute_direct_inclusion
+from repro.workloads.generators import figure_2_instance
+
+DEPTHS = (16, 64, 256)
+TARGET = parse("B dcontaining A")
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+@pytest.mark.benchmark(group="e6-native")
+def bench_e6_native_direct_inclusion(benchmark, depth):
+    tower = figure_2_instance(depth)
+    result = benchmark(evaluate, TARGET, tower)
+    assert len(result) == len(tower.region_set("B"))
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+@pytest.mark.benchmark(group="e6-program")
+def bench_e6_while_program(benchmark, depth):
+    """The embedded-language program pays one iteration per B-layer."""
+    tower = figure_2_instance(depth)
+    b_set, a_set = tower.region_set("B"), tower.region_set("A")
+
+    result = benchmark(direct_including_program, tower, b_set, a_set)
+    assert result.iterations == len(b_set)
+    assert result.regions == evaluate(TARGET, tower)
+
+
+@pytest.mark.benchmark(group="e6-refuter")
+def bench_e6_refuter_on_strawman(benchmark):
+    """Refuting the Section 5.1 strawman ``B ⊃ A``."""
+    candidate = parse("B containing A")
+    witness = benchmark(refute_direct_inclusion, candidate)
+    assert witness is not None

@@ -1,0 +1,85 @@
+"""E8 — Propositions 5.2/5.4: bounded expansions vs native operators.
+
+Reproduced shape: the pure-algebra expansions are correct under their
+bounds but their cost grows with the bound (the expansion size is
+O(bound) / O(bound²)), while the native operators are flat — the price
+of staying inside the inexpressible-in-general core algebra.
+"""
+
+import pytest
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import evaluate
+from repro.algebra.expand import expand_both_included, expand_directly_including
+from repro.workloads.generators import TreeNode, instance_from_trees, nested_tower
+
+NAMES = ("R0", "R1", "R2")
+
+
+def _wide_instance(width: int):
+    children = []
+    for i in range(width):
+        children.append(TreeNode("R1"))
+        children.append(TreeNode("R2"))
+    return instance_from_trees([TreeNode("R0", children)], names=NAMES)
+
+
+@pytest.mark.parametrize("depth", (4, 16, 64))
+@pytest.mark.benchmark(group="e8-direct")
+def bench_e8_direct_native(benchmark, depth):
+    tower = nested_tower(depth, ("R0", "R1"))
+    query = A.DirectlyIncluding(A.NameRef("R0"), A.NameRef("R1"))
+    result = benchmark(evaluate, query, tower)
+    assert result
+
+
+@pytest.mark.parametrize("depth", (4, 16, 64))
+@pytest.mark.benchmark(group="e8-direct")
+def bench_e8_direct_expansion(benchmark, depth):
+    """Prop 5.2 expansion sized to the tower's self-nesting."""
+    tower = nested_tower(depth, ("R0", "R1"))
+    bound = tower.region_set("R0").max_nesting_depth()
+    expr = expand_directly_including(
+        A.NameRef("R0"), A.NameRef("R1"), ("R0", "R1"), depth_bound=bound
+    )
+    result = benchmark(evaluate, expr, tower)
+    assert result == evaluate(
+        A.DirectlyIncluding(A.NameRef("R0"), A.NameRef("R1")), tower
+    )
+
+
+@pytest.mark.parametrize("width", (4, 16, 64))
+@pytest.mark.benchmark(group="e8-bi")
+def bench_e8_bi_native(benchmark, width):
+    instance = _wide_instance(width)
+    query = A.BothIncluded(A.NameRef("R0"), A.NameRef("R1"), A.NameRef("R2"))
+    result = benchmark(evaluate, query, instance)
+    assert result
+
+
+@pytest.mark.parametrize("width", (4, 16))
+@pytest.mark.benchmark(group="e8-bi")
+def bench_e8_bi_expansion(benchmark, width):
+    """Prop 5.4 expansion sized to the sibling width (O(width²) ops)."""
+    instance = _wide_instance(width)
+    expr = expand_both_included(
+        A.NameRef("R0"), A.NameRef("R1"), A.NameRef("R2"), width_bound=2 * width
+    )
+    result = benchmark(evaluate, expr, instance)
+    assert result == evaluate(
+        A.BothIncluded(A.NameRef("R0"), A.NameRef("R1"), A.NameRef("R2")), instance
+    )
+
+
+@pytest.mark.parametrize("bound", (2, 8, 32))
+@pytest.mark.benchmark(group="e8-size")
+def bench_e8_expansion_size_growth(benchmark, bound):
+    """Expansion construction: expression size grows with the bound."""
+    expr = benchmark(
+        expand_both_included,
+        A.NameRef("R0"),
+        A.NameRef("R1"),
+        A.NameRef("R2"),
+        bound,
+    )
+    assert A.size(expr) >= bound

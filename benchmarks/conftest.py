@@ -1,0 +1,35 @@
+"""Shared corpora and helpers for the benchmark harness.
+
+Each ``bench_eN_*.py`` file regenerates one experiment of
+EXPERIMENTS.md; fixtures here build the shared synthetic corpora once
+per session.  Sizes are chosen so the full suite runs in a couple of
+minutes while still showing each claimed asymptotic shape.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engine.session import Engine
+from repro.engine.sourcecode import generate_program_source
+
+
+@pytest.fixture(scope="session")
+def source_engine() -> Engine:
+    """A large generated program (the paper's running corpus)."""
+    rng = random.Random(2024)
+    source = generate_program_source(rng, procedures=150, max_nesting=6, max_vars=4)
+    return Engine.from_source(source)
+
+
+@pytest.fixture(scope="session")
+def play_engine() -> Engine:
+    rng = random.Random(2025)
+    from repro.workloads.corpora import generate_play
+
+    text = generate_play(
+        rng, acts=6, scenes_per_act=5, speeches_per_scene=8, lines_per_speech=3
+    )
+    return Engine.from_tagged_text(text)

@@ -1,0 +1,56 @@
+"""Document-collection retrieval with the corpus layer.
+
+Builds a small collection of plays, runs cross-document and
+document-scoped queries (the "distinguished unit" of Section 5.2),
+uses PAT word queries (bare patterns are match points), and shows
+keyword-in-context output — the classic text-retrieval workflow on top
+of the region algebra.
+
+Run with::
+
+    python examples/corpus_search.py
+"""
+
+import random
+
+from repro.engine import Corpus
+from repro.workloads import generate_play
+
+
+def main() -> None:
+    rng = random.Random(99)
+    corpus = Corpus()
+    for i in range(4):
+        corpus.add(
+            generate_play(rng, acts=2, scenes_per_act=2, speeches_per_scene=5),
+            name=f"play-{i + 1}",
+        )
+    engine = corpus.engine()
+    print(f"Indexed {len(corpus)} documents,", engine.statistics()["total"], "regions")
+
+    # Word queries: a bare pattern is its match points.
+    love_points = corpus.query('"love"')
+    print(f'\n"love" occurs {len(love_points)} times across the collection')
+    print("per document:", corpus.count_by_document(love_points))
+
+    # Which documents have ROMEO speaking at all?
+    romeo_docs = list(corpus.documents_matching('speech containing (speaker @ "ROMEO")'))
+    print("documents with ROMEO:", ", ".join(romeo_docs))
+
+    # Document-scoped ordering: ROMEO before JULIET in the same document.
+    ordered = corpus.query('bi(document, speaker @ "ROMEO", speaker @ "JULIET")')
+    print(f"ROMEO precedes JULIET in {len(ordered)} document(s)")
+
+    # Proximity-flavoured word query: "love" occurring inside a line that
+    # sits in a scene which also mentions "night".
+    rich_lines = corpus.query('line containing "love" within (scene containing "night")')
+    print(f'{len(rich_lines)} "love" lines in night scenes')
+
+    # Keyword in context.
+    print('\nKWIC for "night":')
+    for point, snippet in engine.keyword_in_context("night", width=18)[:5]:
+        print(f"  [{point.left:6d}] …{snippet}…")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Dictionary lookup: the OED-style corpus PAT was built for.
+
+Gonnet's original PAT reports (cited by the paper) indexed the Oxford
+English Dictionary.  This example builds a synthetic dictionary with
+the same shape — entries, headwords, nested senses, dated quotations —
+and runs the kinds of structural lookups lexicographers ask, finishing
+with the optimizer stack: explain, static RIG pruning, and profiled
+evaluation.
+
+Run with::
+
+    python examples/dictionary_lookup.py
+"""
+
+import random
+
+from repro import Engine
+from repro.algebra.profile import profile
+from repro.optimize import prune_with_rig
+from repro.rig import rig_from_instances
+from repro.algebra import parse, to_text
+from repro.workloads import generate_dictionary
+
+
+def main() -> None:
+    rng = random.Random(1666)
+    engine = Engine.from_tagged_text(generate_dictionary(rng, entries=15))
+    print("Index:", engine.statistics()["regions"])
+
+    # Entries whose quotations cite Chaucer.
+    chaucer = engine.query('entry containing (author @ "Chaucer")')
+    print(f"\n{len(chaucer)} entr(ies) quote Chaucer")
+
+    # Headwords of verb entries — structure + content.
+    verbs = engine.query('headword within (entry containing (pos @ "verb"))')
+    print("verb headwords:", ", ".join(
+        t.replace("<headword>", "").replace("</headword>", "").strip()
+        for t in sorted(engine.extract_all(verbs))
+    ))
+
+    # Sub-senses: senses nested inside senses (dictionary self-nesting).
+    sub_senses = engine.query("sense within sense")
+    print(f"{len(sub_senses)} sub-sense(s)")
+
+    # Top-level senses only: direct inclusion.
+    top_senses = engine.query("sense dwithin entry")
+    print(f"{len(top_senses)} top-level sense(s)")
+
+    # Entries where a quotation precedes a sub-sense (editorial order).
+    ordered = engine.query("bi(entry, quotation, sense within sense)")
+    print(f"{len(ordered)} entr(ies) have a quotation before a sub-sense")
+
+    # Schema discovery + static pruning: a query the schema refutes.
+    rig = rig_from_instances([engine.instance])
+    impossible = parse("headword containing entry")
+    pruned = prune_with_rig(impossible, rig)
+    print(f"\nstatic pruning: '{to_text(impossible)}' -> '{to_text(pruned)}'")
+
+    # Profiled evaluation.
+    print("\nprofile of the Chaucer lookup:")
+    print(profile('entry containing (author @ "Chaucer")', engine.instance))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: index a tagged document and query its structure.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Engine
+
+DOCUMENT = """\
+<report>
+  <section>
+    <title> Annual summary </title>
+    <para> Revenue grew while costs fell. </para>
+    <section>
+      <title> Regional detail </title>
+      <para> The northern region led revenue growth. </para>
+    </section>
+  </section>
+  <section>
+    <title> Outlook </title>
+    <para> Costs are expected to fall further. </para>
+  </section>
+</report>
+"""
+
+
+def main() -> None:
+    engine = Engine.from_tagged_text(DOCUMENT)
+
+    print("Region names:", ", ".join(engine.region_names))
+    print("Statistics:", engine.statistics())
+    print()
+
+    # Content + structure: sections whose own text mentions revenue.
+    sections = engine.query('section containing (para @ "revenue")')
+    print(f'{len(sections)} section(s) contain a paragraph with "revenue":')
+    for region in sorted(sections, key=lambda r: r.left):
+        first_line = engine.extract(region).splitlines()[1].strip()
+        print("  ", first_line)
+
+    # Word-index match points (the PAT word query).
+    points = engine.match_points("costs*")
+    print(f'\n"costs*" occurs at {len(points)} match points')
+
+    # Direct inclusion distinguishes a section's own title from nested ones.
+    own_titles = engine.query("title dwithin section")
+    print(f"{len(own_titles)} titles sit directly in their section:")
+    for region in sorted(own_titles, key=lambda r: r.left):
+        print("  ", engine.extract(region))
+
+    # Views make composite queries reusable.
+    engine.define_view("RevenueSections", 'section containing (para @ "revenue")')
+    nested = engine.query("section within RevenueSections")
+    print(f"\n{len(nested)} section(s) nested inside revenue sections")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim: lets ``pip install -e .`` work offline.
+
+The environment has no ``wheel`` package, so PEP 660 editable installs
+(which build a wheel) fail; this shim enables the legacy
+``setup.py develop`` code path.  All project metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

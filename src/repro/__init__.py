@@ -1,0 +1,57 @@
+"""repro — a region algebra for querying text regions.
+
+A production-quality reproduction of *Algebras for Querying Text
+Regions* (Consens & Milo, PODS 1995): the PAT-style region algebra, its
+tree-model theory, the RIG/ROG schema machinery, the Section 4
+deletion/reduction toolkit behind the inexpressibility theorems, and the
+Section 6/7 extensions.
+
+Quickstart::
+
+    from repro import Engine
+
+    engine = Engine.from_tagged_text(my_sgml_like_document)
+    names = engine.query('Name within Proc_header within Proc')
+
+See README.md for the architecture overview and DESIGN.md for the full
+paper-to-module map.
+"""
+
+from repro.algebra import Evaluator, evaluate, parse, to_text
+from repro.core import (
+    Forest,
+    Instance,
+    LabelWordIndex,
+    Region,
+    RegionSet,
+    TextWordIndex,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Region",
+    "RegionSet",
+    "Instance",
+    "Forest",
+    "TextWordIndex",
+    "LabelWordIndex",
+    "parse",
+    "to_text",
+    "evaluate",
+    "Evaluator",
+    "Engine",
+    "ReproError",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # Engine pulls in the whole engine package; import it lazily so the
+    # algebraic core stays importable in minimal environments.
+    if name == "Engine":
+        from repro.engine import Engine
+
+        return Engine
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

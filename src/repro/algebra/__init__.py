@@ -1,0 +1,98 @@
+"""The region algebra: expressions, parsing, evaluation, and extensions."""
+
+from repro.algebra.ast import (
+    BothIncluded,
+    MatchPoints,
+    Difference,
+    DirectlyIncluded,
+    DirectlyIncluding,
+    Empty,
+    Expr,
+    Following,
+    Including,
+    IncludedIn,
+    Intersection,
+    NameRef,
+    Preceding,
+    Select,
+    Union,
+    including_chain,
+    is_core,
+    order_op_count,
+    pattern_names,
+    region_names,
+    size,
+)
+from repro.algebra.cost import CostModel, operation_count
+from repro.algebra.enumerate import count_expressions, enumerate_expressions
+from repro.algebra.evaluator import Evaluator, evaluate
+from repro.algebra.expand import (
+    expand_both_included,
+    expand_directly_included,
+    expand_directly_including,
+    union_of_names,
+)
+from repro.algebra.parser import parse
+from repro.algebra.printer import to_text
+from repro.algebra.profile import NodeProfile, QueryProfile, profile
+from repro.algebra.programs import (
+    ProgramResult,
+    direct_chain_by_iterated_program,
+    direct_chain_program,
+    direct_chain_program_corrected,
+    direct_included_program,
+    direct_including_program,
+)
+from repro.algebra.relational import (
+    RegionRelation,
+    relational_both_included,
+    relational_directly_including,
+)
+
+__all__ = [
+    "Expr",
+    "NameRef",
+    "Empty",
+    "Union",
+    "Intersection",
+    "Difference",
+    "Including",
+    "IncludedIn",
+    "Preceding",
+    "Following",
+    "Select",
+    "MatchPoints",
+    "DirectlyIncluding",
+    "DirectlyIncluded",
+    "BothIncluded",
+    "parse",
+    "to_text",
+    "profile",
+    "QueryProfile",
+    "NodeProfile",
+    "evaluate",
+    "Evaluator",
+    "size",
+    "order_op_count",
+    "pattern_names",
+    "region_names",
+    "is_core",
+    "including_chain",
+    "operation_count",
+    "CostModel",
+    "enumerate_expressions",
+    "count_expressions",
+    "expand_directly_including",
+    "expand_directly_included",
+    "expand_both_included",
+    "union_of_names",
+    "ProgramResult",
+    "direct_including_program",
+    "direct_included_program",
+    "direct_chain_program",
+    "direct_chain_program_corrected",
+    "direct_chain_by_iterated_program",
+    "RegionRelation",
+    "relational_directly_including",
+    "relational_both_included",
+]

@@ -1,0 +1,249 @@
+"""Abstract syntax of region-algebra expressions.
+
+The node types mirror Definition 2.2 of the paper::
+
+    e -> R_i | e ∪ e | e ∩ e | e − e
+       | e ⊃ e | e ⊂ e | e < e | e > e | σ_p(e) | (e)
+
+plus the three *extended* operators studied in Sections 5 and 6:
+
+* :class:`DirectlyIncluding` / :class:`DirectlyIncluded` — ``⊃_d``/``⊂_d``,
+* :class:`BothIncluded` — the ternary ``BI`` operator of Section 5.2,
+
+and an explicit :class:`Empty` literal, which the rewrite engine uses as
+the normal form of expressions proven empty.
+
+Expressions are immutable dataclasses; :func:`size` counts operator
+nodes (the paper's ``|e|``), :func:`order_op_count` counts ``<``/``>``
+occurrences (the ``k`` of Theorem 4.4), and :func:`is_core` tells whether
+an expression stays inside the plain algebra of Definition 2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "Expr",
+    "NameRef",
+    "Empty",
+    "Union",
+    "Intersection",
+    "Difference",
+    "Including",
+    "IncludedIn",
+    "Preceding",
+    "Following",
+    "Select",
+    "MatchPoints",
+    "DirectlyIncluding",
+    "DirectlyIncluded",
+    "BothIncluded",
+    "BinaryOp",
+    "STRUCTURAL_OPS",
+    "SET_OPS",
+    "size",
+    "order_op_count",
+    "pattern_names",
+    "region_names",
+    "is_core",
+    "children",
+    "walk",
+    "replace_child",
+    "including_chain",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Expr:
+    """Base class of all expression nodes."""
+
+
+@dataclass(frozen=True, slots=True)
+class NameRef(Expr):
+    """A region name ``R_i`` — the atoms of the algebra."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(Expr):
+    """The empty region set (normal form for expressions proven empty)."""
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOp(Expr):
+    """Shared shape for the binary operators."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Union(BinaryOp):
+    """``e ∪ e``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Intersection(BinaryOp):
+    """``e ∩ e``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Difference(BinaryOp):
+    """``e − e``."""
+
+
+@dataclass(frozen=True, slots=True)
+class Including(BinaryOp):
+    """``e ⊃ e`` — keep left regions strictly including some right region."""
+
+
+@dataclass(frozen=True, slots=True)
+class IncludedIn(BinaryOp):
+    """``e ⊂ e`` — keep left regions strictly included in some right region."""
+
+
+@dataclass(frozen=True, slots=True)
+class Preceding(BinaryOp):
+    """``e < e`` — keep left regions that precede some right region."""
+
+
+@dataclass(frozen=True, slots=True)
+class Following(BinaryOp):
+    """``e > e`` — keep left regions that follow some right region."""
+
+
+@dataclass(frozen=True, slots=True)
+class Select(Expr):
+    """``σ_p(e)`` — keep regions whose word index satisfies pattern ``p``."""
+
+    pattern: str
+    child: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class MatchPoints(Expr):
+    """The match points of a pattern — PAT's word-index queries.
+
+    The full PAT algebra manipulates *match point* sets alongside region
+    sets (Section 2.1); the paper's core algebra reaches the word index
+    only through ``σ_p``, so this leaf is an engine extension: it is not
+    part of the Definition 2.2 grammar (``is_core`` is false), has no
+    FMFT translation, and needs a text-backed word index to evaluate.
+    """
+
+    pattern: str
+
+
+@dataclass(frozen=True, slots=True)
+class DirectlyIncluding(BinaryOp):
+    """``e ⊃_d e`` (Section 5.1): strict inclusion with no instance region
+    in between — the parent relation of the instance forest."""
+
+
+@dataclass(frozen=True, slots=True)
+class DirectlyIncluded(BinaryOp):
+    """``e ⊂_d e`` (Section 5.1): the converse of ``⊃_d``."""
+
+
+@dataclass(frozen=True, slots=True)
+class BothIncluded(Expr):
+    """``R BI (S, T)`` (Section 5.2): keep R-regions strictly including an
+    S-region that precedes a T-region also strictly inside them."""
+
+    source: Expr
+    first: Expr
+    second: Expr
+
+
+SET_OPS = (Union, Intersection, Difference)
+STRUCTURAL_OPS = (Including, IncludedIn, Preceding, Following)
+_EXTENDED_OPS = (DirectlyIncluding, DirectlyIncluded, BothIncluded, MatchPoints)
+
+
+def children(expr: Expr) -> tuple[Expr, ...]:
+    """The immediate sub-expressions of a node."""
+    if isinstance(expr, BinaryOp):
+        return (expr.left, expr.right)
+    if isinstance(expr, Select):
+        return (expr.child,)
+    if isinstance(expr, BothIncluded):
+        return (expr.source, expr.first, expr.second)
+    return ()
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """All nodes of the expression, pre-order."""
+    yield expr
+    for child in children(expr):
+        yield from walk(child)
+
+
+def replace_child(expr: Expr, index: int, new: Expr) -> Expr:
+    """A copy of ``expr`` with its ``index``-th child replaced by ``new``."""
+    if isinstance(expr, BinaryOp):
+        if index == 0:
+            return type(expr)(new, expr.right)
+        if index == 1:
+            return type(expr)(expr.left, new)
+    elif isinstance(expr, Select) and index == 0:
+        return Select(expr.pattern, new)
+    elif isinstance(expr, BothIncluded):
+        parts = [expr.source, expr.first, expr.second]
+        parts[index] = new
+        return BothIncluded(*parts)
+    raise IndexError(f"{type(expr).__name__} has no child {index}")
+
+
+def size(expr: Expr) -> int:
+    """The paper's ``|e|``: the number of operations in the expression.
+
+    Region names and the empty literal contribute 0; every operator node
+    (including ``σ_p``) contributes 1.
+    """
+    total = 0
+    for node in walk(expr):
+        if not isinstance(node, (NameRef, Empty, MatchPoints)):
+            total += 1
+    return total
+
+
+def order_op_count(expr: Expr) -> int:
+    """The number of ``<`` and ``>`` operations — Theorem 4.4's ``k``."""
+    return sum(1 for node in walk(expr) if isinstance(node, (Preceding, Following)))
+
+
+def pattern_names(expr: Expr) -> frozenset[str]:
+    """The set of patterns ``P`` appearing in selections of ``expr``."""
+    return frozenset(
+        node.pattern
+        for node in walk(expr)
+        if isinstance(node, (Select, MatchPoints))
+    )
+
+
+def region_names(expr: Expr) -> frozenset[str]:
+    """The region names referenced by the expression."""
+    return frozenset(node.name for node in walk(expr) if isinstance(node, NameRef))
+
+
+def is_core(expr: Expr) -> bool:
+    """True when the expression uses only Definition 2.2 operators."""
+    return not any(isinstance(node, _EXTENDED_OPS) for node in walk(expr))
+
+
+def including_chain(names: list[str], op: type[BinaryOp] = IncludedIn) -> Expr:
+    """Build the right-grouped chain ``R1 op (R2 op (... op Rn))``.
+
+    This is the shape of the paper's running example
+    ``Name ⊂ Proc_header ⊂ Proc ⊂ Program`` and of the Section 6
+    inclusion sequences.
+    """
+    if not names:
+        raise ValueError("chain needs at least one region name")
+    expr: Expr = NameRef(names[-1])
+    for name in reversed(names[:-1]):
+        expr = op(NameRef(name), expr)
+    return expr

@@ -1,0 +1,115 @@
+"""Bounded enumeration of region-algebra expressions.
+
+The inexpressibility arguments of Section 5 are universally quantified
+over expressions ("assume there is an algebra expression e computing
+…").  The test suite complements the paper's proof technique with brute
+force: enumerate *every* core expression up to a size bound and check
+that none of them computes the target operator on the counter-example
+family.  The optimizer's exhaustive search (Section 3: "we need to check
+only a finite number of expressions") reuses the same generator.
+
+Enumeration is by operation count, with light canonical pruning — the
+commutative operators only combine operands in one order — which shrinks
+the space without removing any expressible query.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterable, Iterator, Sequence
+
+from repro.algebra import ast as A
+
+__all__ = ["enumerate_expressions", "count_expressions"]
+
+_COMMUTATIVE = (A.Union, A.Intersection)
+_NONCOMMUTATIVE_CORE = (
+    A.Difference,
+    A.Including,
+    A.IncludedIn,
+    A.Preceding,
+    A.Following,
+)
+_EXTENDED = (A.DirectlyIncluding, A.DirectlyIncluded)
+
+
+def enumerate_expressions(
+    names: Sequence[str],
+    max_ops: int,
+    patterns: Sequence[str] = (),
+    extended: bool = False,
+) -> Iterator[A.Expr]:
+    """Yield every expression with at most ``max_ops`` operator nodes.
+
+    ``names`` are the available region names, ``patterns`` the selection
+    patterns allowed under ``σ``.  With ``extended`` the direct operators
+    ``⊃_d``/``⊂_d`` are included (used by the Prop 5.5 independence
+    tests).  Commutative duplicates ``a ∪ b`` / ``b ∪ a`` are emitted
+    once.
+    """
+    for by_size in _tables(names, max_ops, patterns, extended):
+        yield from by_size
+
+
+def count_expressions(
+    names: Sequence[str],
+    max_ops: int,
+    patterns: Sequence[str] = (),
+    extended: bool = False,
+) -> int:
+    """The number of expressions :func:`enumerate_expressions` yields."""
+    return sum(
+        len(level) for level in _tables(names, max_ops, patterns, extended)
+    )
+
+
+def _tables(
+    names: Sequence[str],
+    max_ops: int,
+    patterns: Sequence[str],
+    extended: bool,
+) -> list[list[A.Expr]]:
+    """``tables[k]`` holds every expression with exactly ``k`` operators."""
+    binary_ops: tuple[type[A.BinaryOp], ...] = _NONCOMMUTATIVE_CORE
+    if extended:
+        binary_ops = binary_ops + _EXTENDED
+
+    tables: list[list[A.Expr]] = [[A.NameRef(name) for name in names]]
+    for k in range(1, max_ops + 1):
+        level: list[A.Expr] = []
+        # σ_p over any expression of size k-1.
+        for pattern in patterns:
+            level.extend(A.Select(pattern, child) for child in tables[k - 1])
+        # Binary operators splitting the remaining budget.
+        for left_size in range(0, k):
+            right_size = k - 1 - left_size
+            lefts, rights = tables[left_size], tables[right_size]
+            for op in binary_ops:
+                level.extend(op(l, r) for l, r in product(lefts, rights))
+            for op in _COMMUTATIVE:
+                if left_size < right_size:
+                    level.extend(op(l, r) for l, r in product(lefts, rights))
+                elif left_size == right_size:
+                    # Same-size operands: emit each unordered pair once.
+                    for i, l in enumerate(lefts):
+                        level.extend(op(l, rights[j]) for j in range(i, len(rights)))
+        tables.append(level)
+    return tables
+
+
+def distinct_on(
+    expressions: Iterable[A.Expr],
+    fingerprint,
+) -> Iterator[A.Expr]:
+    """Filter ``expressions`` to one representative per fingerprint value.
+
+    ``fingerprint`` maps an expression to a hashable summary (typically
+    its results on a panel of probe instances); only the first expression
+    per summary is yielded.  Used to cut the optimizer's candidate space.
+    """
+    seen: set = set()
+    for expr in expressions:
+        key = fingerprint(expr)
+        if key not in seen:
+            seen.add(key)
+            yield expr

@@ -1,0 +1,146 @@
+"""Bounded expansions of the extended operators into the plain algebra.
+
+Section 5 shows that ``⊃_d``/``⊂_d`` and ``BI`` are inexpressible in
+general but become expressible under boundedness assumptions:
+
+* **Proposition 5.2** — direct inclusion is expressible when the
+  including side's *self-nesting* is bounded (files with an acyclic RIG
+  have no self-nesting at all).  The construction follows the paper's
+  proof sketch: slice ``Q`` into self-nesting layers
+  ``layer_i = H_{i-1} − H_i`` with ``H_i = Q ⊂ (Q ⊂ (… ⊂ Q))`` (depth
+  ≥ i), compute direct inclusion per layer with the non-nested formula
+  ``layer ⊃ (R − (R ⊂ (All ⊂ layer)))``, and union the layers.
+
+* **Proposition 5.4** — ``BI`` is expressible when the number of
+  non-overlapping regions is bounded by ``k``.  The paper omits the
+  construction ("similar to the case of direct inclusion"); we engineered
+  one and proved it correct (the tests validate it against the native
+  operator): slice ``S`` by *follow-position* — the length of the longest
+  ``<``-chain of S-regions ending at ``s``, computable as
+  ``G_1 = S, G_{i+1} = S > G_i`` — and take
+
+  ``BI(R, S, T) = ⋃_{i=1..k} (R ⊃ (G_i − G_{i+1})) ∩ (R ⊃ (T > G_i))``.
+
+  Soundness: if ``r`` is selected at index ``i`` via ``s ⊂ r`` with
+  follow-position exactly ``i`` and ``t ⊂ r`` following an S-chain
+  ``c_1 < … < c_i < t``, then not every ``c_m`` can lie before ``r`` —
+  ``c_i < r`` would extend ``s``'s chain past ``i`` — so some ``c_m``
+  lies strictly inside ``r`` and ``(c_m, t)`` is a genuine witness.
+  Completeness: a genuine witness ``(s, t)`` with ``i`` the
+  follow-position of ``s`` satisfies both conjuncts at index ``i``.
+  A bound of ``k`` non-overlapping regions caps every ``<``-chain at
+  ``k``, so ``k`` slices suffice.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import ast as A
+from repro.errors import OptimizationError
+
+__all__ = [
+    "union_of_names",
+    "expand_directly_including",
+    "expand_directly_included",
+    "expand_both_included",
+]
+
+
+def union_of_names(names: tuple[str, ...] | list[str]) -> A.Expr:
+    """``All = ⋃_{T ∈ I} T`` as an expression."""
+    if not names:
+        raise OptimizationError("cannot build the union of zero region names")
+    expr: A.Expr = A.NameRef(names[0])
+    for name in names[1:]:
+        expr = A.Union(expr, A.NameRef(name))
+    return expr
+
+
+def _self_nesting_slices(source: A.Expr, depth_bound: int) -> list[A.Expr]:
+    """Expressions for ``layer_1 … layer_{depth_bound}`` of ``source``.
+
+    ``H_i`` (regions with ≥ i source-ancestors) is the right-grouped
+    ``source ⊂ H_{i-1}``; the ``i``-th layer is ``H_{i-1} − H_i``.
+    """
+    if depth_bound < 1:
+        raise OptimizationError("self-nesting depth bound must be >= 1")
+    h = [source]
+    for _ in range(depth_bound):
+        h.append(A.IncludedIn(source, h[-1]))
+    return [A.Difference(h[i], h[i + 1]) for i in range(depth_bound)]
+
+
+def expand_directly_including(
+    source: A.Expr,
+    target: A.Expr,
+    all_names: tuple[str, ...] | list[str],
+    depth_bound: int = 1,
+) -> A.Expr:
+    """Core-algebra expression for ``source ⊃_d target`` (Prop 5.2).
+
+    Correct on every instance where no ``source``-result region is
+    nested inside more than ``depth_bound - 1`` other ``source``-result
+    regions.  ``depth_bound=1`` (the acyclic-RIG case, where a region
+    name can never nest within itself) yields the paper's one-liner
+    ``Q ⊃ (R − (R ⊂ (All ⊂ Q)))``.
+    """
+    universe = union_of_names(all_names)
+    parts: list[A.Expr] = []
+    for layer in _self_nesting_slices(source, depth_bound):
+        shielded = A.IncludedIn(target, A.IncludedIn(universe, layer))
+        parts.append(A.Including(layer, A.Difference(target, shielded)))
+    return _union_all(parts)
+
+
+def expand_directly_included(
+    source: A.Expr,
+    target: A.Expr,
+    all_names: tuple[str, ...] | list[str],
+    depth_bound: int = 1,
+) -> A.Expr:
+    """Core-algebra expression for ``source ⊂_d target`` (Prop 5.2).
+
+    Symmetric to :func:`expand_directly_including`: the *including* side
+    ``target`` is sliced into self-nesting layers, and per layer the kept
+    ``source`` regions are those not shielded from it.
+    """
+    universe = union_of_names(all_names)
+    parts: list[A.Expr] = []
+    for layer in _self_nesting_slices(target, depth_bound):
+        shielded = A.IncludedIn(source, A.IncludedIn(universe, layer))
+        parts.append(A.IncludedIn(A.Difference(source, shielded), layer))
+    return _union_all(parts)
+
+
+def expand_both_included(
+    source: A.Expr,
+    first: A.Expr,
+    second: A.Expr,
+    width_bound: int,
+) -> A.Expr:
+    """Core-algebra expression for ``source BI (first, second)`` (Prop 5.4).
+
+    Correct on every instance whose number of pairwise non-overlapping
+    regions is at most ``width_bound`` (which caps the length of any
+    ``<``-chain).  See the module docstring for the construction and its
+    correctness argument.
+    """
+    if width_bound < 1:
+        raise OptimizationError("width bound must be >= 1")
+    # G_i = first-regions ending an S-chain of length >= i.
+    g = [first]
+    for _ in range(width_bound):
+        g.append(A.Following(first, g[-1]))
+    parts: list[A.Expr] = []
+    for i in range(width_bound):
+        slice_i = A.Difference(g[i], g[i + 1])
+        has_s = A.Including(source, slice_i)
+        has_t = A.Including(source, A.Following(second, g[i]))
+        parts.append(A.Intersection(has_s, has_t))
+    return _union_all(parts)
+
+
+def _union_all(parts: list[A.Expr]) -> A.Expr:
+    expr = parts[0]
+    for part in parts[1:]:
+        expr = A.Union(expr, part)
+    return expr

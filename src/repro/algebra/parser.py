@@ -1,0 +1,285 @@
+"""Parser for the textual region-algebra query language.
+
+The concrete syntax (shared with :mod:`repro.algebra.printer`)::
+
+    expr       := additive
+    additive   := intersect (("union"|"+"|"|"|"∪"|"except"|"-"|"−") intersect)*
+    intersect  := structural (("isect"|"^"|"&"|"∩") structural)*
+    structural := postfix [STRUCTOP structural]          # right-associative
+    STRUCTOP   := "containing"|"⊃" | "within"|"⊂" | "before"|"<"
+                | "after"|">" | "dcontaining"|"⊃d" | "dwithin"|"⊂d"
+    postfix    := primary ("@" STRING)*
+    primary    := NAME | STRING | "empty" | "(" expr ")"
+                | "bi" "(" expr "," expr "," expr ")"
+                | "select" "(" STRING "," expr ")"
+
+PAT-style extras: a bare STRING is a word query (the pattern's match
+points), and ``A not STRUCTOP B`` is sugar for ``A except (A STRUCTOP
+B)`` (one-way: the printer emits the core form).  Nesting is bounded by
+:data:`MAX_NESTING_DEPTH` so pathological inputs fail cleanly.
+
+Examples::
+
+    Name within Proc_header within Proc within Program
+    Proc containing (Var @ "x")
+    bi(Proc, Var @ "x", Var @ "y")
+
+The structural operators are right-associative to match the paper's
+convention that omitted parentheses group from the right.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.algebra import ast as A
+from repro.errors import ParseError
+
+__all__ = ["parse"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str  # NAME, STRING, OP, KEYWORD, EOF
+    value: str
+    position: int
+
+
+_KEYWORDS = {
+    "union",
+    "except",
+    "isect",
+    "containing",
+    "within",
+    "before",
+    "after",
+    "dcontaining",
+    "dwithin",
+    "bi",
+    "select",
+    "empty",
+    "not",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<dop>⊃d|⊂d)
+  | (?P<op>[()@,+\-^|&<>∪∩−⊃⊂])
+    """,
+    re.VERBOSE,
+)
+
+_SYMBOL_ALIASES = {
+    "+": "union",
+    "|": "union",
+    "∪": "union",
+    "-": "except",
+    "−": "except",
+    "^": "isect",
+    "&": "isect",
+    "∩": "isect",
+    "⊃": "containing",
+    "⊂": "within",
+    "<": "before",
+    ">": "after",
+    "⊃d": "dcontaining",
+    "⊂d": "dwithin",
+}
+
+_STRUCTURAL = {
+    "containing": A.Including,
+    "within": A.IncludedIn,
+    "before": A.Preceding,
+    "after": A.Following,
+    "dcontaining": A.DirectlyIncluding,
+    "dwithin": A.DirectlyIncluded,
+}
+
+
+def _lex(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r}", pos)
+        if match.lastgroup == "string":
+            raw = match.group("string")
+            value = raw[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+            tokens.append(_Token("STRING", value, pos))
+        elif match.lastgroup == "name":
+            value = match.group("name")
+            kind = "KEYWORD" if value in _KEYWORDS else "NAME"
+            tokens.append(_Token(kind, value, pos))
+        elif match.lastgroup in ("op", "dop"):
+            raw = match.group(match.lastgroup)
+            value = _SYMBOL_ALIASES.get(raw, raw)
+            kind = "KEYWORD" if value in _KEYWORDS else "OP"
+            tokens.append(_Token(kind, value, pos))
+        pos = match.end()
+    tokens.append(_Token("EOF", "", len(text)))
+    return tokens
+
+
+#: Maximum parenthesis/operator nesting accepted by the parser.  A
+#: recursive-descent parser consumes Python stack per level; the guard
+#: turns pathological inputs into a clean ParseError instead of a
+#: RecursionError (found by the fuzz tests).
+MAX_NESTING_DEPTH = 75
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._tokens = _lex(text)
+        self._index = 0
+        self._depth = 0
+
+    @property
+    def _current(self) -> _Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> _Token:
+        token = self._current
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> _Token:
+        token = self._current
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = value if value is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.value or 'end of input'!r}",
+                token.position,
+            )
+        return self._advance()
+
+    def _keyword_is(self, *values: str) -> bool:
+        token = self._current
+        return token.kind == "KEYWORD" and token.value in values
+
+    # -- grammar -------------------------------------------------------
+
+    def parse(self) -> A.Expr:
+        expr = self._additive()
+        if self._current.kind != "EOF":
+            raise ParseError(
+                f"unexpected trailing input {self._current.value!r}",
+                self._current.position,
+            )
+        return expr
+
+    def _additive(self) -> A.Expr:
+        self._depth += 1
+        if self._depth > MAX_NESTING_DEPTH:
+            raise ParseError(
+                f"query nested deeper than {MAX_NESTING_DEPTH} levels",
+                self._current.position,
+            )
+        try:
+            expr = self._intersect()
+            while self._keyword_is("union", "except"):
+                op = self._advance().value
+                right = self._intersect()
+                expr = (
+                    A.Union(expr, right)
+                    if op == "union"
+                    else A.Difference(expr, right)
+                )
+            return expr
+        finally:
+            self._depth -= 1
+
+    def _intersect(self) -> A.Expr:
+        expr = self._structural()
+        while self._keyword_is("isect"):
+            self._advance()
+            expr = A.Intersection(expr, self._structural())
+        return expr
+
+    def _structural(self, chain_depth: int = 0) -> A.Expr:
+        if chain_depth > 4 * MAX_NESTING_DEPTH:
+            raise ParseError(
+                f"structural chain longer than {4 * MAX_NESTING_DEPTH}",
+                self._current.position,
+            )
+        left = self._postfix()
+        if self._keyword_is("not"):
+            # PAT-style negated structural operators: ``A not containing B``
+            # is sugar for ``A except (A containing B)``.
+            self._advance()
+            token = self._current
+            if not self._keyword_is(*_STRUCTURAL):
+                raise ParseError(
+                    f"expected a structural operator after 'not', "
+                    f"found {token.value or 'end of input'!r}",
+                    token.position,
+                )
+            op = self._advance().value
+            right = self._structural(chain_depth + 1)
+            return A.Difference(left, _STRUCTURAL[op](left, right))
+        if self._keyword_is(*_STRUCTURAL):
+            op = self._advance().value
+            right = self._structural(chain_depth + 1)  # right-associative
+            return _STRUCTURAL[op](left, right)
+        return left
+
+    def _postfix(self) -> A.Expr:
+        expr = self._primary()
+        while self._current.kind == "OP" and self._current.value == "@":
+            self._advance()
+            pattern = self._expect("STRING")
+            expr = A.Select(pattern.value, expr)
+        return expr
+
+    def _primary(self) -> A.Expr:
+        token = self._current
+        if token.kind == "NAME":
+            self._advance()
+            return A.NameRef(token.value)
+        if token.kind == "STRING":
+            # A bare pattern is a PAT word query: its match points.
+            self._advance()
+            return A.MatchPoints(token.value)
+        if self._keyword_is("empty"):
+            self._advance()
+            return A.Empty()
+        if token.kind == "OP" and token.value == "(":
+            self._advance()
+            expr = self._additive()
+            self._expect("OP", ")")
+            return expr
+        if self._keyword_is("bi"):
+            self._advance()
+            self._expect("OP", "(")
+            source = self._additive()
+            self._expect("OP", ",")
+            first = self._additive()
+            self._expect("OP", ",")
+            second = self._additive()
+            self._expect("OP", ")")
+            return A.BothIncluded(source, first, second)
+        if self._keyword_is("select"):
+            self._advance()
+            self._expect("OP", "(")
+            pattern = self._expect("STRING")
+            self._expect("OP", ",")
+            child = self._additive()
+            self._expect("OP", ")")
+            return A.Select(pattern.value, child)
+        raise ParseError(
+            f"expected an expression, found {token.value or 'end of input'!r}",
+            token.position,
+        )
+
+
+def parse(text: str) -> A.Expr:
+    """Parse query text into an expression tree.
+
+    Raises :class:`~repro.errors.ParseError` with the offending position
+    on malformed input.
+    """
+    return _Parser(text).parse()

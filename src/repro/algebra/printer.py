@@ -1,0 +1,112 @@
+"""Rendering expressions back to query text.
+
+The printer and the parser (:mod:`repro.algebra.parser`) share one
+precedence table, so ``parse(to_text(e)) == e`` for every expression —
+a property the test suite checks exhaustively on enumerated and random
+expressions.
+
+Precedence, loosest binding first:
+
+1. ``union``/``except`` (left-associative),
+2. ``isect`` (left-associative),
+3. the structural operators ``containing within before after dcontaining
+   dwithin`` (right-associative, matching the paper's convention that an
+   unparenthesized chain groups from the right),
+4. the postfix selection ``@ "pattern"``.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import ast as A
+
+__all__ = ["to_text"]
+
+_LEVEL_ADDITIVE = 1
+_LEVEL_INTERSECT = 2
+_LEVEL_STRUCTURAL = 3
+_LEVEL_ATOM = 4
+
+_STRUCTURAL_KEYWORD = {
+    A.Including: "containing",
+    A.IncludedIn: "within",
+    A.Preceding: "before",
+    A.Following: "after",
+    A.DirectlyIncluding: "dcontaining",
+    A.DirectlyIncluded: "dwithin",
+}
+
+_STRUCTURAL_SYMBOL = {
+    A.Including: "⊃",
+    A.IncludedIn: "⊂",
+    A.Preceding: "<",
+    A.Following: ">",
+    A.DirectlyIncluding: "⊃d",
+    A.DirectlyIncluded: "⊂d",
+}
+
+
+def to_text(expr: A.Expr, unicode_ops: bool = False) -> str:
+    """Render ``expr`` as parseable query text.
+
+    With ``unicode_ops`` the structural and set operators use the paper's
+    symbols (``⊃ ⊂ < > ∪ ∩ −``); the parser accepts both spellings.
+    """
+    return _render(expr, 0, unicode_ops)
+
+
+def _render(expr: A.Expr, context_level: int, uni: bool) -> str:
+    text, level = _render_inner(expr, uni)
+    if level < context_level:
+        return f"({text})"
+    return text
+
+
+def _render_inner(expr: A.Expr, uni: bool) -> tuple[str, int]:
+    if isinstance(expr, A.NameRef):
+        return expr.name, _LEVEL_ATOM
+    if isinstance(expr, A.Empty):
+        return "empty", _LEVEL_ATOM
+    if isinstance(expr, A.Union):
+        op = "∪" if uni else "union"
+        return (
+            f"{_render(expr.left, _LEVEL_ADDITIVE, uni)} {op} "
+            f"{_render(expr.right, _LEVEL_ADDITIVE + 1, uni)}",
+            _LEVEL_ADDITIVE,
+        )
+    if isinstance(expr, A.Difference):
+        op = "−" if uni else "except"
+        return (
+            f"{_render(expr.left, _LEVEL_ADDITIVE, uni)} {op} "
+            f"{_render(expr.right, _LEVEL_ADDITIVE + 1, uni)}",
+            _LEVEL_ADDITIVE,
+        )
+    if isinstance(expr, A.Intersection):
+        op = "∩" if uni else "isect"
+        return (
+            f"{_render(expr.left, _LEVEL_INTERSECT, uni)} {op} "
+            f"{_render(expr.right, _LEVEL_INTERSECT + 1, uni)}",
+            _LEVEL_INTERSECT,
+        )
+    if isinstance(expr, A.BinaryOp):  # the six structural operators
+        table = _STRUCTURAL_SYMBOL if uni else _STRUCTURAL_KEYWORD
+        op = table[type(expr)]
+        # Right-associative: the left operand needs one level tighter.
+        return (
+            f"{_render(expr.left, _LEVEL_STRUCTURAL + 1, uni)} {op} "
+            f"{_render(expr.right, _LEVEL_STRUCTURAL, uni)}",
+            _LEVEL_STRUCTURAL,
+        )
+    if isinstance(expr, A.Select):
+        return (
+            f'{_render(expr.child, _LEVEL_ATOM, uni)} @ "{expr.pattern}"',
+            _LEVEL_ATOM,
+        )
+    if isinstance(expr, A.MatchPoints):
+        return f'"{expr.pattern}"', _LEVEL_ATOM
+    if isinstance(expr, A.BothIncluded):
+        return (
+            f"bi({_render(expr.source, 0, uni)}, "
+            f"{_render(expr.first, 0, uni)}, {_render(expr.second, 0, uni)})",
+            _LEVEL_ATOM,
+        )
+    raise TypeError(f"cannot render {type(expr).__name__}")

@@ -1,0 +1,43 @@
+"""Core substrate: regions, region sets, instances, forests, word indexes.
+
+These are the data types everything else in the library builds on; see
+Section 2 of the paper for the definitions they implement.
+"""
+
+from repro.core.forest import Forest
+from repro.core.instance import Instance
+from repro.core.patterns import (
+    GlobPattern,
+    LiteralPattern,
+    Pattern,
+    PrefixPattern,
+    parse_pattern,
+)
+from repro.core.region import Region, bounding_region, span_of
+from repro.core.regionset import RegionSet
+from repro.core.wordindex import (
+    LabelWordIndex,
+    TextWordIndex,
+    Token,
+    WordIndex,
+    tokenize,
+)
+
+__all__ = [
+    "Region",
+    "RegionSet",
+    "Instance",
+    "Forest",
+    "WordIndex",
+    "TextWordIndex",
+    "LabelWordIndex",
+    "Token",
+    "tokenize",
+    "Pattern",
+    "LiteralPattern",
+    "PrefixPattern",
+    "GlobPattern",
+    "parse_pattern",
+    "span_of",
+    "bounding_region",
+]

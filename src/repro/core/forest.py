@@ -1,0 +1,191 @@
+"""The direct-inclusion forest of a hierarchical region collection.
+
+Section 3 of the paper observes that a hierarchical instance, viewed
+through the relations the algebra can test (inclusion and precedence),
+is an ordered forest: *direct inclusion* (no region strictly in between)
+is the parent relation, and precedence is the sibling/document order.
+This module materializes that forest once per instance and answers the
+structural questions the rest of the library needs:
+
+* ``parent_of`` / ``children_of`` / ``ancestors_of`` / ``subtree_of``,
+* the *direct* operators ``⊃_d``/``⊂_d`` of Section 5.1 (a region
+  directly includes another iff it is its parent here),
+* the layer decomposition used by the Section 6 while-programs,
+* pre-order numbering, which later becomes the ``{0,1}*`` embedding of
+  the FMFT models (Definition 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+
+__all__ = ["Forest"]
+
+
+class Forest:
+    """An ordered forest over regions, built with a single stack sweep."""
+
+    __slots__ = ("_order", "_parent", "_children", "_index", "_depth")
+
+    def __init__(
+        self,
+        order: tuple[Region, ...],
+        parent: list[int | None],
+        children: list[list[int]],
+    ):
+        self._order = order
+        self._parent = parent
+        self._children = children
+        self._index = {region: i for i, region in enumerate(order)}
+        self._depth: list[int] = [0] * len(order)
+        for i, p in enumerate(parent):
+            self._depth[i] = 0 if p is None else self._depth[p] + 1
+
+    @classmethod
+    def from_regions(cls, regions: Iterable[Region]) -> "Forest":
+        """Build the forest for a hierarchical collection of regions.
+
+        Sorting by ``(left, -right)`` visits regions in pre-order: every
+        region appears after all its ancestors, so a stack of currently
+        open regions yields each region's parent directly.
+        """
+        order = tuple(sorted(regions, key=lambda r: (r.left, -r.right)))
+        parent: list[int | None] = [None] * len(order)
+        children: list[list[int]] = [[] for _ in order]
+        stack: list[int] = []
+        for i, region in enumerate(order):
+            while stack and not order[stack[-1]].includes(region):
+                stack.pop()
+            if stack:
+                parent[i] = stack[-1]
+                children[stack[-1]].append(i)
+            stack.append(i)
+        return cls(order, parent, children)
+
+    # ------------------------------------------------------------------
+    # Basic structure.
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, region: object) -> bool:
+        return region in self._index
+
+    @property
+    def preorder(self) -> tuple[Region, ...]:
+        """All regions in pre-order (document order, outermost first)."""
+        return self._order
+
+    def roots(self) -> list[Region]:
+        return [r for i, r in enumerate(self._order) if self._parent[i] is None]
+
+    def parent_of(self, region: Region) -> Region | None:
+        """The region that *directly includes* ``region``, if any."""
+        p = self._parent[self._index[region]]
+        return None if p is None else self._order[p]
+
+    def children_of(self, region: Region) -> list[Region]:
+        """The regions directly included in ``region``, in document order."""
+        return [self._order[c] for c in self._children[self._index[region]]]
+
+    def depth_of(self, region: Region) -> int:
+        """Root regions have depth 0."""
+        return self._depth[self._index[region]]
+
+    def ancestors_of(self, region: Region) -> list[Region]:
+        """Proper ancestors, innermost first."""
+        out: list[Region] = []
+        p = self._parent[self._index[region]]
+        while p is not None:
+            out.append(self._order[p])
+            p = self._parent[p]
+        return out
+
+    def subtree_of(self, region: Region) -> list[Region]:
+        """``region`` and everything it includes, in pre-order."""
+        out: list[Region] = []
+        stack = [self._index[region]]
+        while stack:
+            i = stack.pop()
+            out.append(self._order[i])
+            stack.extend(reversed(self._children[i]))
+        return out
+
+    def descendants_of(self, region: Region) -> list[Region]:
+        """Everything strictly included in ``region``, in pre-order."""
+        return self.subtree_of(region)[1:]
+
+    def sibling_rank(self, region: Region) -> int:
+        """Position among the region's siblings (0-based, document order)."""
+        i = self._index[region]
+        p = self._parent[i]
+        siblings = (
+            [j for j, q in enumerate(self._parent) if q is None]
+            if p is None
+            else self._children[p]
+        )
+        return siblings.index(i)
+
+    def child_path(self, region: Region) -> tuple[int, ...]:
+        """Sibling ranks from the root down to ``region``.
+
+        This is the path that the FMFT embedding encodes into ``{0,1}*``.
+        """
+        chain = [region] + self.ancestors_of(region)
+        return tuple(self.sibling_rank(r) for r in reversed(chain))
+
+    def iter_edges(self) -> Iterator[tuple[Region, Region]]:
+        """All (parent, child) direct-inclusion pairs."""
+        for i, p in enumerate(self._parent):
+            if p is not None:
+                yield self._order[p], self._order[i]
+
+    # ------------------------------------------------------------------
+    # Direct operators (Section 5.1) and layers (Section 6).
+    # ------------------------------------------------------------------
+
+    def directly_including(self, r_set: RegionSet, s_set: RegionSet) -> RegionSet:
+        """``R ⊃_d S``: the R-regions that are parents of some S-region.
+
+        Direct inclusion quantifies over *all* regions of the instance
+        ("no other region resides in between"), which is exactly the
+        parent relation of this forest.
+        """
+        parents = set()
+        for s in s_set:
+            if s in self._index:
+                p = self.parent_of(s)
+                if p is not None:
+                    parents.add(p)
+        return RegionSet(r for r in r_set if r in parents)
+
+    def directly_included(self, r_set: RegionSet, s_set: RegionSet) -> RegionSet:
+        """``R ⊂_d S``: the R-regions whose parent is an S-region."""
+        out = []
+        for r in r_set:
+            if r in self._index:
+                p = self.parent_of(r)
+                if p is not None and p in s_set:
+                    out.append(r)
+        return RegionSet(out)
+
+    def layers(self) -> list[RegionSet]:
+        """Regions grouped by depth: ``layers()[0]`` is the outermost layer.
+
+        The Section 6 programs peel these layers one at a time; the number
+        of layers is the nesting depth of the instance.
+        """
+        if not self._order:
+            return []
+        buckets: list[list[Region]] = [[] for _ in range(max(self._depth) + 1)]
+        for i, region in enumerate(self._order):
+            buckets[self._depth[i]].append(region)
+        return [RegionSet(b) for b in buckets]
+
+    def max_depth(self) -> int:
+        """The nesting depth (number of layers); 0 for an empty forest."""
+        return max(self._depth) + 1 if self._order else 0

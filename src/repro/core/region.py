@@ -1,0 +1,162 @@
+"""Text regions and the structural predicates of the region algebra.
+
+A *region* is a substring of the indexed text, identified by the positions
+of its two endpoints (paper, Section 2.1).  Positions are integers;
+endpoints are inclusive, so the region ``Region(3, 7)`` covers text
+positions 3 through 7.  A *match point* (an entry of the word index) is a
+degenerate region whose endpoints coincide.
+
+The predicates defined here follow Definition 2.3 of the paper exactly:
+
+* ``r.includes(s)`` — the paper's ``r ⊃ s`` — strict inclusion:
+  ``(left(r) < left(s) and right(r) >= right(s))`` or
+  ``(left(r) <= left(s) and right(r) > right(s))``.
+* ``r.precedes(s)`` — the paper's ``r < s`` — ``right(r) < left(s)``.
+
+These are the only two primitive relations the algebra can observe; the
+exact endpoint positions are never exposed by any operator, which is what
+makes the forest representation of Section 3 faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import InvalidRegionError
+
+__all__ = ["Region", "span_of", "bounding_region"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Region:
+    """A text region ``[left, right]`` with inclusive integer endpoints.
+
+    Regions are immutable and totally ordered by ``(left, right)``; this is
+    the canonical storage order used by :class:`repro.core.RegionSet`.
+    """
+
+    left: int
+    right: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.left, int) or not isinstance(self.right, int):
+            raise InvalidRegionError(
+                f"region endpoints must be integers, got ({self.left!r}, {self.right!r})"
+            )
+        if self.left > self.right:
+            raise InvalidRegionError(
+                f"region left endpoint {self.left} exceeds right endpoint {self.right}"
+            )
+
+    # ------------------------------------------------------------------
+    # Primitive structural predicates (Definition 2.3).
+    # ------------------------------------------------------------------
+
+    def includes(self, other: "Region") -> bool:
+        """``self ⊃ other``: strict inclusion per the paper.
+
+        Containment where at least one endpoint is strictly inside.  Equal
+        regions do *not* include each other.
+        """
+        return (self.left < other.left and self.right >= other.right) or (
+            self.left <= other.left and self.right > other.right
+        )
+
+    def included_in(self, other: "Region") -> bool:
+        """``self ⊂ other``: the converse of :meth:`includes`."""
+        return other.includes(self)
+
+    def precedes(self, other: "Region") -> bool:
+        """``self < other``: this region ends before the other begins."""
+        return self.right < other.left
+
+    def follows(self, other: "Region") -> bool:
+        """``self > other``: the converse of :meth:`precedes`."""
+        return other.right < self.left
+
+    # ------------------------------------------------------------------
+    # Derived relations (useful for validation and the forest view).
+    # ------------------------------------------------------------------
+
+    def disjoint_from(self, other: "Region") -> bool:
+        """True when the two regions share no position."""
+        return self.right < other.left or other.right < self.left
+
+    def overlaps(self, other: "Region") -> bool:
+        """True when the regions share a position but neither includes the
+        other and they are not equal.  Hierarchical instances never contain
+        overlapping regions (Section 2.1)."""
+        if self == other:
+            return False
+        if self.disjoint_from(other):
+            return False
+        return not (self.includes(other) or other.includes(self))
+
+    def contains_point(self, position: int) -> bool:
+        """True when ``position`` lies inside this region (inclusive)."""
+        return self.left <= position <= self.right
+
+    def hierarchy_compatible(self, other: "Region") -> bool:
+        """True when the pair may coexist in a hierarchical instance:
+        disjoint, or one strictly includes the other."""
+        if self == other:
+            return False
+        return (
+            self.disjoint_from(other)
+            or self.includes(other)
+            or other.includes(self)
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience.
+    # ------------------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Number of positions covered (inclusive endpoints)."""
+        return self.right - self.left + 1
+
+    def is_match_point(self) -> bool:
+        """True for degenerate regions marking a single position."""
+        return self.left == self.right
+
+    def shifted(self, offset: int) -> "Region":
+        """A copy translated by ``offset`` positions."""
+        return Region(self.left + offset, self.right + offset)
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"[{self.left},{self.right}]"
+
+
+def span_of(regions: Iterable[Region]) -> Region | None:
+    """The tightest region covering every region in ``regions``.
+
+    Returns ``None`` for an empty iterable.
+    """
+    left: int | None = None
+    right: int | None = None
+    for r in regions:
+        left = r.left if left is None else min(left, r.left)
+        right = r.right if right is None else max(right, r.right)
+    if left is None or right is None:
+        return None
+    return Region(left, right)
+
+
+def bounding_region(regions: Iterable[Region], pad: int = 1) -> Region | None:
+    """A region strictly including every region in ``regions``.
+
+    Useful when synthesizing documents: the returned region extends ``pad``
+    positions beyond the span on both sides, so it *strictly* includes each
+    input region.  Returns ``None`` for an empty iterable.
+    """
+    span = span_of(regions)
+    if span is None:
+        return None
+    if pad < 1:
+        raise InvalidRegionError("bounding_region pad must be >= 1")
+    return Region(span.left - pad, span.right + pad)

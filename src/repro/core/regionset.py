@@ -1,0 +1,287 @@
+"""Immutable, sorted sets of regions with set-at-a-time operators.
+
+:class:`RegionSet` is the carrier type of the region algebra
+(Definition 2.2/2.3).  It stores regions sorted by ``(left, right)`` with
+duplicates removed, which is the representation the PAT engine's
+efficiency rests on: every structural semi-join below runs in
+``O((n + m) log m)`` using binary search plus prefix/suffix extreme
+tables, instead of the naive ``O(n * m)`` pairwise scan.
+
+Two implementations of each structural operator are provided:
+
+* the *indexed* ones (``including``, ``included_in``, ``preceding``,
+  ``following``) used by the production evaluator, and
+* ``*_naive`` variants that transcribe Definition 2.3 literally and serve
+  as the semantic oracle for the test suite.
+
+The correctness argument for the indexed containment joins: with ``S``
+sorted by left endpoint, ``r ⊃ s`` holds for some ``s ∈ S`` iff
+
+* (A) some ``s`` has ``left(s) > left(r)`` and ``right(s) <= right(r)``, or
+* (B) some ``s`` has ``left(s) >= left(r)`` and ``right(s) < right(r)``,
+
+and each disjunct asks whether the *minimum* right endpoint over a suffix
+of the sorted order clears a threshold — a suffix-minimum query.  The
+``⊂`` join is symmetric with prefix-maximum queries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Callable, Iterable, Iterator
+
+from repro.core.region import Region
+
+__all__ = ["RegionSet"]
+
+
+def _suffix_min(values: list[int]) -> list[int]:
+    """``out[i] = min(values[i:])``; one extra sentinel at the end."""
+    out = [0] * (len(values) + 1)
+    out[len(values)] = _POS_INF
+    for i in range(len(values) - 1, -1, -1):
+        out[i] = values[i] if values[i] < out[i + 1] else out[i + 1]
+    return out
+
+
+def _prefix_max(values: list[int]) -> list[int]:
+    """``out[i] = max(values[:i])``; ``out[0]`` is a sentinel."""
+    out = [0] * (len(values) + 1)
+    out[0] = _NEG_INF
+    for i, v in enumerate(values):
+        out[i + 1] = v if v > out[i] else out[i]
+    return out
+
+
+_POS_INF = float("inf")
+_NEG_INF = float("-inf")
+
+
+class RegionSet:
+    """An immutable set of :class:`Region` kept in ``(left, right)`` order.
+
+    Construction deduplicates and sorts; all operators return new sets.
+    Instances are hashable and comparable, so they can be used as oracle
+    values in property-based tests.
+    """
+
+    __slots__ = ("_regions", "_lefts", "_rights", "_suffix_min_right", "_prefix_max_right")
+
+    def __init__(self, regions: Iterable[Region] = ()):
+        items = sorted(set(regions))
+        self._regions: tuple[Region, ...] = tuple(items)
+        self._lefts: list[int] = [r.left for r in items]
+        self._rights: list[int] = [r.right for r in items]
+        # Extreme tables are built lazily: most intermediate results are
+        # consumed by set operations that never need them.
+        self._suffix_min_right: list[int] | None = None
+        self._prefix_max_right: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def empty(cls) -> "RegionSet":
+        return _EMPTY
+
+    @classmethod
+    def of(cls, *pairs: tuple[int, int]) -> "RegionSet":
+        """Build a set from ``(left, right)`` tuples — test/demo shorthand."""
+        return cls(Region(left, right) for left, right in pairs)
+
+    # ------------------------------------------------------------------
+    # Container protocol.
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    def __contains__(self, region: object) -> bool:
+        if not isinstance(region, Region):
+            return False
+        i = bisect_left(self._regions, region)
+        return i < len(self._regions) and self._regions[i] == region
+
+    def __bool__(self) -> bool:
+        return bool(self._regions)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegionSet):
+            return NotImplemented
+        return self._regions == other._regions
+
+    def __hash__(self) -> int:
+        return hash(self._regions)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        inner = ", ".join(str(r) for r in self._regions[:8])
+        if len(self._regions) > 8:
+            inner += f", … ({len(self._regions)} total)"
+        return f"RegionSet({inner})"
+
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        """The regions in canonical ``(left, right)`` order."""
+        return self._regions
+
+    # ------------------------------------------------------------------
+    # Set-theoretic operations (Definition 2.3, first group).
+    # ------------------------------------------------------------------
+
+    def union(self, other: "RegionSet") -> "RegionSet":
+        if not other:
+            return self
+        if not self:
+            return other
+        return RegionSet(self._regions + other._regions)
+
+    def intersection(self, other: "RegionSet") -> "RegionSet":
+        if not self or not other:
+            return _EMPTY
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        return RegionSet(r for r in small if r in large)
+
+    def difference(self, other: "RegionSet") -> "RegionSet":
+        if not self:
+            return _EMPTY
+        if not other:
+            return self
+        return RegionSet(r for r in self if r not in other)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+
+    # ------------------------------------------------------------------
+    # Indexed structural semi-joins (Definition 2.3, second group).
+    # ------------------------------------------------------------------
+
+    def _ensure_suffix_min(self) -> list[int]:
+        if self._suffix_min_right is None:
+            self._suffix_min_right = _suffix_min(self._rights)
+        return self._suffix_min_right
+
+    def _ensure_prefix_max(self) -> list[int]:
+        if self._prefix_max_right is None:
+            self._prefix_max_right = _prefix_max(self._rights)
+        return self._prefix_max_right
+
+    def _contains_region_inside(self, r: Region) -> bool:
+        """Does this set contain some ``s`` with ``r ⊃ s``?"""
+        suffix = self._ensure_suffix_min()
+        # (A) left(s) > left(r) and right(s) <= right(r)
+        i = bisect_right(self._lefts, r.left)
+        if suffix[i] <= r.right:
+            return True
+        # (B) left(s) >= left(r) and right(s) < right(r)
+        j = bisect_left(self._lefts, r.left)
+        return suffix[j] < r.right
+
+    def _contains_region_outside(self, r: Region) -> bool:
+        """Does this set contain some ``s`` with ``r ⊂ s``?"""
+        prefix = self._ensure_prefix_max()
+        # (A) left(s) < left(r) and right(s) >= right(r)
+        i = bisect_left(self._lefts, r.left)
+        if prefix[i] >= r.right:
+            return True
+        # (B) left(s) <= left(r) and right(s) > right(r)
+        j = bisect_right(self._lefts, r.left)
+        return prefix[j] > r.right
+
+    def including(self, other: "RegionSet") -> "RegionSet":
+        """``R ⊃ S = {r ∈ R : ∃ s ∈ S, r ⊃ s}``."""
+        if not self or not other:
+            return _EMPTY
+        return RegionSet(r for r in self if other._contains_region_inside(r))
+
+    def included_in(self, other: "RegionSet") -> "RegionSet":
+        """``R ⊂ S = {r ∈ R : ∃ s ∈ S, r ⊂ s}``."""
+        if not self or not other:
+            return _EMPTY
+        return RegionSet(r for r in self if other._contains_region_outside(r))
+
+    def preceding(self, other: "RegionSet") -> "RegionSet":
+        """``R < S = {r ∈ R : ∃ s ∈ S, r < s}``.
+
+        ``r < s`` means ``right(r) < left(s)``, so ``r`` qualifies exactly
+        when the *maximum* left endpoint in ``S`` exceeds ``right(r)``.
+        """
+        if not self or not other:
+            return _EMPTY
+        max_left = other._lefts[-1]
+        return RegionSet(r for r in self if r.right < max_left)
+
+    def following(self, other: "RegionSet") -> "RegionSet":
+        """``R > S = {r ∈ R : ∃ s ∈ S, r > s}``.
+
+        ``r`` qualifies exactly when the *minimum* right endpoint in ``S``
+        is below ``left(r)``.
+        """
+        if not self or not other:
+            return _EMPTY
+        min_right = min(other._rights)
+        return RegionSet(r for r in self if min_right < r.left)
+
+    # ------------------------------------------------------------------
+    # Naive oracle variants (Definition 2.3 transcribed literally).
+    # ------------------------------------------------------------------
+
+    def _semi_join_naive(
+        self, other: "RegionSet", predicate: Callable[[Region, Region], bool]
+    ) -> "RegionSet":
+        return RegionSet(
+            r for r in self if any(predicate(r, s) for s in other)
+        )
+
+    def including_naive(self, other: "RegionSet") -> "RegionSet":
+        return self._semi_join_naive(other, Region.includes)
+
+    def included_in_naive(self, other: "RegionSet") -> "RegionSet":
+        return self._semi_join_naive(other, Region.included_in)
+
+    def preceding_naive(self, other: "RegionSet") -> "RegionSet":
+        return self._semi_join_naive(other, Region.precedes)
+
+    def following_naive(self, other: "RegionSet") -> "RegionSet":
+        return self._semi_join_naive(other, Region.follows)
+
+    # ------------------------------------------------------------------
+    # Selection and misc helpers.
+    # ------------------------------------------------------------------
+
+    def select(self, predicate: Callable[[Region], bool]) -> "RegionSet":
+        """Keep the regions satisfying ``predicate`` (used for ``σ_p``)."""
+        return RegionSet(r for r in self if predicate(r))
+
+    def spanning(self, position: int) -> "RegionSet":
+        """The regions containing text position ``position``."""
+        return RegionSet(r for r in self if r.contains_point(position))
+
+    def top_layer(self) -> "RegionSet":
+        """``R - (R ⊂ R)``: the maximal (outermost) regions of the set.
+
+        This is the layer-peeling step of the Section 6 while-programs.
+        """
+        return self.difference(self.included_in(self))
+
+    def max_nesting_depth(self) -> int:
+        """Length of the longest chain of strictly nested regions in the set.
+
+        Computed with a stack sweep over ``(left, -right)`` order, which
+        visits every enclosing region before the regions it includes.
+        """
+        depth = 0
+        stack: list[Region] = []
+        for r in sorted(self._regions, key=lambda t: (t.left, -t.right)):
+            while stack and not stack[-1].includes(r):
+                stack.pop()
+            stack.append(r)
+            depth = max(depth, len(stack))
+        return depth
+
+
+_EMPTY = RegionSet()

@@ -1,0 +1,196 @@
+"""Word indexes: the predicate ``W(r, p)`` of Definition 2.1.
+
+Two interchangeable implementations are provided behind the small
+:class:`WordIndex` protocol:
+
+* :class:`TextWordIndex` — built from tokenized text; ``W(r, p)`` holds
+  when some occurrence of a token matching ``p`` lies (non-strictly)
+  inside ``r``.  This is the index a real engine maintains.
+* :class:`LabelWordIndex` — an explicit labelling of regions with the
+  pattern strings they satisfy.  The theory of Sections 3-5 treats the
+  word index abstractly (Def 3.2 condition 4), and the synthetic
+  instances used by the counter-example constructions and generators
+  need exactly this freedom.
+
+Both support :meth:`~WordIndex.matches`; the text-backed index
+additionally exposes the *match points* of a pattern (the entries of the
+PAT word index) as a :class:`~repro.core.RegionSet`.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Mapping, Protocol, runtime_checkable
+
+from repro.core.patterns import Pattern, parse_pattern
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+
+__all__ = ["WordIndex", "TextWordIndex", "LabelWordIndex", "Token", "tokenize"]
+
+
+Token = tuple[str, int, int]
+"""A token occurrence: ``(text, left, right)`` with inclusive endpoints."""
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split ``text`` into maximal runs of non-space characters.
+
+    Positions are character offsets; a token occupies the inclusive span of
+    its characters.  This is deliberately simple — structured-document
+    parsers in :mod:`repro.engine` pre-process markup before tokenizing.
+    """
+    tokens: list[Token] = []
+    start: int | None = None
+    for i, ch in enumerate(text):
+        if ch.isspace():
+            if start is not None:
+                tokens.append((text[start:i], start, i - 1))
+                start = None
+        elif start is None:
+            start = i
+    if start is not None:
+        tokens.append((text[start:], start, len(text) - 1))
+    return tokens
+
+
+@runtime_checkable
+class WordIndex(Protocol):
+    """The minimal interface the evaluator needs: the predicate ``W``."""
+
+    def matches(self, region: Region, pattern: str) -> bool:
+        """``W(region, pattern)`` — does the region satisfy the pattern?"""
+        ...
+
+
+class TextWordIndex:
+    """An inverted index over token occurrences in a text.
+
+    ``matches(r, p)`` asks whether *some* occurrence of a token matching
+    ``p`` lies inside ``r``.  Occurrences of each distinct token are kept
+    sorted by left endpoint with a suffix-minimum table of right
+    endpoints, so each containment probe is ``O(log n)``.
+    """
+
+    def __init__(self, tokens: Iterable[Token]):
+        by_token: dict[str, list[tuple[int, int]]] = {}
+        for text, left, right in tokens:
+            by_token.setdefault(text, []).append((left, right))
+        self._occurrences: dict[str, tuple[list[int], list[int], list[int]]] = {}
+        for text, occs in by_token.items():
+            occs.sort()
+            lefts = [l for l, _ in occs]
+            rights = [r for _, r in occs]
+            suffix = rights[:]
+            for i in range(len(suffix) - 2, -1, -1):
+                if suffix[i + 1] < suffix[i]:
+                    suffix[i] = suffix[i + 1]
+            self._occurrences[text] = (lefts, rights, suffix)
+        self._vocabulary = sorted(self._occurrences)
+        self._pattern_cache: dict[str, Pattern] = {}
+
+    @classmethod
+    def from_text(cls, text: str) -> "TextWordIndex":
+        return cls(tokenize(text))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def vocabulary(self) -> list[str]:
+        """The distinct tokens, sorted."""
+        return list(self._vocabulary)
+
+    def _parsed(self, pattern: str) -> Pattern:
+        parsed = self._pattern_cache.get(pattern)
+        if parsed is None:
+            parsed = parse_pattern(pattern)
+            self._pattern_cache[pattern] = parsed
+        return parsed
+
+    def _matching_tokens(self, pattern: str) -> list[str]:
+        parsed = self._parsed(pattern)
+        # Prefix patterns can use the sorted vocabulary directly.
+        from repro.core.patterns import LiteralPattern, PrefixPattern
+
+        if isinstance(parsed, LiteralPattern):
+            return [pattern] if pattern in self._occurrences else []
+        if isinstance(parsed, PrefixPattern):
+            lo = bisect_left(self._vocabulary, parsed.prefix)
+            hi = bisect_left(self._vocabulary, parsed.prefix + "￿")
+            return self._vocabulary[lo:hi]
+        return [t for t in self._vocabulary if parsed.matches_token(t)]
+
+    def match_points(self, pattern: str) -> RegionSet:
+        """All occurrence regions of tokens matching ``pattern``.
+
+        These are the PAT *match points* — usable as an ordinary region
+        set operand (e.g. for proximity queries with ``<`` and ``>``).
+        """
+        out: list[Region] = []
+        for token in self._matching_tokens(pattern):
+            lefts, rights, _ = self._occurrences[token]
+            out.extend(Region(l, r) for l, r in zip(lefts, rights))
+        return RegionSet(out)
+
+    def matches(self, region: Region, pattern: str) -> bool:
+        """``W(region, pattern)``: an occurrence lies inside ``region``."""
+        for token in self._matching_tokens(pattern):
+            lefts, _, suffix = self._occurrences[token]
+            i = bisect_left(lefts, region.left)
+            hi = bisect_right(lefts, region.right)
+            if i < hi and suffix[i] <= region.right:
+                return True
+        return False
+
+
+class LabelWordIndex:
+    """An abstract word index: an explicit region → pattern-set labelling.
+
+    This realizes the paper's view of ``W`` as an arbitrary boolean
+    predicate over (region, pattern) pairs.  Regions absent from the
+    mapping satisfy no pattern.
+    """
+
+    def __init__(self, labels: Mapping[Region, Iterable[str]] | None = None):
+        self._labels: dict[Region, frozenset[str]] = {}
+        if labels:
+            for region, patterns in labels.items():
+                self._labels[region] = frozenset(patterns)
+
+    def matches(self, region: Region, pattern: str) -> bool:
+        return pattern in self._labels.get(region, frozenset())
+
+    def labels_of(self, region: Region) -> frozenset[str]:
+        return self._labels.get(region, frozenset())
+
+    def with_label(self, region: Region, pattern: str) -> "LabelWordIndex":
+        """A copy with ``pattern`` added to ``region``'s label set."""
+        labels = dict(self._labels)
+        labels[region] = labels.get(region, frozenset()) | {pattern}
+        return LabelWordIndex(labels)
+
+    def restricted_to(self, regions: Iterable[Region]) -> "LabelWordIndex":
+        """A copy keeping only the labels of the given regions."""
+        keep = set(regions)
+        return LabelWordIndex(
+            {r: pats for r, pats in self._labels.items() if r in keep}
+        )
+
+    def renamed(self, mapping: Mapping[Region, Region]) -> "LabelWordIndex":
+        """A copy with regions translated through ``mapping``."""
+        return LabelWordIndex(
+            {mapping.get(r, r): pats for r, pats in self._labels.items()}
+        )
+
+    def items(self) -> list[tuple[Region, frozenset[str]]]:
+        return sorted(self._labels.items(), key=lambda kv: kv[0])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LabelWordIndex):
+            return NotImplemented
+        mine = {r: p for r, p in self._labels.items() if p}
+        theirs = {r: p for r, p in other._labels.items() if p}
+        return mine == theirs
+
+    def __hash__(self) -> int:
+        return hash(frozenset((r, p) for r, p in self._labels.items() if p))

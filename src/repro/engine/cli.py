@@ -1,0 +1,209 @@
+"""Command-line interface: index, query, explain, stats.
+
+A small operational wrapper over :class:`repro.engine.Engine`::
+
+    python -m repro index  document.xml --format tagged -o doc.index.json
+    python -m repro query  doc.index.json 'speech containing (speaker @ "ROMEO")'
+    python -m repro query  doc.index.json 'Name within Proc' --text src.prog
+    python -m repro explain doc.index.json 'Name within Proc_header within Proc'
+    python -m repro stats  doc.index.json
+
+``index --format source`` uses the toy program language (Figure 1
+structure); ``explain`` applies the Figure 1 RIG automatically for
+source-derived indexes (``--rig figure1``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.engine.session import Engine
+from repro.errors import ReproError
+from repro.rig.graph import figure_1_rig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Region-algebra text indexing and querying"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    index = commands.add_parser("index", help="build an index from a text file")
+    index.add_argument("input", type=Path, help="document to index")
+    index.add_argument(
+        "--format",
+        choices=("tagged", "source"),
+        default="tagged",
+        help="input format (default: tagged)",
+    )
+    index.add_argument(
+        "-o", "--output", type=Path, required=True, help="index file to write"
+    )
+
+    query = commands.add_parser("query", help="run a query against an index")
+    query.add_argument("index", type=Path)
+    query.add_argument("query", help="region-algebra query text")
+    query.add_argument("--optimize", action="store_true", help="optimize first")
+    query.add_argument(
+        "--rig", choices=("figure1",), help="schema graph for optimization"
+    )
+    query.add_argument(
+        "--text", type=Path, help="original document, to print matched text"
+    )
+    query.add_argument("--json", action="store_true", help="machine-readable output")
+    query.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-operator cardinalities and timings",
+    )
+    query.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="print at most this many regions (document order)",
+    )
+    query.add_argument(
+        "--annotate",
+        action="store_true",
+        help="print the whole document with result regions marked "
+        "(requires --text)",
+    )
+
+    explain = commands.add_parser("explain", help="show the optimizer's plan")
+    explain.add_argument("index", type=Path)
+    explain.add_argument("query")
+    explain.add_argument("--rig", choices=("figure1",), default="figure1")
+
+    stats = commands.add_parser("stats", help="print index statistics")
+    stats.add_argument("index", type=Path)
+    stats.add_argument("--json", action="store_true")
+
+    kwic = commands.add_parser(
+        "kwic", help="keyword-in-context lines for a pattern in a document"
+    )
+    kwic.add_argument("input", type=Path, help="document to search")
+    kwic.add_argument("pattern", help="word pattern (literal, prefix*, glob)")
+    kwic.add_argument(
+        "--format", choices=("tagged", "source"), default="tagged"
+    )
+    kwic.add_argument("--width", type=int, default=24, help="context width")
+    return parser
+
+
+def _load_engine(path: Path, rig_name: str | None) -> Engine:
+    rig = figure_1_rig() if rig_name == "figure1" else None
+    return Engine.load(path, rig=rig)
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    text = args.input.read_text(encoding="utf-8")
+    if args.format == "tagged":
+        engine = Engine.from_tagged_text(text)
+    else:
+        engine = Engine.from_source(text)
+    engine.save(args.output)
+    stats = engine.statistics()
+    print(f"indexed {stats['total']} regions -> {args.output}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    engine = _load_engine(args.index, args.rig)
+    if getattr(args, "profile", False):
+        from repro.algebra.profile import profile
+
+        report = profile(args.query, engine.instance)
+        print(report)
+        print(f"total: {report.total_seconds * 1e6:.0f} µs")
+        return 0
+    result = engine.query(args.query, optimize_query=args.optimize)
+    regions = sorted(result, key=lambda r: (r.left, r.right))
+    limit = getattr(args, "limit", None)
+    shown = regions if limit is None else regions[:limit]
+    if args.json:
+        print(json.dumps([[r.left, r.right] for r in shown]))
+        return 0
+    text = args.text.read_text(encoding="utf-8") if args.text else None
+    if getattr(args, "annotate", False):
+        if text is None:
+            print("error: --annotate requires --text", file=sys.stderr)
+            return 1
+        from repro.core.regionset import RegionSet
+        from repro.engine.highlight import annotate
+
+        print(annotate(text, RegionSet(shown)))
+        return 0
+    print(f"{len(regions)} region(s)")
+    regions = shown
+    for region in regions:
+        if text is not None:
+            snippet = text[region.left : region.right + 1]
+            snippet = " ".join(snippet.split())
+            if len(snippet) > 70:
+                snippet = snippet[:67] + "..."
+            print(f"  [{region.left},{region.right}] {snippet}")
+        else:
+            print(f"  [{region.left},{region.right}]")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    engine = _load_engine(args.index, args.rig)
+    print(engine.explain(args.query))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    engine = _load_engine(args.index, None)
+    stats = engine.statistics()
+    if args.json:
+        print(json.dumps(stats))
+        return 0
+    print(f"regions: {stats['total']}, nesting depth: {stats['nesting_depth']}")
+    for name, count in sorted(stats["regions"].items()):
+        print(f"  {name:20s} {count}")
+    return 0
+
+
+def _cmd_kwic(args: argparse.Namespace) -> int:
+    text = args.input.read_text(encoding="utf-8")
+    if args.format == "tagged":
+        engine = Engine.from_tagged_text(text)
+    else:
+        engine = Engine.from_source(text)
+    lines = engine.keyword_in_context(args.pattern, width=args.width)
+    for point, snippet in sorted(lines, key=lambda pair: pair[0].left):
+        print(f"  [{point.left:6d}] …{snippet}…")
+    print(f"{len(lines)} occurrence(s) of {args.pattern!r}")
+    return 0
+
+
+_COMMANDS = {
+    "index": _cmd_index,
+    "query": _cmd_query,
+    "explain": _cmd_explain,
+    "stats": _cmd_stats,
+    "kwic": _cmd_kwic,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Rendering query results inside their document.
+
+Turns a result region set back into annotated text — the display layer
+a retrieval UI needs.  Two renderers:
+
+* :func:`annotate` — inline markers ``⟦…⟧`` (configurable) around every
+  result region, nesting-safe because results are regions of a
+  hierarchical instance;
+* :func:`excerpts` — one trimmed excerpt per result region, with
+  ellipses, for result lists.
+"""
+
+from __future__ import annotations
+
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+from repro.errors import EvaluationError
+
+__all__ = ["annotate", "excerpts"]
+
+
+def annotate(
+    text: str,
+    regions: RegionSet,
+    open_marker: str = "⟦",
+    close_marker: str = "⟧",
+) -> str:
+    """The document text with markers around every result region.
+
+    Markers nest correctly for nested results.  Raises
+    :class:`~repro.errors.EvaluationError` when a region falls outside
+    the text, which indicates results from a different document.
+    """
+    for region in regions:
+        if region.left < 0 or region.right >= len(text):
+            raise EvaluationError(
+                f"region {region} lies outside the document (length {len(text)})"
+            )
+    # Insert closers before openers at the same position so adjacent
+    # regions render as ⟧⟦, and nested ones as ⟦⟦…⟧⟧.
+    inserts: dict[int, list[str]] = {}
+    for region in regions:
+        inserts.setdefault(region.left, []).append(open_marker)
+        inserts.setdefault(region.right + 1, []).insert(0, close_marker)
+    out: list[str] = []
+    for position in range(len(text) + 1):
+        if position in inserts:
+            closers = [m for m in inserts[position] if m == close_marker]
+            openers = [m for m in inserts[position] if m == open_marker]
+            out.extend(closers)
+            out.extend(openers)
+        if position < len(text):
+            out.append(text[position])
+    return "".join(out)
+
+
+def excerpts(
+    text: str,
+    regions: RegionSet,
+    max_width: int = 60,
+) -> list[tuple[Region, str]]:
+    """One single-line excerpt per result region, document order.
+
+    Long regions are trimmed in the middle with an ellipsis; whitespace
+    is normalized so excerpts fit result lists.
+    """
+    out: list[tuple[Region, str]] = []
+    for region in sorted(regions, key=lambda r: (r.left, r.right)):
+        snippet = " ".join(text[region.left : region.right + 1].split())
+        if len(snippet) > max_width:
+            half = (max_width - 1) // 2
+            snippet = f"{snippet[:half]}…{snippet[-half:]}"
+        out.append((region, snippet))
+    return out

@@ -1,0 +1,273 @@
+"""The query engine facade.
+
+:class:`Engine` bundles an instance, its source text (when available),
+an optional RIG, and the evaluator/optimizer into the interface a text
+retrieval system exposes:
+
+* ``query("Name within Proc_header within Proc")`` — parse, (optionally)
+  optimize, evaluate;
+* ``match_points('x*')`` — the PAT word index as a region set;
+* ``define_view`` — named derived sets.  The full PAT algebra constructs
+  region sets dynamically; the paper treats those as *views* (footnote
+  1), and views here are macro-expanded into queries before evaluation
+  so the hierarchy of the base index is never disturbed;
+* ``extract`` — the raw text a result region covers;
+* ``explain`` — the plan: parsed form, optimized form, cost estimates;
+* ``save``/``load`` — index persistence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.algebra import ast as A
+from repro.algebra.cost import CostModel
+from repro.algebra.evaluator import Evaluator, Strategy
+from repro.algebra.parser import parse
+from repro.algebra.printer import to_text
+from repro.core.instance import Instance
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+from repro.core.wordindex import TextWordIndex
+from repro.errors import EvaluationError, UnknownRegionNameError
+from repro.optimize.optimizer import optimize
+from repro.rig.graph import RegionInclusionGraph
+
+__all__ = ["Engine", "QueryPlan"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """What ``explain`` returns: the plan for one query."""
+
+    original: A.Expr
+    optimized: A.Expr
+    original_cost: float
+    optimized_cost: float
+    steps: tuple[str, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        lines = [
+            f"query:     {to_text(self.original)}",
+            f"plan:      {to_text(self.optimized)}",
+            f"cost:      {self.original_cost:.0f} -> {self.optimized_cost:.0f}",
+        ]
+        if self.steps:
+            lines.append(f"rewrites:  {', '.join(self.steps)}")
+        return "\n".join(lines)
+
+
+class Engine:
+    """A queryable region index (see module docstring)."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        text: str | None = None,
+        rig: RegionInclusionGraph | None = None,
+        strategy: Strategy = "indexed",
+    ):
+        self._instance = instance
+        self._text = text
+        self._rig = rig
+        self._evaluator = Evaluator(strategy)
+        self._views: dict[str, A.Expr] = {}
+
+    # ------------------------------------------------------------------
+    # Constructors.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_tagged_text(
+        cls, text: str, rig: RegionInclusionGraph | None = None
+    ) -> "Engine":
+        """Index an SGML-like tagged document."""
+        from repro.engine.tagged import parse_tagged_text
+
+        document = parse_tagged_text(text)
+        return cls(document.instance, text=document.text, rig=rig)
+
+    @classmethod
+    def from_source(cls, text: str) -> "Engine":
+        """Index toy program source code (Figure 1 structure and RIG)."""
+        from repro.engine.sourcecode import parse_source
+        from repro.rig.graph import figure_1_rig
+
+        document = parse_source(text)
+        return cls(document.instance, text=document.text, rig=figure_1_rig())
+
+    @classmethod
+    def load(cls, path: str | Path, rig: RegionInclusionGraph | None = None) -> "Engine":
+        from repro.engine.storage import load_instance
+
+        return cls(load_instance(path), rig=rig)
+
+    # ------------------------------------------------------------------
+    # Accessors.
+    # ------------------------------------------------------------------
+
+    @property
+    def instance(self) -> Instance:
+        return self._instance
+
+    @property
+    def rig(self) -> RegionInclusionGraph | None:
+        return self._rig
+
+    @property
+    def region_names(self) -> tuple[str, ...]:
+        return self._instance.names
+
+    def statistics(self) -> dict[str, Any]:
+        """Index statistics: per-name cardinalities and nesting depth."""
+        return {
+            "regions": {
+                name: len(self._instance.region_set(name))
+                for name in self._instance.names
+            },
+            "total": len(self._instance),
+            "nesting_depth": self._instance.nesting_depth(),
+            "views": sorted(self._views),
+        }
+
+    # ------------------------------------------------------------------
+    # Querying.
+    # ------------------------------------------------------------------
+
+    def query(
+        self, query: str | A.Expr, optimize_query: bool = False
+    ) -> RegionSet:
+        """Evaluate a query (text or expression tree) against the index."""
+        expr = self._prepare(query)
+        if optimize_query:
+            expr = optimize(expr, rig=self._rig).expression
+        return self._evaluator.evaluate(expr, self._instance)
+
+    def explain(self, query: str | A.Expr) -> QueryPlan:
+        """The optimizer's plan for a query, without running it."""
+        expr = self._prepare(query)
+        model = CostModel.from_instance(self._instance)
+        result = optimize(expr, rig=self._rig, cost_model=model)
+        return QueryPlan(
+            original=expr,
+            optimized=result.expression,
+            original_cost=result.original_cost,
+            optimized_cost=result.optimized_cost,
+            steps=result.steps,
+        )
+
+    def match_points(self, pattern: str) -> RegionSet:
+        """The word-index match points of a pattern (PAT word queries)."""
+        word_index = self._instance.word_index
+        if not isinstance(word_index, TextWordIndex):
+            raise EvaluationError(
+                "match points require a text-backed word index"
+            )
+        return word_index.match_points(pattern)
+
+    def extract(self, region: Region) -> str:
+        """The raw text a region covers (requires the source text)."""
+        if self._text is None:
+            raise EvaluationError("this engine was built without source text")
+        return self._text[region.left : region.right + 1]
+
+    def extract_all(self, regions: RegionSet) -> list[str]:
+        return [self.extract(r) for r in regions]
+
+    def region_at(self, position: int) -> Region | None:
+        """The innermost region covering a text position, if any.
+
+        The navigation primitive an editor needs: "which element is the
+        cursor in?".
+        """
+        best: Region | None = None
+        for region in self._instance.all_regions().spanning(position):
+            if best is None or best.includes(region):
+                best = region
+        return best
+
+    def path_at(self, position: int) -> list[tuple[str, Region]]:
+        """The chain of (name, region) covering a position, outermost first."""
+        innermost = self.region_at(position)
+        if innermost is None:
+            return []
+        forest = self._instance.forest()
+        chain = list(reversed(forest.ancestors_of(innermost))) + [innermost]
+        return [(self._instance.name_of(r), r) for r in chain]
+
+    def outline(self, max_depth: int | None = None) -> str:
+        """An indented dump of the region tree (names and spans)."""
+        forest = self._instance.forest()
+        lines: list[str] = []
+        for region in forest.preorder:
+            depth = forest.depth_of(region)
+            if max_depth is not None and depth >= max_depth:
+                continue
+            name = self._instance.name_of(region)
+            lines.append(f"{'  ' * depth}{name} [{region.left},{region.right}]")
+        return "\n".join(lines)
+
+    def keyword_in_context(
+        self, pattern: str, width: int = 24
+    ) -> list[tuple[Region, str]]:
+        """KWIC lines: each match point with ``width`` characters of
+        context on both sides (requires the source text)."""
+        if self._text is None:
+            raise EvaluationError("this engine was built without source text")
+        out: list[tuple[Region, str]] = []
+        for point in self.match_points(pattern):
+            left = max(point.left - width, 0)
+            right = min(point.right + width, len(self._text) - 1)
+            snippet = self._text[left : right + 1].replace("\n", " ")
+            out.append((point, snippet))
+        return out
+
+    # ------------------------------------------------------------------
+    # Views (footnote 1: dynamic region sets as views).
+    # ------------------------------------------------------------------
+
+    def define_view(self, name: str, query: str | A.Expr) -> None:
+        """Register a named view; queries may use it like a region name."""
+        if name in self._instance.names:
+            raise EvaluationError(
+                f"view name {name!r} collides with a region name"
+            )
+        expr = parse(query) if isinstance(query, str) else query
+        self._check_names(expr, allow_view=name)
+        self._views[name] = expr
+
+    def _prepare(self, query: str | A.Expr) -> A.Expr:
+        expr = parse(query) if isinstance(query, str) else query
+        expr = self._expand_views(expr, frozenset())
+        self._check_names(expr)
+        return expr
+
+    def _expand_views(self, expr: A.Expr, expanding: frozenset[str]) -> A.Expr:
+        if isinstance(expr, A.NameRef) and expr.name in self._views:
+            if expr.name in expanding:
+                raise EvaluationError(f"view {expr.name!r} is self-referential")
+            return self._expand_views(
+                self._views[expr.name], expanding | {expr.name}
+            )
+        for i, child in enumerate(A.children(expr)):
+            new = self._expand_views(child, expanding)
+            if new != child:
+                expr = A.replace_child(expr, i, new)
+        return expr
+
+    def _check_names(self, expr: A.Expr, allow_view: str | None = None) -> None:
+        known = set(self._instance.names) | set(self._views)
+        for name in A.region_names(expr):
+            if name not in known and name != allow_view:
+                raise UnknownRegionNameError(name, tuple(sorted(known)))
+
+    # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        from repro.engine.storage import save_instance
+
+        save_instance(self._instance, path)

@@ -1,0 +1,112 @@
+"""Index persistence: JSON serialization of instances.
+
+A text indexing system builds its region and word indexes once and
+reopens them for querying; this module provides the (deliberately
+transparent) on-disk format::
+
+    {
+      "version": 1,
+      "names": ["Proc", ...],
+      "sets": {"Proc": [[left, right], ...], ...},
+      "word_index": {"kind": "text", "tokens": [[word, left, right], ...]}
+                  | {"kind": "label", "labels": [[left, right, ["p", ...]], ...]}
+                  | {"kind": "none"}
+    }
+
+Both word-index flavours round-trip exactly; a foreign
+:class:`~repro.core.WordIndex` implementation is rejected rather than
+silently dropped.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.instance import Instance
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+from repro.core.wordindex import LabelWordIndex, TextWordIndex
+from repro.errors import StorageError
+
+__all__ = ["instance_to_dict", "instance_from_dict", "save_instance", "load_instance"]
+
+_VERSION = 1
+
+
+def instance_to_dict(instance: Instance) -> dict[str, Any]:
+    """The JSON-ready representation of an instance."""
+    word_index = instance.word_index
+    if isinstance(word_index, TextWordIndex):
+        tokens = []
+        for token in word_index.vocabulary:
+            lefts, rights, _ = word_index._occurrences[token]
+            tokens.extend([token, l, r] for l, r in zip(lefts, rights))
+        payload: dict[str, Any] = {"kind": "text", "tokens": sorted(tokens, key=lambda t: t[1])}
+    elif isinstance(word_index, LabelWordIndex):
+        payload = {
+            "kind": "label",
+            "labels": [
+                [region.left, region.right, sorted(patterns)]
+                for region, patterns in word_index.items()
+                if patterns
+            ],
+        }
+    else:
+        raise StorageError(
+            f"cannot serialize word index of type {type(word_index).__name__}"
+        )
+    return {
+        "version": _VERSION,
+        "names": list(instance.names),
+        "sets": {
+            name: [[r.left, r.right] for r in instance.region_set(name)]
+            for name in instance.names
+        },
+        "word_index": payload,
+    }
+
+
+def instance_from_dict(data: dict[str, Any]) -> Instance:
+    """Rebuild an instance from :func:`instance_to_dict` output."""
+    try:
+        if data["version"] != _VERSION:
+            raise StorageError(f"unsupported index version {data['version']!r}")
+        sets = {
+            name: RegionSet(Region(l, r) for l, r in data["sets"].get(name, []))
+            for name in data["names"]
+        }
+        payload = data["word_index"]
+        if payload["kind"] == "text":
+            word_index = TextWordIndex(
+                (word, l, r) for word, l, r in payload["tokens"]
+            )
+        elif payload["kind"] == "label":
+            word_index = LabelWordIndex(
+                {
+                    Region(l, r): set(patterns)
+                    for l, r, patterns in payload["labels"]
+                }
+            )
+        elif payload["kind"] == "none":
+            word_index = None
+        else:
+            raise StorageError(f"unknown word index kind {payload['kind']!r}")
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(f"malformed index data: {exc}") from exc
+    return Instance(sets, word_index)
+
+
+def save_instance(instance: Instance, path: str | Path) -> None:
+    """Write an instance to a JSON file."""
+    Path(path).write_text(json.dumps(instance_to_dict(instance)), encoding="utf-8")
+
+
+def load_instance(path: str | Path) -> Instance:
+    """Read an instance back from :func:`save_instance` output."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(f"cannot read index from {path}: {exc}") from exc
+    return instance_from_dict(data)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the region-algebra library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common cases.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidRegionError(ReproError):
+    """A region with inconsistent endpoints was constructed or supplied."""
+
+
+class HierarchyError(ReproError):
+    """An instance violates the hierarchical nesting constraints.
+
+    The paper (Section 2.1) requires that every region belongs to exactly
+    one region set, and that any two regions are either disjoint or one
+    strictly includes the other.
+    """
+
+
+class UnknownRegionNameError(ReproError):
+    """A query referenced a region name that the index does not define."""
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()):
+        self.name = name
+        self.known = known
+        hint = f"; known names: {', '.join(sorted(known))}" if known else ""
+        super().__init__(f"unknown region name {name!r}{hint}")
+
+
+class ParseError(ReproError):
+    """The textual query (or document) could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class EvaluationError(ReproError):
+    """An expression could not be evaluated against an instance."""
+
+
+class PatternError(ReproError):
+    """A pattern string was malformed for the selected pattern language."""
+
+
+class GrammarError(ReproError):
+    """A grammar definition was malformed."""
+
+
+class OptimizationError(ReproError):
+    """The optimizer was given inputs it cannot handle."""
+
+
+class StorageError(ReproError):
+    """An index could not be serialized or deserialized."""

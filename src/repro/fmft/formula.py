@@ -1,0 +1,181 @@
+"""FMFT formulas: syntax, free variables, and the restricted fragment.
+
+The first-order monadic theory of finite binary trees has atomic
+formulas ``x = y``, ``x ⊃ y`` (proper prefix), ``x < y`` (lexicographic
+order) and ``Q_i(x)``, closed under the connectives and quantifiers.
+Our predicate atoms are tagged ``region`` or ``pattern`` to mirror the
+split of the ``Q_i`` in Definition 3.2.
+
+:func:`is_restricted` recognizes the fragment of Definition 3.1 — the
+image of the region algebra under Proposition 3.3:
+
+1. ``Q_i(x)`` is restricted;
+2. if ``φ₁, φ₂`` are restricted then so are ``φ₁ ∨ φ₂``, ``φ₁ ∧ φ₂``,
+   ``φ₁ ∧ ¬φ₂`` (same free variable), and
+   ``(∃y) φ₁ ∧ φ₂ ∧ x ∘ y`` / ``(∃y) φ₁ ∧ φ₂ ∧ y ∘ x`` with
+   ``∘ ∈ {⊃, <}`` and distinct free variables ``x, y``.
+
+One liberalization: selections ``σ_p(e)`` translate to
+``φ ∧ pattern_p(x)``, so a bare pattern atom is allowed wherever a
+``Q_i(x)`` is — Definition 3.2 treats patterns as additional monadic
+predicates ``Q_{n+j}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal
+
+__all__ = [
+    "Formula",
+    "PredicateAtom",
+    "PrefixAtom",
+    "OrderAtom",
+    "EqualsAtom",
+    "Not",
+    "And",
+    "Or",
+    "Exists",
+    "ForAll",
+    "free_variables",
+    "is_restricted",
+    "walk_formula",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Formula:
+    """Base class of all formula nodes."""
+
+
+@dataclass(frozen=True, slots=True)
+class PredicateAtom(Formula):
+    """``Q(x)`` — a monadic predicate applied to a variable.
+
+    ``kind`` distinguishes the region-name predicates ``Q_1..Q_n`` from
+    the pattern predicates ``Q_{n+1}..Q_{n+k}`` of Definition 3.2.
+    """
+
+    kind: Literal["region", "pattern"]
+    predicate: str
+    variable: str
+
+
+@dataclass(frozen=True, slots=True)
+class PrefixAtom(Formula):
+    """``x ⊃ y``: ``x`` is a proper prefix of ``y`` (region inclusion)."""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True, slots=True)
+class OrderAtom(Formula):
+    """``x < y``: ``x`` precedes ``y`` in document order."""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True, slots=True)
+class EqualsAtom(Formula):
+    """``x = y``."""
+
+    left: str
+    right: str
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Formula):
+    body: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class Exists(Formula):
+    variable: str
+    body: Formula
+
+
+@dataclass(frozen=True, slots=True)
+class ForAll(Formula):
+    variable: str
+    body: Formula
+
+
+def walk_formula(formula: Formula) -> Iterator[Formula]:
+    yield formula
+    if isinstance(formula, Not):
+        yield from walk_formula(formula.body)
+    elif isinstance(formula, (And, Or)):
+        yield from walk_formula(formula.left)
+        yield from walk_formula(formula.right)
+    elif isinstance(formula, (Exists, ForAll)):
+        yield from walk_formula(formula.body)
+
+
+def free_variables(formula: Formula) -> frozenset[str]:
+    if isinstance(formula, PredicateAtom):
+        return frozenset((formula.variable,))
+    if isinstance(formula, (PrefixAtom, OrderAtom, EqualsAtom)):
+        return frozenset((formula.left, formula.right))
+    if isinstance(formula, Not):
+        return free_variables(formula.body)
+    if isinstance(formula, (And, Or)):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, (Exists, ForAll)):
+        return free_variables(formula.body) - {formula.variable}
+    raise TypeError(f"unknown formula node {type(formula).__name__}")
+
+
+def is_restricted(formula: Formula) -> bool:
+    """Does ``formula`` belong to the Definition 3.1 fragment?"""
+    if isinstance(formula, PredicateAtom):
+        return True
+    if isinstance(formula, Or):
+        return (
+            is_restricted(formula.left)
+            and is_restricted(formula.right)
+            and free_variables(formula.left) == free_variables(formula.right)
+        )
+    if isinstance(formula, And):
+        # φ₁ ∧ φ₂  or  φ₁ ∧ ¬φ₂, same single free variable.
+        right = formula.right
+        right_core = right.body if isinstance(right, Not) else right
+        return (
+            is_restricted(formula.left)
+            and is_restricted(right_core)
+            and free_variables(formula.left) == free_variables(right_core)
+            and len(free_variables(formula.left)) == 1
+        )
+    if isinstance(formula, Exists):
+        # (∃y) φ₁ ∧ φ₂ ∧ x ∘ y   (grouped as And(And(φ₁, φ₂), atom))
+        body = formula.body
+        if not isinstance(body, And) or not isinstance(body.left, And):
+            return False
+        phi1, phi2, atom = body.left.left, body.left.right, body.right
+        if not isinstance(atom, (PrefixAtom, OrderAtom)):
+            return False
+        if not (is_restricted(phi1) and is_restricted(phi2)):
+            return False
+        x_vars = free_variables(phi1)
+        y_vars = free_variables(phi2)
+        if len(x_vars) != 1 or len(y_vars) != 1 or x_vars == y_vars:
+            return False
+        (x,) = x_vars
+        (y,) = y_vars
+        if y != formula.variable:
+            return False
+        return {atom.left, atom.right} == {x, y}
+    return False

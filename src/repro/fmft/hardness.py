@@ -1,0 +1,151 @@
+"""The complexity reductions: Theorem 3.5 and Proposition 6.1 support.
+
+Theorem 3.5 states emptiness testing is Co-NP-hard "by reduction from
+the problem of checking if a 3-CNF formula is unsatisfiable"; the paper
+omits the construction.  The reduction implemented here:
+
+Given a 3-CNF formula φ over variables ``x_1 … x_n``, take the region
+index ``{Doc, X_1, …, X_n, T, F}`` and the expression ::
+
+    e(φ) =   ⋂_j  ⋃_{literal ∈ C_j}  Doc ⊃ (X_i ⊃ T)        (x_i positive)
+                                      Doc ⊃ (X_i ⊃ F)        (x_i negated)
+           −  ⋃_i  (Doc ⊃ (X_i ⊃ T)) ∩ (Doc ⊃ (X_i ⊃ F))
+
+*If φ is satisfiable*, the instance with one ``Doc`` containing, for
+each variable, an ``X_i`` region holding a ``T`` (σ(x_i) true) or ``F``
+(false) region puts ``Doc ∈ e(φ)``.  *Conversely*, if ``Doc ∈ e(φ)(I)``
+for any instance, read off σ(x_i) := "``Doc ⊃ (X_i ⊃ T)`` holds"; the
+subtracted cheat term guarantees no variable tests true and false at
+once, so each clause's satisfied disjunct certifies a true literal.
+Hence ``e(φ)`` is empty on **all** instances iff φ is unsatisfiable —
+emptiness testing solves Co-3-SAT, and ``|e(φ)|`` is linear in ``|φ|``.
+
+The reduction is validated in the tests against brute-force SAT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Sequence
+
+from repro.algebra import ast as A
+from repro.core.instance import Instance
+from repro.errors import ReproError
+from repro.workloads.generators import TreeNode, instance_from_trees
+
+__all__ = [
+    "Literal",
+    "Clause",
+    "CNF",
+    "cnf_to_expression",
+    "assignment_to_instance",
+    "brute_force_satisfiable",
+    "reduction_index_names",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A literal: variable index (1-based) and polarity."""
+
+    variable: int
+    positive: bool
+
+
+Clause = tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
+class CNF:
+    """A CNF formula; clauses with at most three literals are 3-CNF."""
+
+    variable_count: int
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            if not clause:
+                raise ReproError("empty clause: formula trivially unsatisfiable")
+            for literal in clause:
+                if not 1 <= literal.variable <= self.variable_count:
+                    raise ReproError(
+                        f"literal variable {literal.variable} outside "
+                        f"1..{self.variable_count}"
+                    )
+
+
+def _var_name(index: int) -> str:
+    return f"X{index}"
+
+
+def reduction_index_names(cnf: CNF) -> tuple[str, ...]:
+    """The region index of the reduction: Doc, X_1..X_n, T, F."""
+    return ("Doc",) + tuple(_var_name(i) for i in range(1, cnf.variable_count + 1)) + ("T", "F")
+
+
+def _polarity_test(literal: Literal) -> A.Expr:
+    """``Doc ⊃ (X_i ⊃ T)`` (positive) or ``Doc ⊃ (X_i ⊃ F)`` (negated)."""
+    marker = "T" if literal.positive else "F"
+    return A.Including(
+        A.NameRef("Doc"),
+        A.Including(A.NameRef(_var_name(literal.variable)), A.NameRef(marker)),
+    )
+
+
+def cnf_to_expression(cnf: CNF) -> A.Expr:
+    """The Theorem 3.5 reduction: ``e(φ)`` empty on all instances iff φ unsat."""
+    conjunction: A.Expr | None = None
+    for clause in cnf.clauses:
+        disjunction: A.Expr | None = None
+        for literal in clause:
+            test = _polarity_test(literal)
+            disjunction = test if disjunction is None else A.Union(disjunction, test)
+        assert disjunction is not None
+        conjunction = (
+            disjunction
+            if conjunction is None
+            else A.Intersection(conjunction, disjunction)
+        )
+    if conjunction is None:
+        raise ReproError("a CNF formula needs at least one clause")
+    cheats: A.Expr | None = None
+    for i in range(1, cnf.variable_count + 1):
+        both = A.Intersection(
+            _polarity_test(Literal(i, True)), _polarity_test(Literal(i, False))
+        )
+        cheats = both if cheats is None else A.Union(cheats, both)
+    assert cheats is not None
+    return A.Difference(conjunction, cheats)
+
+
+def assignment_to_instance(cnf: CNF, assignment: Sequence[bool]) -> Instance:
+    """The canonical instance encoding a truth assignment.
+
+    One ``Doc`` containing, per variable, an ``X_i`` region with a ``T``
+    or ``F`` child according to the assignment.
+    """
+    if len(assignment) != cnf.variable_count:
+        raise ReproError(
+            f"assignment length {len(assignment)} != {cnf.variable_count} variables"
+        )
+    children = [
+        TreeNode(_var_name(i + 1), [TreeNode("T" if value else "F")])
+        for i, value in enumerate(assignment)
+    ]
+    doc = TreeNode("Doc", children)
+    return instance_from_trees([doc], names=reduction_index_names(cnf))
+
+
+def brute_force_satisfiable(cnf: CNF) -> Sequence[bool] | None:
+    """Reference SAT solver: the first satisfying assignment, or ``None``."""
+    for bits in product((False, True), repeat=cnf.variable_count):
+        if all(
+            any(
+                bits[lit.variable - 1] == lit.positive
+                for lit in clause
+            )
+            for clause in cnf.clauses
+        ):
+            return list(bits)
+    return None

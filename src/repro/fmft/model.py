@@ -1,0 +1,198 @@
+"""Tree models over ``{0,1}*`` and their correspondence with instances.
+
+Section 3 models are tuples ``t = ({0,1}*, ⊃, <, Q_1, …, Q_{n+k})``
+where ``⊃`` is the proper-prefix order, ``<`` the lexicographic order,
+and the ``Q_i`` are finite sets of binary words — the first ``n``
+holding the region names, the rest the word-index truths of ``k``
+patterns (Definition 3.2).
+
+A model is equivalently an ordered labelled forest: a word's parent is
+its *direct prefix* among the model's words, and siblings are ordered
+lexicographically.  :func:`model_from_instance` embeds an instance's
+direct-inclusion forest by encoding each region's child path
+``(i₁, …, i_d)`` as ``1^{i₁} 0 1^{i₂} 0 … 1^{i_d} 0`` — under this
+encoding ancestor = proper prefix and document order = lexicographic
+order, which is exactly what conditions (1)–(4) of Definition 3.2 ask.
+
+One interpretation choice (documented in DESIGN.md): we read the model
+relation ``<`` as *lexicographic and not a prefix* — document-order
+precedence.  Definition 3.2(2) constrains only non-prefix pairs, and
+this reading makes the Proposition 3.3 translation exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.instance import Instance
+from repro.core.region import Region
+from repro.errors import ReproError
+from repro.workloads.generators import TreeNode, instance_from_trees
+
+__all__ = [
+    "TreeModel",
+    "word_prefix_includes",
+    "word_precedes",
+    "model_from_instance",
+    "instance_from_model",
+]
+
+
+def word_prefix_includes(u: str, v: str) -> bool:
+    """The model relation ``u ⊃ v``: ``u`` is a proper prefix of ``v``."""
+    return len(u) < len(v) and v.startswith(u)
+
+
+def word_precedes(u: str, v: str) -> bool:
+    """The model relation ``u < v``: lexicographically before and not a
+    prefix (document-order precedence; see module docstring)."""
+    return u < v and not v.startswith(u)
+
+
+def _check_word(word: str) -> str:
+    if any(ch not in "01" for ch in word):
+        raise ReproError(f"model words must be binary strings, got {word!r}")
+    return word
+
+
+@dataclass(frozen=True)
+class TreeModel:
+    """A finite model: region predicates and pattern predicates.
+
+    ``regions`` maps each region name to its word set; ``patterns`` maps
+    each pattern to the words whose regions satisfy it.  The model's
+    *words* are the union of the region predicates (the paper's "words
+    in t").
+    """
+
+    regions: Mapping[str, frozenset[str]]
+    patterns: Mapping[str, frozenset[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "regions",
+            {name: frozenset(_check_word(w) for w in ws) for name, ws in self.regions.items()},
+        )
+        object.__setattr__(
+            self,
+            "patterns",
+            {p: frozenset(_check_word(w) for w in ws) for p, ws in self.patterns.items()},
+        )
+
+    @property
+    def words(self) -> frozenset[str]:
+        """The words in the model — the union of the region predicates."""
+        out: set[str] = set()
+        for ws in self.regions.values():
+            out |= ws
+        return frozenset(out)
+
+    def is_valid_representation(self) -> bool:
+        """The two restriction conditions below Proposition 3.3:
+
+        (i) the region predicates are pairwise disjoint, and
+        (ii) every pattern word belongs to some region predicate.
+        Models meeting them represent some region instance.
+        """
+        seen: set[str] = set()
+        for ws in self.regions.values():
+            if seen & ws:
+                return False
+            seen |= ws
+        return all(ws <= seen for ws in self.patterns.values())
+
+    def region_of(self, word: str) -> str | None:
+        for name, ws in self.regions.items():
+            if word in ws:
+                return name
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TreeModel):
+            return NotImplemented
+        mine = {p: ws for p, ws in self.patterns.items() if ws}
+        theirs = {p: ws for p, ws in other.patterns.items() if ws}
+        return dict(self.regions) == dict(other.regions) and mine == theirs
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                frozenset(self.regions.items()),
+                frozenset((p, ws) for p, ws in self.patterns.items() if ws),
+            )
+        )
+
+
+def _encode_path(path: Sequence[int]) -> str:
+    """``(i₁, …, i_d) ↦ 1^{i₁} 0 1^{i₂} 0 … 1^{i_d} 0``."""
+    return "".join("1" * i + "0" for i in path)
+
+
+def model_from_instance(
+    instance: Instance, patterns: Sequence[str] = ()
+) -> tuple[TreeModel, dict[str, Region]]:
+    """A model representing ``instance`` w.r.t. ``patterns`` (Def 3.2).
+
+    Returns the model and the mapping ``region_I`` from words to
+    regions.  The embedding encodes each region's child path in the
+    direct-inclusion forest; see the module docstring for why this
+    satisfies conditions (1)–(4).
+    """
+    forest = instance.forest()
+    regions: dict[str, set[str]] = {name: set() for name in instance.names}
+    pattern_words: dict[str, set[str]] = {p: set() for p in patterns}
+    region_of_word: dict[str, Region] = {}
+    for region in forest.preorder:
+        word = _encode_path(forest.child_path(region))
+        region_of_word[word] = region
+        regions[instance.name_of(region)].add(word)
+        for p in patterns:
+            if instance.matches(region, p):
+                pattern_words[p].add(word)
+    model = TreeModel(
+        {name: frozenset(ws) for name, ws in regions.items()},
+        {p: frozenset(ws) for p, ws in pattern_words.items()},
+    )
+    return model, region_of_word
+
+
+def instance_from_model(model: TreeModel) -> tuple[Instance, dict[str, Region]]:
+    """A region instance represented by ``model`` (the converse direction).
+
+    Requires :meth:`TreeModel.is_valid_representation`.  The forest is
+    rebuilt from the words' direct-prefix relation and lexicographic
+    sibling order, then lowered to intervals; returns the instance and
+    the ``word → region`` mapping.
+    """
+    if not model.is_valid_representation():
+        raise ReproError("model does not satisfy the representation conditions")
+    words = sorted(model.words)  # lexicographic = document order
+    nodes: dict[str, TreeNode] = {}
+    roots: list[TreeNode] = []
+    # Sorted order guarantees every proper prefix precedes its extensions,
+    # so a stack of open ancestors yields each word's direct prefix.
+    stack: list[str] = []
+    name_of = {w: model.region_of(w) for w in words}
+    labels = {
+        w: frozenset(p for p, ws in model.patterns.items() if w in ws)
+        for w in words
+    }
+    for word in words:
+        while stack and not word.startswith(stack[-1]):
+            stack.pop()
+        node = TreeNode(name_of[word] or "", [], labels[word])
+        nodes[word] = node
+        if stack:
+            nodes[stack[-1]].children.append(node)
+        else:
+            roots.append(node)
+        stack.append(word)
+    instance = instance_from_trees(roots, names=tuple(model.regions))
+    # Recover the word → region mapping by replaying the same DFS the
+    # lowering used: pre-order positions coincide.
+    forest = instance.forest()
+    preorder = forest.preorder
+    word_to_region = {word: preorder[i] for i, word in enumerate(words)}
+    return instance, word_to_region

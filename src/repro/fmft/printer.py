@@ -1,0 +1,71 @@
+"""Rendering FMFT formulas as readable text.
+
+One-way (there is no formula parser — formulas come from the
+translations or are built programmatically); used by ``explain``-style
+output, the examples, and error messages in the theory layer.
+"""
+
+from __future__ import annotations
+
+from repro.fmft.formula import (
+    And,
+    EqualsAtom,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    OrderAtom,
+    PredicateAtom,
+    PrefixAtom,
+)
+
+__all__ = ["formula_to_text"]
+
+_LEVEL_OR = 1
+_LEVEL_AND = 2
+_LEVEL_UNARY = 3
+
+
+def formula_to_text(formula: Formula) -> str:
+    """Render a formula with conventional logical symbols.
+
+    Example: ``(∃y0) (Q_A(x) ∧ Q_B(y0)) ∧ x ⊃ y0``.
+    """
+    return _render(formula, 0)
+
+
+def _render(formula: Formula, context: int) -> str:
+    text, level = _render_inner(formula)
+    if level < context:
+        return f"({text})"
+    return text
+
+
+def _render_inner(formula: Formula) -> tuple[str, int]:
+    if isinstance(formula, PredicateAtom):
+        prefix = "Q" if formula.kind == "region" else "W"
+        return f"{prefix}_{formula.predicate}({formula.variable})", _LEVEL_UNARY
+    if isinstance(formula, PrefixAtom):
+        return f"{formula.left} ⊃ {formula.right}", _LEVEL_UNARY
+    if isinstance(formula, OrderAtom):
+        return f"{formula.left} < {formula.right}", _LEVEL_UNARY
+    if isinstance(formula, EqualsAtom):
+        return f"{formula.left} = {formula.right}", _LEVEL_UNARY
+    if isinstance(formula, Not):
+        return f"¬{_render(formula.body, _LEVEL_UNARY)}", _LEVEL_UNARY
+    if isinstance(formula, And):
+        return (
+            f"{_render(formula.left, _LEVEL_AND)} ∧ {_render(formula.right, _LEVEL_AND)}",
+            _LEVEL_AND,
+        )
+    if isinstance(formula, Or):
+        return (
+            f"{_render(formula.left, _LEVEL_OR)} ∨ {_render(formula.right, _LEVEL_OR)}",
+            _LEVEL_OR,
+        )
+    if isinstance(formula, Exists):
+        return f"(∃{formula.variable}) {_render(formula.body, _LEVEL_OR)}", _LEVEL_OR
+    if isinstance(formula, ForAll):
+        return f"(∀{formula.variable}) {_render(formula.body, _LEVEL_OR)}", _LEVEL_OR
+    raise TypeError(f"cannot render {type(formula).__name__}")

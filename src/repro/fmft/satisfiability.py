@@ -1,0 +1,306 @@
+"""Emptiness testing and bounded counter-model search (Theorems 3.4/3.6).
+
+Theorem 3.4 reduces "is ``e(I)`` empty for every instance ``I``" to
+(un)satisfiability of an FMFT formula — decidable by Rabin's theorem but
+with non-elementary cost.  This module substitutes a *bounded-model*
+decision procedure (DESIGN.md §2): enumerate every hierarchical instance
+up to ``max_nodes`` regions (all ordered forest shapes × name labelings
+× pattern labelings), optionally filtered by a RIG, and evaluate the
+expression on each.
+
+* A found witness definitively proves **non-emptiness** (and the
+  procedure returns it).
+* Exhausting the bound proves emptiness *up to the bound*; Theorem 4.1's
+  deletion argument justifies small bounds for expression-derived
+  formulas, and the test suite cross-validates against the naive
+  evaluator.  Theorem 3.5 (Co-NP-hardness, :mod:`repro.fmft.hardness`)
+  is why no polynomial shortcut exists.
+
+The formulas of Theorems 3.4/3.6 themselves are also constructed
+(:func:`emptiness_formula`, :func:`rig_constraint_formula`) so the
+reduction can be inspected and checked on finite models.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from itertools import product
+from typing import Iterator, Sequence
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import evaluate
+from repro.core.instance import Instance
+from repro.fmft.formula import And, Exists, ForAll, Formula, Not, Or, PredicateAtom, PrefixAtom
+from repro.fmft.translate import algebra_to_formula
+from repro.rig.graph import RegionInclusionGraph
+from repro.workloads.generators import TreeNode, instance_from_trees, random_instance
+
+__all__ = [
+    "enumerate_instances",
+    "find_nonempty_witness",
+    "is_empty_bounded",
+    "find_inequivalence_witness",
+    "random_inequivalence_witness",
+    "find_model_for_sentence",
+    "emptiness_formula",
+    "rig_constraint_formula",
+]
+
+Shape = tuple["Shape", ...]
+
+
+@lru_cache(maxsize=None)
+def _tree_shapes(nodes: int) -> tuple[Shape, ...]:
+    """All ordered rooted trees with ``nodes`` nodes."""
+    if nodes == 1:
+        return ((),)
+    return tuple(
+        children for children in _forest_shapes(nodes - 1)
+    )
+
+
+@lru_cache(maxsize=None)
+def _forest_shapes(nodes: int) -> tuple[Shape, ...]:
+    """All ordered forests with ``nodes`` nodes (possibly empty)."""
+    if nodes == 0:
+        return ((),)
+    out: list[Shape] = []
+    for first_size in range(1, nodes + 1):
+        for first in _tree_shapes(first_size):
+            for rest in _forest_shapes(nodes - first_size):
+                out.append((first,) + rest)
+    return tuple(out)
+
+
+def _shape_size(shape: Shape) -> int:
+    return 1 + sum(_shape_size(child) for child in shape)
+
+
+def _label_shape(
+    forest: Shape, names: tuple[str, ...], labels: tuple[frozenset[str], ...]
+) -> list[TreeNode]:
+    """Assign names/pattern-labels to a forest shape in pre-order."""
+    position = 0
+
+    def build(shape: Shape) -> TreeNode:
+        nonlocal position
+        index = position
+        position += 1
+        children = [build(child) for child in shape]
+        return TreeNode(names[index], children, labels[index])
+
+    return [build(tree) for tree in forest]
+
+
+def enumerate_instances(
+    names: Sequence[str],
+    patterns: Sequence[str] = (),
+    max_nodes: int = 4,
+    rig: RegionInclusionGraph | None = None,
+) -> Iterator[Instance]:
+    """Every hierarchical instance with 1..``max_nodes`` regions.
+
+    All ordered forest shapes, crossed with every name labeling and
+    every pattern labeling; with ``rig`` given, instances violating it
+    are skipped.  Exponential by design — the emptiness problem is
+    Co-NP-hard (Theorem 3.5) — so keep the bounds small.
+    """
+    name_tuple = tuple(names)
+    label_choices = _powerset(tuple(patterns))
+    for total in range(1, max_nodes + 1):
+        for forest in _forest_shapes(total):
+            if not forest:
+                continue
+            for name_assignment in product(name_tuple, repeat=total):
+                for label_assignment in product(label_choices, repeat=total):
+                    trees = _label_shape(forest, name_assignment, label_assignment)
+                    instance = instance_from_trees(trees, names=name_tuple)
+                    if rig is not None and not rig.satisfied_by(instance):
+                        continue
+                    yield instance
+
+
+def _powerset(items: tuple[str, ...]) -> tuple[frozenset[str], ...]:
+    out: list[frozenset[str]] = [frozenset()]
+    for item in items:
+        out.extend(s | {item} for s in list(out))
+    return tuple(out)
+
+
+def find_nonempty_witness(
+    expr: A.Expr,
+    names: Sequence[str] | None = None,
+    patterns: Sequence[str] | None = None,
+    max_nodes: int = 4,
+    rig: RegionInclusionGraph | None = None,
+) -> Instance | None:
+    """The first bounded instance on which ``expr`` is non-empty."""
+    if names is None:
+        names = sorted(A.region_names(expr)) or ["R"]
+    if patterns is None:
+        patterns = sorted(A.pattern_names(expr))
+    for instance in enumerate_instances(names, patterns, max_nodes, rig):
+        if evaluate(expr, instance):
+            return instance
+    return None
+
+
+def is_empty_bounded(
+    expr: A.Expr,
+    names: Sequence[str] | None = None,
+    patterns: Sequence[str] | None = None,
+    max_nodes: int = 4,
+    rig: RegionInclusionGraph | None = None,
+) -> bool:
+    """Emptiness up to the bound (sound for ``False``, bounded for ``True``)."""
+    return (
+        find_nonempty_witness(expr, names, patterns, max_nodes, rig) is None
+    )
+
+
+def find_inequivalence_witness(
+    first: A.Expr,
+    second: A.Expr,
+    names: Sequence[str] | None = None,
+    patterns: Sequence[str] | None = None,
+    max_nodes: int = 4,
+    rig: RegionInclusionGraph | None = None,
+) -> Instance | None:
+    """A bounded instance where the two expressions disagree.
+
+    This is the paper's equivalence test "``e₁ ≡ e₂`` iff
+    ``(e₁ − e₂) ∪ (e₂ − e₁)`` is empty for all instances", run over the
+    bounded instance space.
+    """
+    difference = A.Union(A.Difference(first, second), A.Difference(second, first))
+    if names is None:
+        names = sorted(A.region_names(difference)) or ["R"]
+    if patterns is None:
+        patterns = sorted(A.pattern_names(difference))
+    return find_nonempty_witness(difference, names, patterns, max_nodes, rig)
+
+
+def random_inequivalence_witness(
+    first: A.Expr,
+    second: A.Expr,
+    rng: random.Random,
+    trials: int = 200,
+    names: Sequence[str] | None = None,
+    patterns: Sequence[str] | None = None,
+    max_nodes: int = 25,
+) -> Instance | None:
+    """Randomized refutation: larger instances, no exhaustiveness."""
+    union_names = sorted(A.region_names(first) | A.region_names(second)) or ["R"]
+    union_patterns = sorted(A.pattern_names(first) | A.pattern_names(second))
+    names = list(names) if names is not None else union_names
+    patterns = list(patterns) if patterns is not None else union_patterns
+    for _ in range(trials):
+        instance = random_instance(
+            rng, names=names, max_nodes=max_nodes, patterns=patterns
+        )
+        if evaluate(first, instance) != evaluate(second, instance):
+            return instance
+    return None
+
+
+def find_model_for_sentence(
+    sentence: "Formula",
+    names: Sequence[str],
+    patterns: Sequence[str] = (),
+    max_nodes: int = 4,
+) -> "tuple[Instance, object] | None":
+    """Bounded satisfiability for an arbitrary FMFT sentence.
+
+    Enumerates hierarchical instances up to ``max_nodes`` regions,
+    converts each to its tree model (Def 3.2) and checks the sentence
+    with the active-domain semantics.  Returns the witness
+    ``(instance, model)`` or ``None`` if no bounded model satisfies it.
+
+    This is the executable form of Theorems 3.4/3.6: e.g. the
+    conjunction of :func:`emptiness_formula` and
+    :func:`rig_constraint_formula` is satisfiable iff the expression is
+    non-empty on some instance satisfying the RIG — and the tests check
+    that this agrees with the direct instance-level search.
+    """
+    from repro.fmft.model import model_from_instance
+    from repro.fmft.semantics import holds
+
+    for instance in enumerate_instances(names, patterns, max_nodes):
+        model, _ = model_from_instance(instance, patterns=tuple(patterns))
+        if holds(sentence, model, {}):
+            return instance, model
+    return None
+
+
+# ----------------------------------------------------------------------
+# The Theorem 3.4 / 3.6 formulas themselves.
+# ----------------------------------------------------------------------
+
+
+def emptiness_formula(
+    expr: A.Expr, names: Sequence[str], patterns: Sequence[str] = ()
+) -> Formula:
+    """The sentence-shaped reduction of Theorem 3.4.
+
+    ``∃x (φ_e(x)) ∧ conditions(i, ii)`` — satisfiable iff some valid
+    model makes ``e`` non-empty, i.e. iff ``e`` is not empty on all
+    instances.  The representation conditions (region predicates
+    pairwise disjoint, pattern words inside region words) are spelled
+    out as restricted-formula-expressible constraints.
+    """
+    phi = algebra_to_formula(expr, "x")
+    sentence: Formula = Exists("x", phi)
+    name_list = list(names)
+    for i, a in enumerate(name_list):
+        for b in name_list[i + 1 :]:
+            sentence = And(
+                sentence,
+                ForAll(
+                    "u",
+                    Not(
+                        And(
+                            PredicateAtom("region", a, "u"),
+                            PredicateAtom("region", b, "u"),
+                        )
+                    ),
+                ),
+            )
+    for p in patterns:
+        some_region: Formula | None = None
+        for name in name_list:
+            atom = PredicateAtom("region", name, "u")
+            some_region = atom if some_region is None else Or(some_region, atom)
+        if some_region is not None:
+            sentence = And(
+                sentence,
+                ForAll("u", Or(Not(PredicateAtom("pattern", p, "u")), some_region)),
+            )
+    return sentence
+
+
+def rig_constraint_formula(rig: RegionInclusionGraph) -> Formula:
+    """The Theorem 3.6 refinement: instances satisfying a RIG.
+
+    ``∀x ∀y (direct_prefix(x, y) → ⋁_{(R_i,R_j) ∈ E} Q_i(x) ∧ Q_j(y))``
+    where ``direct_prefix(x, y)`` is
+    ``x ⊃ y ∧ ¬∃z (x ⊃ z ∧ z ⊃ y)``.  Note the inner negated
+    existential: this is a *general* FMFT formula, not a restricted one —
+    exactly why Theorem 3.6 needs general formulas (direct inclusion is
+    not restricted-expressible, Section 5.1).
+    """
+    direct = And(
+        PrefixAtom("x", "y"),
+        Not(Exists("z", And(PrefixAtom("x", "z"), PrefixAtom("z", "y")))),
+    )
+    allowed: Formula | None = None
+    for parent, child in rig.edges:
+        pair = And(
+            PredicateAtom("region", parent, "x"),
+            PredicateAtom("region", child, "y"),
+        )
+        allowed = pair if allowed is None else Or(allowed, pair)
+    if allowed is None:
+        # No edges: no direct inclusion may occur at all.
+        return ForAll("x", ForAll("y", Not(direct)))
+    return ForAll("x", ForAll("y", Or(Not(direct), allowed)))

@@ -1,0 +1,112 @@
+"""Evaluating FMFT formulas over finite tree models.
+
+Quantifiers range over the *words in the model* (the union of the
+region predicates) — the active domain.  For the restricted fragment of
+Definition 3.1 this matches the full theory: restricted formulas only
+ever apply predicates to every variable, so witnesses outside the model
+cannot satisfy them.  For general formulas the active-domain semantics
+is an explicit, documented substitution for Rabin-style decision
+procedures (DESIGN.md §2); it is what Theorems 3.4/3.6 need for
+*finite* counter-model search.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import EvaluationError
+from repro.fmft.formula import (
+    And,
+    EqualsAtom,
+    Exists,
+    ForAll,
+    Formula,
+    Not,
+    Or,
+    OrderAtom,
+    PredicateAtom,
+    PrefixAtom,
+    free_variables,
+)
+from repro.fmft.model import TreeModel, word_precedes, word_prefix_includes
+
+__all__ = ["holds", "satisfying_words"]
+
+
+def holds(formula: Formula, model: TreeModel, env: Mapping[str, str]) -> bool:
+    """Does ``model, env ⊨ formula``?  ``env`` binds the free variables."""
+    return _holds(formula, model, dict(env), sorted(model.words))
+
+
+def _holds(
+    formula: Formula, model: TreeModel, env: dict[str, str], domain: list[str]
+) -> bool:
+    if isinstance(formula, PredicateAtom):
+        word = _lookup(env, formula.variable)
+        table = model.regions if formula.kind == "region" else model.patterns
+        return word in table.get(formula.predicate, frozenset())
+    if isinstance(formula, PrefixAtom):
+        return word_prefix_includes(_lookup(env, formula.left), _lookup(env, formula.right))
+    if isinstance(formula, OrderAtom):
+        return word_precedes(_lookup(env, formula.left), _lookup(env, formula.right))
+    if isinstance(formula, EqualsAtom):
+        return _lookup(env, formula.left) == _lookup(env, formula.right)
+    if isinstance(formula, Not):
+        return not _holds(formula.body, model, env, domain)
+    if isinstance(formula, And):
+        return _holds(formula.left, model, env, domain) and _holds(
+            formula.right, model, env, domain
+        )
+    if isinstance(formula, Or):
+        return _holds(formula.left, model, env, domain) or _holds(
+            formula.right, model, env, domain
+        )
+    if isinstance(formula, Exists):
+        saved = env.get(formula.variable)
+        try:
+            for word in domain:
+                env[formula.variable] = word
+                if _holds(formula.body, model, env, domain):
+                    return True
+            return False
+        finally:
+            _restore(env, formula.variable, saved)
+    if isinstance(formula, ForAll):
+        saved = env.get(formula.variable)
+        try:
+            for word in domain:
+                env[formula.variable] = word
+                if not _holds(formula.body, model, env, domain):
+                    return False
+            return True
+        finally:
+            _restore(env, formula.variable, saved)
+    raise EvaluationError(f"unknown formula node {type(formula).__name__}")
+
+
+def _lookup(env: Mapping[str, str], variable: str) -> str:
+    try:
+        return env[variable]
+    except KeyError:
+        raise EvaluationError(f"unbound variable {variable!r}") from None
+
+
+def _restore(env: dict[str, str], variable: str, saved: str | None) -> None:
+    if saved is None:
+        env.pop(variable, None)
+    else:
+        env[variable] = saved
+
+
+def satisfying_words(formula: Formula, model: TreeModel) -> frozenset[str]:
+    """``φ(t)``: the words satisfying a formula with one free variable."""
+    variables = free_variables(formula)
+    if len(variables) != 1:
+        raise EvaluationError(
+            f"satisfying_words needs exactly one free variable, got {sorted(variables)}"
+        )
+    (variable,) = variables
+    domain = sorted(model.words)
+    return frozenset(
+        word for word in domain if _holds(formula, model, {variable: word}, domain)
+    )

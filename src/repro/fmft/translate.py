@@ -1,0 +1,164 @@
+"""The Proposition 3.3 translations: algebra ⇄ restricted formulas.
+
+``algebra_to_formula`` follows the constructive proof verbatim:
+
+* ``R_i``            ↦ ``Q_i(x)``
+* ``e₁ ∪ e₂``        ↦ ``φ₁ ∨ φ₂``
+* ``e₁ ∩ e₂``        ↦ ``φ₁ ∧ φ₂``
+* ``e₁ − e₂``        ↦ ``φ₁ ∧ ¬φ₂``
+* ``e₁ ⊃ e₂``        ↦ ``(∃y) φ₁(x) ∧ φ₂(y) ∧ x ⊃ y``
+* ``e₁ ⊂ e₂``        ↦ ``(∃y) φ₁(x) ∧ φ₂(y) ∧ y ⊃ x``
+* ``e₁ < e₂``        ↦ ``(∃y) φ₁(x) ∧ φ₂(y) ∧ x < y``
+* ``e₁ > e₂``        ↦ ``(∃y) φ₁(x) ∧ φ₂(y) ∧ y < x``
+* ``σ_p(e)``         ↦ ``φ ∧ Q_{n+p}(x)``
+
+``formula_to_algebra`` is the converse ("completely analogous" in the
+paper) and is total on the restricted fragment as recognized by
+:func:`repro.fmft.formula.is_restricted`.  Round-tripping an expression
+returns a structurally equal expression; semantic agreement on models
+is the content of Proposition 3.3 and is property-tested.
+
+Also provided are the translations of the extended operators (used by
+Theorems 3.6/5.5's remark that ``⊃_d`` and ``BI`` are FMFT-expressible —
+with *general*, non-restricted formulas).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from repro.algebra import ast as A
+from repro.errors import ReproError
+from repro.fmft.formula import (
+    And,
+    Exists,
+    Formula,
+    Not,
+    Or,
+    OrderAtom,
+    PredicateAtom,
+    PrefixAtom,
+)
+
+__all__ = [
+    "algebra_to_formula",
+    "formula_to_algebra",
+    "directly_including_formula",
+    "both_included_formula",
+]
+
+
+def algebra_to_formula(expr: A.Expr, variable: str = "x") -> Formula:
+    """The restricted formula of Proposition 3.3 for a core expression."""
+    fresh = count()
+
+    def translate(e: A.Expr, var: str) -> Formula:
+        if isinstance(e, A.NameRef):
+            return PredicateAtom("region", e.name, var)
+        if isinstance(e, A.Select):
+            return And(
+                translate(e.child, var), PredicateAtom("pattern", e.pattern, var)
+            )
+        if isinstance(e, A.Union):
+            return Or(translate(e.left, var), translate(e.right, var))
+        if isinstance(e, A.Intersection):
+            return And(translate(e.left, var), translate(e.right, var))
+        if isinstance(e, A.Difference):
+            return And(translate(e.left, var), Not(translate(e.right, var)))
+        if isinstance(e, (A.Including, A.IncludedIn, A.Preceding, A.Following)):
+            witness = f"y{next(fresh)}"
+            phi1 = translate(e.left, var)
+            phi2 = translate(e.right, witness)
+            if isinstance(e, A.Including):
+                atom: Formula = PrefixAtom(var, witness)
+            elif isinstance(e, A.IncludedIn):
+                atom = PrefixAtom(witness, var)
+            elif isinstance(e, A.Preceding):
+                atom = OrderAtom(var, witness)
+            else:
+                atom = OrderAtom(witness, var)
+            return Exists(witness, And(And(phi1, phi2), atom))
+        raise ReproError(
+            f"only core-algebra expressions translate to restricted formulas; "
+            f"got {type(e).__name__}"
+        )
+
+    return translate(expr, variable)
+
+
+def formula_to_algebra(formula: Formula) -> A.Expr:
+    """The converse translation, total on the restricted fragment."""
+    if isinstance(formula, PredicateAtom):
+        if formula.kind == "region":
+            return A.NameRef(formula.predicate)
+        raise ReproError(
+            "a bare pattern atom has no algebra counterpart; patterns occur "
+            "as conjuncts σ_p in restricted formulas built from expressions"
+        )
+    if isinstance(formula, Or):
+        return A.Union(formula_to_algebra(formula.left), formula_to_algebra(formula.right))
+    if isinstance(formula, And):
+        # φ ∧ Q_pattern(x) ↦ σ_p ;  φ₁ ∧ ¬φ₂ ↦ − ;  φ₁ ∧ φ₂ ↦ ∩
+        if isinstance(formula.right, PredicateAtom) and formula.right.kind == "pattern":
+            return A.Select(formula.right.predicate, formula_to_algebra(formula.left))
+        if isinstance(formula.right, Not):
+            return A.Difference(
+                formula_to_algebra(formula.left),
+                formula_to_algebra(formula.right.body),
+            )
+        return A.Intersection(
+            formula_to_algebra(formula.left), formula_to_algebra(formula.right)
+        )
+    if isinstance(formula, Exists):
+        body = formula.body
+        if not isinstance(body, And) or not isinstance(body.left, And):
+            raise ReproError("existential body is not in restricted form")
+        phi1, phi2, atom = body.left.left, body.left.right, body.right
+        left = formula_to_algebra(phi1)
+        right = formula_to_algebra(phi2)
+        y = formula.variable
+        if isinstance(atom, PrefixAtom):
+            return A.Including(left, right) if atom.right == y else A.IncludedIn(left, right)
+        if isinstance(atom, OrderAtom):
+            return A.Preceding(left, right) if atom.right == y else A.Following(left, right)
+        raise ReproError(f"unexpected relation atom {type(atom).__name__}")
+    raise ReproError(
+        f"formula node {type(formula).__name__} is outside the restricted fragment"
+    )
+
+
+def directly_including_formula(
+    source: str, target: str, variable: str = "x"
+) -> Formula:
+    """``x ∈ source ⊃_d target`` as a *general* FMFT formula.
+
+    ``Q_s(x) ∧ ∃y (Q_t(y) ∧ x ⊃ y ∧ ¬∃z (x ⊃ z ∧ z ⊃ y))`` — the
+    inner negated existential is exactly what the restricted fragment
+    forbids (Theorem 5.1 shows it cannot be eliminated).
+    """
+    x, y, z = variable, f"{variable}__w", f"{variable}__b"
+    no_between = Not(Exists(z, And(PrefixAtom(x, z), PrefixAtom(z, y))))
+    return And(
+        PredicateAtom("region", source, x),
+        Exists(y, And(And(PredicateAtom("region", target, y), PrefixAtom(x, y)), no_between)),
+    )
+
+
+def both_included_formula(
+    source: str, first: str, second: str, variable: str = "x"
+) -> Formula:
+    """``x ∈ source BI (first, second)`` as a general FMFT formula.
+
+    ``Q_r(x) ∧ ∃y ∃z (Q_s(y) ∧ Q_t(z) ∧ x ⊃ y ∧ x ⊃ z ∧ y < z)`` — two
+    simultaneous witnesses, which restricted formulas (one existential
+    at a time) cannot correlate (Theorem 5.3).
+    """
+    x, y, z = variable, f"{variable}__s", f"{variable}__t"
+    inner = And(
+        And(
+            And(PredicateAtom("region", first, y), PredicateAtom("region", second, z)),
+            And(PrefixAtom(x, y), PrefixAtom(x, z)),
+        ),
+        OrderAtom(y, z),
+    )
+    return And(PredicateAtom("region", source, x), Exists(y, Exists(z, inner)))

@@ -1,0 +1,28 @@
+"""Query optimization: rewrites, equivalence testing, cost-based search."""
+
+from repro.optimize.equivalence import EquivalenceVerdict, check_equivalence
+from repro.optimize.lowering import LoweringResult, lower_extended_operators
+from repro.optimize.optimizer import OptimizationResult, optimize
+from repro.optimize.rewrite import (
+    simplify,
+    simplify_chains,
+    simplify_deep,
+    simplify_inclusion_chain,
+)
+from repro.optimize.static import NameBounds, infer_name_bounds, prune_with_rig
+
+__all__ = [
+    "simplify",
+    "simplify_deep",
+    "simplify_chains",
+    "simplify_inclusion_chain",
+    "check_equivalence",
+    "EquivalenceVerdict",
+    "optimize",
+    "OptimizationResult",
+    "LoweringResult",
+    "lower_extended_operators",
+    "NameBounds",
+    "infer_name_bounds",
+    "prune_with_rig",
+]

@@ -1,0 +1,100 @@
+"""Expression equivalence testing (Definition 2.5 / Theorem 3.4).
+
+Two expressions are equivalent (w.r.t. a RIG ``G``) when they agree on
+every instance (satisfying ``G``).  The paper's test —
+``(e₁ − e₂) ∪ (e₂ − e₁)`` empty for all instances — is realized here as
+a layered procedure:
+
+1. a fast randomized refuter over larger random instances (a found
+   witness is definitive: *not* equivalent);
+2. exhaustive bounded-model search (Theorem 3.4's decision procedure,
+   with the bounded-model substitution documented in DESIGN.md).
+
+``EquivalenceVerdict`` records which layer decided and with what
+confidence: ``equivalent`` is exact up to the bound; Theorem 3.5 is why
+no cheap exact test exists.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.algebra import ast as A
+from repro.core.instance import Instance
+from repro.fmft.satisfiability import (
+    find_inequivalence_witness,
+    random_inequivalence_witness,
+)
+from repro.rig.graph import RegionInclusionGraph
+
+__all__ = ["EquivalenceVerdict", "check_equivalence"]
+
+
+@dataclass(frozen=True)
+class EquivalenceVerdict:
+    """Outcome of an equivalence check.
+
+    ``equivalent`` is ``False`` exactly when ``witness`` is an instance
+    on which the expressions disagree; otherwise the expressions agreed
+    on every instance searched, and ``method`` says how far the search
+    went.
+    """
+
+    equivalent: bool
+    method: Literal["randomized", "bounded", "exhausted"]
+    witness: Instance | None = None
+
+
+def check_equivalence(
+    first: A.Expr,
+    second: A.Expr,
+    rig: RegionInclusionGraph | None = None,
+    max_nodes: int = 4,
+    random_trials: int = 100,
+    seed: int = 0,
+) -> EquivalenceVerdict:
+    """Layered equivalence test; see the module docstring."""
+    if first == second:
+        return EquivalenceVerdict(True, "exhausted")
+    rng = random.Random(seed)
+    if rig is None:
+        witness = random_inequivalence_witness(
+            first, second, rng, trials=random_trials
+        )
+        if witness is not None:
+            return EquivalenceVerdict(False, "randomized", witness)
+    else:
+        witness = _random_rig_witness(first, second, rig, rng, random_trials)
+        if witness is not None:
+            return EquivalenceVerdict(False, "randomized", witness)
+    witness = find_inequivalence_witness(
+        first, second, max_nodes=max_nodes, rig=rig
+    )
+    if witness is not None:
+        return EquivalenceVerdict(False, "bounded", witness)
+    return EquivalenceVerdict(True, "exhausted")
+
+
+def _random_rig_witness(
+    first: A.Expr,
+    second: A.Expr,
+    rig: RegionInclusionGraph,
+    rng: random.Random,
+    trials: int,
+) -> Instance | None:
+    from repro.algebra.evaluator import evaluate
+    from repro.workloads.generators import rig_constrained_instance
+
+    roots = [
+        name for name in rig.names if not rig.predecessors(name)
+    ] or list(rig.names)
+    patterns = sorted(A.pattern_names(first) | A.pattern_names(second))
+    for _ in range(trials):
+        instance = rig_constrained_instance(
+            rng, rig, roots=roots, patterns=patterns
+        )
+        if evaluate(first, instance) != evaluate(second, instance):
+            return instance
+    return None

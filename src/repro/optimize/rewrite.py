@@ -1,0 +1,236 @@
+"""Rewrite rules and RIG-aware chain simplification.
+
+Two layers of rewriting:
+
+* :func:`simplify` — algebraic identities valid on every instance
+  (idempotence, annihilation, empty-set propagation).  These never need
+  a RIG.
+* :func:`simplify_inclusion_chain` / :func:`simplify_chains` — the
+  Section 2.2 optimization: inside a right-grouped inclusion chain
+  ``R₁ ⊂ (R₂ ⊂ (… ⊂ Rₙ))`` a middle name ``R_i`` may be dropped when,
+  w.r.t. the RIG, every nesting chain from ``R_{i+1}`` down to
+  ``R_{i-1}`` must pass through an ``R_i`` region:
+
+  - every RIG walk ``R_{i+1} → R_{i-1}`` of length ≥ 2 visits ``R_i``,
+    and
+  - there is no direct edge ``R_{i+1} → R_{i-1}`` (which would permit a
+    chain with nothing in between).
+
+  Under those conditions the instance-forest path between the two
+  witnesses must contain an ``R_i`` region, so the dropped test is
+  implied; conversely the longer chain trivially implies the shorter.
+  This is the polynomial-time optimization of *inclusion expressions*
+  the paper attributes to [CM94] — the worked example is
+  ``Name ⊂ Proc_header ⊂ Proc ⊂ Program ≡ Name ⊂ Proc_header ⊂
+  Program`` under the Figure 1 RIG.
+
+  ``⊃``-chains are handled symmetrically (walks run from the outer
+  name down to the inner one).
+"""
+
+from __future__ import annotations
+
+from repro.algebra import ast as A
+from repro.rig.graph import RegionInclusionGraph
+
+__all__ = ["simplify", "simplify_deep", "simplify_inclusion_chain", "simplify_chains"]
+
+
+def simplify(expr: A.Expr) -> A.Expr:
+    """Apply instance-independent identities bottom-up, to fixpoint."""
+    while True:
+        rewritten = _simplify_once(expr)
+        if rewritten == expr:
+            return expr
+        expr = rewritten
+
+
+def _simplify_once(expr: A.Expr) -> A.Expr:
+    kids = A.children(expr)
+    if kids:
+        new_kids = tuple(_simplify_once(k) for k in kids)
+        if new_kids != kids:
+            for i, kid in enumerate(new_kids):
+                expr = A.replace_child(expr, i, kid)
+    empty = A.Empty()
+    if isinstance(expr, A.Union):
+        if expr.left == expr.right:
+            return expr.left
+        if expr.left == empty:
+            return expr.right
+        if expr.right == empty:
+            return expr.left
+    elif isinstance(expr, A.Intersection):
+        if expr.left == expr.right:
+            return expr.left
+        if empty in (expr.left, expr.right):
+            return empty
+    elif isinstance(expr, A.Difference):
+        if expr.left == expr.right or expr.left == empty:
+            return empty
+        if expr.right == empty:
+            return expr.left
+    elif isinstance(expr, A.BinaryOp):  # the structural semi-joins
+        if empty in (expr.left, expr.right):
+            return empty
+    elif isinstance(expr, A.Select):
+        if expr.child == empty:
+            return empty
+        if isinstance(expr.child, A.Select) and expr.child.pattern == expr.pattern:
+            return expr.child
+    elif isinstance(expr, A.BothIncluded):
+        if empty in (expr.source, expr.first, expr.second):
+            return empty
+    return expr
+
+
+# ----------------------------------------------------------------------
+# The extended rule library (cost-reducing identities).
+# ----------------------------------------------------------------------
+
+_SEMI_JOINS = (
+    A.Including,
+    A.IncludedIn,
+    A.Preceding,
+    A.Following,
+    A.DirectlyIncluding,
+    A.DirectlyIncluded,
+)
+
+
+def _apply_rules(expr: A.Expr) -> A.Expr:
+    """One bottom-up pass of the cost-reducing identities.
+
+    Every rule is an equivalence on *all* instances (soundness is swept
+    in the test suite against enumerated probe instances):
+
+    * selection pushdown — ``σ_p`` commutes with the output side of
+      every operator: ``σ_p(e₁ − e₂) = σ_p(e₁) − e₂``,
+      ``σ_p(e₁ ∘ e₂) = σ_p(e₁) ∘ e₂`` for every semi-join ∘, and
+      ``σ_p(BI(r, s, t)) = BI(σ_p(r), s, t)`` — the filter runs on the
+      smaller intermediate;
+    * semi-join idempotence — ``(e ∘ S) ∘ S = e ∘ S``;
+    * difference-of-difference — ``e − (e − f) = e ∩ f``;
+    * boolean absorption — ``e ∩ (e ∪ f) = e`` and ``e ∪ (e ∩ f) = e``
+      (either operand order).
+    """
+    kids = A.children(expr)
+    if kids:
+        new_kids = tuple(_apply_rules(k) for k in kids)
+        for i, kid in enumerate(new_kids):
+            if kid != kids[i]:
+                expr = A.replace_child(expr, i, kid)
+    if isinstance(expr, A.Select):
+        child = expr.child
+        if isinstance(child, (A.Difference, A.Intersection)):
+            return type(child)(A.Select(expr.pattern, child.left), child.right)
+        if isinstance(child, _SEMI_JOINS):
+            return type(child)(A.Select(expr.pattern, child.left), child.right)
+        if isinstance(child, A.BothIncluded):
+            return A.BothIncluded(
+                A.Select(expr.pattern, child.source), child.first, child.second
+            )
+    if isinstance(expr, _SEMI_JOINS):
+        left = expr.left
+        if isinstance(left, type(expr)) and left.right == expr.right:
+            return left
+    if isinstance(expr, A.Difference):
+        right = expr.right
+        if isinstance(right, A.Difference) and right.left == expr.left:
+            return A.Intersection(expr.left, right.right)
+    if isinstance(expr, A.Intersection):
+        for a, b in ((expr.left, expr.right), (expr.right, expr.left)):
+            if isinstance(b, A.Union) and a in (b.left, b.right):
+                return a
+    if isinstance(expr, A.Union):
+        for a, b in ((expr.left, expr.right), (expr.right, expr.left)):
+            if isinstance(b, A.Intersection) and a in (b.left, b.right):
+                return a
+    return expr
+
+
+def simplify_deep(expr: A.Expr) -> A.Expr:
+    """:func:`simplify` plus the extended rule library, to fixpoint.
+
+    The cheap identities run first so that e.g. ``σ_p(e ∩ e)`` collapses
+    to ``σ_p(e)`` before selection pushdown would split it.
+    """
+    while True:
+        rewritten = simplify(expr)
+        rewritten = simplify(_apply_rules(rewritten))
+        if rewritten == expr:
+            return expr
+        expr = rewritten
+
+
+def _chain_names(expr: A.Expr, op: type[A.BinaryOp]) -> list[str] | None:
+    """Decompose a right-grouped chain of name references, if it is one."""
+    names: list[str] = []
+    node = expr
+    while isinstance(node, op) and isinstance(node.left, A.NameRef):
+        names.append(node.left.name)
+        node = node.right
+    if isinstance(node, A.NameRef) and len(names) >= 1:
+        names.append(node.name)
+        return names
+    return None
+
+
+def _droppable(rig: RegionInclusionGraph, upper: str, middle: str, lower: str) -> bool:
+    """May the test for ``middle`` be dropped between ``upper ⊃ … ⊃ lower``?
+
+    Requires every RIG walk from ``upper`` to ``lower`` with non-empty
+    interior to pass through ``middle``, and no direct edge — otherwise
+    an instance could nest ``lower`` under ``upper`` with no ``middle``.
+    """
+    if upper not in rig or lower not in rig or middle not in rig:
+        return False
+    if rig.has_edge(upper, lower):
+        return False
+    return not rig.paths_avoiding(upper, lower, {middle})
+
+
+def simplify_inclusion_chain(
+    names: list[str], rig: RegionInclusionGraph, op: type[A.BinaryOp] = A.IncludedIn
+) -> list[str]:
+    """Drop every droppable middle name from an inclusion chain.
+
+    ``names`` is the chain in query order (``[R₁, …, Rₙ]``); for ``⊂``
+    chains nesting runs upward (``R_{i+1}`` contains ``R_i``), for ``⊃``
+    chains downward.  Greedy left-to-right elimination to fixpoint; each
+    test is a reachability check, so the whole pass is polynomial — the
+    tractable optimization class of Section 5.1.
+    """
+    chain = list(names)
+    changed = True
+    while changed:
+        changed = False
+        # Try outer names first: on the Figure 1 example this drops Proc
+        # and reproduces the paper's e2 exactly.
+        for i in range(len(chain) - 2, 0, -1):
+            if op is A.IncludedIn:
+                upper, middle, lower = chain[i + 1], chain[i], chain[i - 1]
+            else:
+                upper, middle, lower = chain[i - 1], chain[i], chain[i + 1]
+            if _droppable(rig, upper, middle, lower):
+                del chain[i]
+                changed = True
+                break
+    return chain
+
+
+def simplify_chains(expr: A.Expr, rig: RegionInclusionGraph) -> A.Expr:
+    """Rewrite every maximal inclusion chain in ``expr`` w.r.t. ``rig``."""
+    for op in (A.IncludedIn, A.Including):
+        names = _chain_names(expr, op)
+        if names is not None and len(names) >= 3:
+            shorter = simplify_inclusion_chain(names, rig, op)
+            if shorter != names:
+                return A.including_chain(shorter, op)
+            return expr
+    kids = A.children(expr)
+    for i, kid in enumerate(kids):
+        new_kid = simplify_chains(kid, rig)
+        if new_kid != kid:
+            expr = A.replace_child(expr, i, new_kid)
+    return expr

@@ -1,0 +1,49 @@
+"""Section 4/5 machinery: deletion, reduction, and inexpressibility."""
+
+from repro.properties.counterexamples import (
+    both_included_target,
+    direct_inclusion_target,
+    refute_both_included,
+    refute_direct_inclusion,
+)
+from repro.properties.deletion import (
+    check_deletion_theorem,
+    s_deleted_versions,
+    witness_set,
+)
+from repro.properties.inexpressibility import (
+    InexpressibilityReport,
+    verify_parity_inexpressible,
+    verify_proposition_5_5,
+    verify_theorem_5_1,
+    verify_theorem_5_3,
+)
+from repro.properties.reduction import (
+    check_reduction_theorem,
+    is_k_reduced,
+    isomorphic,
+    isomorphic_sibling_pairs,
+    reduce_regions,
+    subtree_signature,
+)
+
+__all__ = [
+    "witness_set",
+    "s_deleted_versions",
+    "check_deletion_theorem",
+    "subtree_signature",
+    "isomorphic",
+    "reduce_regions",
+    "is_k_reduced",
+    "isomorphic_sibling_pairs",
+    "check_reduction_theorem",
+    "direct_inclusion_target",
+    "both_included_target",
+    "refute_direct_inclusion",
+    "refute_both_included",
+    "InexpressibilityReport",
+    "verify_theorem_5_1",
+    "verify_parity_inexpressible",
+    "verify_theorem_5_3",
+    "verify_proposition_5_5",
+]

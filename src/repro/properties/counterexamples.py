@@ -1,0 +1,106 @@
+"""The executable counter-examples of Section 5 (Figures 2 and 3).
+
+Each refuter takes a candidate expression claimed to compute an
+extended operator and returns a *witness instance* on which the
+candidate disagrees with the operator's true semantics — or ``None`` if
+the family fails to refute it (which the paper's theorems say cannot
+happen for core-algebra candidates; the enumeration tests confirm it
+for every small expression).
+
+The search mirrors the proofs:
+
+* **Theorem 5.1 / Figure 2** — build the alternating ``B ⊃ A ⊃ B ⊃ …``
+  tower of depth ``4|e| + 2``.  By Theorem 4.1, some adjacent pair of
+  regions escapes the candidate's witness set, so deleting the inner one
+  flips a direct-inclusion fact the candidate cannot see.  The refuter
+  checks the candidate against the true ``B ⊃_d A`` on the tower and on
+  every single-deletion variant.
+* **Theorem 5.3 / Figure 3** — build the ``4k+1`` sibling family with
+  the doubled ``A`` in the middle ``C``; reducing the two isomorphic
+  ``A`` regions removes the only ``B``-before-``A`` witness, and by
+  Theorem 4.4 a candidate with ``k`` order operations cannot notice.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import Evaluator
+from repro.core.instance import Instance
+from repro.properties.reduction import reduce_regions
+from repro.workloads.generators import figure_2_instance, figure_3_instance
+
+__all__ = [
+    "direct_inclusion_target",
+    "both_included_target",
+    "refute_direct_inclusion",
+    "refute_both_included",
+]
+
+_EVALUATOR = Evaluator("indexed")
+
+
+def direct_inclusion_target() -> A.Expr:
+    """The operator Theorem 5.1 proves inexpressible: ``B ⊃_d A``."""
+    return A.DirectlyIncluding(A.NameRef("B"), A.NameRef("A"))
+
+
+def both_included_target() -> A.Expr:
+    """The operator Theorem 5.3 proves inexpressible: ``C BI (B, A)``."""
+    return A.BothIncluded(A.NameRef("C"), A.NameRef("B"), A.NameRef("A"))
+
+
+def _disagree(candidate: A.Expr, target: A.Expr, instance: Instance) -> bool:
+    return _EVALUATOR.evaluate(candidate, instance) != _EVALUATOR.evaluate(
+        target, instance
+    )
+
+
+def refute_direct_inclusion(candidate: A.Expr) -> Instance | None:
+    """A witness where ``candidate ≠ B ⊃_d A``, from the Figure 2 family."""
+    target = direct_inclusion_target()
+    depth = 4 * max(A.size(candidate), 1) + 2
+    tower = figure_2_instance(depth)
+    if _disagree(candidate, target, tower):
+        return tower
+    # Delete each single inner region in turn: some deletion flips a
+    # direct-inclusion fact the candidate preserved (Theorem 4.1).
+    for region in tower.all_regions():
+        variant = tower.without_regions([region])
+        if _disagree(candidate, target, variant):
+            return variant
+    return None
+
+
+def refute_both_included(candidate: A.Expr) -> Instance | None:
+    """A witness where ``candidate ≠ C BI (B, A)``, from the Figure 3 family."""
+    target = both_included_target()
+    k = A.order_op_count(candidate)
+    family = figure_3_instance(k)
+    if _disagree(candidate, target, family):
+        return family
+    # The proof's reduction step: merge the two isomorphic A regions of
+    # the middle C, removing the only B-before-A witness.
+    middle = _middle_c_children(family, k)
+    if middle is not None:
+        first_a, second_a = middle
+        reduced, _ = reduce_regions(
+            family, first_a, second_a, sorted(A.pattern_names(candidate))
+        )
+        if _disagree(candidate, target, reduced):
+            return reduced
+    return None
+
+
+def _middle_c_children(instance: Instance, k: int):
+    """The two ``A`` children of the middle ``C`` region, if present."""
+    forest = instance.forest()
+    c_regions = sorted(instance.region_set("C"), key=lambda r: r.left)
+    middle = c_regions[2 * k]
+    a_children = [
+        child
+        for child in forest.children_of(middle)
+        if instance.name_of(child) == "A"
+    ]
+    if len(a_children) == 2:
+        return a_children[0], a_children[1]
+    return None

@@ -1,0 +1,170 @@
+"""Theorem 4.1: deletion-invariant witness sets.
+
+For every expression ``e`` and instance ``I`` there is a set of regions
+``S`` (of bounded nesting) such that any *S-deleted version* of ``I`` —
+obtained by deleting regions while keeping all of ``S`` — preserves
+both emptiness of ``e`` and membership of every surviving region.
+
+The paper proves existence "by induction on the number of operations in
+e, constructively building the desired S"; :func:`witness_set` realizes
+that construction:
+
+* name references and the set operations contribute nothing of their own
+  (their behaviour is pointwise in the operands);
+* each structural semi-join keeps, for every selected region ``r``, one
+  witness from the right operand's result (chosen at minimal forest
+  depth, which is what keeps the nesting of ``S`` within the 2|e|
+  bound — every operator contributes at most a shallow antichain plus
+  what its operands contributed);
+* ``BI`` nodes keep a witness *pair* per selected region — this is the
+  extra induction case of Proposition 5.5's remark that Theorem 4.1
+  still holds for the algebra augmented with both-included.  A pair can
+  contribute two nesting levels where a semi-join witness contributes
+  one, so for expressions containing BI the nesting bound on ``S``
+  relaxes from the paper's ``2|e|`` (stated for the core algebra) to
+  ``2|e| + 2·#BI``;
+* at top level one member of ``e(I)`` is kept so emptiness transfers.
+
+The direct operators ``⊃_d``/``⊂_d`` deliberately have **no** case
+here: Theorem 4.1 *fails* for them (deleting an intermediate region
+changes direct-inclusion facts), which is precisely how Theorem 5.1
+proves them inexpressible.  :func:`witness_set` raises on them.
+
+The theorem's guarantees are property-tested by generating random
+S-deleted versions (:func:`s_deleted_versions`) and checking conditions
+(1) and (2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import Evaluator
+from repro.core.instance import Instance
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+from repro.errors import EvaluationError
+
+__all__ = ["witness_set", "s_deleted_versions", "check_deletion_theorem"]
+
+
+def witness_set(expr: A.Expr, instance: Instance) -> frozenset[Region]:
+    """The Theorem 4.1 set ``S`` for ``expr`` and ``instance``."""
+    evaluator = Evaluator("indexed")
+    forest = instance.forest()
+    collected: set[Region] = set()
+
+    def depth(region: Region) -> int:
+        return forest.depth_of(region)
+
+    def visit(e: A.Expr) -> RegionSet:
+        result = evaluator.evaluate(e, instance)
+        if isinstance(e, (A.NameRef, A.Empty)):
+            return result
+        if isinstance(e, A.Select):
+            visit(e.child)
+            return result
+        if isinstance(e, (A.Union, A.Intersection, A.Difference)):
+            visit(e.left)
+            visit(e.right)
+            return result
+        if isinstance(e, (A.Preceding, A.Following)):
+            visit(e.left)
+            right = visit(e.right)
+            if result and right:
+                # One witness serves every selected region: only the
+                # extreme endpoint of the right operand matters.
+                if isinstance(e, A.Preceding):
+                    collected.add(max(right, key=lambda s: s.left))
+                else:
+                    collected.add(min(right, key=lambda s: s.right))
+            return result
+        if isinstance(e, (A.Including, A.IncludedIn)):
+            visit(e.left)
+            right = visit(e.right)
+            # Innermost witnesses for ⊃ and outermost for ⊂ form an
+            # antichain (a deeper/shallower nested alternative would have
+            # been preferred), so each operator adds at most one level of
+            # nesting to S — this is what keeps S within the 2|e| bound.
+            if isinstance(e, A.Including):
+                for r in result:
+                    witnesses = [s for s in right if r.includes(s)]
+                    if witnesses:
+                        collected.add(max(witnesses, key=depth))
+            else:
+                for r in result:
+                    witnesses = [s for s in right if r.included_in(s)]
+                    if witnesses:
+                        collected.add(min(witnesses, key=depth))
+            return result
+        if isinstance(e, A.BothIncluded):
+            visit(e.source)
+            first = visit(e.first)
+            second = visit(e.second)
+            for r in result:
+                pairs = [
+                    (s, t)
+                    for s in first
+                    if r.includes(s)
+                    for t in second
+                    if r.includes(t) and s.precedes(t)
+                ]
+                if pairs:
+                    # Deepest valid pair: nested selected regions then tend
+                    # to share their witnesses (a region's pair is valid
+                    # for every selected ancestor).  Each BI node still
+                    # contributes up to two nesting levels to S, hence the
+                    # relaxed bound documented above.
+                    s, t = max(pairs, key=lambda p: depth(p[0]) + depth(p[1]))
+                    collected.add(s)
+                    collected.add(t)
+            return result
+        raise EvaluationError(
+            f"Theorem 4.1 does not hold for {type(e).__name__}: the deletion "
+            "theorem fails for the direct operators (that is Theorem 5.1)"
+        )
+
+    top = visit(expr)
+    if top:
+        collected.add(min(top, key=depth))
+    return frozenset(collected)
+
+
+def s_deleted_versions(
+    instance: Instance,
+    witness: frozenset[Region],
+    rng: random.Random,
+    samples: int = 10,
+    deletion_probability: float = 0.5,
+) -> Iterator[Instance]:
+    """Random S-deleted versions: delete non-witness regions at random."""
+    deletable = [r for r in instance.all_regions() if r not in witness]
+    for _ in range(samples):
+        dropped = [r for r in deletable if rng.random() < deletion_probability]
+        yield instance.without_regions(dropped)
+
+
+def check_deletion_theorem(
+    expr: A.Expr,
+    instance: Instance,
+    rng: random.Random,
+    samples: int = 10,
+) -> bool:
+    """Property-check Theorem 4.1's conclusions on random deletions.
+
+    Returns ``True`` when every sampled S-deleted version preserves (1)
+    emptiness of ``expr`` and (2) membership of every surviving region.
+    """
+    evaluator = Evaluator("indexed")
+    witness = witness_set(expr, instance)
+    before = evaluator.evaluate(expr, instance)
+    for deleted in s_deleted_versions(instance, witness, rng, samples):
+        after = evaluator.evaluate(expr, deleted)
+        if bool(before) != bool(after):
+            return False
+        for region in deleted.all_regions():
+            if (region in before) != (region in after):
+                return False
+    return True

@@ -1,0 +1,193 @@
+"""Brute-force verification of the Section 5 inexpressibility theorems.
+
+The paper's theorems are universally quantified over algebra
+expressions; these drivers check them exhaustively over every
+expression up to a size bound, using the counter-example refuters:
+
+* :func:`verify_theorem_5_1` — no core expression computes ``B ⊃_d A``;
+* :func:`verify_theorem_5_3` — no core expression computes
+  ``C BI (B, A)``;
+* :func:`verify_proposition_5_5` — the two operators are mutually
+  independent: adding ``⊃_d``/``⊂_d`` still cannot express ``BI``, and
+  adding ``BI`` still cannot express ``⊃_d``.
+
+Each driver returns a :class:`InexpressibilityReport`; ``holds`` is
+``True`` when *every* enumerated candidate was refuted by a concrete
+witness instance.  A surviving candidate (none exists, per the
+theorems) would be reported with ``survivors``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.algebra import ast as A
+from repro.algebra.enumerate import enumerate_expressions
+from repro.algebra.evaluator import Evaluator
+from repro.core.instance import Instance
+from repro.properties.counterexamples import (
+    both_included_target,
+    direct_inclusion_target,
+    refute_both_included,
+    refute_direct_inclusion,
+)
+from repro.workloads.generators import random_instance
+
+__all__ = [
+    "InexpressibilityReport",
+    "verify_theorem_5_1",
+    "verify_theorem_5_3",
+    "verify_parity_inexpressible",
+    "verify_proposition_5_5",
+]
+
+_EVALUATOR = Evaluator("indexed")
+
+
+@dataclass
+class InexpressibilityReport:
+    """Outcome of an exhaustive refutation sweep."""
+
+    target: str
+    candidates: int = 0
+    refuted: int = 0
+    survivors: list[A.Expr] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        return self.candidates > 0 and not self.survivors
+
+
+def _sweep(
+    candidates: Iterable[A.Expr],
+    target: A.Expr,
+    refuter: Callable[[A.Expr], Instance | None],
+    target_name: str,
+    rng: random.Random | None = None,
+    random_trials: int = 50,
+) -> InexpressibilityReport:
+    report = InexpressibilityReport(target=target_name)
+    rng = rng or random.Random(0)
+    names = sorted(A.region_names(target))
+    for candidate in candidates:
+        report.candidates += 1
+        witness = refuter(candidate)
+        if witness is None:
+            # Fall back to random search before declaring a survivor.
+            witness = _random_refute(candidate, target, rng, names, random_trials)
+        if witness is None:
+            report.survivors.append(candidate)
+        else:
+            report.refuted += 1
+    return report
+
+
+def _random_refute(
+    candidate: A.Expr,
+    target: A.Expr,
+    rng: random.Random,
+    names: Sequence[str],
+    trials: int,
+) -> Instance | None:
+    for _ in range(trials):
+        instance = random_instance(rng, names=names, max_nodes=25)
+        if _EVALUATOR.evaluate(candidate, instance) != _EVALUATOR.evaluate(
+            target, instance
+        ):
+            return instance
+    return None
+
+
+def verify_theorem_5_1(max_ops: int = 2) -> InexpressibilityReport:
+    """No core expression of at most ``max_ops`` operations computes
+    ``B ⊃_d A`` (Theorem 5.1)."""
+    return _sweep(
+        enumerate_expressions(("A", "B"), max_ops),
+        direct_inclusion_target(),
+        refute_direct_inclusion,
+        "B dcontaining A",
+    )
+
+
+def verify_theorem_5_3(max_ops: int = 2) -> InexpressibilityReport:
+    """No core expression of at most ``max_ops`` operations computes
+    ``C BI (B, A)`` (Theorem 5.3)."""
+    return _sweep(
+        enumerate_expressions(("A", "B", "C"), max_ops),
+        both_included_target(),
+        refute_both_included,
+        "bi(C, B, A)",
+    )
+
+
+def verify_parity_inexpressible(max_ops: int = 2, max_row: int = 8) -> InexpressibilityReport:
+    """The introduction's example: parity is beyond algebraic languages.
+
+    "Clearly such languages cannot express some queries (e.g.
+    parity [Ehr61])."  The parity query here: select *all* ``A`` regions
+    when their number is even, none otherwise.  Every core expression
+    over {A} up to ``max_ops`` is checked against that semantics on flat
+    rows of 1..``max_row`` regions; each is refuted by some row length.
+    """
+    from repro.workloads.generators import flat_row
+
+    rows = [flat_row(n, "A") for n in range(1, max_row + 1)]
+    report = InexpressibilityReport(target="parity of |A|")
+    for candidate in enumerate_expressions(("A",), max_ops):
+        report.candidates += 1
+        refuted = False
+        for instance in rows:
+            expected = (
+                instance.region_set("A")
+                if len(instance.region_set("A")) % 2 == 0
+                else instance.region_set("A").difference(instance.region_set("A"))
+            )
+            if _EVALUATOR.evaluate(candidate, instance) != expected:
+                refuted = True
+                break
+        if refuted:
+            report.refuted += 1
+        else:
+            report.survivors.append(candidate)
+    return report
+
+
+def verify_proposition_5_5(max_ops: int = 2) -> tuple[
+    InexpressibilityReport, InexpressibilityReport
+]:
+    """The independence of ``⊃_d`` and ``BI`` (Proposition 5.5).
+
+    Returns two reports: expressions *with* the direct operators still
+    fail to compute ``BI``, and expressions *with* ``BI`` (approximated
+    by closing the core enumeration under one outer ``BI``) still fail
+    to compute ``⊃_d``.
+    """
+    with_direct = _sweep(
+        enumerate_expressions(("A", "B", "C"), max_ops, extended=True),
+        both_included_target(),
+        refute_both_included,
+        "bi(C, B, A) given dcontaining/dwithin",
+    )
+    with_bi = _sweep(
+        _bi_closed_expressions(("A", "B"), max_ops),
+        direct_inclusion_target(),
+        refute_direct_inclusion,
+        "B dcontaining A given bi",
+    )
+    return with_direct, with_bi
+
+
+def _bi_closed_expressions(
+    names: Sequence[str], max_ops: int
+) -> Iterable[A.Expr]:
+    """Core expressions plus all single-``BI`` combinations of them."""
+    core = list(enumerate_expressions(names, max_ops))
+    yield from core
+    small = [e for e in core if A.size(e) <= max(max_ops - 1, 0)]
+    for source in small:
+        for first in small:
+            for second in small:
+                if A.size(source) + A.size(first) + A.size(second) < max_ops:
+                    yield A.BothIncluded(source, first, second)

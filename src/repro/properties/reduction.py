@@ -1,0 +1,234 @@
+"""Section 4.2: region isomorphism and the reduce operation.
+
+Two regions are *isomorphic* w.r.t. a pattern set ``P`` when a 1-1
+mapping between their region neighbourhoods preserves inclusion,
+precedence, region names, and the word-index truths of every pattern in
+``P`` (Definition 4.2).  The extended abstract defines the
+neighbourhood ``S_r`` as "the regions containing r and all the regions
+included in r" but then *uses* ``reduce(I, r', r'')`` to delete only
+``r''`` (Theorem 5.3's proof).  We implement the operational reading
+that proof needs (documented in DESIGN.md): isomorphism requires the
+two regions to share their ancestor chain exactly (so the "containing"
+part of ``S_r`` maps by identity) and to have isomorphic ordered
+labelled subtrees; ``reduce`` deletes the *second* region's subtree,
+mapping it onto the first's.
+
+``k``-reduced versions (Definition 4.3) additionally preserve enough
+order information for ``k`` order operations; Theorem 4.4/Proposition
+4.5 assert expressions with at most ``k`` ``<``/``>`` operations cannot
+see the difference.  :func:`check_reduction_theorem` property-tests
+exactly that through the ``h`` mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import Evaluator
+from repro.core.instance import Instance
+from repro.core.region import Region
+from repro.errors import ReproError
+
+__all__ = [
+    "subtree_signature",
+    "is_k_reduced",
+    "isomorphic",
+    "reduce_regions",
+    "isomorphic_sibling_pairs",
+    "check_reduction_theorem",
+]
+
+
+def subtree_signature(
+    instance: Instance, region: Region, patterns: Sequence[str]
+) -> tuple:
+    """A canonical encoding of ``region``'s ordered labelled subtree.
+
+    Two regions have equal signatures iff their subtrees are isomorphic
+    as ordered trees labelled with (region name, pattern truths).
+    """
+    forest = instance.forest()
+
+    def encode(r: Region) -> tuple:
+        label = (
+            instance.name_of(r),
+            tuple(instance.matches(r, p) for p in patterns),
+        )
+        return (label, tuple(encode(c) for c in forest.children_of(r)))
+
+    return encode(region)
+
+
+def isomorphic(
+    instance: Instance,
+    first: Region,
+    second: Region,
+    patterns: Sequence[str] = (),
+) -> bool:
+    """Definition 4.2's isomorphism test (operational reading)."""
+    if first == second:
+        return False
+    forest = instance.forest()
+    if forest.ancestors_of(first) != forest.ancestors_of(second):
+        return False
+    return subtree_signature(instance, first, patterns) == subtree_signature(
+        instance, second, patterns
+    )
+
+
+def reduce_regions(
+    instance: Instance,
+    keep: Region,
+    remove: Region,
+    patterns: Sequence[str] = (),
+) -> tuple[Instance, dict[Region, Region]]:
+    """``reduce(I, keep, remove)``: delete ``remove``'s subtree.
+
+    Returns the reduced instance and the mapping ``h`` from the regions
+    of ``I`` to the regions of ``I'``: identity on survivors, the
+    isomorphism ``τ`` on the deleted subtree.  Raises
+    :class:`~repro.errors.ReproError` when the two regions are not
+    isomorphic w.r.t. ``patterns``.
+    """
+    if not isomorphic(instance, keep, remove, patterns):
+        raise ReproError(f"regions {keep} and {remove} are not isomorphic")
+    forest = instance.forest()
+    kept_subtree = forest.subtree_of(keep)  # pre-order
+    removed_subtree = forest.subtree_of(remove)
+    if len(kept_subtree) != len(removed_subtree):  # pragma: no cover - guarded by signature
+        raise ReproError("isomorphic subtrees of different sizes")
+    mapping: dict[Region, Region] = {}
+    for region in instance.all_regions():
+        mapping[region] = region
+    # Pre-order aligns isomorphic ordered subtrees node-for-node.
+    for removed, kept in zip(removed_subtree, kept_subtree):
+        mapping[removed] = kept
+    reduced = instance.without_regions(removed_subtree)
+    return reduced, mapping
+
+
+def isomorphic_sibling_pairs(
+    instance: Instance, patterns: Sequence[str] = ()
+) -> list[tuple[Region, Region]]:
+    """All pairs of isomorphic regions (same parent, equal subtrees).
+
+    The raw material for reduction sequences: each pair is a legal
+    ``reduce`` step.
+    """
+    forest = instance.forest()
+    groups: dict[tuple, list[Region]] = {}
+    for region in forest.preorder:
+        parent = forest.parent_of(region)
+        key = (parent, subtree_signature(instance, region, patterns))
+        groups.setdefault(key, []).append(region)
+    pairs: list[tuple[Region, Region]] = []
+    for members in groups.values():
+        for i in range(len(members) - 1):
+            pairs.append((members[i], members[i + 1]))
+    return pairs
+
+
+def _order_condition(
+    original: Instance,
+    reduced: Instance,
+    h_k: dict[Region, Region],
+    h_km1: dict[Region, Region],
+) -> bool:
+    """Definition 4.3(2): enough order information survives.
+
+    The extended abstract states this as a single "iff", but read
+    literally that is unsatisfiable even by the paper's own Figure 3
+    witness: ``h_k`` identifies the two middle ``A`` regions, so any
+    right-hand side that sees ``s`` only through ``h_k(s)`` cannot agree
+    with ``r < s`` for both of them.  We implement the two entailment
+    directions the Theorem 4.4/Proposition 4.5 induction actually uses
+    (documented as a discrepancy in EXPERIMENTS.md):
+
+    (A) every order fact of ``I`` has a surviving witness —
+        ``r < s in I ⟹ ∃t ∈ I': h_{k-1}(t) = h_{k-1}(h_k(s)) ∧ h_k(r) < t``;
+    (B) no spurious order facts appear in ``I'`` —
+        ``h_k(r) < t in I' ⟹ ∃s ∈ I: h_{k-1}(h_k(s)) = h_{k-1}(t) ∧ r < s``.
+    """
+    regions = list(original.all_regions())
+    reduced_regions = list(reduced.all_regions())
+    image_class: dict[Region, list[Region]] = {}
+    for s in regions:
+        image_class.setdefault(h_km1[h_k[s]], []).append(s)
+    for r in regions:
+        hr = h_k[r]
+        for s in regions:
+            if r.precedes(s):
+                target = h_km1[h_k[s]]
+                if not any(
+                    h_km1[t] == target and hr.precedes(t)
+                    for t in reduced_regions
+                ):
+                    return False
+        for t in reduced_regions:
+            if hr.precedes(t):
+                if not any(
+                    r.precedes(s) for s in image_class.get(h_km1[t], ())
+                ):
+                    return False
+    return True
+
+
+def is_k_reduced(
+    original: Instance,
+    reduced: Instance,
+    mapping: dict[Region, Region],
+    k: int,
+    patterns: Sequence[str] = (),
+) -> bool:
+    """Is ``reduced`` a ``k``-reduced version of ``original`` (Def 4.3)?
+
+    ``mapping`` is the ``h_k`` defined by the reduction sequence that
+    produced ``reduced`` (compose the maps returned by
+    :func:`reduce_regions`; identity for the empty sequence).
+
+    * ``k = 0``: any reduction sequence qualifies.
+    * ``k > 0``: search for a witness ``(k-1)``-reduction ``I''`` of the
+      reduced instance — one more :func:`reduce_regions` step or the
+      empty sequence — whose composed mapping satisfies the
+      Definition 4.3(2) order condition, recursively.
+
+    Exponential in ``k`` and the number of isomorphic pairs; meant for
+    the proof-sized instances of the Figure 3 construction.
+    """
+    if k <= 0:
+        return True
+    candidates: list[tuple[Instance, dict[Region, Region]]] = [
+        (reduced, {r: r for r in reduced.all_regions()})
+    ]
+    for keep, remove in isomorphic_sibling_pairs(reduced, patterns):
+        candidates.append(reduce_regions(reduced, keep, remove, patterns))
+    for witness, step in candidates:
+        h_km1 = {r: step[mapping[r]] for r in original.all_regions()}
+        if not _order_condition(original, reduced, mapping, h_km1):
+            continue
+        if is_k_reduced(reduced, witness, step, k - 1, patterns):
+            return True
+    return False
+
+
+def check_reduction_theorem(
+    expr: A.Expr,
+    instance: Instance,
+    keep: Region,
+    remove: Region,
+) -> bool:
+    """Property-check Proposition 4.5 for one reduce step.
+
+    Verifies ``r ∈ e(I)  iff  h(r) ∈ e(I')`` for every region of ``I``
+    (which subsumes Theorem 4.4's two conclusions).  The caller is
+    responsible for the step being a *k*-reduction for the expression's
+    order-operation count — e.g. by reducing order-indistinguishable
+    siblings, as the Figure 3 construction does.
+    """
+    patterns = sorted(A.pattern_names(expr))
+    reduced, mapping = reduce_regions(instance, keep, remove, patterns)
+    evaluator = Evaluator("indexed")
+    before = evaluator.evaluate(expr, instance)
+    after = evaluator.evaluate(expr, reduced)
+    return all((r in before) == (mapping[r] in after) for r in instance.all_regions())

@@ -1,0 +1,30 @@
+"""Region inclusion/order graphs: the schema layer of Section 2.2."""
+
+from repro.rig.derive import rig_from_instances, rog_from_instances
+from repro.rig.grammar import Grammar
+from repro.rig.graph import RegionInclusionGraph, figure_1_rig
+from repro.rig.minimal_set import (
+    covers,
+    minimal_set_bruteforce,
+    minimal_set_greedy,
+    minimal_set_single_pair,
+    minimum_vertex_cover_bruteforce,
+    vertex_cover_to_minimal_set,
+)
+from repro.rig.rog import RegionOrderGraph, direct_precedence_pairs
+
+__all__ = [
+    "RegionInclusionGraph",
+    "RegionOrderGraph",
+    "Grammar",
+    "figure_1_rig",
+    "rig_from_instances",
+    "rog_from_instances",
+    "direct_precedence_pairs",
+    "covers",
+    "minimal_set_bruteforce",
+    "minimal_set_single_pair",
+    "minimal_set_greedy",
+    "vertex_cover_to_minimal_set",
+    "minimum_vertex_cover_bruteforce",
+]

@@ -1,0 +1,45 @@
+"""Deriving RIGs and ROGs from observed instances.
+
+The tightest RIG an instance satisfies has exactly the direct-inclusion
+name pairs that occur in it; likewise for the ROG with direct
+precedence.  These are useful both for schema discovery over a corpus
+and for the test suite, which checks that grammar-derived graphs cover
+every instance the corresponding generator produces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.instance import Instance
+from repro.rig.graph import RegionInclusionGraph
+from repro.rig.rog import RegionOrderGraph, direct_precedence_pairs
+
+__all__ = ["rig_from_instances", "rog_from_instances"]
+
+
+def rig_from_instances(instances: Iterable[Instance]) -> RegionInclusionGraph:
+    """The minimal RIG satisfied by every given instance."""
+    names: list[str] = []
+    edges: set[tuple[str, str]] = set()
+    for instance in instances:
+        for name in instance.names:
+            if name not in names:
+                names.append(name)
+        forest = instance.forest()
+        for parent, child in forest.iter_edges():
+            edges.add((instance.name_of(parent), instance.name_of(child)))
+    return RegionInclusionGraph(names, sorted(edges))
+
+
+def rog_from_instances(instances: Iterable[Instance]) -> RegionOrderGraph:
+    """The minimal ROG satisfied by every given instance."""
+    names: list[str] = []
+    edges: set[tuple[str, str]] = set()
+    for instance in instances:
+        for name in instance.names:
+            if name not in names:
+                names.append(name)
+        for before, after in direct_precedence_pairs(instance):
+            edges.add((instance.name_of(before), instance.name_of(after)))
+    return RegionOrderGraph(names, sorted(edges))

@@ -1,0 +1,208 @@
+"""Grammars describing file structure, and the graphs they induce.
+
+Section 2.2: "if the structure of the file follows some grammar G …,
+then the RIG can be automatically derived from G.  The nodes are the
+non-terminals of G, and the graph has an edge (A_i, A_j) iff G has a
+rule where A_i appears as the left side, and A_j as the right side."
+The same section notes a ROG can also be derived from a grammar.
+
+The grammar model here is the one the paper's examples need: every
+non-terminal occurrence in a parse produces a region named after it,
+terminals produce region-free text, and productions are non-empty.  The
+ROG derivation accounts for the fact that direct precedence crosses
+subtree boundaries: when siblings ``A B`` are adjacent in a rule body,
+*every* region on ``A``'s rightmost spine directly precedes *every*
+region on ``B``'s leftmost spine.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.errors import GrammarError
+from repro.rig.graph import RegionInclusionGraph
+from repro.rig.rog import RegionOrderGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.instance import Instance
+
+__all__ = ["Grammar"]
+
+
+@dataclass(frozen=True)
+class Grammar:
+    """A context-free grammar over region-producing non-terminals.
+
+    ``productions`` maps each non-terminal to its alternative bodies;
+    body symbols that are themselves non-terminals produce nested
+    regions, everything else is treated as terminal text.
+    """
+
+    start: str
+    productions: Mapping[str, Sequence[Sequence[str]]]
+    _nonterminals: frozenset[str] = field(init=False, repr=False, compare=False, default=frozenset())
+
+    def __post_init__(self) -> None:
+        if self.start not in self.productions:
+            raise GrammarError(f"start symbol {self.start!r} has no productions")
+        for head, bodies in self.productions.items():
+            if not bodies:
+                raise GrammarError(f"non-terminal {head!r} has no alternatives")
+            for body in bodies:
+                if not body:
+                    raise GrammarError(
+                        f"empty production for {head!r}: regions must cover text"
+                    )
+        object.__setattr__(self, "_nonterminals", frozenset(self.productions))
+
+    @property
+    def nonterminals(self) -> frozenset[str]:
+        return self._nonterminals
+
+    def is_nonterminal(self, symbol: str) -> bool:
+        return symbol in self._nonterminals
+
+    # ------------------------------------------------------------------
+    # Graph derivations (Section 2.2).
+    # ------------------------------------------------------------------
+
+    def derive_rig(self) -> RegionInclusionGraph:
+        """Edge ``(A, B)`` iff ``B`` occurs in a body of ``A``."""
+        edges = set()
+        for head, bodies in self.productions.items():
+            for body in bodies:
+                for symbol in body:
+                    if self.is_nonterminal(symbol):
+                        edges.add((head, symbol))
+        return RegionInclusionGraph(sorted(self._nonterminals), sorted(edges))
+
+    def _spine(self, leftmost: bool) -> dict[str, frozenset[str]]:
+        """For each non-terminal, the non-terminals reachable along its
+        leftmost (resp. rightmost) region spine, itself included.
+
+        A region on ``A``'s rightmost spine can end exactly where ``A``
+        ends, so it directly precedes whatever directly follows ``A``.
+        """
+        spine: dict[str, set[str]] = {n: {n} for n in self._nonterminals}
+        changed = True
+        while changed:
+            changed = False
+            for head, bodies in self.productions.items():
+                for body in bodies:
+                    symbols = body if leftmost else list(reversed(body))
+                    # Terminals produce no regions, so only the first
+                    # non-terminal from this side extends the spine.
+                    for symbol in symbols:
+                        if self.is_nonterminal(symbol):
+                            if not spine[symbol] <= spine[head]:
+                                spine[head] |= spine[symbol]
+                                changed = True
+                            break
+        return {n: frozenset(s) for n, s in spine.items()}
+
+    def derive_rog(self) -> RegionOrderGraph:
+        """Direct-precedence edges induced by sibling adjacency.
+
+        For every pair of non-terminals ``A … B`` adjacent in a body (no
+        non-terminal between them), every rightmost-spine region of ``A``
+        may directly precede every leftmost-spine region of ``B``.
+        Intervening terminals do not matter: they produce no regions.
+        """
+        right_spine = self._spine(leftmost=False)
+        left_spine = self._spine(leftmost=True)
+        edges: set[tuple[str, str]] = set()
+        for bodies in self.productions.values():
+            for body in bodies:
+                nts = [s for s in body if self.is_nonterminal(s)]
+                for a, b in zip(nts, nts[1:]):
+                    for u in right_spine[a]:
+                        for v in left_spine[b]:
+                            edges.add((u, v))
+        return RegionOrderGraph(sorted(self._nonterminals), sorted(edges))
+
+    # ------------------------------------------------------------------
+    # Random derivation (grammar-driven workload generation).
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def _derivation_heights(self) -> dict[str, int]:
+        """Minimum parse-tree height per non-terminal (1 = leaf body).
+
+        Used to steer random derivation toward termination: when the
+        depth budget runs out, only the shallowest alternative is taken.
+        Raises :class:`GrammarError` for non-terminals with no finite
+        derivation (e.g. ``S → S``).
+        """
+        heights: dict[str, int] = {}
+        changed = True
+        while changed:
+            changed = False
+            for head, bodies in self.productions.items():
+                for body in bodies:
+                    child_heights = [
+                        heights.get(s) for s in body if self.is_nonterminal(s)
+                    ]
+                    if any(h is None for h in child_heights):
+                        continue
+                    height = 1 + max(child_heights, default=0)  # type: ignore[type-var]
+                    if head not in heights or height < heights[head]:
+                        heights[head] = height
+                        changed = True
+        missing = self._nonterminals - set(heights)
+        if missing:
+            raise GrammarError(
+                f"non-terminals with no finite derivation: {sorted(missing)}"
+            )
+        return heights
+
+    def random_instance(
+        self,
+        rng: random.Random,
+        max_depth: int = 12,
+        start: str | None = None,
+    ) -> "Instance":
+        """A random instance derived from this grammar.
+
+        Every non-terminal occurrence in the derivation becomes a region
+        named after it (the paper's grammar-to-regions convention);
+        terminal symbols become word-index labels of their enclosing
+        region.  The result always satisfies :meth:`derive_rig` and
+        :meth:`derive_rog` — the property the test suite checks.
+        """
+        from repro.workloads.generators import TreeNode, instance_from_trees
+
+        heights = self._derivation_heights
+
+        def derive(symbol: str, budget: int) -> TreeNode:
+            bodies = self.productions[symbol]
+            viable = [
+                body
+                for body in bodies
+                if 1
+                + max(
+                    (heights[s] for s in body if self.is_nonterminal(s)),
+                    default=0,
+                )
+                <= budget
+            ]
+            body = rng.choice(viable if viable else [min(
+                bodies,
+                key=lambda b: 1
+                + max(
+                    (heights[s] for s in b if self.is_nonterminal(s)), default=0
+                ),
+            )])
+            children = [
+                derive(s, budget - 1) for s in body if self.is_nonterminal(s)
+            ]
+            labels = frozenset(s for s in body if not self.is_nonterminal(s))
+            return TreeNode(symbol, children, labels)
+
+        symbol = start if start is not None else self.start
+        if symbol not in self.productions:
+            raise GrammarError(f"unknown start symbol {symbol!r}")
+        root = derive(symbol, max(max_depth, heights[symbol]))
+        return instance_from_trees([root], names=sorted(self._nonterminals))

@@ -1,0 +1,218 @@
+"""Region inclusion graphs (Section 2.2).
+
+A RIG is a directed graph over region names whose edges state which
+*direct* inclusions may occur: ``(R_i, R_j) ∈ E`` iff an ``R_i`` region
+can directly include an ``R_j`` region.  A RIG plays the role of a
+schema: expression equivalence and emptiness are defined relative to the
+set of instances satisfying it (Definitions 2.4/2.5), and the optimizer
+uses it to drop redundant inclusion tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.core.instance import Instance
+from repro.errors import UnknownRegionNameError
+
+__all__ = ["RegionInclusionGraph", "figure_1_rig"]
+
+
+class RegionInclusionGraph:
+    """An immutable directed graph over region names."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, names: Iterable[str], edges: Iterable[tuple[str, str]] = ()):
+        graph = nx.DiGraph()
+        graph.add_nodes_from(names)
+        for parent, child in edges:
+            for name in (parent, child):
+                if name not in graph:
+                    raise UnknownRegionNameError(name, tuple(graph.nodes))
+            graph.add_edge(parent, child)
+        self._graph = graph
+
+    # ------------------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._graph.nodes)
+
+    @property
+    def edges(self) -> tuple[tuple[str, str], ...]:
+        return tuple(self._graph.edges)
+
+    def has_edge(self, parent: str, child: str) -> bool:
+        return self._graph.has_edge(parent, child)
+
+    def successors(self, name: str) -> tuple[str, ...]:
+        self._require(name)
+        return tuple(self._graph.successors(name))
+
+    def predecessors(self, name: str) -> tuple[str, ...]:
+        self._require(name)
+        return tuple(self._graph.predecessors(name))
+
+    def _require(self, name: str) -> None:
+        if name not in self._graph:
+            raise UnknownRegionNameError(name, tuple(self._graph.nodes))
+
+    def as_networkx(self) -> nx.DiGraph:
+        """A *copy* of the underlying graph, for external algorithms."""
+        return self._graph.copy()
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._graph
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegionInclusionGraph):
+            return NotImplemented
+        return (
+            set(self._graph.nodes) == set(other._graph.nodes)
+            and set(self._graph.edges) == set(other._graph.edges)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (frozenset(self._graph.nodes), frozenset(self._graph.edges))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"RegionInclusionGraph({len(self._graph)} names, "
+            f"{self._graph.number_of_edges()} edges)"
+        )
+
+    # ------------------------------------------------------------------
+    # Structural properties used by the theory.
+    # ------------------------------------------------------------------
+
+    def is_acyclic(self) -> bool:
+        """Acyclic RIGs bound the nesting depth of satisfying instances
+        (the premise of Proposition 5.2)."""
+        return nx.is_directed_acyclic_graph(self._graph)
+
+    def longest_path_length(self) -> int:
+        """Number of nodes on the longest path (acyclic RIGs only).
+
+        This bounds the nesting depth of any instance satisfying the RIG.
+        """
+        if not self.is_acyclic():
+            raise ValueError("longest path is unbounded on a cyclic RIG")
+        if not self._graph:
+            return 0
+        return nx.dag_longest_path_length(self._graph) + 1
+
+    def self_nesting_bound(self, name: str) -> int | None:
+        """Max number of ``name``-regions on a nesting chain, or ``None``
+        when unbounded (``name`` lies on a cycle).
+
+        This is the ``depth_bound`` Proposition 5.2's expansion needs for
+        the left side of a direct inclusion.
+        """
+        self._require(name)
+        # A nesting chain visiting `name` twice is a RIG walk from `name`
+        # back to itself, i.e. a cycle through `name`; without one the
+        # bound is exactly 1.
+        if self._graph.has_edge(name, name):
+            return None
+        for component in nx.strongly_connected_components(self._graph):
+            if name in component and len(component) > 1:
+                return None
+        return 1
+
+    def paths_avoiding(
+        self, source: str, target: str, blocked: Iterable[str]
+    ) -> bool:
+        """Is there a walk ``source → … → target`` of length ≥ 2 whose
+        interior avoids ``blocked``?
+
+        This is the feasibility check of the Section 6 minimal-set
+        problem (the endpoints themselves need not be avoided).
+        """
+        self._require(source)
+        self._require(target)
+        barred = set(blocked)
+        frontier = [
+            v for v in self._graph.successors(source) if v not in barred and v != target
+        ]
+        seen = set(frontier)
+        while frontier:
+            node = frontier.pop()
+            for succ in self._graph.successors(node):
+                if succ == target:
+                    return True
+                if succ not in barred and succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return False
+
+    def interior_nodes(self, source: str, target: str) -> frozenset[str]:
+        """Names that can appear strictly inside a ``source → target``
+        nesting chain: interior nodes of walks from ``source`` to
+        ``target``."""
+        self._require(source)
+        self._require(target)
+        reachable_from_source = set(nx.descendants(self._graph, source))
+        reaching_target = set(nx.ancestors(self._graph, target))
+        return frozenset(reachable_from_source & reaching_target)
+
+    def satisfied_by(self, instance: Instance) -> bool:
+        """Definition 2.4: every direct inclusion in the instance is an
+        edge of this RIG (and every region name is known)."""
+        for name in instance.names:
+            if name not in self._graph and len(instance.region_set(name)):
+                return False
+        forest = instance.forest()
+        for parent, child in forest.iter_edges():
+            if not self._graph.has_edge(
+                instance.name_of(parent), instance.name_of(child)
+            ):
+                return False
+        return True
+
+    def violations(
+        self, instance: Instance
+    ) -> Iterator[tuple[str, str]]:
+        """The direct-inclusion name pairs that break Definition 2.4."""
+        forest = instance.forest()
+        for parent, child in forest.iter_edges():
+            pair = (instance.name_of(parent), instance.name_of(child))
+            if not self._graph.has_edge(*pair):
+                yield pair
+
+
+def figure_1_rig() -> RegionInclusionGraph:
+    """The paper's Figure 1: the RIG for source-code regions.
+
+    Programs have a header (containing the program name) and a body
+    containing variable definitions and procedures; procedures have a
+    header (with their name) and a body that may define more variables
+    and nested procedures.
+    """
+    names = (
+        "Program",
+        "Prog_header",
+        "Prog_body",
+        "Proc",
+        "Proc_header",
+        "Proc_body",
+        "Name",
+        "Var",
+    )
+    edges = (
+        ("Program", "Prog_header"),
+        ("Program", "Prog_body"),
+        ("Prog_header", "Name"),
+        ("Prog_body", "Var"),
+        ("Prog_body", "Proc"),
+        ("Proc", "Proc_header"),
+        ("Proc", "Proc_body"),
+        ("Proc_header", "Name"),
+        ("Proc_body", "Var"),
+        ("Proc_body", "Proc"),
+    )
+    return RegionInclusionGraph(names, edges)

@@ -1,0 +1,131 @@
+"""Region order graphs (Section 2.2).
+
+The order-side analogue of a RIG: ``(R_i, R_j) ∈ E`` iff an ``R_i``
+region can *directly precede* an ``R_j`` region — ``r < s`` with no
+region strictly between them in the precedence order.  Acyclic ROGs
+bound the number of pairwise non-overlapping regions (the premise of
+Proposition 5.4's ``BI`` expansion).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.core.instance import Instance
+from repro.core.region import Region
+from repro.errors import UnknownRegionNameError
+
+__all__ = ["RegionOrderGraph", "direct_precedence_pairs"]
+
+
+def direct_precedence_pairs(instance: Instance) -> Iterator[tuple[Region, Region]]:
+    """All pairs ``(r, s)`` where ``r`` directly precedes ``s``.
+
+    ``r`` directly precedes ``s`` when ``r < s`` and no region ``t``
+    satisfies ``r < t < s``.  With regions sorted by left endpoint and a
+    suffix-minimum over right endpoints, the witnesses for each ``r`` are
+    exactly the regions starting in ``(right(r), m]`` where ``m`` is the
+    smallest right endpoint among regions starting after ``right(r)``.
+    """
+    ordered = sorted(instance.all_regions(), key=lambda r: (r.left, r.right))
+    lefts = [r.left for r in ordered]
+    suffix_min_right: list[int | float] = [float("inf")] * (len(ordered) + 1)
+    for i in range(len(ordered) - 1, -1, -1):
+        suffix_min_right[i] = min(ordered[i].right, suffix_min_right[i + 1])
+    from bisect import bisect_right
+
+    for r in ordered:
+        start = bisect_right(lefts, r.right)
+        if start >= len(ordered):
+            continue
+        cutoff = suffix_min_right[start]
+        j = start
+        while j < len(ordered) and ordered[j].left <= cutoff:
+            yield r, ordered[j]
+            j += 1
+
+
+class RegionOrderGraph:
+    """An immutable directed graph of possible direct precedences."""
+
+    __slots__ = ("_graph",)
+
+    def __init__(self, names: Iterable[str], edges: Iterable[tuple[str, str]] = ()):
+        graph = nx.DiGraph()
+        graph.add_nodes_from(names)
+        for before, after in edges:
+            for name in (before, after):
+                if name not in graph:
+                    raise UnknownRegionNameError(name, tuple(graph.nodes))
+            graph.add_edge(before, after)
+        self._graph = graph
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._graph.nodes)
+
+    @property
+    def edges(self) -> tuple[tuple[str, str], ...]:
+        return tuple(self._graph.edges)
+
+    def has_edge(self, before: str, after: str) -> bool:
+        return self._graph.has_edge(before, after)
+
+    def as_networkx(self) -> nx.DiGraph:
+        return self._graph.copy()
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._graph
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegionOrderGraph):
+            return NotImplemented
+        return (
+            set(self._graph.nodes) == set(other._graph.nodes)
+            and set(self._graph.edges) == set(other._graph.edges)
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._graph.nodes), frozenset(self._graph.edges)))
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"RegionOrderGraph({len(self._graph)} names, "
+            f"{self._graph.number_of_edges()} edges)"
+        )
+
+    def is_acyclic(self) -> bool:
+        return nx.is_directed_acyclic_graph(self._graph)
+
+    def longest_path_length(self) -> int:
+        """Number of nodes on the longest path (acyclic ROGs only).
+
+        Bounds the length of any ``<``-chain — hence the number of
+        pairwise non-overlapping regions — in a satisfying instance,
+        which is the ``width_bound`` of Proposition 5.4.
+        """
+        if not self.is_acyclic():
+            raise ValueError("longest path is unbounded on a cyclic ROG")
+        if not self._graph:
+            return 0
+        return nx.dag_longest_path_length(self._graph) + 1
+
+    def satisfied_by(self, instance: Instance) -> bool:
+        """Every direct precedence in the instance is an edge here."""
+        for name in instance.names:
+            if name not in self._graph and len(instance.region_set(name)):
+                return False
+        for before, after in direct_precedence_pairs(instance):
+            if not self._graph.has_edge(
+                instance.name_of(before), instance.name_of(after)
+            ):
+                return False
+        return True
+
+    def violations(self, instance: Instance) -> Iterator[tuple[str, str]]:
+        for before, after in direct_precedence_pairs(instance):
+            pair = (instance.name_of(before), instance.name_of(after))
+            if not self._graph.has_edge(*pair):
+                yield pair

@@ -1,0 +1,148 @@
+"""Synthetic text corpora for the examples and benchmarks.
+
+Real evaluation corpora of the era (the Oxford English Dictionary PAT
+was built for, SGML document collections) are substituted with
+structure-preserving synthetic documents (DESIGN.md §2): a play corpus
+with acts/scenes/speeches and a news corpus with nested sections.  Only
+structure, order and token content matter to every result being
+reproduced, and the generators are parameterized to reach arbitrary
+sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+__all__ = [
+    "generate_play",
+    "generate_report",
+    "generate_dictionary",
+    "PLAY_REGION_NAMES",
+    "DICTIONARY_REGION_NAMES",
+]
+
+PLAY_REGION_NAMES = ("play", "act", "scene", "speech", "speaker", "line")
+
+_SPEAKERS = ("ROMEO", "JULIET", "MERCUTIO", "NURSE", "TYBALT", "BENVOLIO")
+_WORDS = (
+    "love night light sun moon stars grief sword name rose tomb "
+    "morrow soft peace fire eyes heart hand death vow"
+).split()
+
+
+def _sentence(rng: random.Random, length: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(length))
+
+
+def generate_play(
+    rng: random.Random,
+    acts: int = 2,
+    scenes_per_act: int = 2,
+    speeches_per_scene: int = 4,
+    lines_per_speech: int = 2,
+    speakers: Sequence[str] = _SPEAKERS,
+) -> str:
+    """A tagged play: ``<play><act><scene><speech>…`` all the way down."""
+    parts = ["<play>"]
+    for _ in range(acts):
+        parts.append("<act>")
+        for _ in range(scenes_per_act):
+            parts.append("<scene>")
+            for _ in range(speeches_per_scene):
+                speaker = rng.choice(list(speakers))
+                parts.append("<speech>")
+                parts.append(f"<speaker> {speaker} </speaker>")
+                for _ in range(lines_per_speech):
+                    parts.append(f"<line> {_sentence(rng, rng.randint(4, 9))} </line>")
+                parts.append("</speech>")
+            parts.append("</scene>")
+        parts.append("</act>")
+    parts.append("</play>")
+    return "\n".join(parts)
+
+
+DICTIONARY_REGION_NAMES = (
+    "dictionary",
+    "entry",
+    "headword",
+    "pos",
+    "sense",
+    "definition",
+    "quotation",
+    "author",
+)
+
+_HEADWORDS = (
+    "abide arbour ballad candle dearth ember fathom garner "
+    "harbinger ink jostle keel lattice mirth nether oath parchment "
+    "quill rampart sonnet thimble"
+).split()
+_POS = ("noun", "verb", "adjective")
+_AUTHORS = ("Chaucer", "Spenser", "Marlowe", "Jonson", "Donne")
+
+
+def generate_dictionary(
+    rng: random.Random,
+    entries: int = 10,
+    max_senses: int = 3,
+    max_quotations: int = 2,
+) -> str:
+    """An OED-flavoured dictionary — the corpus PAT was built for.
+
+    Entries carry a headword, a part of speech, and numbered senses;
+    senses hold a definition and optional dated quotations with authors.
+    Senses may nest (sub-senses), which exercises self-nesting regions
+    the way real dictionary structure does.
+    """
+
+    def sense(depth: int) -> str:
+        parts = ["<sense>", f"<definition> {_sentence(rng, rng.randint(4, 8))} </definition>"]
+        for _ in range(rng.randint(0, max_quotations)):
+            author = rng.choice(_AUTHORS)
+            year = rng.randint(1380, 1690)
+            parts.append(
+                f"<quotation> {year} <author> {author} </author> "
+                f"{_sentence(rng, rng.randint(3, 7))} </quotation>"
+            )
+        if depth < 2 and rng.random() < 0.3:
+            parts.append(sense(depth + 1))
+        parts.append("</sense>")
+        return "\n".join(parts)
+
+    chosen = rng.sample(_HEADWORDS, min(entries, len(_HEADWORDS)))
+    blocks = []
+    for word in sorted(chosen):
+        senses = "\n".join(sense(0) for _ in range(rng.randint(1, max_senses)))
+        blocks.append(
+            f"<entry>\n<headword> {word} </headword> "
+            f"<pos> {rng.choice(_POS)} </pos>\n{senses}\n</entry>"
+        )
+    body = "\n".join(blocks)
+    return f"<dictionary>\n{body}\n</dictionary>"
+
+
+def generate_report(
+    rng: random.Random,
+    sections: int = 3,
+    max_depth: int = 3,
+    paragraphs: int = 2,
+) -> str:
+    """A tagged report with recursively nested ``<section>`` regions.
+
+    Self-nested sections exercise the cyclic-RIG machinery (layer
+    peeling, direct-inclusion loops) on a document-shaped corpus.
+    """
+
+    def section(depth: int) -> str:
+        parts = ["<section>", f"<title> {_sentence(rng, 3)} </title>"]
+        for _ in range(paragraphs):
+            parts.append(f"<para> {_sentence(rng, rng.randint(6, 12))} </para>")
+        if depth < max_depth:
+            for _ in range(rng.randint(0, 2)):
+                parts.append(section(depth + 1))
+        parts.append("</section>")
+        return "\n".join(parts)
+
+    body = "\n".join(section(1) for _ in range(sections))
+    return f"<report>\n{body}\n</report>"

@@ -1,0 +1,39 @@
+"""Standard query workloads used by examples, tests, and benchmarks."""
+
+from __future__ import annotations
+
+__all__ = ["SOURCE_QUERIES", "PLAY_QUERIES", "CHAIN_QUERIES"]
+
+# Queries over the Figure 1 source-code index, including the paper's
+# running examples (Sections 2.2 and 5.1).
+SOURCE_QUERIES: dict[str, str] = {
+    # e1 and e2 of Section 2.2: equivalent w.r.t. the Figure 1 RIG.
+    "e1_procedure_names": "Name within Proc_header within Proc within Program",
+    "e2_procedure_names": "Name within Proc_header within Program",
+    # Section 5.1: procedures containing (anywhere) a definition of x —
+    # the *wrong* query the paper warns about…
+    "procs_with_x_anywhere": 'Proc containing Proc_body containing (Var @ "x")',
+    # …and the intended one using direct inclusion.
+    "procs_defining_x": 'Proc dcontaining Proc_body dcontaining (Var @ "x")',
+    # Section 5.2: procedures defining x before y (both-included).
+    "procs_x_before_y": 'bi(Proc, Var @ "x", Var @ "y")',
+    "all_variable_defs": "Var within Program",
+    "top_level_procs": "Proc dwithin Prog_body",
+}
+
+# Queries over the play corpus (workloads.corpora.generate_play).
+PLAY_QUERIES: dict[str, str] = {
+    "speeches_by_romeo": 'speech containing (speaker @ "ROMEO")',
+    "scenes_with_love": 'scene containing (line @ "love")',
+    "romeo_then_juliet": 'bi(scene, speaker @ "ROMEO", speaker @ "JULIET")',
+    "lines_about_night": 'line @ "night" within act',
+    "first_speeches": "speech dwithin scene",
+}
+
+# Inclusion chains of growing length for the optimizer benchmarks.
+CHAIN_QUERIES: tuple[str, ...] = (
+    "Name within Proc_header",
+    "Name within Proc_header within Proc",
+    "Name within Proc_header within Proc within Prog_body",
+    "Name within Proc_header within Proc within Prog_body within Program",
+)

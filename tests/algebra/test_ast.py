@@ -1,0 +1,114 @@
+"""Expression AST: sizes, counts, traversal, chain construction."""
+
+import pytest
+
+from repro.algebra import ast as A
+
+
+def _chain_example():
+    # Name ⊂ (Proc_header ⊂ (Proc ⊂ Program))
+    return A.including_chain(["Name", "Proc_header", "Proc", "Program"])
+
+
+class TestSize:
+    def test_name_is_zero(self):
+        assert A.size(A.NameRef("R")) == 0
+        assert A.size(A.Empty()) == 0
+
+    def test_operators_count(self):
+        assert A.size(_chain_example()) == 3
+
+    def test_select_counts(self):
+        assert A.size(A.Select("p", A.NameRef("R"))) == 1
+
+    def test_both_included_counts_once(self):
+        expr = A.BothIncluded(A.NameRef("R"), A.NameRef("S"), A.NameRef("T"))
+        assert A.size(expr) == 1
+
+
+class TestOrderOpCount:
+    def test_counts_only_order_operators(self):
+        expr = A.Preceding(
+            A.Following(A.NameRef("A"), A.NameRef("B")),
+            A.Including(A.NameRef("C"), A.NameRef("D")),
+        )
+        assert A.order_op_count(expr) == 2
+
+    def test_zero_for_inclusion_chain(self):
+        assert A.order_op_count(_chain_example()) == 0
+
+
+class TestCollectors:
+    def test_region_names(self):
+        assert A.region_names(_chain_example()) == frozenset(
+            {"Name", "Proc_header", "Proc", "Program"}
+        )
+
+    def test_pattern_names(self):
+        expr = A.Select("x", A.Union(A.Select("y", A.NameRef("R")), A.NameRef("S")))
+        assert A.pattern_names(expr) == frozenset({"x", "y"})
+
+    def test_is_core(self):
+        assert A.is_core(_chain_example())
+        assert not A.is_core(A.DirectlyIncluding(A.NameRef("A"), A.NameRef("B")))
+        assert not A.is_core(
+            A.BothIncluded(A.NameRef("A"), A.NameRef("B"), A.NameRef("C"))
+        )
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        expr = A.Union(A.NameRef("A"), A.NameRef("B"))
+        nodes = list(A.walk(expr))
+        assert nodes[0] is expr
+        assert A.NameRef("A") in nodes and A.NameRef("B") in nodes
+
+    def test_children(self):
+        assert A.children(A.NameRef("A")) == ()
+        assert A.children(A.Select("p", A.NameRef("A"))) == (A.NameRef("A"),)
+        bi = A.BothIncluded(A.NameRef("A"), A.NameRef("B"), A.NameRef("C"))
+        assert len(A.children(bi)) == 3
+
+    def test_replace_child_binary(self):
+        expr = A.Union(A.NameRef("A"), A.NameRef("B"))
+        assert A.replace_child(expr, 0, A.NameRef("X")) == A.Union(
+            A.NameRef("X"), A.NameRef("B")
+        )
+        assert A.replace_child(expr, 1, A.NameRef("X")) == A.Union(
+            A.NameRef("A"), A.NameRef("X")
+        )
+
+    def test_replace_child_select_and_bi(self):
+        sel = A.Select("p", A.NameRef("A"))
+        assert A.replace_child(sel, 0, A.NameRef("B")) == A.Select("p", A.NameRef("B"))
+        bi = A.BothIncluded(A.NameRef("A"), A.NameRef("B"), A.NameRef("C"))
+        assert A.replace_child(bi, 2, A.NameRef("X")) == A.BothIncluded(
+            A.NameRef("A"), A.NameRef("B"), A.NameRef("X")
+        )
+
+    def test_replace_child_out_of_range(self):
+        with pytest.raises(IndexError):
+            A.replace_child(A.Select("p", A.NameRef("A")), 1, A.NameRef("B"))
+
+
+class TestChainBuilder:
+    def test_right_grouping(self):
+        expr = _chain_example()
+        assert isinstance(expr, A.IncludedIn)
+        assert expr.left == A.NameRef("Name")
+        assert isinstance(expr.right, A.IncludedIn)
+
+    def test_single_name(self):
+        assert A.including_chain(["R"]) == A.NameRef("R")
+
+    def test_containing_direction(self):
+        expr = A.including_chain(["A", "B"], A.Including)
+        assert expr == A.Including(A.NameRef("A"), A.NameRef("B"))
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            A.including_chain([])
+
+    def test_expressions_are_hashable_and_comparable(self):
+        assert _chain_example() == _chain_example()
+        assert hash(_chain_example()) == hash(_chain_example())

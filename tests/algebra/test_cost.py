@@ -1,0 +1,74 @@
+"""Cost models: the price functions behind the optimization results."""
+
+from repro.algebra import ast as A
+from repro.algebra.cost import CostModel, operation_count
+from repro.algebra.parser import parse
+
+
+class TestOperationCount:
+    def test_counts_match_size(self):
+        expr = parse("Name within Proc_header within Proc within Program")
+        assert operation_count(expr) == 3
+
+    def test_shorter_chain_is_cheaper(self):
+        e1 = parse("Name within Proc_header within Proc within Program")
+        e2 = parse("Name within Proc_header within Program")
+        assert operation_count(e2) < operation_count(e1)
+
+
+class TestCostModel:
+    def test_from_instance_uses_exact_sizes(self, small_instance):
+        model = CostModel.from_instance(small_instance)
+        assert model.estimate(A.NameRef("D")).cardinality == 3.0
+        assert model.estimate(A.NameRef("C")).cardinality == 1.0
+
+    def test_names_are_free_operations_cost(self, small_instance):
+        model = CostModel.from_instance(small_instance)
+        assert model.price(A.NameRef("D")) == 0.0
+        assert model.price(parse("D union C")) > 0.0
+
+    def test_every_operation_adds_cost(self, small_instance):
+        """The Section 3 premise: adding an operation raises the price."""
+        model = CostModel.from_instance(small_instance)
+        base = parse("D within B")
+        wrapped = A.IncludedIn(base, A.NameRef("A"))
+        assert model.price(wrapped) > model.price(base)
+
+    def test_unknown_name_uses_default(self):
+        model = CostModel(default_name_size=42.0)
+        assert model.estimate(A.NameRef("X")).cardinality == 42.0
+
+    def test_selection_reduces_cardinality(self, small_instance):
+        model = CostModel.from_instance(small_instance)
+        plain = model.estimate(A.NameRef("D"))
+        selected = model.estimate(parse('D @ "x"'))
+        assert selected.cardinality < plain.cardinality
+        assert selected.cost > plain.cost
+
+    def test_union_cardinality_additive(self, small_instance):
+        model = CostModel.from_instance(small_instance)
+        estimate = model.estimate(parse("D union C"))
+        assert estimate.cardinality == 4.0
+
+    def test_difference_keeps_left_cardinality(self, small_instance):
+        model = CostModel.from_instance(small_instance)
+        assert model.estimate(parse("D except C")).cardinality == 3.0
+
+    def test_empty_is_free(self, small_instance):
+        model = CostModel.from_instance(small_instance)
+        estimate = model.estimate(A.Empty())
+        assert estimate.cost == 0.0
+        assert estimate.cardinality == 0.0
+
+    def test_both_included_estimate(self, small_instance):
+        model = CostModel.from_instance(small_instance)
+        estimate = model.estimate(parse("bi(A, B, C)"))
+        assert estimate.cost > 0
+        assert estimate.cardinality <= 2.0
+
+    def test_paper_example_rewrite_is_cheaper(self, small_instance):
+        """The Section 2.2 rationale: the rewritten chain prices lower."""
+        model = CostModel(name_sizes={"Name": 50, "Proc_header": 40, "Proc": 40, "Program": 1})
+        e1 = parse("Name within Proc_header within Proc within Program")
+        e2 = parse("Name within Proc_header within Program")
+        assert model.price(e2) < model.price(e1)

@@ -1,0 +1,72 @@
+"""Bounded expression enumeration: coverage and canonical pruning."""
+
+from repro.algebra import ast as A
+from repro.algebra.enumerate import (
+    count_expressions,
+    distinct_on,
+    enumerate_expressions,
+)
+
+
+class TestEnumeration:
+    def test_size_zero_is_names(self):
+        exprs = list(enumerate_expressions(("A", "B"), 0))
+        assert exprs == [A.NameRef("A"), A.NameRef("B")]
+
+    def test_all_sizes_respected(self):
+        for expr in enumerate_expressions(("A", "B"), 2, patterns=("p",)):
+            assert A.size(expr) <= 2
+
+    def test_no_duplicates(self):
+        exprs = list(enumerate_expressions(("A", "B"), 2))
+        assert len(exprs) == len(set(exprs))
+
+    def test_commutative_pruning(self):
+        exprs = set(enumerate_expressions(("A", "B"), 1))
+        ab = A.Union(A.NameRef("A"), A.NameRef("B"))
+        ba = A.Union(A.NameRef("B"), A.NameRef("A"))
+        assert (ab in exprs) != (ba in exprs)
+
+    def test_noncommutative_keeps_both_orders(self):
+        exprs = set(enumerate_expressions(("A", "B"), 1))
+        assert A.Difference(A.NameRef("A"), A.NameRef("B")) in exprs
+        assert A.Difference(A.NameRef("B"), A.NameRef("A")) in exprs
+
+    def test_known_size_one_count(self):
+        # 2 names: 5 noncommutative ops × 4 ordered pairs = 20,
+        # 2 commutative × 3 unordered pairs = 6, plus σ_p over 2 names.
+        assert count_expressions(("A", "B"), 1, patterns=("p",)) == 2 + 20 + 6 + 2
+
+    def test_extended_flag_adds_direct_ops(self):
+        core = set(enumerate_expressions(("A", "B"), 1))
+        extended = set(enumerate_expressions(("A", "B"), 1, extended=True))
+        direct = A.DirectlyIncluding(A.NameRef("A"), A.NameRef("B"))
+        assert direct not in core
+        assert direct in extended
+
+    def test_patterns_generate_selections(self):
+        exprs = set(enumerate_expressions(("A",), 1, patterns=("p", "q")))
+        assert A.Select("p", A.NameRef("A")) in exprs
+        assert A.Select("q", A.NameRef("A")) in exprs
+
+    def test_every_small_expression_appears(self):
+        """Spot-check completeness against hand-built expressions."""
+        exprs = set(enumerate_expressions(("A", "B"), 2, patterns=("p",)))
+        assert A.Including(
+            A.NameRef("A"), A.Select("p", A.NameRef("B"))
+        ) in exprs
+        assert A.IncludedIn(
+            A.Difference(A.NameRef("A"), A.NameRef("B")), A.NameRef("A")
+        ) in exprs
+
+
+class TestDistinctOn:
+    def test_deduplicates_by_fingerprint(self):
+        exprs = [
+            A.NameRef("A"),
+            A.Union(A.NameRef("A"), A.NameRef("A")),
+            A.NameRef("B"),
+        ]
+        # Fingerprint by referenced names: the self-union collapses onto A.
+        unique = list(distinct_on(exprs, A.region_names))
+        assert unique == [A.NameRef("A"), A.NameRef("B")]

@@ -1,0 +1,156 @@
+"""Evaluator semantics: goldens, strategy agreement, extended operators."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import Evaluator, evaluate
+from repro.core.regionset import RegionSet
+from repro.errors import EvaluationError, UnknownRegionNameError
+from tests.conftest import hierarchical_instances
+
+INDEXED = Evaluator("indexed")
+NAIVE = Evaluator("naive")
+
+# A panel exercising every operator, evaluated on `small_instance`
+# (layout documented in conftest.py).
+GOLDEN = {
+    "A": {(0, 19), (25, 30)},
+    "A containing D": {(0, 19), (25, 30)},
+    "A dcontaining D": {(25, 30)},
+    "D within B": {(2, 4)},
+    "D dwithin B": {(2, 4)},
+    "B before C": {(1, 8)},
+    "D after C": {(26, 28)},
+    "B union D": {(1, 8), (11, 13), (2, 4), (15, 17), (26, 28)},
+    "(B union D) isect D": {(2, 4), (15, 17), (26, 28)},
+    "D except (D within C)": {(2, 4), (26, 28)},
+    'D @ "x"': {(2, 4), (26, 28)},
+    'D @ "x" @ "y"': {(26, 28)},
+    "bi(A, B, C)": {(0, 19)},
+    "bi(A, D, D)": {(0, 19)},
+    "bi(C, B, D)": {(10, 18)},
+    "bi(C, D, B)": set(),
+    "empty": set(),
+    "A containing empty": set(),
+}
+
+
+class TestGoldenSemantics:
+    @pytest.mark.parametrize("query,expected", sorted(GOLDEN.items()))
+    def test_indexed(self, small_instance, query, expected):
+        result = INDEXED.evaluate(query, small_instance)
+        assert {r.as_tuple() for r in result} == expected
+
+    @pytest.mark.parametrize("query,expected", sorted(GOLDEN.items()))
+    def test_naive(self, small_instance, query, expected):
+        result = NAIVE.evaluate(query, small_instance)
+        assert {r.as_tuple() for r in result} == expected
+
+
+class TestStrategyAgreement:
+    """The indexed engine must agree with the definitional oracle."""
+
+    QUERIES = [
+        "R0 containing R1",
+        "R0 within R1",
+        "R0 before R1",
+        "R0 after R1",
+        "R0 dcontaining R1",
+        "R0 dwithin R1",
+        "bi(R0, R1, R2)",
+        "bi(R0, R0, R0)",
+        'R0 @ "p" containing (R1 @ "q")',
+        "(R0 union R1) except (R2 isect R0)",
+        "R0 containing R1 containing R2",
+        "R0 within R1 before R2",
+    ]
+
+    @given(hierarchical_instances(patterns=("p", "q")))
+    @settings(max_examples=150)
+    def test_agreement(self, instance):
+        for query in self.QUERIES:
+            assert INDEXED.evaluate(query, instance) == NAIVE.evaluate(
+                query, instance
+            ), query
+
+    @given(hierarchical_instances())
+    def test_structural_results_subset_of_left(self, instance):
+        for query in ("R0 containing R1", "R0 within R1", "R0 before R1"):
+            result = INDEXED.evaluate(query, instance)
+            assert result.difference(instance.region_set("R0")) == RegionSet.empty()
+
+
+class TestEvaluatorMechanics:
+    def test_accepts_text_and_trees(self, small_instance):
+        text_result = INDEXED.evaluate("B union D", small_instance)
+        tree_result = INDEXED.evaluate(
+            A.Union(A.NameRef("B"), A.NameRef("D")), small_instance
+        )
+        assert text_result == tree_result
+
+    def test_unknown_name(self, small_instance):
+        with pytest.raises(UnknownRegionNameError):
+            INDEXED.evaluate("Nope", small_instance)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(EvaluationError):
+            Evaluator("magic")  # type: ignore[arg-type]
+
+    def test_module_level_helper(self, small_instance):
+        assert evaluate("A", small_instance) == small_instance.region_set("A")
+        assert evaluate("A", small_instance, "naive") == small_instance.region_set("A")
+
+    def test_shared_subexpressions_memoized(self, small_instance):
+        # (B ∪ D) − (B ∪ D) must be empty and evaluate the union once;
+        # correctness of memoization shows as plain correctness here.
+        shared = A.Union(A.NameRef("B"), A.NameRef("D"))
+        assert INDEXED.evaluate(A.Difference(shared, shared), small_instance) == RegionSet.empty()
+
+
+class TestDirectOperatorSemantics:
+    def test_direct_needs_no_intermediate_of_any_name(self, small_instance):
+        from repro.core.region import Region
+
+        # With B[1,8] removed, the only remaining B is B[11,13], which
+        # A[0,19] includes — but C[10,18] interposes, so not directly,
+        # even though C is neither operand's name.
+        variant = small_instance.without_regions([Region(1, 8)])
+        assert INDEXED.evaluate("A containing B", variant) == RegionSet.of((0, 19))
+        assert INDEXED.evaluate("A dcontaining B", variant) == RegionSet.empty()
+
+    def test_direct_included_mirror(self, small_instance):
+        assert INDEXED.evaluate("B dwithin C", small_instance) == RegionSet.of((11, 13))
+
+    @given(hierarchical_instances())
+    def test_direct_is_subset_of_plain(self, instance):
+        plain = INDEXED.evaluate("R0 containing R1", instance)
+        direct = INDEXED.evaluate("R0 dcontaining R1", instance)
+        assert direct.difference(plain) == RegionSet.empty()
+
+
+class TestBothIncludedSemantics:
+    def test_order_matters(self, small_instance):
+        assert INDEXED.evaluate("bi(C, B, D)", small_instance) == RegionSet.of((10, 18))
+        assert INDEXED.evaluate("bi(C, D, B)", small_instance) == RegionSet.empty()
+
+    def test_witnesses_must_be_strictly_inside(self):
+        from repro.core.instance import Instance
+
+        # r = [0,10]; s = [0,4] shares r's left endpoint (still strictly
+        # included); t = [6,10] shares the right endpoint.
+        inst = Instance(
+            {
+                "R": RegionSet.of((0, 10)),
+                "S": RegionSet.of((0, 4)),
+                "T": RegionSet.of((6, 10)),
+            }
+        )
+        assert INDEXED.evaluate("bi(R, S, T)", inst) == RegionSet.of((0, 10))
+        assert NAIVE.evaluate("bi(R, S, T)", inst) == RegionSet.of((0, 10))
+
+    def test_same_region_cannot_be_both_witnesses(self):
+        from repro.core.instance import Instance
+
+        inst = Instance({"R": RegionSet.of((0, 10)), "S": RegionSet.of((2, 5))})
+        assert INDEXED.evaluate("bi(R, S, S)", inst) == RegionSet.empty()

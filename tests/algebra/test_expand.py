@@ -1,0 +1,157 @@
+"""Propositions 5.2 and 5.4: bounded expansions into the core algebra."""
+
+from hypothesis import given, settings
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import evaluate
+from repro.algebra.expand import (
+    expand_both_included,
+    expand_directly_included,
+    expand_directly_including,
+    union_of_names,
+)
+from repro.core.regionset import RegionSet
+from repro.errors import OptimizationError
+from repro.workloads.generators import (
+    TreeNode,
+    flat_row,
+    instance_from_trees,
+    nested_tower,
+)
+from tests.conftest import hierarchical_instances
+
+import pytest
+
+
+NAMES = ("R0", "R1", "R2")
+
+
+class TestUnionOfNames:
+    def test_single(self):
+        assert union_of_names(["A"]) == A.NameRef("A")
+
+    def test_multiple(self):
+        expr = union_of_names(["A", "B", "C"])
+        assert A.region_names(expr) == frozenset({"A", "B", "C"})
+        assert A.size(expr) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(OptimizationError):
+            union_of_names([])
+
+
+class TestDirectIncludingExpansion:
+    def test_expansion_is_core_algebra(self):
+        expr = expand_directly_including(
+            A.NameRef("R0"), A.NameRef("R1"), NAMES, depth_bound=3
+        )
+        assert A.is_core(expr)
+
+    @given(hierarchical_instances())
+    @settings(max_examples=120)
+    def test_matches_native_with_sufficient_bound(self, instance):
+        bound = max(instance.region_set("R0").max_nesting_depth(), 1)
+        expr = expand_directly_including(
+            A.NameRef("R0"), A.NameRef("R1"), NAMES, depth_bound=bound
+        )
+        assert evaluate(expr, instance) == evaluate("R0 dcontaining R1", instance)
+
+    @given(hierarchical_instances())
+    @settings(max_examples=120)
+    def test_included_matches_native_with_sufficient_bound(self, instance):
+        bound = max(instance.region_set("R1").max_nesting_depth(), 1)
+        expr = expand_directly_included(
+            A.NameRef("R0"), A.NameRef("R1"), NAMES, depth_bound=bound
+        )
+        assert evaluate(expr, instance) == evaluate("R0 dwithin R1", instance)
+
+    def test_depth_one_is_the_paper_one_liner(self):
+        """For non-self-nested Q (acyclic RIG):
+        ``Q ⊃_d R = Q ⊃ (R − (R ⊂ (All ⊂ Q)))``."""
+        expr = expand_directly_including(
+            A.NameRef("Q"), A.NameRef("R"), ("Q", "R"), depth_bound=1
+        )
+        # One layer: layer_1 = Q − (Q ⊂ Q); the overall shape is a single
+        # Including over the filtered target.
+        assert isinstance(expr, A.Including)
+
+    def test_insufficient_bound_fails_on_deep_nesting(self):
+        """The bound is load-bearing: depth 1 is wrong on self-nested Q —
+        this is why Theorem 5.1 needs unbounded nesting."""
+        instance = nested_tower(6, ("R0", "R0", "R1"))
+        expr = expand_directly_including(
+            A.NameRef("R0"), A.NameRef("R1"), ("R0", "R1"), depth_bound=1
+        )
+        native = evaluate("R0 dcontaining R1", instance)
+        assert evaluate(expr, instance) != native
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(OptimizationError):
+            expand_directly_including(A.NameRef("A"), A.NameRef("B"), ("A", "B"), 0)
+
+
+class TestBothIncludedExpansion:
+    def test_expansion_is_core_algebra(self):
+        expr = expand_both_included(
+            A.NameRef("R0"), A.NameRef("R1"), A.NameRef("R2"), width_bound=4
+        )
+        assert A.is_core(expr)
+
+    @given(hierarchical_instances())
+    @settings(max_examples=120)
+    def test_matches_native_with_sufficient_bound(self, instance):
+        bound = max(len(instance.region_set("R1")), 1)
+        expr = expand_both_included(
+            A.NameRef("R0"), A.NameRef("R1"), A.NameRef("R2"), width_bound=bound
+        )
+        assert evaluate(expr, instance) == evaluate("bi(R0, R1, R2)", instance)
+
+    def test_nested_witness_leak_is_avoided(self):
+        """The construction must not select a region whose only 'witnesses'
+        are nested: r ⊃ s ⊃ (u < t) has no S-before-T pair."""
+        tree = TreeNode(
+            "R0",
+            [
+                TreeNode(
+                    "R1",
+                    [TreeNode("R2"), TreeNode("R2")],
+                )
+            ],
+        )
+        instance = instance_from_trees([tree], names=NAMES)
+        expr = expand_both_included(
+            A.NameRef("R0"), A.NameRef("R1"), A.NameRef("R2"), width_bound=4
+        )
+        assert evaluate(expr, instance) == RegionSet.empty()
+        assert evaluate("bi(R0, R1, R2)", instance) == RegionSet.empty()
+
+    def test_insufficient_width_bound_fails(self):
+        """With more non-overlapping regions than the bound, witnesses at
+        deep follow-positions are missed — this is why Theorem 5.3 needs
+        unbounded width.  Three leading R1 siblings push the witness R1's
+        follow-position beyond a width bound of 2."""
+        trees = [TreeNode("R1") for _ in range(3)] + [
+            TreeNode("R0", [TreeNode("R1"), TreeNode("R2")])
+        ]
+        instance = instance_from_trees(trees, names=NAMES)
+        native = evaluate("bi(R0, R1, R2)", instance)
+        assert native  # the root qualifies
+        small = expand_both_included(
+            A.NameRef("R0"), A.NameRef("R1"), A.NameRef("R2"), width_bound=2
+        )
+        assert evaluate(small, instance) != native
+
+    def test_flat_rows_have_width_one_positions(self):
+        instance = flat_row(5, "R1")
+        # No R0/R2 regions at all: expansion evaluates to empty without error.
+        padded = instance_from_trees(
+            [TreeNode("R0", [TreeNode("R1"), TreeNode("R2")])], names=NAMES
+        )
+        expr = expand_both_included(
+            A.NameRef("R0"), A.NameRef("R1"), A.NameRef("R2"), width_bound=1
+        )
+        assert evaluate(expr, padded) == evaluate("bi(R0, R1, R2)", padded)
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(OptimizationError):
+            expand_both_included(A.NameRef("A"), A.NameRef("B"), A.NameRef("C"), 0)

@@ -1,0 +1,143 @@
+"""Algebraic laws of the region operators.
+
+These are the identities a query optimizer may rely on; each is
+property-tested over random hierarchical instances.  Laws that FAIL for
+the region algebra (and are therefore absent from the rewrite library)
+are documented at the bottom with explicit counter-examples.
+"""
+
+from hypothesis import given, settings
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.core.regionset import RegionSet
+from repro.engine.tagged import parse_tagged_text
+from tests.conftest import hierarchical_instances
+
+
+def _eq(instance, left: str, right: str) -> bool:
+    return evaluate(parse(left), instance) == evaluate(parse(right), instance)
+
+
+class TestSemiJoinLaws:
+    @given(hierarchical_instances())
+    @settings(max_examples=80)
+    def test_left_distributivity_over_union(self, instance):
+        """(a ∪ b) ∘ s = (a ∘ s) ∪ (b ∘ s) for every semi-join ∘."""
+        for op in ("containing", "within", "before", "after"):
+            assert _eq(
+                instance,
+                f"(R0 union R1) {op} R2",
+                f"(R0 {op} R2) union (R1 {op} R2)",
+            ), op
+
+    @given(hierarchical_instances())
+    @settings(max_examples=80)
+    def test_right_distributivity_over_union(self, instance):
+        """a ∘ (s ∪ t) = (a ∘ s) ∪ (a ∘ t) — witnesses are existential."""
+        for op in ("containing", "within", "before", "after"):
+            assert _eq(
+                instance,
+                f"R0 {op} (R1 union R2)",
+                f"(R0 {op} R1) union (R0 {op} R2)",
+            ), op
+
+    @given(hierarchical_instances())
+    @settings(max_examples=80)
+    def test_monotone_shrinking(self, instance):
+        """Semi-joins only filter: result ⊆ left operand."""
+        for query in (
+            "R0 containing R1",
+            "R0 within R1",
+            "R0 before R1",
+            "R0 after R1",
+            "R0 dcontaining R1",
+            "bi(R0, R1, R2)",
+        ):
+            result = evaluate(parse(query), instance)
+            assert result.difference(instance.region_set("R0")) == RegionSet.empty()
+
+    @given(hierarchical_instances())
+    @settings(max_examples=80)
+    def test_right_monotonicity(self, instance):
+        """Growing the witness set can only grow the result."""
+        smaller = evaluate(parse("R0 containing R1"), instance)
+        larger = evaluate(parse("R0 containing (R1 union R2)"), instance)
+        assert smaller.difference(larger) == RegionSet.empty()
+
+    @given(hierarchical_instances())
+    @settings(max_examples=80)
+    def test_semi_join_idempotence(self, instance):
+        for op in ("containing", "within", "before", "after"):
+            assert _eq(instance, f"(R0 {op} R1) {op} R1", f"R0 {op} R1"), op
+
+
+class TestSelectionLaws:
+    @given(hierarchical_instances(patterns=("p", "q")))
+    @settings(max_examples=80)
+    def test_selections_commute(self, instance):
+        assert _eq(instance, 'R0 @ "p" @ "q"', 'R0 @ "q" @ "p"')
+
+    @given(hierarchical_instances(patterns=("p",)))
+    @settings(max_examples=80)
+    def test_selection_distributes_over_every_set_op(self, instance):
+        assert _eq(instance, '(R0 union R1) @ "p"', '(R0 @ "p") union (R1 @ "p")')
+        assert _eq(instance, '(R0 isect R1) @ "p"', '(R0 @ "p") isect (R1 @ "p")')
+        assert _eq(instance, '(R0 except R1) @ "p"', '(R0 @ "p") except R1')
+
+    def test_selection_via_match_points_identity(self):
+        """σ_p(e) ≡ (e containing "p") ∪ (e isect "p"): containment of an
+        occurrence is strict inclusion or being the occurrence itself."""
+        doc = parse_tagged_text(
+            "<a> alpha </a> <b> beta alpha </b> <c> gamma </c>"
+        )
+        for source in ("a", "b", "c", "a union b"):
+            assert _eq(
+                doc.instance,
+                f'({source}) @ "alpha"',
+                f'(({source}) containing "alpha") union (({source}) isect "alpha")',
+            ), source
+
+
+class TestNonLaws:
+    """Identities that are *false* for the region algebra."""
+
+    def test_structural_ops_not_associative(self):
+        """The paper notes ⊃, ⊂, <, > are not associative."""
+        from repro.workloads.generators import TreeNode, instance_from_trees
+
+        # R2 sits beside R1, not inside it: the right grouping still
+        # selects R0 (it contains both), the left grouping selects nothing.
+        tree = TreeNode("R0", [TreeNode("R1"), TreeNode("R2")])
+        instance = instance_from_trees([tree], names=("R0", "R1", "R2"))
+        assert not _eq(
+            instance,
+            "R0 containing (R1 containing R2)",
+            "(R0 containing R1) containing R2",
+        )
+
+    def test_intersection_does_not_distribute_into_semijoin_left(self):
+        """(a ∩ b) ⊃ s ≠ (a ⊃ s) ∩ b in general?  Actually this one HOLDS
+        (the semi-join filters a); the false law is pushing ∩ into the
+        witness side."""
+        from repro.workloads.generators import TreeNode, instance_from_trees
+
+        # a ⊃ (s ∩ t) vs (a ⊃ s) ∩ (a ⊃ t): witnesses may differ.
+        tree = TreeNode("R0", [TreeNode("R1"), TreeNode("R2")])
+        instance = instance_from_trees([tree], names=("R0", "R1", "R2"))
+        left = evaluate(parse("R0 containing (R1 isect R2)"), instance)
+        right = evaluate(
+            parse("(R0 containing R1) isect (R0 containing R2)"), instance
+        )
+        assert left != right
+
+    def test_difference_not_right_distributive(self):
+        from repro.workloads.generators import TreeNode, instance_from_trees
+
+        tree = TreeNode("R0", [TreeNode("R1"), TreeNode("R2")])
+        instance = instance_from_trees([tree], names=("R0", "R1", "R2"))
+        left = evaluate(parse("R0 containing (R1 except R2)"), instance)
+        right = evaluate(
+            parse("(R0 containing R1) except (R0 containing R2)"), instance
+        )
+        assert left != right

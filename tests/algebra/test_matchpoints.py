@@ -1,0 +1,76 @@
+"""Match-point queries: PAT's word index as an algebra leaf."""
+
+import pytest
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import Evaluator, evaluate
+from repro.algebra.parser import parse
+from repro.algebra.printer import to_text
+from repro.core.regionset import RegionSet
+from repro.engine.tagged import parse_tagged_text
+from repro.errors import EvaluationError
+
+
+@pytest.fixture
+def doc():
+    return parse_tagged_text(
+        "<play><speech> the east sun </speech>"
+        "<speech> the sun also </speech></play>"
+    )
+
+
+class TestParsing:
+    def test_bare_string_is_match_points(self):
+        assert parse('"sun"') == A.MatchPoints("sun")
+
+    def test_round_trip(self):
+        for text in ('"sun"', 'speech containing "sun"', '"a" before "b"'):
+            expr = parse(text)
+            assert parse(to_text(expr)) == expr
+
+    def test_match_points_are_leaves(self):
+        expr = parse('speech containing "sun"')
+        assert A.size(expr) == 1  # only the containing operator
+        assert A.pattern_names(expr) == frozenset({"sun"})
+        assert not A.is_core(expr)  # engine extension, outside Def 2.2
+
+
+class TestEvaluation:
+    def test_match_points_as_operand(self, doc):
+        speeches = evaluate('speech containing "east"', doc.instance)
+        assert len(speeches) == 1
+
+    def test_match_points_result_positions(self, doc):
+        points = evaluate('"sun"', doc.instance)
+        assert len(points) == 2
+        for point in points:
+            assert doc.text[point.left : point.right + 1] == "sun"
+
+    def test_prefix_pattern(self, doc):
+        # Tag names are markup, not words: only the two "sun" tokens match.
+        assert len(evaluate('"s*"', doc.instance)) == 2
+
+    def test_proximity_style_query(self, doc):
+        # match points compose with order operators: "the" before "also".
+        firsts = evaluate('"the" before "also"', doc.instance)
+        assert len(firsts) == 2
+
+    def test_within_region(self, doc):
+        speeches = sorted(doc.instance.region_set("speech"))
+        inside = evaluate('"east" within speech', doc.instance)
+        assert len(inside) == 1
+        (point,) = inside
+        assert speeches[0].includes(point)
+
+    def test_requires_text_index(self, small_instance):
+        with pytest.raises(EvaluationError, match="text-backed"):
+            evaluate('"x"', small_instance)
+
+    def test_unmatched_pattern_is_empty(self, doc):
+        assert evaluate('"zzz"', doc.instance) == RegionSet.empty()
+
+    def test_strategies_agree(self, doc):
+        for query in ('"sun"', 'speech containing "sun" before "also"'):
+            assert Evaluator("indexed").evaluate(query, doc.instance) == Evaluator(
+                "naive"
+            ).evaluate(query, doc.instance)

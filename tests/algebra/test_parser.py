@@ -1,0 +1,215 @@
+"""Parser and printer: golden parses, precedence, round trips, errors."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import ast as A
+from repro.algebra.enumerate import enumerate_expressions
+from repro.algebra.parser import parse
+from repro.algebra.printer import to_text
+from repro.errors import ParseError
+
+
+class TestGoldenParses:
+    def test_name(self):
+        assert parse("Proc") == A.NameRef("Proc")
+
+    def test_empty(self):
+        assert parse("empty") == A.Empty()
+
+    def test_union_keyword_and_symbols(self):
+        expected = A.Union(A.NameRef("A"), A.NameRef("B"))
+        for text in ("A union B", "A + B", "A | B", "A ∪ B"):
+            assert parse(text) == expected
+
+    def test_difference_spellings(self):
+        expected = A.Difference(A.NameRef("A"), A.NameRef("B"))
+        for text in ("A except B", "A - B", "A − B"):
+            assert parse(text) == expected
+
+    def test_intersection_spellings(self):
+        expected = A.Intersection(A.NameRef("A"), A.NameRef("B"))
+        for text in ("A isect B", "A ^ B", "A & B", "A ∩ B"):
+            assert parse(text) == expected
+
+    def test_structural_spellings(self):
+        cases = {
+            A.Including: ("containing", "⊃"),
+            A.IncludedIn: ("within", "⊂"),
+            A.Preceding: ("before", "<"),
+            A.Following: ("after", ">"),
+            A.DirectlyIncluding: ("dcontaining", "⊃d"),
+            A.DirectlyIncluded: ("dwithin", "⊂d"),
+        }
+        for op, spellings in cases.items():
+            for spelling in spellings:
+                assert parse(f"A {spelling} B") == op(A.NameRef("A"), A.NameRef("B"))
+
+    def test_selection_postfix(self):
+        assert parse('Var @ "x"') == A.Select("x", A.NameRef("Var"))
+
+    def test_selection_function_form(self):
+        assert parse('select("x", Var)') == A.Select("x", A.NameRef("Var"))
+
+    def test_selection_stacks(self):
+        assert parse('Var @ "x" @ "y"') == A.Select("y", A.Select("x", A.NameRef("Var")))
+
+    def test_pattern_with_escapes(self):
+        assert parse(r'Var @ "a\"b"') == A.Select('a"b', A.NameRef("Var"))
+
+    def test_bi(self):
+        assert parse("bi(C, B, A)") == A.BothIncluded(
+            A.NameRef("C"), A.NameRef("B"), A.NameRef("A")
+        )
+
+    def test_bi_with_expressions(self):
+        expr = parse('bi(Proc, Var @ "x", Var @ "y")')
+        assert isinstance(expr, A.BothIncluded)
+        assert expr.first == A.Select("x", A.NameRef("Var"))
+
+    def test_negated_structural_sugar(self):
+        """PAT's ``not`` forms lower to ``left except (left op right)``."""
+        assert parse("A not containing B") == A.Difference(
+            A.NameRef("A"), A.Including(A.NameRef("A"), A.NameRef("B"))
+        )
+        assert parse("A not within B") == A.Difference(
+            A.NameRef("A"), A.IncludedIn(A.NameRef("A"), A.NameRef("B"))
+        )
+        assert parse("A not before B") == A.Difference(
+            A.NameRef("A"), A.Preceding(A.NameRef("A"), A.NameRef("B"))
+        )
+        assert parse("A not dcontaining B") == A.Difference(
+            A.NameRef("A"), A.DirectlyIncluding(A.NameRef("A"), A.NameRef("B"))
+        )
+
+    def test_negated_sugar_duplicates_complex_left_operand(self):
+        expr = parse("(A union B) not after C")
+        left = A.Union(A.NameRef("A"), A.NameRef("B"))
+        assert expr == A.Difference(left, A.Following(left, A.NameRef("C")))
+
+    def test_negated_sugar_requires_structural_op(self):
+        with pytest.raises(ParseError, match="after 'not'"):
+            parse("A not B")
+
+    def test_negated_sugar_semantics(self, small_instance):
+        from repro.algebra.evaluator import evaluate
+
+        # D regions not inside any B region.
+        result = evaluate(parse("D not within B"), small_instance)
+        assert {r.as_tuple() for r in result} == {(15, 17), (26, 28)}
+
+
+class TestPrecedence:
+    def test_structural_right_associative(self):
+        """The paper's convention: omitted parens group from the right."""
+        assert parse("A within B within C") == A.IncludedIn(
+            A.NameRef("A"), A.IncludedIn(A.NameRef("B"), A.NameRef("C"))
+        )
+
+    def test_mixed_structural_ops_right_associative(self):
+        assert parse("A containing B before C") == A.Including(
+            A.NameRef("A"), A.Preceding(A.NameRef("B"), A.NameRef("C"))
+        )
+
+    def test_additive_left_associative(self):
+        assert parse("A union B except C") == A.Difference(
+            A.Union(A.NameRef("A"), A.NameRef("B")), A.NameRef("C")
+        )
+
+    def test_structural_binds_tighter_than_intersection(self):
+        assert parse("A isect B within C") == A.Intersection(
+            A.NameRef("A"), A.IncludedIn(A.NameRef("B"), A.NameRef("C"))
+        )
+
+    def test_intersection_binds_tighter_than_union(self):
+        assert parse("A union B isect C") == A.Union(
+            A.NameRef("A"), A.Intersection(A.NameRef("B"), A.NameRef("C"))
+        )
+
+    def test_selection_binds_tightest(self):
+        assert parse('A within B @ "p"') == A.IncludedIn(
+            A.NameRef("A"), A.Select("p", A.NameRef("B"))
+        )
+
+    def test_parentheses_override(self):
+        assert parse("(A union B) isect C") == A.Intersection(
+            A.Union(A.NameRef("A"), A.NameRef("B")), A.NameRef("C")
+        )
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "A union",
+            "(A",
+            "A )",
+            "A within within B",
+            "bi(A, B)",
+            "bi(A, B, C",
+            'select("p")',
+            '@ "p"',
+            "A $ B",
+            'A @ p',
+        ],
+    )
+    def test_malformed_input_raises(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            parse("A union $")
+        assert info.value.position == 8
+
+
+class TestRoundTrip:
+    def test_exhaustive_round_trip_small(self):
+        """parse(to_text(e)) == e for every expression of ≤ 2 ops."""
+        for expr in enumerate_expressions(("A", "B"), 2, patterns=("p",), extended=True):
+            assert parse(to_text(expr)) == expr
+            assert parse(to_text(expr, unicode_ops=True)) == expr
+
+    def test_bi_round_trip(self):
+        expr = A.BothIncluded(
+            A.Union(A.NameRef("A"), A.NameRef("B")),
+            A.Select("p", A.NameRef("A")),
+            A.NameRef("C"),
+        )
+        assert parse(to_text(expr)) == expr
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60)
+    def test_random_deep_round_trip(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        expr = _random_expr(rng, depth=4)
+        assert parse(to_text(expr)) == expr
+        assert parse(to_text(expr, unicode_ops=True)) == expr
+
+
+def _random_expr(rng, depth: int) -> A.Expr:
+    if depth == 0 or rng.random() < 0.25:
+        return A.NameRef(rng.choice("ABC"))
+    kind = rng.randrange(9)
+    if kind == 7:
+        return A.Select(rng.choice("pq"), _random_expr(rng, depth - 1))
+    if kind == 8:
+        return A.BothIncluded(
+            _random_expr(rng, depth - 1),
+            _random_expr(rng, depth - 1),
+            _random_expr(rng, depth - 1),
+        )
+    op = [
+        A.Union,
+        A.Intersection,
+        A.Difference,
+        A.Including,
+        A.IncludedIn,
+        A.Preceding,
+        A.Following,
+    ][kind]
+    return op(_random_expr(rng, depth - 1), _random_expr(rng, depth - 1))

@@ -1,0 +1,75 @@
+"""Parser robustness: arbitrary input never crashes unexpectedly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.parser import parse
+from repro.algebra.printer import to_text
+from repro.errors import ParseError
+
+
+class TestFuzz:
+    @given(st.text(max_size=60))
+    @settings(max_examples=400)
+    def test_arbitrary_text_parses_or_raises_parse_error(self, text):
+        try:
+            expr = parse(text)
+        except ParseError:
+            return
+        # Anything that parses must round-trip.
+        assert parse(to_text(expr)) == expr
+
+    @given(
+        st.text(
+            alphabet='ABab ()@"<>⊃⊂∪∩−+-^|&,*',
+            max_size=40,
+        )
+    )
+    @settings(max_examples=400)
+    def test_operator_soup(self, text):
+        try:
+            expr = parse(text)
+        except ParseError:
+            return
+        assert parse(to_text(expr)) == expr
+
+    @given(st.text(alphabet="AB", min_size=1, max_size=8))
+    def test_bare_names_always_parse(self, name):
+        from repro.algebra import ast as A
+
+        assert parse(name) in (
+            A.NameRef(name),
+            A.Empty(),  # "empty" cannot arise from alphabet AB
+        )
+
+    def test_nested_parentheses_within_limit(self):
+        from repro.algebra import ast as A
+        from repro.algebra.parser import MAX_NESTING_DEPTH
+
+        depth = MAX_NESTING_DEPTH - 5
+        text = "(" * depth + "A" + ")" * depth
+        assert parse(text) == A.NameRef("A")
+
+    def test_pathological_nesting_fails_cleanly(self):
+        """Beyond the guard: a ParseError, never a RecursionError."""
+        from repro.algebra.parser import MAX_NESTING_DEPTH
+
+        depth = MAX_NESTING_DEPTH * 4
+        text = "(" * depth + "A" + ")" * depth
+        with __import__("pytest").raises(ParseError, match="nested deeper"):
+            parse(text)
+
+    def test_pathological_chain_fails_cleanly(self):
+        from repro.algebra.parser import MAX_NESTING_DEPTH
+
+        text = " within ".join(["A"] * (8 * MAX_NESTING_DEPTH))
+        with __import__("pytest").raises(ParseError, match="chain longer"):
+            parse(text)
+
+    def test_long_chains(self):
+        text = " within ".join(["A"] * 150)
+        expr = parse(text)
+        from repro.algebra import ast as A
+
+        assert A.size(expr) == 149
+        assert parse(to_text(expr)) == expr

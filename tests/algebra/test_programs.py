@@ -1,0 +1,177 @@
+"""The Section 6 while-programs against the native direct operators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.programs import (
+    direct_chain_by_iterated_program,
+    direct_chain_program,
+    direct_chain_program_corrected,
+    direct_included_program,
+    direct_including_program,
+)
+from repro.core.regionset import RegionSet
+from repro.errors import EvaluationError
+from repro.workloads.generators import (
+    TreeNode,
+    instance_from_trees,
+    nested_tower,
+    random_instance,
+)
+from tests.conftest import hierarchical_instances
+
+
+class TestSingleOperatorProgram:
+    @given(hierarchical_instances(names=("R0", "R1")))
+    @settings(max_examples=150)
+    def test_matches_native_direct_including(self, instance):
+        native = evaluate("R0 dcontaining R1", instance)
+        result = direct_including_program(
+            instance, instance.region_set("R0"), instance.region_set("R1")
+        )
+        assert result.regions == native
+
+    @given(hierarchical_instances(names=("R0", "R1")))
+    @settings(max_examples=150)
+    def test_matches_native_direct_included(self, instance):
+        native = evaluate("R0 dwithin R1", instance)
+        result = direct_included_program(
+            instance, instance.region_set("R0"), instance.region_set("R1")
+        )
+        assert result.regions == native
+
+    def test_iterations_bounded_by_nesting_depth(self):
+        instance = nested_tower(12, ("R0", "R1"))
+        result = direct_including_program(
+            instance, instance.region_set("R0"), instance.region_set("R1")
+        )
+        # The loop peels one R0-self-nesting layer per iteration.
+        assert result.iterations <= instance.region_set("R0").max_nesting_depth()
+
+    def test_empty_inputs(self, small_instance):
+        result = direct_including_program(
+            small_instance, RegionSet.empty(), small_instance.region_set("D")
+        )
+        assert result.regions == RegionSet.empty()
+        assert result.iterations == 0
+
+    def test_universe_restriction_with_covering_names(self, small_instance):
+        # Between A and D only B and C regions can interpose.
+        full = direct_including_program(
+            small_instance,
+            small_instance.region_set("A"),
+            small_instance.region_set("D"),
+        )
+        restricted = direct_including_program(
+            small_instance,
+            small_instance.region_set("A"),
+            small_instance.region_set("D"),
+            universe_names=("B", "C"),
+        )
+        assert restricted.regions == full.regions
+
+    def test_universe_restriction_missing_name_is_wrong(self, small_instance):
+        # Dropping B from the interference set lets A "directly" include
+        # the D regions B shields — the minimal-set condition is real.
+        broken = direct_including_program(
+            small_instance,
+            small_instance.region_set("A"),
+            small_instance.region_set("D"),
+            universe_names=("C",),
+        )
+        native = evaluate("A dcontaining D", small_instance)
+        assert broken.regions != native
+
+
+class TestChainPrograms:
+    CHAIN = ["R0", "R1", "R2"]
+
+    def _native(self, instance):
+        return evaluate("R0 dcontaining R1 dcontaining R2", instance)
+
+    @given(hierarchical_instances())
+    @settings(max_examples=150)
+    def test_corrected_one_loop_matches_native(self, instance):
+        result = direct_chain_program_corrected(instance, self.CHAIN)
+        assert result.regions == self._native(instance)
+
+    @given(hierarchical_instances())
+    @settings(max_examples=100)
+    def test_iterated_program_matches_native(self, instance):
+        result = direct_chain_by_iterated_program(instance, self.CHAIN)
+        assert result.regions == self._native(instance)
+
+    @given(hierarchical_instances())
+    @settings(max_examples=100)
+    def test_paper_program_sound(self, instance):
+        """The printed program never over-selects (its shields only grow)."""
+        result = direct_chain_program(instance, self.CHAIN)
+        assert result.regions.difference(self._native(instance)) == RegionSet.empty()
+
+    def test_paper_program_incomplete_on_self_nested_interiors(self):
+        """EXPERIMENTS.md E9: the printed one-loop program misses direct
+        chains whose interior type also occurs above R1.
+
+        Structure: R1 ⊃ R0 ⊃ R1 ⊃ R2.  The chain R0 ⊃_d R1 ⊃_d R2 holds
+        at the inner three levels, but the inner R1 is globally nested
+        below another R1, reaches the interference threshold
+        ``#_e^{R1} = 1``, and shields its own endpoint.
+        """
+        tree = TreeNode(
+            "R1", [TreeNode("R0", [TreeNode("R1", [TreeNode("R2")])])]
+        )
+        instance = instance_from_trees([tree], names=("R0", "R1", "R2"))
+        native = self._native(instance)
+        assert len(native) == 1  # the R0 region
+        paper = direct_chain_program(instance, self.CHAIN)
+        corrected = direct_chain_program_corrected(instance, self.CHAIN)
+        assert paper.regions == RegionSet.empty()  # the documented miss
+        assert corrected.regions == native
+
+    def test_agreement_when_interiors_not_above_r1(self, rng):
+        """On instances where no interior type occurs above R0, the
+        printed program is exact (the practical case the paper targets)."""
+        for trial in range(100):
+            instance = random_instance(
+                rng, names=("R0", "R1", "R2"), max_nodes=25
+            )
+            if evaluate("R0 within (R1 union R2)", instance):
+                continue  # interior/endpoint type above R0: excluded case
+            assert direct_chain_program(instance, self.CHAIN).regions == self._native(
+                instance
+            )
+
+    def test_single_loop_uses_fewer_iterations(self):
+        # Deep tower: the iterated baseline pays one full peel per ⊃_d.
+        names = ("R0", "R1", "R2")
+        instance = nested_tower(18, ("R0", "R1", "R2"))
+        one_loop = direct_chain_program_corrected(instance, list(names))
+        iterated = direct_chain_by_iterated_program(instance, list(names))
+        assert one_loop.regions == iterated.regions
+        assert one_loop.iterations <= iterated.iterations
+
+    def test_short_chain_rejected(self, small_instance):
+        for program in (
+            direct_chain_program,
+            direct_chain_program_corrected,
+            direct_chain_by_iterated_program,
+        ):
+            with pytest.raises(EvaluationError):
+                program(small_instance, ["A"])
+
+    def test_two_name_chain_equals_single_program(self, small_instance):
+        chain = direct_chain_program_corrected(small_instance, ["A", "D"])
+        single = direct_including_program(
+            small_instance,
+            small_instance.region_set("A"),
+            small_instance.region_set("D"),
+        )
+        assert chain.regions == single.regions
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)

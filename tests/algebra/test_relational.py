@@ -1,0 +1,143 @@
+"""The Section 7 n-ary relational extension."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.relational import (
+    RegionRelation,
+    relational_both_included,
+    relational_directly_including,
+)
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+from repro.errors import EvaluationError
+from tests.conftest import hierarchical_instances
+
+
+class TestRelationBasics:
+    def test_from_region_set(self):
+        rel = RegionRelation.from_region_set("r", RegionSet.of((1, 2), (4, 6)))
+        assert rel.attributes == ("r",)
+        assert len(rel) == 2
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(EvaluationError):
+            RegionRelation(("r", "r"))
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            RegionRelation(("r", "s"), [(Region(1, 2),)])
+
+    def test_rows_deduplicate(self):
+        row = (Region(1, 2),)
+        assert len(RegionRelation(("r",), [row, row])) == 1
+
+    def test_column_extraction(self):
+        rel = RegionRelation(
+            ("r", "s"),
+            [(Region(0, 9), Region(1, 2)), (Region(0, 9), Region(4, 5))],
+        )
+        assert rel.column("r") == RegionSet.of((0, 9))
+        assert rel.column("s") == RegionSet.of((1, 2), (4, 5))
+
+    def test_unknown_attribute(self):
+        rel = RegionRelation.from_region_set("r", RegionSet.of((1, 2)))
+        with pytest.raises(EvaluationError, match="unknown attribute"):
+            rel.column("z")
+
+
+class TestRelationalOperators:
+    @pytest.fixture
+    def pair(self):
+        r = RegionRelation.from_region_set("r", RegionSet.of((0, 9), (20, 29)))
+        s = RegionRelation.from_region_set("s", RegionSet.of((2, 5), (22, 25), (40, 41)))
+        return r, s
+
+    def test_cross(self, pair):
+        r, s = pair
+        assert len(r.cross(s)) == 6
+        assert r.cross(s).attributes == ("r", "s")
+
+    def test_cross_shared_attribute_rejected(self, pair):
+        r, _ = pair
+        with pytest.raises(EvaluationError, match="rename"):
+            r.cross(r)
+
+    def test_rename(self, pair):
+        r, _ = pair
+        assert r.rename({"r": "r2"}).attributes == ("r2",)
+
+    def test_join_on_includes(self, pair):
+        r, s = pair
+        joined = r.join(s, "r", "includes", "s")
+        assert set(joined.rows) == {
+            (Region(0, 9), Region(2, 5)),
+            (Region(20, 29), Region(22, 25)),
+        }
+
+    def test_join_on_precedes(self, pair):
+        r, s = pair
+        joined = r.join(s, "r", "precedes", "s")
+        assert (Region(0, 9), Region(22, 25)) in joined.rows
+
+    def test_unknown_predicate(self, pair):
+        r, s = pair
+        with pytest.raises(EvaluationError, match="unknown predicate"):
+            r.join(s, "r", "overlaps", "s")
+
+    def test_projection(self, pair):
+        r, s = pair
+        joined = r.join(s, "r", "includes", "s")
+        assert joined.project(("r",)).attributes == ("r",)
+        assert len(joined.project(("r",))) == 2
+
+    def test_set_operations_require_same_schema(self, pair):
+        r, s = pair
+        with pytest.raises(EvaluationError, match="schema mismatch"):
+            r.union(s)
+        renamed = s.rename({"s": "r"})
+        assert len(r.union(renamed)) == 5
+        assert len(r.difference(renamed)) == 2
+        assert len(r.intersection(renamed)) == 0
+
+    def test_select_pattern(self, small_instance):
+        rel = RegionRelation.from_region_set("d", small_instance.region_set("D"))
+        selected = rel.select_pattern("d", "x", small_instance)
+        assert selected.column("d") == RegionSet.of((2, 4), (26, 28))
+
+
+class TestSectionSevenQueries:
+    """'It is easy to see that direct inclusion and both-included can be
+    expressed by this extended language' — executed."""
+
+    @given(hierarchical_instances())
+    @settings(max_examples=100)
+    def test_relational_direct_inclusion_matches_native(self, instance):
+        expected = evaluate("R0 dcontaining R1", instance)
+        actual = relational_directly_including(
+            instance, instance.region_set("R0"), instance.region_set("R1")
+        )
+        assert actual == expected
+
+    @given(hierarchical_instances())
+    @settings(max_examples=100)
+    def test_relational_both_included_matches_native(self, instance):
+        expected = evaluate("bi(R0, R1, R2)", instance)
+        actual = relational_both_included(
+            instance.region_set("R0"),
+            instance.region_set("R1"),
+            instance.region_set("R2"),
+        )
+        assert actual == expected
+
+    def test_pairwise_subtraction_not_projection(self, small_instance):
+        """The blocked pairs must be subtracted before projecting: A[0,19]
+        includes D[2,4] through B but no D directly — yet a naive
+        project-then-subtract would keep it."""
+        result = relational_directly_including(
+            small_instance,
+            small_instance.region_set("A"),
+            small_instance.region_set("D"),
+        )
+        assert result == RegionSet.of((25, 30))

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+The hypothesis strategies live in the public module
+:mod:`repro.workloads.strategies`; they are re-exported here so test
+modules can keep importing them from ``tests.conftest``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.region import Region
+from repro.workloads.strategies import (  # noqa: F401  (re-exports)
+    hierarchical_instances,
+    region_lists,
+    regions,
+    tree_nodes,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def small_instance():
+    """A hand-built instance used in golden tests.
+
+    Layout (positions)::
+
+        A[0,19]
+          B[1,8]   C[10,18]
+            D[2,4]    B[11,13]  D[15,17]
+        A[25,30]
+          D[26,28]
+    """
+    from repro.core.instance import Instance
+    from repro.core.regionset import RegionSet
+    from repro.core.wordindex import LabelWordIndex
+
+    return Instance(
+        {
+            "A": RegionSet.of((0, 19), (25, 30)),
+            "B": RegionSet.of((1, 8), (11, 13)),
+            "C": RegionSet.of((10, 18)),
+            "D": RegionSet.of((2, 4), (15, 17), (26, 28)),
+        },
+        LabelWordIndex(
+            {
+                Region(2, 4): {"x"},
+                Region(15, 17): {"y"},
+                Region(26, 28): {"x", "y"},
+            }
+        ),
+    )

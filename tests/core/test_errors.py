@@ -1,0 +1,55 @@
+"""The exception hierarchy: one base, informative messages."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in (
+            "InvalidRegionError",
+            "HierarchyError",
+            "UnknownRegionNameError",
+            "ParseError",
+            "EvaluationError",
+            "PatternError",
+            "GrammarError",
+            "OptimizationError",
+            "StorageError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_one_except_clause_catches_everything(self):
+        from repro.algebra.parser import parse
+        from repro.core.region import Region
+
+        caught = 0
+        for thunk in (lambda: parse("((("), lambda: Region(5, 1)):
+            try:
+                thunk()
+            except errors.ReproError:
+                caught += 1
+        assert caught == 2
+
+
+class TestMessages:
+    def test_unknown_region_name_lists_known(self):
+        error = errors.UnknownRegionNameError("X", ("A", "B"))
+        assert "X" in str(error)
+        assert "A, B" in str(error)
+        assert error.name == "X"
+
+    def test_unknown_region_name_without_known(self):
+        assert "known names" not in str(errors.UnknownRegionNameError("X"))
+
+    def test_parse_error_position(self):
+        error = errors.ParseError("bad token", position=7)
+        assert "position 7" in str(error)
+        assert error.position == 7
+
+    def test_parse_error_without_position(self):
+        error = errors.ParseError("bad token")
+        assert error.position is None
+        assert str(error) == "bad token"

@@ -1,0 +1,128 @@
+"""The direct-inclusion forest: structure, layers, direct operators."""
+
+from hypothesis import given
+
+from repro.core.forest import Forest
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+from tests.conftest import hierarchical_instances
+
+
+class TestStructure:
+    def test_parents_and_children(self, small_instance):
+        forest = small_instance.forest()
+        assert forest.parent_of(Region(2, 4)) == Region(1, 8)
+        assert forest.parent_of(Region(1, 8)) == Region(0, 19)
+        assert forest.parent_of(Region(0, 19)) is None
+        assert forest.children_of(Region(0, 19)) == [Region(1, 8), Region(10, 18)]
+
+    def test_roots_in_document_order(self, small_instance):
+        assert small_instance.forest().roots() == [Region(0, 19), Region(25, 30)]
+
+    def test_depths(self, small_instance):
+        forest = small_instance.forest()
+        assert forest.depth_of(Region(0, 19)) == 0
+        assert forest.depth_of(Region(11, 13)) == 2
+        assert forest.max_depth() == 3
+
+    def test_ancestors_innermost_first(self, small_instance):
+        forest = small_instance.forest()
+        assert forest.ancestors_of(Region(11, 13)) == [
+            Region(10, 18),
+            Region(0, 19),
+        ]
+
+    def test_subtree_preorder(self, small_instance):
+        forest = small_instance.forest()
+        assert forest.subtree_of(Region(10, 18)) == [
+            Region(10, 18),
+            Region(11, 13),
+            Region(15, 17),
+        ]
+        assert forest.descendants_of(Region(10, 18)) == [
+            Region(11, 13),
+            Region(15, 17),
+        ]
+
+    def test_sibling_rank_and_child_path(self, small_instance):
+        forest = small_instance.forest()
+        assert forest.sibling_rank(Region(0, 19)) == 0
+        assert forest.sibling_rank(Region(25, 30)) == 1
+        assert forest.child_path(Region(15, 17)) == (0, 1, 1)
+
+    def test_iter_edges_covers_every_nonroot(self, small_instance):
+        forest = small_instance.forest()
+        edges = list(forest.iter_edges())
+        assert len(edges) == len(forest) - len(forest.roots())
+        for parent, child in edges:
+            assert forest.parent_of(child) == parent
+
+    def test_empty_forest(self):
+        forest = Forest.from_regions([])
+        assert len(forest) == 0
+        assert forest.max_depth() == 0
+        assert forest.layers() == []
+
+    @given(hierarchical_instances())
+    def test_parent_is_tightest_container(self, instance):
+        forest = instance.forest()
+        universe = instance.all_regions()
+        for region in forest.preorder:
+            parent = forest.parent_of(region)
+            containers = [s for s in universe if s.includes(region)]
+            if parent is None:
+                assert not containers
+            else:
+                # The parent includes the region and every other container
+                # includes the parent — i.e. nothing sits in between.
+                assert parent.includes(region)
+                assert all(
+                    s == parent or s.includes(parent) for s in containers
+                )
+
+
+class TestLayers:
+    def test_layers_partition_by_depth(self, small_instance):
+        layers = small_instance.forest().layers()
+        assert [len(layer) for layer in layers] == [2, 3, 3]
+        assert layers[0] == RegionSet.of((0, 19), (25, 30))
+
+    @given(hierarchical_instances())
+    def test_layers_partition_everything(self, instance):
+        forest = instance.forest()
+        combined = RegionSet.empty()
+        for layer in forest.layers():
+            assert combined.intersection(layer) == RegionSet.empty()
+            combined = combined.union(layer)
+        assert combined == instance.all_regions()
+
+
+class TestDirectOperators:
+    def test_directly_including(self, small_instance):
+        forest = small_instance.forest()
+        result = forest.directly_including(
+            small_instance.region_set("A"), small_instance.region_set("D")
+        )
+        # A[25,30] directly includes D[26,28]; A[0,19] only includes D
+        # regions through B and C.
+        assert result == RegionSet.of((25, 30))
+
+    def test_directly_included(self, small_instance):
+        forest = small_instance.forest()
+        result = forest.directly_included(
+            small_instance.region_set("D"), small_instance.region_set("B")
+        )
+        assert result == RegionSet.of((2, 4))
+
+    def test_direct_operators_ignore_foreign_regions(self, small_instance):
+        forest = small_instance.forest()
+        foreign = RegionSet.of((100, 200))
+        assert forest.directly_including(foreign, small_instance.region_set("D")) == RegionSet.empty()
+        assert forest.directly_included(foreign, small_instance.region_set("A")) == RegionSet.empty()
+
+    @given(hierarchical_instances())
+    def test_direct_implies_inclusion(self, instance):
+        forest = instance.forest()
+        universe = instance.all_regions()
+        direct = forest.directly_including(universe, universe)
+        assert direct == universe.including(universe).intersection(direct)

@@ -1,0 +1,127 @@
+"""Instance construction, hierarchy validation, and derivation."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.instance import Instance
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+from repro.core.wordindex import LabelWordIndex
+from repro.errors import HierarchyError, UnknownRegionNameError
+from tests.conftest import hierarchical_instances
+
+
+class TestValidation:
+    def test_valid_hierarchy_accepted(self, small_instance):
+        small_instance.validate_hierarchy()  # does not raise
+
+    def test_overlap_rejected(self):
+        with pytest.raises(HierarchyError, match="overlap"):
+            Instance({"A": RegionSet.of((0, 6)), "B": RegionSet.of((4, 9))})
+
+    def test_duplicate_region_across_names_rejected(self):
+        with pytest.raises(HierarchyError, match="appears in both"):
+            Instance({"A": RegionSet.of((0, 6)), "B": RegionSet.of((0, 6))})
+
+    def test_shared_endpoint_nesting_accepted(self):
+        # (0,10) strictly includes (0,5): legal.
+        Instance({"A": RegionSet.of((0, 10)), "B": RegionSet.of((0, 5))})
+
+    def test_validate_false_skips_check(self):
+        inst = Instance(
+            {"A": RegionSet.of((0, 6)), "B": RegionSet.of((4, 9))},
+            validate=False,
+        )
+        with pytest.raises(HierarchyError):
+            inst.validate_hierarchy()
+
+    @given(hierarchical_instances())
+    def test_generated_instances_are_hierarchical(self, instance):
+        instance.validate_hierarchy()
+
+
+class TestAccessors:
+    def test_names_in_declaration_order(self, small_instance):
+        assert small_instance.names == ("A", "B", "C", "D")
+
+    def test_region_set(self, small_instance):
+        assert len(small_instance.region_set("D")) == 3
+
+    def test_unknown_name(self, small_instance):
+        with pytest.raises(UnknownRegionNameError, match="Nope"):
+            small_instance.region_set("Nope")
+
+    def test_all_regions(self, small_instance):
+        assert len(small_instance.all_regions()) == 8
+        assert len(small_instance) == 8
+
+    def test_name_of(self, small_instance):
+        assert small_instance.name_of(Region(10, 18)) == "C"
+        with pytest.raises(UnknownRegionNameError):
+            small_instance.name_of(Region(0, 1))
+
+    def test_contains(self, small_instance):
+        assert Region(1, 8) in small_instance
+        assert Region(1, 9) not in small_instance
+        assert "x" not in small_instance
+
+    def test_matches(self, small_instance):
+        assert small_instance.matches(Region(2, 4), "x")
+        assert not small_instance.matches(Region(2, 4), "y")
+        assert not small_instance.matches(Region(1, 8), "x")
+
+    def test_nesting_depth(self, small_instance):
+        assert small_instance.nesting_depth() == 3
+
+
+class TestDerivation:
+    def test_without_regions(self, small_instance):
+        reduced = small_instance.without_regions([Region(2, 4), Region(10, 18)])
+        assert len(reduced) == 6
+        assert Region(2, 4) not in reduced
+        # The deleted regions' labels are gone too.
+        assert not reduced.matches(Region(2, 4), "x")
+        # Surviving labels persist.
+        assert reduced.matches(Region(26, 28), "y")
+
+    def test_restricted_to(self, small_instance):
+        kept = [Region(0, 19), Region(1, 8)]
+        reduced = small_instance.restricted_to(kept)
+        assert sorted(r.as_tuple() for r in reduced.all_regions()) == [
+            (0, 19),
+            (1, 8),
+        ]
+
+    def test_deletion_preserves_names(self, small_instance):
+        reduced = small_instance.without_regions(list(small_instance.region_set("C")))
+        assert reduced.names == small_instance.names
+        assert len(reduced.region_set("C")) == 0
+
+
+class TestEquality:
+    def test_equal_instances(self):
+        a = Instance({"A": RegionSet.of((0, 3))}, LabelWordIndex({Region(0, 3): {"p"}}))
+        b = Instance({"A": RegionSet.of((0, 3))}, LabelWordIndex({Region(0, 3): {"p"}}))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_label_difference_detected(self):
+        a = Instance({"A": RegionSet.of((0, 3))}, LabelWordIndex({Region(0, 3): {"p"}}))
+        b = Instance({"A": RegionSet.of((0, 3))}, LabelWordIndex())
+        assert a != b
+
+    def test_set_difference_detected(self):
+        a = Instance({"A": RegionSet.of((0, 3))})
+        b = Instance({"A": RegionSet.of((0, 4))})
+        assert a != b
+
+
+class TestForestCache:
+    def test_forest_is_cached(self, small_instance):
+        assert small_instance.forest() is small_instance.forest()
+
+    def test_derived_instance_gets_fresh_forest(self, small_instance):
+        forest = small_instance.forest()
+        derived = small_instance.without_regions([Region(2, 4)])
+        assert derived.forest() is not forest
+        assert Region(2, 4) not in derived.forest()

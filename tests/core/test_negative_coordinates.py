@@ -1,0 +1,53 @@
+"""The algebra is position-agnostic: negative coordinates work throughout."""
+
+from repro.algebra.evaluator import evaluate
+from repro.core.instance import Instance
+from repro.core.region import Region, bounding_region
+from repro.core.regionset import RegionSet
+
+
+class TestNegativeCoordinates:
+    def test_regions_accept_negative_endpoints(self):
+        region = Region(-10, -2)
+        assert region.length == 9
+        assert region.includes(Region(-8, -4))
+
+    def test_bounding_region_can_go_negative(self):
+        bound = bounding_region([Region(0, 5)])
+        assert bound == Region(-1, 6)
+
+    def test_instance_with_negative_positions(self):
+        instance = Instance(
+            {
+                "A": RegionSet.of((-20, -1), (5, 9)),
+                "B": RegionSet.of((-15, -10)),
+            }
+        )
+        assert [r.as_tuple() for r in evaluate("A containing B", instance)] == [
+            (-20, -1)
+        ]
+        assert [r.as_tuple() for r in evaluate("B before A", instance)] == [
+            (-15, -10)
+        ]
+
+    def test_shift_across_zero(self):
+        from repro.core.wordindex import LabelWordIndex
+
+        instance = Instance(
+            {"A": RegionSet.of((0, 9)), "B": RegionSet.of((2, 5))},
+            LabelWordIndex({Region(2, 5): {"p"}}),
+        )
+        shifted = instance.shifted(-100)
+        assert evaluate('B @ "p"', shifted) == RegionSet.of((-98, -95))
+        assert evaluate("A dcontaining B", shifted) == RegionSet.of((-100, -91))
+
+    def test_forest_with_negative_positions(self):
+        instance = Instance(
+            {"A": RegionSet.of((-9, 9)), "B": RegionSet.of((-5, 0), (2, 4))}
+        )
+        forest = instance.forest()
+        assert forest.parent_of(Region(-5, 0)) == Region(-9, 9)
+        assert forest.children_of(Region(-9, 9)) == [
+            Region(-5, 0),
+            Region(2, 4),
+        ]

@@ -1,0 +1,56 @@
+"""The pattern language behind σ_p."""
+
+import pytest
+
+from repro.core.patterns import (
+    GlobPattern,
+    LiteralPattern,
+    PrefixPattern,
+    parse_pattern,
+)
+from repro.errors import PatternError
+
+
+class TestParsePattern:
+    def test_literal(self):
+        pattern = parse_pattern("word")
+        assert isinstance(pattern, LiteralPattern)
+        assert pattern.matches_token("word")
+        assert not pattern.matches_token("words")
+
+    def test_prefix(self):
+        pattern = parse_pattern("pre*")
+        assert isinstance(pattern, PrefixPattern)
+        assert pattern.matches_token("prefix")
+        assert pattern.matches_token("pre")
+        assert not pattern.matches_token("pr")
+
+    def test_glob_question_mark(self):
+        pattern = parse_pattern("?at")
+        assert isinstance(pattern, GlobPattern)
+        assert pattern.matches_token("cat")
+        assert not pattern.matches_token("chat")
+
+    def test_glob_inner_star(self):
+        pattern = parse_pattern("a*z")
+        assert isinstance(pattern, GlobPattern)
+        assert pattern.matches_token("az")
+        assert pattern.matches_token("abcz")
+        assert not pattern.matches_token("azx")
+
+    def test_star_in_middle_plus_suffix_star_is_glob(self):
+        assert isinstance(parse_pattern("a*b*"), GlobPattern)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern("")
+
+    def test_match_all_rejected(self):
+        with pytest.raises(PatternError):
+            parse_pattern("*")
+
+    def test_case_sensitive(self):
+        assert not parse_pattern("Word").matches_token("word")
+
+    def test_source_preserved(self):
+        assert parse_pattern("pre*").source == "pre*"

@@ -1,0 +1,153 @@
+"""Unit tests for the Region primitive (Definition 2.3 predicates)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.region import Region, bounding_region, span_of
+from repro.errors import InvalidRegionError
+from tests.conftest import regions
+
+
+class TestConstruction:
+    def test_valid(self):
+        region = Region(2, 7)
+        assert region.left == 2
+        assert region.right == 7
+        assert region.length == 6
+
+    def test_match_point(self):
+        assert Region(5, 5).is_match_point()
+        assert not Region(5, 6).is_match_point()
+
+    def test_left_exceeds_right_rejected(self):
+        with pytest.raises(InvalidRegionError):
+            Region(7, 2)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(InvalidRegionError):
+            Region(1.5, 3)  # type: ignore[arg-type]
+
+    def test_ordering_is_by_left_then_right(self):
+        assert sorted([Region(3, 9), Region(1, 5), Region(1, 2)]) == [
+            Region(1, 2),
+            Region(1, 5),
+            Region(3, 9),
+        ]
+
+    def test_shifted(self):
+        assert Region(2, 5).shifted(10) == Region(12, 15)
+
+    def test_as_tuple(self):
+        assert Region(2, 5).as_tuple() == (2, 5)
+
+
+class TestInclusion:
+    """The paper's ⊃: containment with at least one strict endpoint."""
+
+    def test_strict_both_sides(self):
+        assert Region(0, 10).includes(Region(2, 8))
+
+    def test_shared_left_endpoint(self):
+        assert Region(0, 10).includes(Region(0, 8))
+
+    def test_shared_right_endpoint(self):
+        assert Region(0, 10).includes(Region(2, 10))
+
+    def test_equal_regions_do_not_include(self):
+        assert not Region(0, 10).includes(Region(0, 10))
+
+    def test_disjoint_do_not_include(self):
+        assert not Region(0, 4).includes(Region(6, 8))
+
+    def test_overlap_does_not_include(self):
+        assert not Region(0, 6).includes(Region(4, 9))
+
+    def test_included_in_is_converse(self):
+        assert Region(2, 8).included_in(Region(0, 10))
+        assert not Region(0, 10).included_in(Region(2, 8))
+
+    @given(regions(), regions())
+    def test_converse_law(self, r, s):
+        assert r.includes(s) == s.included_in(r)
+
+    @given(regions(), regions())
+    def test_inclusion_definition(self, r, s):
+        expected = (r.left < s.left and r.right >= s.right) or (
+            r.left <= s.left and r.right > s.right
+        )
+        assert r.includes(s) == expected
+
+
+class TestPrecedence:
+    def test_precedes(self):
+        assert Region(0, 4).precedes(Region(5, 8))
+        assert not Region(0, 5).precedes(Region(5, 8))
+
+    def test_follows_is_converse(self):
+        assert Region(5, 8).follows(Region(0, 4))
+
+    @given(regions(), regions())
+    def test_converse_law(self, r, s):
+        assert r.precedes(s) == s.follows(r)
+
+    @given(regions(), regions())
+    def test_trichotomy_for_hierarchical_pairs(self, r, s):
+        """Compatible distinct pairs are nested or ordered, exclusively."""
+        if r != s and r.hierarchy_compatible(s):
+            facts = [
+                r.includes(s),
+                s.includes(r),
+                r.precedes(s),
+                s.precedes(r),
+            ]
+            assert sum(facts) == 1
+
+
+class TestDerivedRelations:
+    def test_disjoint(self):
+        assert Region(0, 4).disjoint_from(Region(5, 9))
+        assert not Region(0, 5).disjoint_from(Region(5, 9))
+
+    def test_overlaps(self):
+        assert Region(0, 6).overlaps(Region(4, 9))
+        assert not Region(0, 9).overlaps(Region(4, 6))  # nested
+        assert not Region(0, 3).overlaps(Region(5, 9))  # disjoint
+        assert not Region(0, 3).overlaps(Region(0, 3))  # equal
+
+    def test_contains_point(self):
+        region = Region(3, 6)
+        assert region.contains_point(3)
+        assert region.contains_point(6)
+        assert not region.contains_point(7)
+
+    def test_hierarchy_compatible(self):
+        assert Region(0, 9).hierarchy_compatible(Region(2, 5))
+        assert Region(0, 3).hierarchy_compatible(Region(5, 9))
+        assert not Region(0, 6).hierarchy_compatible(Region(4, 9))
+        assert not Region(1, 2).hierarchy_compatible(Region(1, 2))
+
+    @given(regions(), regions())
+    def test_overlap_vs_compatibility(self, r, s):
+        if r != s:
+            assert r.overlaps(s) == (not r.hierarchy_compatible(s))
+
+
+class TestSpanHelpers:
+    def test_span_of(self):
+        assert span_of([Region(3, 5), Region(8, 12), Region(1, 2)]) == Region(1, 12)
+
+    def test_span_of_empty(self):
+        assert span_of([]) is None
+
+    def test_bounding_region_strictly_includes(self):
+        rs = [Region(3, 5), Region(8, 12)]
+        bound = bounding_region(rs)
+        assert bound is not None
+        assert all(bound.includes(r) for r in rs)
+
+    def test_bounding_region_pad_validation(self):
+        with pytest.raises(InvalidRegionError):
+            bounding_region([Region(1, 2)], pad=0)
+
+    def test_bounding_region_empty(self):
+        assert bounding_region([]) is None

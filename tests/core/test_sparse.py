@@ -1,0 +1,40 @@
+"""RangeMin sparse tables against the obvious oracle."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.sparse import RangeMin
+
+
+class TestRangeMin:
+    def test_golden(self):
+        table = RangeMin([5, 3, 8, 1, 9])
+        assert table.query(0, 5) == 1
+        assert table.query(0, 3) == 3
+        assert table.query(2, 3) == 8
+        assert table.query(4, 5) == 9
+
+    def test_empty_ranges(self):
+        table = RangeMin([5, 3])
+        assert table.query(1, 1) is None
+        assert table.query(2, 1) is None
+
+    def test_out_of_bounds_clamped(self):
+        table = RangeMin([5, 3])
+        assert table.query(-5, 99) == 3
+
+    def test_empty_table(self):
+        assert RangeMin([]).query(0, 1) is None
+
+    def test_single_element(self):
+        assert RangeMin([7]).query(0, 1) == 7
+
+    @given(
+        st.lists(st.integers(-100, 100), min_size=1, max_size=60),
+        st.integers(0, 60),
+        st.integers(0, 60),
+    )
+    def test_matches_min_oracle(self, values, lo, hi):
+        table = RangeMin(values)
+        expected = min(values[lo:hi]) if values[lo:hi] else None
+        assert table.query(lo, hi) == expected

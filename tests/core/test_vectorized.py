@@ -1,0 +1,75 @@
+"""The numpy-vectorized joins must agree exactly with the scalar engine."""
+
+from hypothesis import given, settings
+
+from repro.core.regionset import RegionSet
+from repro.core.vectorized import (
+    vectorized_following,
+    vectorized_included_in,
+    vectorized_including,
+    vectorized_preceding,
+)
+from tests.conftest import region_lists
+
+
+class TestAgreementWithScalarEngine:
+    @given(region_lists(), region_lists())
+    @settings(max_examples=300)
+    def test_including(self, xs, ys):
+        a, b = RegionSet(xs), RegionSet(ys)
+        assert vectorized_including(a, b) == a.including(b)
+
+    @given(region_lists(), region_lists())
+    @settings(max_examples=300)
+    def test_included_in(self, xs, ys):
+        a, b = RegionSet(xs), RegionSet(ys)
+        assert vectorized_included_in(a, b) == a.included_in(b)
+
+    @given(region_lists(), region_lists())
+    def test_preceding(self, xs, ys):
+        a, b = RegionSet(xs), RegionSet(ys)
+        assert vectorized_preceding(a, b) == a.preceding(b)
+
+    @given(region_lists(), region_lists())
+    def test_following(self, xs, ys):
+        a, b = RegionSet(xs), RegionSet(ys)
+        assert vectorized_following(a, b) == a.following(b)
+
+
+class TestEdgeCases:
+    def test_empty_operands(self):
+        a = RegionSet.of((0, 3))
+        empty = RegionSet.empty()
+        for fn in (
+            vectorized_including,
+            vectorized_included_in,
+            vectorized_preceding,
+            vectorized_following,
+        ):
+            assert fn(a, empty) == empty
+            assert fn(empty, a) == empty
+
+    def test_shared_endpoints(self):
+        outer = RegionSet.of((0, 10))
+        assert vectorized_including(outer, RegionSet.of((0, 8))) == outer
+        assert vectorized_including(outer, RegionSet.of((2, 10))) == outer
+        assert vectorized_including(outer, RegionSet.of((0, 10))) == RegionSet.empty()
+
+    def test_negative_coordinates(self):
+        a = RegionSet.of((-20, -1))
+        b = RegionSet.of((-15, -10))
+        assert vectorized_including(a, b) == a
+        assert vectorized_preceding(b, RegionSet.of((5, 6))) == b
+
+    def test_large_sets_spot_check(self):
+        import random
+
+        rng = random.Random(77)
+        a = RegionSet.of(*{
+            (l, l + rng.randint(0, 50)) for l in rng.sample(range(100_000), 3000)
+        })
+        b = RegionSet.of(*{
+            (l, l + rng.randint(0, 50)) for l in rng.sample(range(100_000), 3000)
+        })
+        assert vectorized_including(a, b) == a.including(b)
+        assert vectorized_included_in(a, b) == a.included_in(b)

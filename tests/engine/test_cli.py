@@ -1,0 +1,210 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.engine.cli import main
+
+TAGGED = "<play><scene><speech> words here </speech></scene></play>"
+SOURCE = "program Main { var x; proc P { var x; } }"
+
+
+@pytest.fixture
+def tagged_index(tmp_path):
+    doc = tmp_path / "doc.xml"
+    doc.write_text(TAGGED, encoding="utf-8")
+    index = tmp_path / "doc.index.json"
+    assert main(["index", str(doc), "--format", "tagged", "-o", str(index)]) == 0
+    return doc, index
+
+
+@pytest.fixture
+def source_index(tmp_path):
+    src = tmp_path / "main.prog"
+    src.write_text(SOURCE, encoding="utf-8")
+    index = tmp_path / "main.index.json"
+    assert main(["index", str(src), "--format", "source", "-o", str(index)]) == 0
+    return src, index
+
+
+class TestIndex:
+    def test_index_tagged(self, tagged_index, capsys):
+        _, index = tagged_index
+        assert index.exists()
+
+    def test_index_missing_file(self, tmp_path, capsys):
+        code = main(
+            ["index", str(tmp_path / "nope.xml"), "-o", str(tmp_path / "o.json")]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_index_malformed_source(self, tmp_path, capsys):
+        bad = tmp_path / "bad.prog"
+        bad.write_text("program {", encoding="utf-8")
+        code = main(
+            ["index", str(bad), "--format", "source", "-o", str(tmp_path / "o.json")]
+        )
+        assert code == 1
+
+
+class TestQuery:
+    def test_query_plain(self, tagged_index, capsys):
+        _, index = tagged_index
+        assert main(["query", str(index), "speech within scene"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("1 region(s)")
+
+    def test_query_json(self, tagged_index, capsys):
+        _, index = tagged_index
+        assert main(["query", str(index), "speech", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        left, right = payload[0]
+        assert TAGGED[left] == "<"
+
+    def test_query_with_text(self, tagged_index, capsys):
+        doc, index = tagged_index
+        assert main(["query", str(index), "speech", "--text", str(doc)]) == 0
+        assert "words here" in capsys.readouterr().out
+
+    def test_query_parse_error(self, tagged_index, capsys):
+        _, index = tagged_index
+        assert main(["query", str(index), "speech within within"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_query_unknown_name(self, tagged_index, capsys):
+        _, index = tagged_index
+        assert main(["query", str(index), "nothere"]) == 1
+
+    def test_query_limit(self, source_index, capsys):
+        _, index = source_index
+        assert main(["query", str(index), "Var union Proc", "--limit", "1"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].endswith("region(s)")
+        assert len(out) == 2  # header plus one region line
+
+    def test_query_limit_json(self, source_index, capsys):
+        _, index = source_index
+        assert main(
+            ["query", str(index), "Var union Proc", "--limit", "1", "--json"]
+        ) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 1
+
+    def test_query_annotate(self, tagged_index, capsys):
+        doc, index = tagged_index
+        assert main(
+            ["query", str(index), "speech", "--text", str(doc), "--annotate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "⟦<speech>" in out and "</speech>⟧" in out
+
+    def test_annotate_requires_text(self, tagged_index, capsys):
+        _, index = tagged_index
+        assert main(["query", str(index), "speech", "--annotate"]) == 1
+        assert "requires --text" in capsys.readouterr().err
+
+    def test_query_profile(self, tagged_index, capsys):
+        _, index = tagged_index
+        assert main(["query", str(index), "speech within scene", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "regions," in out
+        assert "total:" in out
+
+    def test_optimized_query_with_rig(self, source_index, capsys):
+        _, index = source_index
+        code = main(
+            [
+                "query",
+                str(index),
+                "Name within Proc_header within Proc within Program",
+                "--optimize",
+                "--rig",
+                "figure1",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.startswith("1 region(s)")
+
+
+class TestExplainAndStats:
+    def test_explain(self, source_index, capsys):
+        _, index = source_index
+        code = main(
+            ["explain", str(index), "Name within Proc_header within Proc within Program"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out
+        assert "Name within Proc_header within Program" in out
+
+    def test_stats(self, source_index, capsys):
+        _, index = source_index
+        assert main(["stats", str(index)]) == 0
+        out = capsys.readouterr().out
+        assert "regions:" in out
+        assert "Proc" in out
+
+    def test_stats_json(self, source_index, capsys):
+        _, index = source_index
+        assert main(["stats", str(index), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["regions"]["Proc"] == 1
+
+
+class TestKwic:
+    def test_kwic_lines(self, tmp_path, capsys):
+        doc = tmp_path / "doc.xml"
+        doc.write_text(TAGGED, encoding="utf-8")
+        assert main(["kwic", str(doc), "words", "--width", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "1 occurrence(s)" in out
+        assert "words" in out
+
+    def test_kwic_source_format(self, tmp_path, capsys):
+        src = tmp_path / "main.prog"
+        src.write_text(SOURCE, encoding="utf-8")
+        assert main(["kwic", str(src), "var", "--format", "source"]) == 0
+        assert "2 occurrence(s)" in capsys.readouterr().out
+
+    def test_kwic_no_matches(self, tmp_path, capsys):
+        doc = tmp_path / "doc.xml"
+        doc.write_text(TAGGED, encoding="utf-8")
+        assert main(["kwic", str(doc), "absent"]) == 0
+        assert "0 occurrence(s)" in capsys.readouterr().out
+
+
+class TestSessionKwic:
+    def test_keyword_in_context(self):
+        from repro.engine.session import Engine
+
+        engine = Engine.from_tagged_text("<a> alpha beta gamma </a>")
+        lines = engine.keyword_in_context("beta", width=6)
+        assert len(lines) == 1
+        point, snippet = lines[0]
+        assert "beta" in snippet
+        assert engine.extract(point) == "beta"
+
+    def test_kwic_requires_text(self, small_instance):
+        from repro.engine.session import Engine
+        from repro.errors import EvaluationError
+
+        engine = Engine(small_instance)
+        with pytest.raises(EvaluationError):
+            engine.keyword_in_context("x")
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self, tagged_index):
+        import subprocess
+        import sys
+
+        _, index = tagged_index
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "stats", str(index)],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "regions:" in proc.stdout

@@ -1,0 +1,69 @@
+"""Result rendering: inline annotation and excerpts."""
+
+import pytest
+
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+from repro.engine.highlight import annotate, excerpts
+from repro.engine.tagged import parse_tagged_text
+from repro.errors import EvaluationError
+
+
+class TestAnnotate:
+    def test_single_region(self):
+        text = "alpha beta gamma"
+        result = annotate(text, RegionSet.of((6, 9)))
+        assert result == "alpha ⟦beta⟧ gamma"
+
+    def test_adjacent_regions(self):
+        text = "ab"
+        result = annotate(text, RegionSet.of((0, 0), (1, 1)))
+        assert result == "⟦a⟧⟦b⟧"
+
+    def test_nested_regions(self):
+        text = "abcde"
+        result = annotate(text, RegionSet.of((0, 4), (1, 3)))
+        assert result == "⟦a⟦bcd⟧e⟧"
+
+    def test_custom_markers(self):
+        result = annotate("xy", RegionSet.of((0, 1)), "[", "]")
+        assert result == "[xy]"
+
+    def test_region_at_text_end(self):
+        result = annotate("abc", RegionSet.of((2, 2)))
+        assert result == "ab⟦c⟧"
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(EvaluationError, match="outside"):
+            annotate("abc", RegionSet.of((0, 10)))
+
+    def test_empty_result_is_identity(self):
+        assert annotate("abc", RegionSet.empty()) == "abc"
+
+    def test_real_query_results(self):
+        from repro.algebra.evaluator import evaluate
+
+        doc = parse_tagged_text("<a><b>x</b><b>y</b></a>")
+        annotated = annotate(doc.text, evaluate("b", doc.instance))
+        assert annotated == "<a>⟦<b>x</b>⟧⟦<b>y</b>⟧</a>"
+
+
+class TestExcerpts:
+    def test_document_order_and_normalization(self):
+        text = "first\n  item   here and second one"
+        result = excerpts(text, RegionSet.of((24, 33), (0, 11)))
+        assert [s for _, s in result] == ["first item", "second one"]
+
+    def test_long_excerpt_trimmed_in_middle(self):
+        text = "start " + "x" * 200 + " finish"
+        (pair,) = excerpts(text, RegionSet.of((0, len(text) - 1)), max_width=21)
+        region, snippet = pair
+        assert len(snippet) <= 21
+        assert "…" in snippet
+        assert snippet.startswith("start")
+        assert snippet.endswith("finish")
+
+    def test_regions_carried_through(self):
+        text = "hello world"
+        result = excerpts(text, RegionSet.of((0, 4)))
+        assert result == [(Region(0, 4), "hello")]

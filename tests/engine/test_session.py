@@ -1,0 +1,170 @@
+"""The Engine facade: querying, views, plans, persistence."""
+
+import pytest
+
+from repro.algebra import ast as A
+from repro.core.regionset import RegionSet
+from repro.engine.session import Engine
+from repro.errors import EvaluationError, UnknownRegionNameError
+
+SOURCE = """program Main {
+    var x;
+    proc Alpha {
+        var y;
+        proc Beta { var x; }
+    }
+}
+"""
+
+
+@pytest.fixture
+def engine():
+    return Engine.from_source(SOURCE)
+
+
+class TestQuerying:
+    def test_query_text(self, engine):
+        result = engine.query("Name within Proc_header")
+        assert len(result) == 2
+
+    def test_query_expression_tree(self, engine):
+        result = engine.query(A.NameRef("Proc"))
+        assert len(result) == 2
+
+    def test_optimized_query_same_result(self, engine):
+        query = "Name within Proc_header within Proc within Program"
+        assert engine.query(query) == engine.query(query, optimize_query=True)
+
+    def test_unknown_name_rejected_before_evaluation(self, engine):
+        with pytest.raises(UnknownRegionNameError):
+            engine.query("Nonsense within Proc")
+
+    def test_extraction(self, engine):
+        names = engine.query("Name within Proc_header")
+        assert set(engine.extract_all(names)) == {"Alpha", "Beta"}
+
+    def test_match_points(self, engine):
+        points = engine.match_points("var")
+        assert len(points) == 3
+
+    def test_statistics(self, engine):
+        stats = engine.statistics()
+        assert stats["regions"]["Proc"] == 2
+        assert stats["total"] == len(engine.instance)
+        assert stats["nesting_depth"] >= 5
+
+
+class TestViews:
+    def test_define_and_query_view(self, engine):
+        engine.define_view("XVars", 'Var @ "x"')
+        assert len(engine.query("XVars")) == 2
+        assert len(engine.query("Proc containing XVars")) == 2
+
+    def test_views_compose(self, engine):
+        engine.define_view("XVars", 'Var @ "x"')
+        engine.define_view("XProcs", "Proc dcontaining Proc_body dcontaining XVars")
+        assert len(engine.query("XProcs")) == 1
+
+    def test_view_name_collision_rejected(self, engine):
+        with pytest.raises(EvaluationError, match="collides"):
+            engine.define_view("Proc", "Var")
+
+    def test_view_with_unknown_name_rejected(self, engine):
+        with pytest.raises(UnknownRegionNameError):
+            engine.define_view("Broken", "Nonsense union Var")
+
+    def test_self_referential_view_rejected(self, engine):
+        engine.define_view("V", "Var")
+        engine._views["V"] = A.Union(A.NameRef("V"), A.NameRef("Var"))
+        with pytest.raises(EvaluationError, match="self-referential"):
+            engine.query("V")
+
+    def test_views_listed_in_statistics(self, engine):
+        engine.define_view("XVars", 'Var @ "x"')
+        assert engine.statistics()["views"] == ["XVars"]
+
+
+class TestExplain:
+    def test_plan_reports_rig_rewrite(self, engine):
+        plan = engine.explain(
+            "Name within Proc_header within Proc within Program"
+        )
+        assert plan.optimized == A.including_chain(
+            ["Name", "Proc_header", "Program"]
+        )
+        assert plan.optimized_cost < plan.original_cost
+        assert "RIG chain simplification" in plan.steps
+        assert "Name within Proc_header within Program" in str(plan)
+
+    def test_plan_for_irreducible_query(self, engine):
+        plan = engine.explain("Var within Proc_body")
+        assert plan.original == plan.optimized
+
+
+class TestNavigation:
+    def test_region_at_innermost(self, engine):
+        # Position of the 'x' in Beta's "var x;".
+        position = SOURCE.index("proc Beta { var x; }") + len("proc Beta { var ")
+        region = engine.region_at(position)
+        assert region is not None
+        assert engine.instance.name_of(region) == "Var"
+
+    def test_region_at_gap(self, engine):
+        assert engine.region_at(10_000) is None
+
+    def test_path_at(self, engine):
+        position = SOURCE.index("proc Beta { var x; }") + len("proc Beta { var ")
+        names = [name for name, _ in engine.path_at(position)]
+        assert names == [
+            "Program",
+            "Prog_body",
+            "Proc",
+            "Proc_body",
+            "Proc",
+            "Proc_body",
+            "Var",
+        ]
+
+    def test_path_at_gap_is_empty(self, engine):
+        assert engine.path_at(10_000) == []
+
+    def test_outline(self, engine):
+        outline = engine.outline()
+        lines = outline.splitlines()
+        assert lines[0].startswith("Program [")
+        assert any(line.startswith("    Proc ") for line in lines)
+        # Depth limiting trims the tree.
+        shallow = engine.outline(max_depth=2)
+        assert len(shallow.splitlines()) < len(lines)
+
+
+class TestConstructionAndPersistence:
+    def test_from_tagged_text(self):
+        engine = Engine.from_tagged_text("<doc><sec> hello </sec></doc>")
+        assert engine.region_names == ("doc", "sec")
+        assert len(engine.query('sec @ "hello"')) == 1
+
+    def test_save_load_round_trip(self, engine, tmp_path):
+        path = tmp_path / "index.json"
+        engine.save(path)
+        loaded = Engine.load(path)
+        assert loaded.query("Proc") == engine.query("Proc")
+
+    def test_loaded_engine_has_no_text(self, engine, tmp_path):
+        path = tmp_path / "index.json"
+        engine.save(path)
+        loaded = Engine.load(path)
+        region = next(iter(loaded.query("Proc")))
+        with pytest.raises(EvaluationError, match="without source text"):
+            loaded.extract(region)
+
+    def test_match_points_need_text_index(self, small_instance):
+        engine = Engine(small_instance)
+        with pytest.raises(EvaluationError, match="text-backed"):
+            engine.match_points("x")
+
+    def test_naive_strategy_engine_agrees(self, engine):
+        naive = Engine.from_source(SOURCE)
+        naive._evaluator = type(naive._evaluator)("naive")
+        query = "Proc dcontaining Proc_body"
+        assert naive.query(query) == engine.query(query)

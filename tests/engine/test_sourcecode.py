@@ -1,0 +1,126 @@
+"""The toy source-code indexer and the Figure 1 structure."""
+
+import random
+
+import pytest
+
+from repro.engine.sourcecode import generate_program_source, parse_source
+from repro.errors import ParseError
+from repro.rig.graph import figure_1_rig
+
+SAMPLE = """program Main {
+    var x;
+    proc Outer {
+        var y;
+        proc Inner {
+            var x;
+        }
+    }
+    proc Other {
+        var z;
+    }
+}
+"""
+
+
+@pytest.fixture
+def doc():
+    return parse_source(SAMPLE)
+
+
+class TestParsing:
+    def test_region_counts(self, doc):
+        instance = doc.instance
+        assert len(instance.region_set("Program")) == 1
+        assert len(instance.region_set("Proc")) == 3
+        assert len(instance.region_set("Proc_header")) == 3
+        assert len(instance.region_set("Name")) == 4  # Main + 3 procs
+        assert len(instance.region_set("Var")) == 4
+
+    def test_hierarchy_valid(self, doc):
+        doc.instance.validate_hierarchy()
+
+    def test_satisfies_figure_1_rig(self, doc):
+        assert figure_1_rig().satisfied_by(doc.instance)
+
+    def test_headers_strictly_include_names(self, doc):
+        instance = doc.instance
+        headers = instance.region_set("Proc_header")
+        names = instance.region_set("Name")
+        assert len(headers.including(names)) == len(headers)
+
+    def test_nested_proc_inside_outer_body(self, doc):
+        instance = doc.instance
+        nested = instance.region_set("Proc").included_in(
+            instance.region_set("Proc_body")
+        )
+        assert len(nested) == 1  # Inner
+
+    def test_extraction(self, doc):
+        instance = doc.instance
+        names = instance.region_set("Name")
+        texts = {doc.extract(r) for r in names}
+        assert texts == {"Main", "Outer", "Inner", "Other"}
+
+    def test_word_index_has_keywords_and_identifiers(self, doc):
+        instance = doc.instance
+        (program,) = instance.region_set("Program")
+        assert instance.matches(program, "var")
+        assert instance.matches(program, "Inner")
+        var_regions = instance.region_set("Var")
+        with_x = [r for r in var_regions if instance.matches(r, "x")]
+        assert len(with_x) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "program {",  # missing name
+            "program Main",  # missing body
+            "program Main { var x }",  # missing semicolon
+            "program Main { proc { } }",  # proc without name
+            "program Main { oops; }",  # unknown statement
+            "program Main { var program; }",  # keyword as identifier
+            "",  # empty file parses to nothing? -> error on EOF
+        ],
+    )
+    def test_malformed(self, source):
+        if source == "":
+            # An empty file is an empty index, not an error.
+            instance = parse_source(source).instance
+            assert len(instance) == 0
+        else:
+            with pytest.raises(ParseError):
+                parse_source(source)
+
+    def test_unclosed_block(self):
+        with pytest.raises(ParseError, match="unclosed|end of source"):
+            parse_source("program Main { var x;")
+
+
+class TestGenerator:
+    def test_generated_sources_parse_and_satisfy_rig(self):
+        rng = random.Random(9)
+        rig = figure_1_rig()
+        for _ in range(20):
+            source = generate_program_source(
+                rng, procedures=rng.randint(0, 10), max_nesting=4
+            )
+            instance = parse_source(source).instance
+            instance.validate_hierarchy()
+            assert rig.satisfied_by(instance)
+
+    def test_procedure_budget_respected(self):
+        rng = random.Random(10)
+        source = generate_program_source(rng, procedures=5)
+        instance = parse_source(source).instance
+        assert len(instance.region_set("Proc")) <= 5
+
+    def test_nesting_bound_respected(self):
+        rng = random.Random(11)
+        for _ in range(10):
+            source = generate_program_source(rng, procedures=12, max_nesting=2)
+            instance = parse_source(source).instance
+            proc_depth = instance.region_set("Proc").max_nesting_depth()
+            assert proc_depth <= 2

@@ -1,0 +1,86 @@
+"""Index persistence round trips and error handling."""
+
+import json
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+from repro.engine.storage import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+from repro.engine.tagged import parse_tagged_text
+from repro.errors import StorageError
+
+
+class TestRoundTrips:
+    def test_label_index_round_trip(self, small_instance, tmp_path):
+        path = tmp_path / "index.json"
+        save_instance(small_instance, path)
+        loaded = load_instance(path)
+        assert loaded == small_instance
+        assert loaded.matches(Region(2, 4), "x")
+
+    def test_text_index_round_trip(self, tmp_path):
+        doc = parse_tagged_text("<a> alpha beta </a> <b> gamma </b>")
+        path = tmp_path / "index.json"
+        save_instance(doc.instance, path)
+        loaded = load_instance(path)
+        assert loaded.names == doc.instance.names
+        (a,) = loaded.region_set("a")
+        assert loaded.matches(a, "alpha")
+        assert not loaded.matches(a, "gamma")
+
+    def test_empty_sets_survive(self, tmp_path):
+        instance = Instance({"A": RegionSet.of((0, 1)), "B": RegionSet.empty()})
+        path = tmp_path / "index.json"
+        save_instance(instance, path)
+        loaded = load_instance(path)
+        assert loaded.names == ("A", "B")
+        assert len(loaded.region_set("B")) == 0
+
+    def test_dict_round_trip_is_json_compatible(self, small_instance):
+        data = instance_to_dict(small_instance)
+        rebuilt = instance_from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == small_instance
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_instance(tmp_path / "nope.json")
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(StorageError):
+            load_instance(path)
+
+    def test_wrong_version(self, small_instance):
+        data = instance_to_dict(small_instance)
+        data["version"] = 99
+        with pytest.raises(StorageError, match="version"):
+            instance_from_dict(data)
+
+    def test_missing_keys(self):
+        with pytest.raises(StorageError, match="malformed"):
+            instance_from_dict({"version": 1})
+
+    def test_unknown_word_index_kind(self, small_instance):
+        data = instance_to_dict(small_instance)
+        data["word_index"] = {"kind": "mystery"}
+        with pytest.raises(StorageError, match="unknown word index"):
+            instance_from_dict(data)
+
+    def test_foreign_word_index_rejected_on_save(self):
+        class Weird:
+            def matches(self, region, pattern):
+                return False
+
+        instance = Instance({"A": RegionSet.of((0, 1))}, Weird())
+        with pytest.raises(StorageError, match="cannot serialize"):
+            instance_to_dict(instance)

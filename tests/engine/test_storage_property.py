@@ -1,0 +1,32 @@
+"""Property-based storage round trips."""
+
+import json
+
+from hypothesis import given, settings
+
+from repro.engine.storage import instance_from_dict, instance_to_dict
+from tests.conftest import hierarchical_instances
+
+
+class TestRoundTripProperties:
+    @given(hierarchical_instances(patterns=("p", "q")))
+    @settings(max_examples=80, deadline=None)
+    def test_label_instances_round_trip_exactly(self, instance):
+        data = json.loads(json.dumps(instance_to_dict(instance)))
+        rebuilt = instance_from_dict(data)
+        assert rebuilt == instance
+        assert rebuilt.names == instance.names
+        for region in instance.all_regions():
+            for pattern in ("p", "q"):
+                assert rebuilt.matches(region, pattern) == instance.matches(
+                    region, pattern
+                )
+
+    @given(hierarchical_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_preserves_query_results(self, instance):
+        from repro.algebra.evaluator import evaluate
+
+        rebuilt = instance_from_dict(instance_to_dict(instance))
+        for query in ("R0 containing R1", "R0 dcontaining R1", "bi(R0, R1, R2)"):
+            assert evaluate(query, rebuilt) == evaluate(query, instance)

@@ -1,0 +1,109 @@
+"""The SGML-ish tagged-text indexer."""
+
+import pytest
+
+from repro.core.region import Region
+from repro.engine.tagged import parse_tagged_text
+from repro.errors import ParseError
+
+
+class TestParsing:
+    def test_single_element(self):
+        doc = parse_tagged_text("<a> hello </a>")
+        regions = doc.instance.region_set("a")
+        assert len(regions) == 1
+        assert doc.extract(next(iter(regions))) == "<a> hello </a>"
+
+    def test_nested_elements_strictly_nest(self):
+        doc = parse_tagged_text("<a><b>x</b></a>")
+        (a,) = doc.instance.region_set("a")
+        (b,) = doc.instance.region_set("b")
+        assert a.includes(b)
+
+    def test_siblings_are_disjoint(self):
+        doc = parse_tagged_text("<a>x</a><a>y</a>")
+        first, second = sorted(doc.instance.region_set("a"))
+        assert first.precedes(second)
+
+    def test_self_closing(self):
+        doc = parse_tagged_text("<a>x <hr/> y</a>")
+        assert len(doc.instance.region_set("hr")) == 1
+
+    def test_attributes_ignored(self):
+        doc = parse_tagged_text('<speech speaker="ROMEO"> hi </speech>')
+        assert len(doc.instance.region_set("speech")) == 1
+        # Attribute text is markup: not in the word index.
+        (region,) = doc.instance.region_set("speech")
+        assert not doc.instance.matches(region, "ROMEO")
+        assert doc.instance.matches(region, "hi")
+
+    def test_comments_skipped(self):
+        doc = parse_tagged_text("<a> x <!-- <b>not real</b> --> y </a>")
+        assert "b" not in doc.instance.names
+        (a,) = doc.instance.region_set("a")
+        assert doc.instance.matches(a, "x")
+        assert doc.instance.matches(a, "y")
+        assert not doc.instance.matches(a, "real")
+
+    def test_repeated_tag_names_nest(self):
+        doc = parse_tagged_text("<sec>a<sec>b</sec></sec>")
+        outer, inner = sorted(doc.instance.region_set("sec"))
+        assert outer.includes(inner)
+
+    def test_hierarchy_always_valid(self):
+        doc = parse_tagged_text("<a><b>x</b><c><b>y</b></c></a>")
+        doc.instance.validate_hierarchy()
+
+
+class TestWordIndex:
+    def test_words_at_original_positions(self):
+        text = "<a> alpha beta </a>"
+        doc = parse_tagged_text(text)
+        (a,) = doc.instance.region_set("a")
+        assert doc.instance.matches(a, "alpha")
+        assert doc.instance.matches(a, "bet*")
+
+    def test_words_outside_elements_indexed(self):
+        doc = parse_tagged_text("pre <a>in</a> post")
+        (a,) = doc.instance.region_set("a")
+        assert not doc.instance.matches(a, "pre")
+        assert not doc.instance.matches(a, "post")
+        assert doc.instance.matches(a, "in")
+
+    def test_containment_is_positional(self):
+        doc = parse_tagged_text("<a> x </a> <b> y </b>")
+        (a,) = doc.instance.region_set("a")
+        (b,) = doc.instance.region_set("b")
+        assert doc.instance.matches(a, "x") and not doc.instance.matches(a, "y")
+        assert doc.instance.matches(b, "y") and not doc.instance.matches(b, "x")
+
+
+class TestErrors:
+    def test_mismatched_close(self):
+        with pytest.raises(ParseError, match="unexpected closing"):
+            parse_tagged_text("<a> x </b>")
+
+    def test_unclosed(self):
+        with pytest.raises(ParseError, match="unclosed"):
+            parse_tagged_text("<a><b> x </b>")
+
+    def test_stray_close(self):
+        with pytest.raises(ParseError):
+            parse_tagged_text("x </a>")
+
+    def test_error_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_tagged_text("abc </a>")
+        assert info.value.position == 4
+
+
+class TestExtraction:
+    def test_extract_inner_region(self):
+        text = "<play><act> words here </act></play>"
+        doc = parse_tagged_text(text)
+        (act,) = doc.instance.region_set("act")
+        assert doc.extract(act) == "<act> words here </act>"
+
+    def test_extract_arbitrary_region(self):
+        doc = parse_tagged_text("<a>hello</a>")
+        assert doc.extract(Region(3, 7)) == "hello"

@@ -1,0 +1,55 @@
+"""Tagged-text parser robustness under arbitrary and generated input."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.tagged import parse_tagged_text
+from repro.errors import ParseError
+
+
+@st.composite
+def well_formed_markup(draw, depth: int = 0) -> str:
+    """Random well-formed tagged text."""
+    pieces = []
+    for _ in range(draw(st.integers(0, 3))):
+        kind = draw(st.integers(0, 2 if depth < 3 else 1))
+        if kind == 0:
+            pieces.append(draw(st.text(alphabet="ab ", max_size=6)))
+        elif kind == 1:
+            tag = draw(st.sampled_from(("x", "y", "z")))
+            pieces.append(f"<{tag}/>")
+        else:
+            tag = draw(st.sampled_from(("x", "y", "z")))
+            inner = draw(well_formed_markup(depth=depth + 1))
+            pieces.append(f"<{tag}>{inner}</{tag}>")
+    return " ".join(pieces)
+
+
+class TestFuzz:
+    @given(st.text(alphabet="<>/ab x", max_size=50))
+    @settings(max_examples=300)
+    def test_arbitrary_text_parses_or_raises_parse_error(self, text):
+        try:
+            doc = parse_tagged_text(text)
+        except ParseError:
+            return
+        doc.instance.validate_hierarchy()
+
+    @given(well_formed_markup())
+    @settings(max_examples=200)
+    def test_well_formed_markup_always_parses(self, text):
+        doc = parse_tagged_text(text)
+        doc.instance.validate_hierarchy()
+        # Every region's extracted text starts with its opening tag.
+        for name in doc.instance.names:
+            for region in doc.instance.region_set(name):
+                assert doc.extract(region).startswith(f"<{name}")
+
+    @given(well_formed_markup())
+    @settings(max_examples=100)
+    def test_region_count_matches_tag_count(self, text):
+        doc = parse_tagged_text(text)
+        opens = sum(
+            text.count(f"<{t}>") + text.count(f"<{t}/>") for t in ("x", "y", "z")
+        )
+        assert len(doc.instance.all_regions()) == opens

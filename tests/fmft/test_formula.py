@@ -1,0 +1,103 @@
+"""FMFT formula syntax: free variables and the restricted fragment."""
+
+from repro.fmft.formula import (
+    And,
+    EqualsAtom,
+    Exists,
+    ForAll,
+    Not,
+    Or,
+    OrderAtom,
+    PredicateAtom,
+    PrefixAtom,
+    free_variables,
+    is_restricted,
+    walk_formula,
+)
+
+
+def _q(name, var="x"):
+    return PredicateAtom("region", name, var)
+
+
+class TestFreeVariables:
+    def test_atoms(self):
+        assert free_variables(_q("A")) == {"x"}
+        assert free_variables(PrefixAtom("x", "y")) == {"x", "y"}
+        assert free_variables(EqualsAtom("x", "x")) == {"x"}
+
+    def test_quantifier_binds(self):
+        formula = Exists("y", And(_q("A"), PrefixAtom("x", "y")))
+        assert free_variables(formula) == {"x"}
+
+    def test_forall_binds(self):
+        formula = ForAll("x", Or(_q("A"), Not(_q("B"))))
+        assert free_variables(formula) == set()
+
+    def test_walk(self):
+        formula = And(_q("A"), Not(_q("B")))
+        kinds = [type(f).__name__ for f in walk_formula(formula)]
+        assert kinds == ["And", "PredicateAtom", "Not", "PredicateAtom"]
+
+
+class TestRestrictedFragment:
+    """The Definition 3.1 grammar."""
+
+    def test_predicate_atoms_are_restricted(self):
+        assert is_restricted(_q("A"))
+        assert is_restricted(PredicateAtom("pattern", "p", "x"))
+
+    def test_boolean_combinations_same_variable(self):
+        assert is_restricted(Or(_q("A"), _q("B")))
+        assert is_restricted(And(_q("A"), _q("B")))
+        assert is_restricted(And(_q("A"), Not(_q("B"))))
+
+    def test_boolean_combinations_mixed_variables_rejected(self):
+        assert not is_restricted(Or(_q("A", "x"), _q("B", "y")))
+        assert not is_restricted(And(_q("A", "x"), _q("B", "y")))
+
+    def test_restricted_existential(self):
+        formula = Exists(
+            "y", And(And(_q("A", "x"), _q("B", "y")), PrefixAtom("x", "y"))
+        )
+        assert is_restricted(formula)
+        # Both atom orientations are allowed (x ∘ y and y ∘ x).
+        flipped = Exists(
+            "y", And(And(_q("A", "x"), _q("B", "y")), OrderAtom("y", "x"))
+        )
+        assert is_restricted(flipped)
+
+    def test_existential_must_quantify_witness(self):
+        formula = Exists(
+            "z", And(And(_q("A", "x"), _q("B", "y")), PrefixAtom("x", "y"))
+        )
+        assert not is_restricted(formula)
+
+    def test_existential_same_variable_rejected(self):
+        formula = Exists(
+            "x", And(And(_q("A", "x"), _q("B", "x")), PrefixAtom("x", "x"))
+        )
+        assert not is_restricted(formula)
+
+    def test_equality_atom_not_restricted(self):
+        formula = Exists(
+            "y", And(And(_q("A", "x"), _q("B", "y")), EqualsAtom("x", "y"))
+        )
+        assert not is_restricted(formula)
+
+    def test_bare_negation_not_restricted(self):
+        assert not is_restricted(Not(_q("A")))
+
+    def test_universal_not_restricted(self):
+        assert not is_restricted(ForAll("x", _q("A")))
+
+    def test_direct_inclusion_formula_is_not_restricted(self):
+        """The Section 5.1 point: ⊃_d needs a negated inner existential."""
+        from repro.fmft.translate import directly_including_formula
+
+        assert not is_restricted(directly_including_formula("A", "B"))
+
+    def test_both_included_formula_is_not_restricted(self):
+        from repro.fmft.translate import both_included_formula
+
+        assert not is_restricted(both_included_formula("C", "B", "A"))

@@ -1,0 +1,126 @@
+"""Theorem 3.5: the 3-CNF → emptiness reduction, validated against SAT."""
+
+import random
+
+import pytest
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import evaluate
+from repro.errors import ReproError
+from repro.fmft.hardness import (
+    CNF,
+    Literal,
+    assignment_to_instance,
+    brute_force_satisfiable,
+    cnf_to_expression,
+    reduction_index_names,
+)
+from repro.workloads.generators import random_instance
+
+
+def _random_cnf(rng, max_vars=4, max_clauses=6):
+    variables = rng.randint(1, max_vars)
+    clauses = tuple(
+        tuple(
+            Literal(rng.randint(1, variables), rng.random() < 0.5)
+            for _ in range(rng.randint(1, 3))
+        )
+        for _ in range(rng.randint(1, max_clauses))
+    )
+    return CNF(variables, clauses)
+
+
+class TestCNFBasics:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            CNF(1, ((),))
+        with pytest.raises(ReproError):
+            CNF(1, ((Literal(2, True),),))
+
+    def test_brute_force_sat(self):
+        sat = CNF(2, ((Literal(1, True), Literal(2, True)),))
+        assert brute_force_satisfiable(sat) is not None
+        unsat = CNF(1, ((Literal(1, True),), (Literal(1, False),)))
+        assert brute_force_satisfiable(unsat) is None
+
+    def test_index_names(self):
+        cnf = CNF(2, ((Literal(1, True),),))
+        assert reduction_index_names(cnf) == ("Doc", "X1", "X2", "T", "F")
+
+
+class TestReduction:
+    def test_expression_is_core_and_polynomial(self):
+        rng = random.Random(0)
+        for _ in range(10):
+            cnf = _random_cnf(rng)
+            expr = cnf_to_expression(cnf)
+            assert A.is_core(expr)
+            literals = sum(len(c) for c in cnf.clauses)
+            assert A.size(expr) <= 6 * literals + 8 * cnf.variable_count + 4
+
+    def test_satisfying_assignment_gives_witness(self):
+        rng = random.Random(1)
+        for _ in range(30):
+            cnf = _random_cnf(rng)
+            assignment = brute_force_satisfiable(cnf)
+            if assignment is None:
+                continue
+            instance = assignment_to_instance(cnf, assignment)
+            assert evaluate(cnf_to_expression(cnf), instance)
+
+    def test_falsifying_assignment_gives_no_witness(self):
+        cnf = CNF(1, ((Literal(1, True),),))
+        instance = assignment_to_instance(cnf, [False])
+        assert not evaluate(cnf_to_expression(cnf), instance)
+
+    def test_unsat_formula_empty_on_random_instances(self):
+        """The Co-NP direction, randomly probed: unsat φ ⇒ e(φ) empty."""
+        rng = random.Random(2)
+        unsat_checked = 0
+        while unsat_checked < 8:
+            cnf = _random_cnf(rng, max_vars=3)
+            if brute_force_satisfiable(cnf) is not None:
+                continue
+            unsat_checked += 1
+            expr = cnf_to_expression(cnf)
+            names = sorted(A.region_names(expr))
+            for _ in range(60):
+                instance = random_instance(rng, names=names, max_nodes=18)
+                assert not evaluate(expr, instance)
+
+    def test_cheating_instances_are_subtracted(self):
+        """A Doc whose X1 holds both T and F must not satisfy anything."""
+        from repro.workloads.generators import TreeNode, instance_from_trees
+
+        cnf = CNF(1, ((Literal(1, True),), (Literal(1, False),)))  # unsat
+        doc = TreeNode(
+            "Doc",
+            [
+                TreeNode("X1", [TreeNode("T")]),
+                TreeNode("X1", [TreeNode("F")]),
+            ],
+        )
+        instance = instance_from_trees([doc], names=reduction_index_names(cnf))
+        assert not evaluate(cnf_to_expression(cnf), instance)
+
+    def test_assignment_length_checked(self):
+        cnf = CNF(2, ((Literal(1, True),),))
+        with pytest.raises(ReproError):
+            assignment_to_instance(cnf, [True])
+
+    def test_emptiness_decides_sat_on_small_formulas(self):
+        """End to end: emptiness testing answers satisfiability."""
+        sat = CNF(2, ((Literal(1, True), Literal(2, False)),))
+        unsat = CNF(1, ((Literal(1, True),), (Literal(1, False),)))
+        sat_expr = cnf_to_expression(sat)
+        # Satisfiable: the canonical witness shows non-emptiness.
+        assignment = brute_force_satisfiable(sat)
+        assert assignment is not None
+        assert evaluate(sat_expr, assignment_to_instance(sat, assignment))
+        # Unsatisfiable: no witness among all canonical assignments.
+        assert all(
+            not evaluate(
+                cnf_to_expression(unsat), assignment_to_instance(unsat, [value])
+            )
+            for value in (True, False)
+        )

@@ -1,0 +1,128 @@
+"""Tree models and the Definition 3.2 representation mapping."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import ReproError
+from repro.fmft.model import (
+    TreeModel,
+    instance_from_model,
+    model_from_instance,
+    word_precedes,
+    word_prefix_includes,
+)
+from tests.conftest import hierarchical_instances
+
+
+class TestWordRelations:
+    def test_prefix_is_proper(self):
+        assert word_prefix_includes("10", "100")
+        assert not word_prefix_includes("10", "10")
+        assert not word_prefix_includes("10", "11")
+
+    def test_precedes_excludes_prefixes(self):
+        assert word_precedes("0", "10")
+        assert not word_precedes("0", "00")  # prefix, i.e. nesting
+        assert not word_precedes("10", "0")
+
+    def test_exactly_one_relation_for_distinct_words(self):
+        words = ["0", "00", "010", "10", "110"]
+        for u in words:
+            for v in words:
+                if u == v:
+                    continue
+                relations = [
+                    word_prefix_includes(u, v),
+                    word_prefix_includes(v, u),
+                    word_precedes(u, v),
+                    word_precedes(v, u),
+                ]
+                assert sum(relations) == 1, (u, v)
+
+
+class TestTreeModel:
+    def test_words_is_union_of_regions(self):
+        model = TreeModel({"A": frozenset({"0"}), "B": frozenset({"10"})})
+        assert model.words == {"0", "10"}
+
+    def test_non_binary_words_rejected(self):
+        with pytest.raises(ReproError):
+            TreeModel({"A": frozenset({"02"})})
+
+    def test_valid_representation(self):
+        good = TreeModel(
+            {"A": frozenset({"0"}), "B": frozenset({"10"})},
+            {"p": frozenset({"0"})},
+        )
+        assert good.is_valid_representation()
+
+    def test_overlapping_region_predicates_invalid(self):
+        bad = TreeModel({"A": frozenset({"0"}), "B": frozenset({"0"})})
+        assert not bad.is_valid_representation()
+
+    def test_pattern_word_outside_regions_invalid(self):
+        bad = TreeModel({"A": frozenset({"0"})}, {"p": frozenset({"10"})})
+        assert not bad.is_valid_representation()
+
+    def test_region_of(self):
+        model = TreeModel({"A": frozenset({"0"})})
+        assert model.region_of("0") == "A"
+        assert model.region_of("1") is None
+
+    def test_equality_ignores_empty_patterns(self):
+        a = TreeModel({"A": frozenset({"0"})}, {"p": frozenset()})
+        b = TreeModel({"A": frozenset({"0"})})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestEmbedding:
+    """Definition 3.2's four conditions on the instance → model mapping."""
+
+    @given(hierarchical_instances(patterns=("p",)))
+    @settings(max_examples=100)
+    def test_conditions_1_to_4(self, instance):
+        model, region_of_word = model_from_instance(instance, patterns=("p",))
+        assert model.is_valid_representation()
+        forest = instance.forest()
+        words = sorted(model.words)
+        # Condition (1): direct prefix ⇔ direct inclusion; condition (2):
+        # lexicographic precedence ⇔ region precedence (non-prefix pairs).
+        for u in words:
+            for v in words:
+                if u == v:
+                    continue
+                ru, rv = region_of_word[u], region_of_word[v]
+                is_direct_prefix = word_prefix_includes(u, v) and not any(
+                    word_prefix_includes(u, w) and word_prefix_includes(w, v)
+                    for w in words
+                )
+                assert is_direct_prefix == (forest.parent_of(rv) == ru)
+                if not v.startswith(u) and not u.startswith(v):
+                    assert word_precedes(u, v) == ru.precedes(rv)
+        # Conditions (3) and (4): predicates match names and W.
+        for word in words:
+            region = region_of_word[word]
+            assert word in model.regions[instance.name_of(region)]
+            assert (word in model.patterns["p"]) == instance.matches(region, "p")
+
+    @given(hierarchical_instances(patterns=("p",)))
+    @settings(max_examples=60)
+    def test_round_trip_model_instance_model(self, instance):
+        model, _ = model_from_instance(instance, patterns=("p",))
+        rebuilt, word_to_region = instance_from_model(model)
+        again, _ = model_from_instance(rebuilt, patterns=("p",))
+        assert again == model
+        assert set(word_to_region) == set(model.words)
+
+    def test_invalid_model_rejected_by_converse(self):
+        bad = TreeModel({"A": frozenset({"0"}), "B": frozenset({"0"})})
+        with pytest.raises(ReproError):
+            instance_from_model(bad)
+
+    def test_non_prefix_free_models_are_nested_instances(self):
+        model = TreeModel({"A": frozenset({"0"}), "B": frozenset({"00", "01"})})
+        instance, word_to_region = instance_from_model(model)
+        forest = instance.forest()
+        assert forest.parent_of(word_to_region["00"]) == word_to_region["0"]
+        assert word_to_region["00"].precedes(word_to_region["01"])

@@ -1,0 +1,69 @@
+"""The FMFT formula printer."""
+
+import pytest
+
+from repro.algebra.enumerate import enumerate_expressions
+from repro.algebra.parser import parse
+from repro.fmft.formula import (
+    And,
+    EqualsAtom,
+    Exists,
+    ForAll,
+    Not,
+    Or,
+    OrderAtom,
+    PredicateAtom,
+    PrefixAtom,
+)
+from repro.fmft.printer import formula_to_text
+from repro.fmft.translate import (
+    algebra_to_formula,
+    directly_including_formula,
+)
+
+
+class TestAtoms:
+    def test_region_and_pattern_atoms(self):
+        assert formula_to_text(PredicateAtom("region", "A", "x")) == "Q_A(x)"
+        assert formula_to_text(PredicateAtom("pattern", "p", "x")) == "W_p(x)"
+
+    def test_relations(self):
+        assert formula_to_text(PrefixAtom("x", "y")) == "x ⊃ y"
+        assert formula_to_text(OrderAtom("x", "y")) == "x < y"
+        assert formula_to_text(EqualsAtom("x", "y")) == "x = y"
+
+
+class TestConnectives:
+    def test_negation(self):
+        assert formula_to_text(Not(PredicateAtom("region", "A", "x"))) == "¬Q_A(x)"
+
+    def test_precedence_parentheses(self):
+        q = lambda n: PredicateAtom("region", n, "x")
+        text = formula_to_text(And(Or(q("A"), q("B")), q("C")))
+        assert text == "(Q_A(x) ∨ Q_B(x)) ∧ Q_C(x)"
+        flat = formula_to_text(Or(q("A"), And(q("B"), q("C"))))
+        assert flat == "Q_A(x) ∨ Q_B(x) ∧ Q_C(x)"
+
+    def test_quantifiers(self):
+        q = PredicateAtom("region", "A", "y")
+        assert formula_to_text(Exists("y", q)) == "(∃y) Q_A(y)"
+        assert formula_to_text(ForAll("y", q)) == "(∀y) Q_A(y)"
+
+    def test_negated_quantifier_parenthesized(self):
+        inner = Exists("z", PrefixAtom("x", "z"))
+        assert formula_to_text(Not(inner)) == "¬((∃z) x ⊃ z)"
+
+
+class TestTranslatedFormulas:
+    def test_translated_query_renders(self):
+        text = formula_to_text(algebra_to_formula(parse("R0 containing R1")))
+        assert text == "(∃y0) Q_R0(x) ∧ Q_R1(y0) ∧ x ⊃ y0"
+
+    def test_direct_inclusion_formula_renders(self):
+        text = formula_to_text(directly_including_formula("A", "B"))
+        assert "¬(" in text and "⊃" in text
+
+    def test_every_small_translation_renders(self):
+        for expr in enumerate_expressions(("A", "B"), 2, patterns=("p",)):
+            text = formula_to_text(algebra_to_formula(expr))
+            assert text  # no crashes, never empty

@@ -1,0 +1,185 @@
+"""Bounded emptiness testing (Theorems 3.4/3.6)."""
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.fmft.model import model_from_instance
+from repro.fmft.satisfiability import (
+    emptiness_formula,
+    enumerate_instances,
+    find_inequivalence_witness,
+    find_nonempty_witness,
+    is_empty_bounded,
+    rig_constraint_formula,
+)
+from repro.fmft.semantics import holds
+from repro.rig.graph import RegionInclusionGraph, figure_1_rig
+
+
+class TestEnumerateInstances:
+    def test_counts_for_one_name(self):
+        # Forest shapes with n nodes = Catalan(n); one name, no patterns.
+        instances = list(enumerate_instances(("R",), max_nodes=3))
+        assert len(instances) == 1 + 2 + 5
+
+    def test_all_enumerated_instances_are_hierarchical(self):
+        for instance in enumerate_instances(("A", "B"), max_nodes=3):
+            instance.validate_hierarchy()
+
+    def test_name_labelings_multiply(self):
+        singles = [i for i in enumerate_instances(("A", "B"), max_nodes=1)]
+        assert len(singles) == 2
+
+    def test_pattern_labelings(self):
+        instances = list(
+            enumerate_instances(("A",), patterns=("p",), max_nodes=1)
+        )
+        assert len(instances) == 2  # labelled or not
+        assert any(
+            instance.matches(next(iter(instance.all_regions())), "p")
+            for instance in instances
+        )
+
+    def test_rig_filter(self):
+        rig = RegionInclusionGraph(("A", "B"), [("A", "B")])
+        for instance in enumerate_instances(("A", "B"), max_nodes=3, rig=rig):
+            assert rig.satisfied_by(instance)
+
+
+class TestEmptinessTesting:
+    def test_satisfiable_expression_gets_witness(self):
+        witness = find_nonempty_witness(parse("A containing B"), max_nodes=3)
+        assert witness is not None
+        assert evaluate("A containing B", witness)
+
+    def test_unsatisfiable_expression_is_empty(self):
+        # A region cannot both precede and include the same name's regions
+        # while being subtracted from itself.
+        expr = parse("(A isect B) except (A isect B)")
+        assert is_empty_bounded(expr, names=("A", "B"), max_nodes=3)
+
+    def test_self_inclusion_needs_two_regions(self):
+        witness = find_nonempty_witness(parse("A containing A"), max_nodes=2)
+        assert witness is not None
+        assert len(witness.all_regions()) == 2
+
+    def test_rig_refinement_changes_the_answer(self):
+        """Theorem 3.6: emptiness w.r.t. a RIG differs from plain emptiness."""
+        expr = parse("B containing A")
+        # Without constraints B can include A…
+        assert find_nonempty_witness(expr, max_nodes=2) is not None
+        # …but not under a RIG where only A includes B.
+        rig = RegionInclusionGraph(("A", "B"), [("A", "B")])
+        assert find_nonempty_witness(expr, max_nodes=3, rig=rig) is None
+
+    def test_inequivalence_witness(self):
+        first = parse("A containing B")
+        second = parse("A")
+        witness = find_inequivalence_witness(first, second, max_nodes=2)
+        assert witness is not None
+        assert evaluate(first, witness) != evaluate(second, witness)
+
+    def test_equivalent_up_to_bound(self):
+        first = parse("A union A")
+        second = parse("A")
+        assert find_inequivalence_witness(first, second, max_nodes=3) is None
+
+
+class TestSentenceLevelDecision:
+    """Theorem 3.6 end-to-end: deciding RIG-relative emptiness entirely
+    at the formula level agrees with instance-level search."""
+
+    def test_formula_level_agrees_with_instance_level(self):
+        from repro.fmft.formula import And
+        from repro.fmft.satisfiability import find_model_for_sentence
+
+        rig = RegionInclusionGraph(("A", "B"), [("A", "B")])
+        cases = {
+            "A containing B": False,  # non-empty under the RIG
+            "B containing A": True,  # empty under the RIG
+            "A within B": True,
+            "B within A": False,
+        }
+        for query, expected_empty in cases.items():
+            expr = parse(query)
+            sentence = And(
+                emptiness_formula(expr, ("A", "B")),
+                rig_constraint_formula(rig),
+            )
+            model_found = find_model_for_sentence(sentence, ("A", "B"), max_nodes=3)
+            instance_found = find_nonempty_witness(expr, max_nodes=3, rig=rig)
+            assert (model_found is None) == expected_empty, query
+            assert (instance_found is None) == expected_empty, query
+
+    def test_witness_instance_actually_witnesses(self):
+        from repro.fmft.formula import And
+        from repro.fmft.satisfiability import find_model_for_sentence
+
+        rig = RegionInclusionGraph(("A", "B"), [("A", "B")])
+        expr = parse("A containing B")
+        sentence = And(
+            emptiness_formula(expr, ("A", "B")), rig_constraint_formula(rig)
+        )
+        found = find_model_for_sentence(sentence, ("A", "B"), max_nodes=3)
+        assert found is not None
+        instance, _ = found
+        assert evaluate(expr, instance)
+        assert rig.satisfied_by(instance)
+
+
+class TestTheoremFormulas:
+    def test_emptiness_formula_satisfied_on_witness_model(self):
+        expr = parse("A containing B")
+        witness = find_nonempty_witness(expr, max_nodes=2)
+        assert witness is not None
+        model, _ = model_from_instance(witness)
+        sentence = emptiness_formula(expr, ("A", "B"))
+        assert holds(sentence, model, {})
+
+    def test_emptiness_formula_fails_on_non_witness(self):
+        expr = parse("A containing B")
+        flat = find_nonempty_witness(parse("A before B"), max_nodes=2)
+        assert flat is not None
+        model, _ = model_from_instance(flat)
+        if not evaluate(expr, flat):
+            assert not holds(emptiness_formula(expr, ("A", "B")), model, {})
+
+    def test_emptiness_formula_includes_pattern_condition(self):
+        expr = parse('A @ "p"')
+        sentence = emptiness_formula(expr, ("A",), patterns=("p",))
+        witness = find_nonempty_witness(expr, max_nodes=2)
+        assert witness is not None
+        model, _ = model_from_instance(witness, patterns=("p",))
+        assert holds(sentence, model, {})
+
+    def test_rig_constraint_formula(self):
+        rig = RegionInclusionGraph(("A", "B"), [("A", "B")])
+        constraint = rig_constraint_formula(rig)
+        good = find_nonempty_witness(parse("A containing B"), max_nodes=2)
+        bad = find_nonempty_witness(parse("B containing A"), max_nodes=2)
+        assert good is not None and bad is not None
+        good_model, _ = model_from_instance(good)
+        bad_model, _ = model_from_instance(bad)
+        assert holds(constraint, good_model, {})
+        assert not holds(constraint, bad_model, {})
+
+    def test_rig_constraint_formula_no_edges(self):
+        rig = RegionInclusionGraph(("A",), [])
+        constraint = rig_constraint_formula(rig)
+        nested = find_nonempty_witness(parse("A containing A"), max_nodes=2)
+        flat = find_nonempty_witness(parse("A"), max_nodes=1)
+        assert nested is not None and flat is not None
+        nested_model, _ = model_from_instance(nested)
+        flat_model, _ = model_from_instance(flat)
+        assert not holds(constraint, nested_model, {})
+        assert holds(constraint, flat_model, {})
+
+    def test_figure_1_rig_constraint_on_real_source(self):
+        import random
+
+        from repro.engine.sourcecode import generate_program_source, parse_source
+
+        source = generate_program_source(random.Random(3), procedures=4)
+        instance = parse_source(source).instance
+        model, _ = model_from_instance(instance)
+        assert holds(rig_constraint_formula(figure_1_rig()), model, {})

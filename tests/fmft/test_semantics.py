@@ -1,0 +1,114 @@
+"""Formula evaluation over finite tree models."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.fmft.formula import (
+    And,
+    EqualsAtom,
+    Exists,
+    ForAll,
+    Not,
+    Or,
+    OrderAtom,
+    PredicateAtom,
+    PrefixAtom,
+)
+from repro.fmft.model import TreeModel
+from repro.fmft.semantics import holds, satisfying_words
+
+
+@pytest.fixture
+def model():
+    #        0 (A)            1 (A)
+    #      /   \
+    #   00 (B)  01 (C,p)
+    return TreeModel(
+        {
+            "A": frozenset({"0", "1"}),
+            "B": frozenset({"00"}),
+            "C": frozenset({"01"}),
+        },
+        {"p": frozenset({"01"})},
+    )
+
+
+def _q(name, var="x", kind="region"):
+    return PredicateAtom(kind, name, var)
+
+
+class TestAtoms:
+    def test_region_predicate(self, model):
+        assert holds(_q("A"), model, {"x": "0"})
+        assert not holds(_q("A"), model, {"x": "00"})
+
+    def test_pattern_predicate(self, model):
+        assert holds(_q("p", kind="pattern"), model, {"x": "01"})
+        assert not holds(_q("p", kind="pattern"), model, {"x": "00"})
+
+    def test_unknown_predicate_is_false(self, model):
+        assert not holds(_q("Z"), model, {"x": "0"})
+
+    def test_prefix_and_order(self, model):
+        assert holds(PrefixAtom("x", "y"), model, {"x": "0", "y": "00"})
+        assert holds(OrderAtom("x", "y"), model, {"x": "00", "y": "01"})
+        assert not holds(OrderAtom("x", "y"), model, {"x": "0", "y": "00"})
+
+    def test_equals(self, model):
+        assert holds(EqualsAtom("x", "y"), model, {"x": "0", "y": "0"})
+        assert not holds(EqualsAtom("x", "y"), model, {"x": "0", "y": "1"})
+
+    def test_unbound_variable(self, model):
+        with pytest.raises(EvaluationError, match="unbound"):
+            holds(_q("A"), model, {})
+
+
+class TestConnectivesAndQuantifiers:
+    def test_connectives(self, model):
+        env = {"x": "0"}
+        assert holds(Or(_q("B"), _q("A")), model, env)
+        assert not holds(And(_q("B"), _q("A")), model, env)
+        assert holds(Not(_q("B")), model, env)
+
+    def test_exists(self, model):
+        # Some B word is included in x.
+        formula = Exists("y", And(_q("B", "y"), PrefixAtom("x", "y")))
+        assert holds(formula, model, {"x": "0"})
+        assert not holds(formula, model, {"x": "1"})
+
+    def test_forall(self, model):
+        # Every B word is inside some A word.
+        formula = ForAll(
+            "y",
+            Or(
+                Not(_q("B", "y")),
+                Exists("z", And(_q("A", "z"), PrefixAtom("z", "y"))),
+            ),
+        )
+        assert holds(formula, model, {"x": "0"})
+
+    def test_quantifier_restores_environment(self, model):
+        env = {"x": "0", "y": "1"}
+        holds(Exists("y", _q("B", "y")), model, dict(env))
+        assert env["y"] == "1"
+
+    def test_quantifiers_range_over_model_words_only(self, model):
+        # "11" is not a word in the model, so it is no witness.
+        formula = Exists("y", EqualsAtom("y", "y"))
+        assert holds(formula, model, {})
+        none_outside = Exists(
+            "y", And(_q("A", "y"), PrefixAtom("x", "y"))
+        )
+        assert not holds(none_outside, model, {"x": "1"})
+
+
+class TestSatisfyingWords:
+    def test_result_set(self, model):
+        formula = Exists("y", And(_q("C", "y"), PrefixAtom("x", "y")))
+        assert satisfying_words(formula, model) == {"0"}
+
+    def test_requires_single_free_variable(self, model):
+        with pytest.raises(EvaluationError):
+            satisfying_words(PrefixAtom("x", "y"), model)
+        with pytest.raises(EvaluationError):
+            satisfying_words(ForAll("x", _q("A")), model)

@@ -1,0 +1,130 @@
+"""Proposition 3.3: the algebra ⇄ restricted-formula translations."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra import ast as A
+from repro.algebra.enumerate import enumerate_expressions
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.errors import ReproError
+from repro.fmft.formula import is_restricted
+from repro.fmft.model import model_from_instance
+from repro.fmft.semantics import satisfying_words
+from repro.fmft.translate import (
+    algebra_to_formula,
+    both_included_formula,
+    directly_including_formula,
+    formula_to_algebra,
+)
+from tests.conftest import hierarchical_instances
+
+QUERIES = [
+    "R0",
+    "R0 union R1",
+    "R0 isect R1",
+    "R0 except R1",
+    "R0 containing R1",
+    "R0 within R1",
+    "R0 before R1",
+    "R0 after R1",
+    'R0 @ "p"',
+    'R0 containing (R1 @ "p") before R2',
+    "(R0 except R1) within (R1 union R2)",
+]
+
+
+class TestTranslationShape:
+    def test_every_core_query_translates_to_restricted(self):
+        for query in QUERIES:
+            assert is_restricted(algebra_to_formula(parse(query)))
+
+    def test_exhaustive_small_expressions_round_trip(self):
+        for expr in enumerate_expressions(("A", "B"), 2, patterns=("p",)):
+            formula = algebra_to_formula(expr)
+            assert is_restricted(formula)
+            assert formula_to_algebra(formula) == expr
+
+    def test_extended_operators_rejected(self):
+        with pytest.raises(ReproError):
+            algebra_to_formula(A.DirectlyIncluding(A.NameRef("A"), A.NameRef("B")))
+
+    def test_bare_pattern_atom_rejected_by_converse(self):
+        from repro.fmft.formula import PredicateAtom
+
+        with pytest.raises(ReproError):
+            formula_to_algebra(PredicateAtom("pattern", "p", "x"))
+
+
+class TestSemanticAgreement:
+    """region_I(w) ∈ e(I)  iff  w ∈ φ(t) — the statement of Prop 3.3."""
+
+    @given(hierarchical_instances(patterns=("p",)))
+    @settings(max_examples=80, deadline=None)
+    def test_agreement_on_random_instances(self, instance):
+        model, region_of_word = model_from_instance(instance, patterns=("p",))
+        for query in QUERIES:
+            expr = parse(query)
+            expected = evaluate(expr, instance)
+            words = satisfying_words(algebra_to_formula(expr), model)
+            assert {region_of_word[w] for w in words} == set(expected), query
+
+    @given(hierarchical_instances(patterns=("p",)))
+    @settings(max_examples=40, deadline=None)
+    def test_converse_agreement(self, instance):
+        """Evaluating the translated-back expression agrees too."""
+        model, region_of_word = model_from_instance(instance, patterns=("p",))
+        for query in QUERIES[:6]:
+            formula = algebra_to_formula(parse(query))
+            expr = formula_to_algebra(formula)
+            expected = {region_of_word[w] for w in satisfying_words(formula, model)}
+            assert set(evaluate(expr, instance)) == expected
+
+
+class TestExhaustiveSweep:
+    """Prop 3.3 checked on *every* expression of ≤ 2 ops against a fixed
+    panel of instances — the exhaustive counterpart of the random tests."""
+
+    def test_all_small_expressions_agree_on_panel(self):
+        from repro.algebra.enumerate import enumerate_expressions
+        from repro.fmft.satisfiability import enumerate_instances
+
+        panel = [
+            instance
+            for i, instance in enumerate(
+                enumerate_instances(("A", "B"), patterns=("p",), max_nodes=3)
+            )
+            if i % 17 == 0  # a spread-out sample of the bounded space
+        ]
+        assert len(panel) >= 20
+        prepared = [
+            (instance, *model_from_instance(instance, patterns=("p",)))
+            for instance in panel
+        ]
+        for expr in enumerate_expressions(("A", "B"), 2, patterns=("p",)):
+            formula = algebra_to_formula(expr)
+            for instance, model, region_of_word in prepared:
+                words = satisfying_words(formula, model)
+                assert {region_of_word[w] for w in words} == set(
+                    evaluate(expr, instance)
+                ), expr
+
+
+class TestExtendedOperatorFormulas:
+    """⊃_d and BI as general FMFT formulas (Theorem 3.6's remark)."""
+
+    @given(hierarchical_instances(names=("A", "B")))
+    @settings(max_examples=60, deadline=None)
+    def test_direct_inclusion_formula_matches_native(self, instance):
+        model, region_of_word = model_from_instance(instance)
+        words = satisfying_words(directly_including_formula("A", "B"), model)
+        expected = evaluate("A dcontaining B", instance)
+        assert {region_of_word[w] for w in words} == set(expected)
+
+    @given(hierarchical_instances(names=("A", "B", "C")))
+    @settings(max_examples=60, deadline=None)
+    def test_both_included_formula_matches_native(self, instance):
+        model, region_of_word = model_from_instance(instance)
+        words = satisfying_words(both_included_formula("C", "B", "A"), model)
+        expected = evaluate("bi(C, B, A)", instance)
+        assert {region_of_word[w] for w in words} == set(expected)

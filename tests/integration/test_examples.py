@@ -1,0 +1,35 @@
+"""Every example script must run cleanly — deliverable insurance."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip(), "examples must narrate what they do"
+
+
+def test_all_six_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "source_code_queries.py",
+        "sgml_play.py",
+        "theory_tour.py",
+        "corpus_search.py",
+        "dictionary_lookup.py",
+    } <= names

@@ -1,0 +1,127 @@
+"""Regression locks for the EXPERIMENTS.md claims.
+
+The benchmark harness measures times; these tests pin the *deterministic*
+part of every experiment's claim — who computes what, which rewrites
+fire, where the constructions sit — so a regression in any claim fails
+fast in the unit suite rather than silently skewing a benchmark.
+"""
+
+import random
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.algebra.programs import (
+    direct_chain_program,
+    direct_chain_program_corrected,
+    direct_including_program,
+)
+from repro.core.regionset import RegionSet
+from repro.engine.session import Engine
+from repro.engine.sourcecode import generate_program_source
+from repro.rig.graph import figure_1_rig
+from repro.rig.minimal_set import minimal_set_single_pair
+from repro.workloads.generators import (
+    TreeNode,
+    figure_2_instance,
+    figure_3_instance,
+    instance_from_trees,
+)
+
+
+class TestE1Claims:
+    def test_rewrite_drops_exactly_one_operation(self):
+        engine_plan = Engine.from_source(
+            generate_program_source(random.Random(0), procedures=10)
+        ).explain("Name within Proc_header within Proc within Program")
+        assert A.size(engine_plan.original) == 3
+        assert A.size(engine_plan.optimized) == 2
+        assert engine_plan.optimized == parse(
+            "Name within Proc_header within Program"
+        )
+
+
+class TestE6Claims:
+    def test_tower_direct_inclusion_shape(self):
+        for depth in (16, 64):
+            tower = figure_2_instance(depth)
+            result = evaluate("B dcontaining A", tower)
+            assert len(result) == depth // 2
+            program = direct_including_program(
+                tower, tower.region_set("B"), tower.region_set("A")
+            )
+            assert program.regions == result
+            assert program.iterations == depth // 2  # one per B-layer
+
+
+class TestE7Claims:
+    def test_family_selects_exactly_the_middle(self):
+        for k in (4, 16):
+            family = figure_3_instance(k)
+            result = evaluate("bi(C, B, A)", family)
+            middle = sorted(family.region_set("C"), key=lambda r: r.left)[2 * k]
+            assert result == RegionSet([middle])
+
+
+class TestE9Claims:
+    def test_printed_program_is_sound_but_incomplete(self):
+        tree = TreeNode(
+            "R1", [TreeNode("R0", [TreeNode("R1", [TreeNode("R2")])])]
+        )
+        instance = instance_from_trees([tree], names=("R0", "R1", "R2"))
+        native = evaluate("R0 dcontaining R1 dcontaining R2", instance)
+        printed = direct_chain_program(instance, ["R0", "R1", "R2"]).regions
+        corrected = direct_chain_program_corrected(
+            instance, ["R0", "R1", "R2"]
+        ).regions
+        assert printed.difference(native) == RegionSet.empty()  # sound
+        assert printed != native  # incomplete (the documented miss)
+        assert corrected == native  # our variant is exact
+
+    def test_corrected_degenerates_to_single_program_at_n2(self, small_instance):
+        chain = direct_chain_program_corrected(small_instance, ["A", "D"])
+        single = direct_including_program(
+            small_instance,
+            small_instance.region_set("A"),
+            small_instance.region_set("D"),
+        )
+        assert chain.regions == single.regions
+
+
+class TestE10Claims:
+    def test_min_cut_cover_is_proper_subset_of_all_names(self):
+        rig = figure_1_rig()
+        cover = minimal_set_single_pair(rig, "Proc", "Var")
+        assert cover
+        assert len(cover) < len(rig.names)
+
+    def test_restricted_program_is_exact(self):
+        rng = random.Random(5)
+        instance = Engine.from_source(
+            generate_program_source(rng, procedures=30, max_nesting=5)
+        ).instance
+        cover = minimal_set_single_pair(figure_1_rig(), "Proc", "Var")
+        restricted = direct_including_program(
+            instance,
+            instance.region_set("Proc"),
+            instance.region_set("Var"),
+            tuple(cover),
+        )
+        assert restricted.regions == evaluate("Proc dcontaining Var", instance)
+
+
+class TestE11Claims:
+    def test_relational_formulations_agree_with_native(self):
+        from repro.algebra.relational import (
+            relational_both_included,
+            relational_directly_including,
+        )
+
+        family = figure_3_instance(3)
+        assert relational_both_included(
+            family.region_set("C"), family.region_set("B"), family.region_set("A")
+        ) == evaluate("bi(C, B, A)", family)
+        tower = figure_2_instance(10)
+        assert relational_directly_including(
+            tower, tower.region_set("B"), tower.region_set("A")
+        ) == evaluate("B dcontaining A", tower)

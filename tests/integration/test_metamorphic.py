@@ -1,0 +1,81 @@
+"""Metamorphic properties: invariances every layer must respect.
+
+The paper's Section 3 observation — "the operators in the region
+algebra test the relative location of regions, but the exact position
+of region endpoints is not explicitly used" — yields strong metamorphic
+tests: translating all positions, or round-tripping an instance through
+its tree model, must not change any query's (relative) answer.
+"""
+
+from hypothesis import given, settings
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.core.regionset import RegionSet
+from repro.fmft.model import instance_from_model, model_from_instance
+from tests.conftest import hierarchical_instances
+
+QUERIES = [
+    "R0 containing R1",
+    "R0 within R1 before R2",
+    "R0 dcontaining R1",
+    "R1 dwithin R0",
+    "bi(R0, R1, R2)",
+    'R0 @ "p" except (R1 union R2)',
+    "R0 not containing R1",
+]
+
+
+class TestShiftInvariance:
+    @given(hierarchical_instances(patterns=("p",)))
+    @settings(max_examples=60, deadline=None)
+    def test_results_shift_with_the_instance(self, instance):
+        offset = 1000
+        shifted = instance.shifted(offset)
+        for query in QUERIES:
+            expr = parse(query)
+            expected = RegionSet(
+                r.shifted(offset) for r in evaluate(expr, instance)
+            )
+            assert evaluate(expr, shifted) == expected, query
+
+
+class TestModelRoundTripInvariance:
+    """instance → model → instance preserves every query, relative to
+    the pre-order correspondence of regions."""
+
+    @given(hierarchical_instances(patterns=("p",)))
+    @settings(max_examples=40, deadline=None)
+    def test_query_results_correspond(self, instance):
+        model, region_of_word = model_from_instance(instance, patterns=("p",))
+        rebuilt, word_to_region = instance_from_model(model)
+        # The region correspondence between original and rebuilt.
+        correspondence = {
+            region_of_word[word]: word_to_region[word] for word in model.words
+        }
+        for query in QUERIES:
+            expr = parse(query)
+            original = {correspondence[r] for r in evaluate(expr, instance)}
+            rebuilt_result = set(evaluate(expr, rebuilt))
+            assert original == rebuilt_result, query
+
+
+class TestDeletionMonotonicityOfNames:
+    """Renaming the index's declaration order must never matter."""
+
+    @given(hierarchical_instances(patterns=("p",)))
+    @settings(max_examples=40, deadline=None)
+    def test_name_declaration_order_irrelevant(self, instance):
+        from repro.core.instance import Instance
+
+        reordered = Instance(
+            {
+                name: instance.region_set(name)
+                for name in reversed(instance.names)
+            },
+            instance.word_index,
+            validate=False,
+        )
+        for query in QUERIES:
+            expr = parse(query)
+            assert evaluate(expr, instance) == evaluate(expr, reordered), query

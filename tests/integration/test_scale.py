@@ -1,0 +1,70 @@
+"""Scale smoke: the full pipeline on corpus-sized inputs.
+
+Not a benchmark — wall time stays in CI range — but large enough that
+quadratic accidents or recursion limits would show.
+"""
+
+import random
+
+from repro.algebra.evaluator import evaluate
+from repro.core.regionset import RegionSet
+from repro.engine.corpus import Corpus
+from repro.engine.session import Engine
+from repro.engine.sourcecode import generate_program_source
+from repro.rig.graph import figure_1_rig
+from repro.workloads.corpora import generate_play
+from repro.workloads.generators import balanced_tree, nested_tower
+
+
+class TestScale:
+    def test_large_source_file(self):
+        rng = random.Random(4096)
+        source = generate_program_source(
+            rng, procedures=400, max_nesting=8, max_vars=5
+        )
+        engine = Engine.from_source(source)
+        stats = engine.statistics()
+        assert stats["regions"]["Proc"] == 400
+        assert figure_1_rig().satisfied_by(engine.instance)
+        defining = engine.query('Proc dcontaining Proc_body dcontaining (Var @ "x")')
+        containing = engine.query('Proc containing (Var @ "x")')
+        assert defining.difference(containing) == RegionSet.empty()
+
+    def test_large_play_corpus(self):
+        rng = random.Random(8192)
+        corpus = Corpus()
+        for i in range(8):
+            corpus.add(
+                generate_play(rng, acts=3, scenes_per_act=4, speeches_per_scene=6),
+                name=f"play{i}",
+            )
+        engine = corpus.engine()
+        assert engine.statistics()["total"] > 2000
+        counts = corpus.count_by_document(corpus.query("scene"))
+        assert sum(counts.values()) == 8 * 12
+
+    def test_deep_tower_operations(self):
+        tower = nested_tower(600, ("R0", "R1"))
+        assert tower.nesting_depth() == 600
+        direct = evaluate("R0 dcontaining R1", tower)
+        assert len(direct) == 300
+        layers = tower.forest().layers()
+        assert len(layers) == 600
+
+    def test_wide_tree_operations(self):
+        tree = balanced_tree(5, 6, ("R0", "R1"))  # 1555 regions
+        assert len(tree) == 1 + 6 + 36 + 216 + 1296
+        result = evaluate("R1 dwithin R0", tree)
+        # Levels alternate R0/R1: every R1 node's parent is an R0 node.
+        assert result == tree.region_set("R1")
+
+    def test_big_index_round_trip(self, tmp_path):
+        rng = random.Random(11)
+        engine = Engine.from_source(
+            generate_program_source(rng, procedures=150, max_nesting=6)
+        )
+        path = tmp_path / "big.index.json"
+        engine.save(path)
+        loaded = Engine.load(path)
+        assert loaded.query("Proc") == engine.query("Proc")
+        assert len(loaded.query('Var @ "x"')) == len(engine.query('Var @ "x"'))

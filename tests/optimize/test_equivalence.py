@@ -1,0 +1,64 @@
+"""Layered equivalence testing (Definition 2.5 / Theorem 3.4)."""
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.optimize.equivalence import check_equivalence
+from repro.rig.graph import RegionInclusionGraph, figure_1_rig
+
+
+class TestPlainEquivalence:
+    def test_identical_expressions(self):
+        verdict = check_equivalence(parse("A"), parse("A"))
+        assert verdict.equivalent
+
+    def test_trivially_equivalent(self):
+        verdict = check_equivalence(parse("A union A"), parse("A"))
+        assert verdict.equivalent
+        assert verdict.witness is None
+
+    def test_inequivalent_found_with_witness(self):
+        verdict = check_equivalence(parse("A containing B"), parse("A"))
+        assert not verdict.equivalent
+        assert verdict.witness is not None
+        assert evaluate("A containing B", verdict.witness) != evaluate(
+            "A", verdict.witness
+        )
+
+    def test_subtle_inequivalence(self):
+        # A ⊃ (B ⊃ C) vs (A ⊃ B) ⊃ C — grouping matters.
+        first = parse("A containing (B containing C)")
+        second = parse("(A containing B) containing C")
+        verdict = check_equivalence(first, second, max_nodes=4)
+        assert not verdict.equivalent
+
+    def test_commuted_union_equivalent(self):
+        verdict = check_equivalence(parse("A union B"), parse("B union A"))
+        assert verdict.equivalent
+
+
+class TestRigRelativeEquivalence:
+    def test_paper_e1_e2_equivalent_under_figure_1(self):
+        """The headline example: e1 ≡ e2 w.r.t. the Figure 1 RIG."""
+        e1 = parse("Name within Proc_header within Proc within Program")
+        e2 = parse("Name within Proc_header within Program")
+        verdict = check_equivalence(e1, e2, rig=figure_1_rig(), max_nodes=4)
+        assert verdict.equivalent
+
+    def test_paper_e1_e2_not_equivalent_without_rig(self):
+        e1 = parse("Name within Proc_header within Proc within Program")
+        e2 = parse("Name within Proc_header within Program")
+        verdict = check_equivalence(e1, e2, max_nodes=4)
+        assert not verdict.equivalent
+        assert verdict.witness is not None
+
+    def test_rig_witness_satisfies_rig(self):
+        rig = RegionInclusionGraph(("A", "B"), [("A", "B")])
+        # Under this RIG, B never includes anything: B ⊃ A ≡ empty.
+        verdict = check_equivalence(
+            parse("B containing A"), parse("empty"), rig=rig, max_nodes=3
+        )
+        assert verdict.equivalent
+        # Without the RIG they differ.
+        free = check_equivalence(parse("B containing A"), parse("empty"))
+        assert not free.equivalent
+        assert free.witness is not None

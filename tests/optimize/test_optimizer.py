@@ -1,0 +1,64 @@
+"""The cost-based optimizer (Section 3's optimization recipe)."""
+
+from repro.algebra import ast as A
+from repro.algebra.cost import CostModel, operation_count
+from repro.algebra.parser import parse
+from repro.optimize.optimizer import optimize
+from repro.rig.graph import figure_1_rig
+
+
+class TestPolynomialPass:
+    def test_identities_applied(self):
+        result = optimize(parse("A union A"))
+        assert result.expression == A.NameRef("A")
+        assert result.improved
+        assert "algebraic identities" in result.steps
+
+    def test_rig_chain_pass(self):
+        result = optimize(
+            parse("Name within Proc_header within Proc within Program"),
+            rig=figure_1_rig(),
+        )
+        assert result.expression == parse(
+            "Name within Proc_header within Program"
+        )
+        assert result.original_cost == 3
+        assert result.optimized_cost == 2
+        assert "RIG chain simplification" in result.steps
+
+    def test_no_rig_no_chain_pass(self):
+        expr = parse("Name within Proc_header within Proc within Program")
+        result = optimize(expr)
+        assert result.expression == expr
+        assert not result.improved
+
+    def test_custom_cost_model(self, small_instance):
+        model = CostModel.from_instance(small_instance)
+        result = optimize(parse("D union D"), cost_model=model)
+        assert result.optimized_cost < result.original_cost
+
+
+class TestExhaustivePass:
+    def test_finds_cheaper_equivalent(self):
+        # (A ∩ A) ∪ A is equivalent to plain A; the bounded search finds it.
+        expr = parse("(A isect A) union A")
+        result = optimize(expr, exhaustive=True, max_candidate_ops=0)
+        assert result.expression == A.NameRef("A")
+        assert result.optimized_cost == 0
+
+    def test_search_respects_budget(self):
+        expr = parse("A containing (B containing A)")
+        result = optimize(expr, exhaustive=True, max_candidate_ops=0)
+        # Nothing of size 0 is equivalent; the expression survives.
+        assert operation_count(result.expression) == 2
+
+    def test_exhaustive_never_returns_inequivalent(self):
+        from repro.algebra.evaluator import evaluate
+        from repro.fmft.satisfiability import enumerate_instances
+
+        expr = parse("A containing B")
+        result = optimize(expr, exhaustive=True, max_candidate_ops=1)
+        for instance in enumerate_instances(("A", "B"), max_nodes=3):
+            assert evaluate(expr, instance) == evaluate(
+                result.expression, instance
+            )

@@ -1,0 +1,153 @@
+"""Rewrite rules and the Section 2.2 RIG chain simplification."""
+
+import random
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.optimize.rewrite import (
+    simplify,
+    simplify_chains,
+    simplify_inclusion_chain,
+)
+from repro.rig.graph import RegionInclusionGraph, figure_1_rig
+from repro.workloads.generators import rig_constrained_instance
+
+
+class TestAlgebraicIdentities:
+    def test_idempotence(self):
+        assert simplify(parse("A union A")) == A.NameRef("A")
+        assert simplify(parse("A isect A")) == A.NameRef("A")
+
+    def test_annihilation(self):
+        assert simplify(parse("A except A")) == A.Empty()
+
+    def test_empty_propagation(self):
+        assert simplify(parse("A isect empty")) == A.Empty()
+        assert simplify(parse("A union empty")) == A.NameRef("A")
+        assert simplify(parse("empty union A")) == A.NameRef("A")
+        assert simplify(parse("A except empty")) == A.NameRef("A")
+        assert simplify(parse("A containing empty")) == A.Empty()
+        assert simplify(parse("empty within A")) == A.Empty()
+        assert simplify(parse("bi(A, empty, A)")) == A.Empty()
+
+    def test_duplicate_selection(self):
+        assert simplify(parse('A @ "p" @ "p"')) == A.Select("p", A.NameRef("A"))
+        # Distinct patterns must both stay.
+        stacked = parse('A @ "p" @ "q"')
+        assert simplify(stacked) == stacked
+
+    def test_cascading(self):
+        # (A except A) union B → empty union B → B
+        assert simplify(parse("(A except A) union B")) == A.NameRef("B")
+
+    def test_no_change_for_irreducible(self):
+        expr = parse("A containing B")
+        assert simplify(expr) == expr
+
+    def test_identities_preserve_semantics(self, small_instance):
+        for query in (
+            "A union A",
+            "(D except D) union B",
+            "B isect B containing empty",
+            'D @ "x" @ "x"',
+        ):
+            expr = parse(query.replace("R0", "A"))
+            assert evaluate(expr, small_instance) == evaluate(
+                simplify(expr), small_instance
+            )
+
+
+class TestChainSimplification:
+    def test_paper_example_e1_to_e2(self):
+        """Section 2.2: the Figure 1 RIG makes the Proc test redundant."""
+        rig = figure_1_rig()
+        chain = ["Name", "Proc_header", "Proc", "Program"]
+        assert simplify_inclusion_chain(chain, rig) == [
+            "Name",
+            "Proc_header",
+            "Program",
+        ]
+
+    def test_proc_header_cannot_be_dropped(self):
+        """'We cannot further omit the test for inclusion in Proc_header,
+        since we need to distinguish names of programs and procedures.'"""
+        rig = figure_1_rig()
+        chain = ["Name", "Proc_header", "Program"]
+        assert simplify_inclusion_chain(chain, rig) == chain
+
+    def test_direct_rig_edge_blocks_dropping(self):
+        # With an additional direct edge Program → Name, the header test
+        # is genuinely filtering and cannot be dropped.
+        rig = RegionInclusionGraph(
+            ("Name", "H", "Program"),
+            [("Program", "H"), ("H", "Name"), ("Program", "Name")],
+        )
+        chain = ["Name", "H", "Program"]
+        assert simplify_inclusion_chain(chain, rig) == chain
+
+    def test_containing_chains_simplify_symmetrically(self):
+        rig = figure_1_rig()
+        chain = ["Program", "Proc", "Proc_header", "Name"]
+        result = simplify_inclusion_chain(chain, rig, A.Including)
+        # Either middle test is individually redundant; one must go.
+        assert len(result) == 3
+        assert result[0] == "Program" and result[-1] == "Name"
+
+    def test_unknown_names_never_dropped(self):
+        rig = figure_1_rig()
+        chain = ["Name", "Mystery", "Program"]
+        assert simplify_inclusion_chain(chain, rig) == chain
+
+    def test_simplify_chains_rewrites_inside_expressions(self):
+        rig = figure_1_rig()
+        expr = parse(
+            "(Name within Proc_header within Proc within Program) union Var"
+        )
+        rewritten = simplify_chains(expr, rig)
+        assert rewritten == parse(
+            "(Name within Proc_header within Program) union Var"
+        )
+
+    def test_equivalence_on_rig_instances(self):
+        """The dropped test never changes results on instances satisfying
+        the RIG (Definition 2.5's notion of equivalence)."""
+        rig = figure_1_rig()
+        e1 = parse("Name within Proc_header within Proc within Program")
+        e2 = A.including_chain(
+            simplify_inclusion_chain(
+                ["Name", "Proc_header", "Proc", "Program"], rig
+            )
+        )
+        rng = random.Random(21)
+        for _ in range(60):
+            instance = rig_constrained_instance(
+                rng, rig, roots=("Program",), max_nodes=40
+            )
+            assert evaluate(e1, instance) == evaluate(e2, instance)
+
+    def test_dropping_is_unsound_without_the_rig(self):
+        """On unconstrained instances e1 and e2 differ — the RIG premise
+        is essential."""
+        from repro.workloads.generators import TreeNode, instance_from_trees
+
+        # A Proc_header sitting directly in a Program, no Proc.
+        tree = TreeNode(
+            "Program", [TreeNode("Proc_header", [TreeNode("Name")])]
+        )
+        instance = instance_from_trees(
+            [tree],
+            names=(
+                "Name",
+                "Proc",
+                "Proc_header",
+                "Program",
+                "Prog_body",
+                "Prog_header",
+                "Proc_body",
+                "Var",
+            ),
+        )
+        e1 = parse("Name within Proc_header within Proc within Program")
+        e2 = parse("Name within Proc_header within Program")
+        assert evaluate(e1, instance) != evaluate(e2, instance)

@@ -1,0 +1,105 @@
+"""The extended rewrite-rule library: golden rewrites + soundness sweep."""
+
+import random
+
+from hypothesis import given, settings
+
+from repro.algebra import ast as A
+from repro.algebra.enumerate import enumerate_expressions
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.fmft.satisfiability import enumerate_instances
+from repro.optimize.rewrite import simplify_deep
+from repro.workloads.generators import random_instance
+from tests.conftest import hierarchical_instances
+
+
+class TestGoldenRewrites:
+    def test_selection_pushdown_difference(self):
+        assert simplify_deep(parse('(A except B) @ "p"')) == parse(
+            '(A @ "p") except B'
+        )
+
+    def test_selection_pushdown_intersection(self):
+        assert simplify_deep(parse('(A isect B) @ "p"')) == parse(
+            '(A @ "p") isect B'
+        )
+
+    def test_selection_pushdown_semi_join(self):
+        assert simplify_deep(parse('(A containing B) @ "p"')) == parse(
+            '(A @ "p") containing B'
+        )
+        assert simplify_deep(parse('(A dwithin B) @ "p"')) == parse(
+            '(A @ "p") dwithin B'
+        )
+
+    def test_selection_pushdown_bi(self):
+        assert simplify_deep(parse('bi(A, B, C) @ "p"')) == parse(
+            'bi(A @ "p", B, C)'
+        )
+
+    def test_idempotence_beats_pushdown(self):
+        # σ_p(A ∩ A) must become σ_p(A), not σ_p(A) ∩ A.
+        assert simplify_deep(parse('(A isect A) @ "p"')) == parse('A @ "p"')
+
+    def test_semi_join_idempotence(self):
+        assert simplify_deep(parse("(A containing B) containing B")) == parse(
+            "A containing B"
+        )
+        assert simplify_deep(parse("(A before B) before B")) == parse("A before B")
+
+    def test_semi_join_idempotence_needs_same_target(self):
+        expr = parse("(A containing B) containing C")
+        assert simplify_deep(expr) == expr
+
+    def test_difference_of_difference(self):
+        assert simplify_deep(parse("A except (A except B)")) == parse("A isect B")
+
+    def test_boolean_absorption(self):
+        assert simplify_deep(parse("A isect (A union B)")) == A.NameRef("A")
+        assert simplify_deep(parse("A union (A isect B)")) == A.NameRef("A")
+        assert simplify_deep(parse("(B union A) isect A")) == A.NameRef("A")
+
+    def test_rules_cascade(self):
+        # σ_p over an absorbable intersection collapses fully.
+        assert simplify_deep(parse('(A isect (A union B)) @ "p"')) == parse('A @ "p"')
+
+
+class TestSoundnessSweep:
+    """Every rewrite must be an equivalence on every instance."""
+
+    def test_exhaustive_small_expressions_on_bounded_instances(self):
+        probes = list(enumerate_instances(("A", "B"), max_nodes=3))
+        for expr in enumerate_expressions(("A", "B"), 2, patterns=("p",)):
+            rewritten = simplify_deep(expr)
+            if rewritten == expr:
+                continue
+            for instance in probes:
+                assert evaluate(expr, instance) == evaluate(rewritten, instance), (
+                    expr,
+                    rewritten,
+                )
+
+    @given(hierarchical_instances(patterns=("p",)))
+    @settings(max_examples=60, deadline=None)
+    def test_random_instances(self, instance):
+        queries = [
+            '(A containing B) @ "p" containing B',
+            "A except (A except (B union A))",
+            'bi(A union A, B, C) @ "p"',
+            "((A containing B) containing B) containing B",
+            "(A isect (A union B)) union (B isect (B union A))",
+        ]
+        renames = {"A": "R0", "B": "R1", "C": "R2"}
+        for query in queries:
+            for old, new in renames.items():
+                query = query.replace(old, new)
+            expr = parse(query)
+            assert evaluate(expr, instance) == evaluate(
+                simplify_deep(expr), instance
+            ), query
+
+    def test_rewrites_never_increase_operation_count(self):
+        rng = random.Random(5)
+        for expr in enumerate_expressions(("A", "B"), 2, patterns=("p",)):
+            assert A.size(simplify_deep(expr)) <= A.size(expr)

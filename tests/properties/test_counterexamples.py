@@ -1,0 +1,87 @@
+"""The Figure 2/3 refuters on the paper's own wrong-query examples."""
+
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.core.regionset import RegionSet
+from repro.properties.counterexamples import (
+    both_included_target,
+    direct_inclusion_target,
+    refute_both_included,
+    refute_direct_inclusion,
+)
+from repro.workloads.generators import figure_2_instance, figure_3_instance
+
+
+class TestFigureTwoFamily:
+    def test_tower_shape(self):
+        tower = figure_2_instance(8)
+        assert tower.nesting_depth() == 8
+        assert len(tower.region_set("A")) == 4
+        assert len(tower.region_set("B")) == 4
+        # Outermost region is a B; names alternate all the way down.
+        forest = tower.forest()
+        assert tower.name_of(forest.roots()[0]) == "B"
+
+    def test_direct_inclusion_on_tower(self):
+        tower = figure_2_instance(8)
+        # Every B directly includes the A below it.
+        result = evaluate(direct_inclusion_target(), tower)
+        assert result == tower.region_set("B")
+
+    def test_deleting_one_a_flips_direct_facts(self):
+        tower = figure_2_instance(8)
+        some_a = sorted(tower.region_set("A"), key=lambda r: r.left)[1]
+        variant = tower.without_regions([some_a])
+        before = evaluate(direct_inclusion_target(), tower)
+        after = evaluate(direct_inclusion_target(), variant)
+        assert before != after
+
+
+class TestFigureThreeFamily:
+    def test_family_shape(self):
+        family = figure_3_instance(2)
+        assert len(family.region_set("C")) == 9  # 4k+1
+        assert len(family.region_set("B")) == 9
+        assert len(family.region_set("A")) == 10  # one doubled
+
+    def test_only_middle_c_is_selected(self):
+        family = figure_3_instance(2)
+        result = evaluate(both_included_target(), family)
+        middle = sorted(family.region_set("C"), key=lambda r: r.left)[4]
+        assert result == RegionSet([middle])
+
+    def test_k_zero_family(self):
+        family = figure_3_instance(0)
+        assert len(family.region_set("C")) == 1
+        assert evaluate(both_included_target(), family)
+
+
+class TestRefuters:
+    def test_paper_wrong_query_for_direct_inclusion(self):
+        """Section 5.1's strawman ``B ⊃ A`` picks non-direct pairs."""
+        witness = refute_direct_inclusion(parse("B containing A"))
+        assert witness is not None
+        assert evaluate("B containing A", witness) != evaluate(
+            direct_inclusion_target(), witness
+        )
+
+    def test_paper_wrong_query_for_both_included(self):
+        """Section 5.2's strawman ``C ⊃ (B < A)`` leaks across siblings."""
+        witness = refute_both_included(parse("C containing (B before A)"))
+        assert witness is not None
+        assert evaluate("C containing (B before A)", witness) != evaluate(
+            both_included_target(), witness
+        )
+
+    def test_refuters_accept_the_true_operators(self):
+        """Sanity: the native operators themselves survive both refuters."""
+        assert refute_direct_inclusion(direct_inclusion_target()) is None
+        assert refute_both_included(both_included_target()) is None
+
+    def test_intersection_candidates_refuted(self):
+        witness = refute_direct_inclusion(parse("B isect (B containing A)"))
+        assert witness is not None
+
+    def test_empty_candidate_refuted(self):
+        witness = refute_direct_inclusion(parse("empty"))
+        assert witness is not None

@@ -1,0 +1,116 @@
+"""Theorem 4.1: the deletion theorem, property-tested."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra import ast as A
+from repro.algebra.enumerate import enumerate_expressions
+from repro.algebra.evaluator import evaluate
+from repro.algebra.parser import parse
+from repro.core.regionset import RegionSet
+from repro.errors import EvaluationError
+from repro.properties.deletion import (
+    check_deletion_theorem,
+    s_deleted_versions,
+    witness_set,
+)
+from repro.workloads.generators import figure_2_instance, nested_tower
+from tests.conftest import hierarchical_instances
+
+EXPRESSIONS = [
+    parse(q)
+    for q in (
+        "R0 containing R1",
+        "R0 within R1",
+        "R0 before R1",
+        "R0 after R1",
+        "R0 except (R0 containing R1)",
+        "(R0 union R1) containing (R0 isect R1)",
+        'R0 @ "p" within R1',
+        "bi(R0, R1, R1)",
+        "R0 containing R1 containing R0",
+    )
+]
+
+
+class TestWitnessSet:
+    @given(hierarchical_instances(patterns=("p",)))
+    @settings(max_examples=60, deadline=None)
+    def test_nesting_bound(self, instance):
+        """The paper's bound: S has region nesting at most 2|e| for core
+        expressions; BI witness pairs relax it to 2|e| + 2·#BI (see
+        repro.properties.deletion)."""
+        for expr in EXPRESSIONS:
+            witness = witness_set(expr, instance)
+            bi_count = sum(1 for n in A.walk(expr) if isinstance(n, A.BothIncluded))
+            bound = 2 * max(A.size(expr), 1) + 2 * bi_count
+            assert RegionSet(witness).max_nesting_depth() <= bound
+
+    def test_witnesses_lie_in_the_instance(self, small_instance):
+        for expr in EXPRESSIONS[:4]:
+            renamed = _rename(expr, {"R0": "A", "R1": "D"})
+            for region in witness_set(renamed, small_instance):
+                assert region in small_instance
+
+    def test_empty_result_keeps_no_representative(self, small_instance):
+        witness = witness_set(parse("A within D"), small_instance)
+        assert witness == frozenset()
+
+    def test_nonempty_result_keeps_a_representative(self, small_instance):
+        witness = witness_set(parse("A"), small_instance)
+        assert len(witness) == 1
+        assert next(iter(witness)) in small_instance.region_set("A")
+
+    def test_direct_operators_rejected(self, small_instance):
+        """Theorem 4.1 *fails* for ⊃_d — the construction must refuse."""
+        with pytest.raises(EvaluationError, match="Theorem 5.1"):
+            witness_set(parse("A dcontaining D"), small_instance)
+
+
+class TestDeletionTheorem:
+    @given(hierarchical_instances(patterns=("p",)))
+    @settings(max_examples=40, deadline=None)
+    def test_holds_for_core_and_bi_expressions(self, instance):
+        rng = random.Random(42)
+        for expr in EXPRESSIONS:
+            assert check_deletion_theorem(expr, instance, rng, samples=4)
+
+    def test_exhaustive_small_expressions_on_towers(self):
+        rng = random.Random(7)
+        instance = nested_tower(8, ("R0", "R1"))
+        for expr in enumerate_expressions(("R0", "R1"), 2):
+            assert check_deletion_theorem(expr, instance, rng, samples=3)
+
+    def test_s_deleted_versions_keep_witnesses(self, small_instance):
+        rng = random.Random(0)
+        expr = parse("A containing D")
+        witness = witness_set(expr, small_instance)
+        for version in s_deleted_versions(small_instance, witness, rng, samples=6):
+            for region in witness:
+                assert region in version
+
+    def test_direct_inclusion_violates_deletion_invariance(self):
+        """The engine of Theorem 5.1: deleting a non-witness region CAN
+        change ⊃_d facts — no witness set makes ⊃_d deletion-stable."""
+        tower = figure_2_instance(9)
+        target = parse("B dcontaining A")
+        before = evaluate(target, tower)
+        changed = False
+        for region in tower.all_regions():
+            variant = tower.without_regions([region])
+            after = evaluate(target, variant)
+            if any((r in before) != (r in after) for r in variant.all_regions()):
+                changed = True
+                break
+        assert changed
+
+
+def _rename(expr: A.Expr, mapping: dict[str, str]) -> A.Expr:
+    if isinstance(expr, A.NameRef):
+        return A.NameRef(mapping.get(expr.name, expr.name))
+    out = expr
+    for i, child in enumerate(A.children(expr)):
+        out = A.replace_child(out, i, _rename(child, mapping))
+    return out

@@ -1,0 +1,65 @@
+"""Theorems 5.1, 5.3 and Proposition 5.5, verified by enumeration."""
+
+import pytest
+
+from repro.properties.inexpressibility import (
+    verify_proposition_5_5,
+    verify_theorem_5_1,
+    verify_theorem_5_3,
+)
+
+
+class TestTheoremFiveOne:
+    def test_no_small_expression_computes_direct_inclusion(self):
+        report = verify_theorem_5_1(max_ops=2)
+        assert report.holds
+        assert report.candidates > 500
+        assert report.refuted == report.candidates
+
+    def test_report_metadata(self):
+        report = verify_theorem_5_1(max_ops=1)
+        assert report.target == "B dcontaining A"
+        assert not report.survivors
+
+
+class TestTheoremFiveThree:
+    def test_no_small_expression_computes_both_included(self):
+        report = verify_theorem_5_3(max_ops=1)
+        assert report.holds
+        assert report.candidates > 50
+
+    @pytest.mark.slow
+    def test_size_two_sweep(self):
+        report = verify_theorem_5_3(max_ops=2)
+        assert report.holds
+
+
+class TestParity:
+    """The introduction's [Ehr61] aside, brute-forced."""
+
+    def test_no_small_expression_computes_parity(self):
+        from repro.properties.inexpressibility import verify_parity_inexpressible
+
+        report = verify_parity_inexpressible(max_ops=3)
+        assert report.holds
+        assert report.candidates > 1000
+
+    def test_flat_rows_distinguish_every_candidate(self):
+        from repro.properties.inexpressibility import verify_parity_inexpressible
+
+        report = verify_parity_inexpressible(max_ops=1, max_row=6)
+        assert report.refuted == report.candidates
+
+
+class TestPropositionFiveFive:
+    def test_mutual_independence(self):
+        with_direct, with_bi = verify_proposition_5_5(max_ops=1)
+        # Adding ⊃_d/⊂_d still cannot express BI…
+        assert with_direct.holds
+        # …and adding BI still cannot express ⊃_d.
+        assert with_bi.holds
+
+    def test_direct_augmented_space_is_larger(self):
+        with_direct, _ = verify_proposition_5_5(max_ops=1)
+        plain = verify_theorem_5_3(max_ops=1)
+        assert with_direct.candidates > plain.candidates

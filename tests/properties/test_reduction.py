@@ -1,0 +1,236 @@
+"""Section 4.2: isomorphism, reduce, and Theorem 4.4 / Proposition 4.5."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.algebra import ast as A
+from repro.algebra.enumerate import enumerate_expressions
+from repro.algebra.parser import parse
+from repro.core.region import Region
+from repro.errors import ReproError
+from repro.properties.reduction import (
+    check_reduction_theorem,
+    isomorphic,
+    isomorphic_sibling_pairs,
+    reduce_regions,
+    subtree_signature,
+)
+from repro.workloads.generators import (
+    TreeNode,
+    figure_3_instance,
+    instance_from_trees,
+)
+from tests.conftest import hierarchical_instances
+
+
+@pytest.fixture
+def twin_instance():
+    """A root with two isomorphic subtrees and one odd one out."""
+    twin = lambda: TreeNode("S", [TreeNode("T", [], frozenset({"p"}))])
+    root = TreeNode("R", [twin(), twin(), TreeNode("S", [TreeNode("U")])])
+    return instance_from_trees([root], names=("R", "S", "T", "U"))
+
+
+class TestIsomorphism:
+    def test_twins_are_isomorphic(self, twin_instance):
+        s_regions = sorted(twin_instance.region_set("S"), key=lambda r: r.left)
+        assert isomorphic(twin_instance, s_regions[0], s_regions[1], ("p",))
+
+    def test_different_subtrees_not_isomorphic(self, twin_instance):
+        s_regions = sorted(twin_instance.region_set("S"), key=lambda r: r.left)
+        assert not isomorphic(twin_instance, s_regions[0], s_regions[2], ("p",))
+
+    def test_pattern_truths_matter(self):
+        root = TreeNode(
+            "R",
+            [
+                TreeNode("S", [], frozenset({"p"})),
+                TreeNode("S", [], frozenset()),
+            ],
+        )
+        instance = instance_from_trees([root], names=("R", "S"))
+        s_regions = sorted(instance.region_set("S"), key=lambda r: r.left)
+        assert not isomorphic(instance, s_regions[0], s_regions[1], ("p",))
+        # …but they are isomorphic w.r.t. a pattern set not containing p.
+        assert isomorphic(instance, s_regions[0], s_regions[1], ())
+
+    def test_different_ancestors_not_isomorphic(self):
+        trees = [
+            TreeNode("R", [TreeNode("S")]),
+            TreeNode("Q", [TreeNode("S")]),
+        ]
+        instance = instance_from_trees(trees, names=("Q", "R", "S"))
+        s_regions = sorted(instance.region_set("S"), key=lambda r: r.left)
+        assert not isomorphic(instance, s_regions[0], s_regions[1])
+
+    def test_region_not_isomorphic_to_itself(self, twin_instance):
+        region = next(iter(twin_instance.region_set("R")))
+        assert not isomorphic(twin_instance, region, region)
+
+    def test_signature_distinguishes_order(self):
+        a = TreeNode("R", [TreeNode("S"), TreeNode("T")])
+        b = TreeNode("R", [TreeNode("T"), TreeNode("S")])
+        instance = instance_from_trees([a, b], names=("R", "S", "T"))
+        roots = instance.forest().roots()
+        assert subtree_signature(instance, roots[0], ()) != subtree_signature(
+            instance, roots[1], ()
+        )
+
+
+class TestReduce:
+    def test_reduce_deletes_second_subtree(self, twin_instance):
+        s_regions = sorted(twin_instance.region_set("S"), key=lambda r: r.left)
+        reduced, mapping = reduce_regions(
+            twin_instance, s_regions[0], s_regions[1], ("p",)
+        )
+        assert s_regions[1] not in reduced
+        assert s_regions[0] in reduced
+        assert len(reduced) == len(twin_instance) - 2  # S and its T child
+
+    def test_mapping_is_identity_on_survivors(self, twin_instance):
+        s_regions = sorted(twin_instance.region_set("S"), key=lambda r: r.left)
+        reduced, mapping = reduce_regions(
+            twin_instance, s_regions[0], s_regions[1], ("p",)
+        )
+        for region in reduced.all_regions():
+            assert mapping[region] == region
+
+    def test_mapping_sends_deleted_onto_kept(self, twin_instance):
+        s_regions = sorted(twin_instance.region_set("S"), key=lambda r: r.left)
+        forest = twin_instance.forest()
+        reduced, mapping = reduce_regions(
+            twin_instance, s_regions[0], s_regions[1], ("p",)
+        )
+        assert mapping[s_regions[1]] == s_regions[0]
+        removed_child = forest.children_of(s_regions[1])[0]
+        kept_child = forest.children_of(s_regions[0])[0]
+        assert mapping[removed_child] == kept_child
+
+    def test_non_isomorphic_rejected(self, twin_instance):
+        s_regions = sorted(twin_instance.region_set("S"), key=lambda r: r.left)
+        with pytest.raises(ReproError, match="not isomorphic"):
+            reduce_regions(twin_instance, s_regions[0], s_regions[2], ("p",))
+
+    def test_isomorphic_sibling_pairs(self, twin_instance):
+        pairs = isomorphic_sibling_pairs(twin_instance, ("p",))
+        s_regions = sorted(twin_instance.region_set("S"), key=lambda r: r.left)
+        assert (s_regions[0], s_regions[1]) in pairs
+        t_pairs = [
+            p for p in pairs if twin_instance.name_of(p[0]) == "T"
+        ]
+        assert not t_pairs  # the T twins have different parents
+
+
+class TestPropositionFourFive:
+    """r ∈ e(I) iff h(r) ∈ e(I') for order-free expressions (k = 0)."""
+
+    @given(hierarchical_instances(patterns=("p",)))
+    @settings(max_examples=40, deadline=None)
+    def test_zero_reductions_preserve_membership(self, instance):
+        pairs = isomorphic_sibling_pairs(instance, ("p",))
+        if not pairs:
+            return
+        keep, remove = pairs[0]
+        for query in (
+            "R0 containing R1",
+            "R0 within (R1 union R2)",
+            'R0 @ "p"',
+            "R0 except (R0 containing R0)",
+        ):
+            assert check_reduction_theorem(parse(query), instance, keep, remove)
+
+    def test_exhaustive_small_order_free_expressions(self):
+        instance = figure_3_instance(1)
+        first_a, second_a = _middle_as(instance, 1)
+        for expr in enumerate_expressions(("A", "B", "C"), 2):
+            if A.order_op_count(expr) == 0:
+                assert check_reduction_theorem(expr, instance, first_a, second_a)
+
+    def test_order_expressions_can_distinguish(self):
+        """With k ≥ 1 order ops, a 0-justified reduce CAN change results —
+        the reason Definition 4.3 grades reductions by k."""
+        tree = TreeNode("C", [TreeNode("A"), TreeNode("A")])
+        instance = instance_from_trees([tree], names=("A", "B", "C"))
+        a_regions = sorted(instance.region_set("A"), key=lambda r: r.left)
+        violated = not check_reduction_theorem(
+            parse("A before A"), instance, a_regions[0], a_regions[1]
+        )
+        assert violated
+
+
+class TestKReduced:
+    """The recursive Definition 4.3 checker on the Theorem 5.3 proof path."""
+
+    def test_zero_reduced_always(self):
+        instance = figure_3_instance(1)
+        first_a, second_a = _middle_as(instance, 1)
+        reduced, mapping = reduce_regions(instance, first_a, second_a)
+        from repro.properties.reduction import is_k_reduced
+
+        assert is_k_reduced(instance, reduced, mapping, 0)
+
+    def test_figure_3_merge_is_k_reduced(self):
+        """The proof's claim: reduce(I, r'_{2k+1}, r''_{2k+1}) is a
+        k-reduced version of I (witnessed by merging the middle C with
+        its neighbour, exactly as the paper argues)."""
+        from repro.properties.reduction import is_k_reduced
+
+        for k in (1, 2):
+            instance = figure_3_instance(k)
+            first_a, second_a = _middle_as(instance, k)
+            reduced, mapping = reduce_regions(instance, first_a, second_a)
+            assert is_k_reduced(instance, reduced, mapping, k)
+
+    def test_identity_is_k_reduced(self):
+        from repro.properties.reduction import is_k_reduced
+
+        instance = figure_3_instance(1)
+        identity = {r: r for r in instance.all_regions()}
+        assert is_k_reduced(instance, instance, identity, 3)
+
+    def test_order_destroying_merge_is_not_1_reduced(self):
+        """Merging the only two (order-distinguishable) siblings loses
+        order information an expression with one < can see."""
+        from repro.properties.reduction import is_k_reduced
+
+        tree = TreeNode("C", [TreeNode("A"), TreeNode("A")])
+        instance = instance_from_trees([tree], names=("A", "B", "C"))
+        a_regions = sorted(instance.region_set("A"), key=lambda r: r.left)
+        reduced, mapping = reduce_regions(instance, a_regions[0], a_regions[1])
+        assert is_k_reduced(instance, reduced, mapping, 0)
+        assert not is_k_reduced(instance, reduced, mapping, 1)
+
+    def test_theorem_4_4_on_certified_reductions(self):
+        """Theorem 4.4 end to end: once the reduction is certified
+        k-reduced, every expression with ≤ k order operations is
+        preserved through h."""
+        from repro.properties.reduction import is_k_reduced
+
+        k = 1
+        instance = figure_3_instance(k)
+        first_a, second_a = _middle_as(instance, k)
+        reduced, mapping = reduce_regions(instance, first_a, second_a)
+        assert is_k_reduced(instance, reduced, mapping, k)
+        from repro.algebra.evaluator import Evaluator
+
+        evaluator = Evaluator("indexed")
+        for expr in enumerate_expressions(("A", "B", "C"), 2):
+            if A.order_op_count(expr) > k:
+                continue
+            before = evaluator.evaluate(expr, instance)
+            after = evaluator.evaluate(expr, reduced)
+            assert all(
+                (r in before) == (mapping[r] in after)
+                for r in instance.all_regions()
+            ), expr
+
+
+def _middle_as(instance, k):
+    forest = instance.forest()
+    c_regions = sorted(instance.region_set("C"), key=lambda r: r.left)
+    middle = c_regions[2 * k]
+    a_children = [
+        c for c in forest.children_of(middle) if instance.name_of(c) == "A"
+    ]
+    assert len(a_children) == 2
+    return a_children[0], a_children[1]

@@ -1,0 +1,57 @@
+"""Deriving minimal RIGs/ROGs from observed instances."""
+
+from hypothesis import given
+
+from repro.rig.derive import rig_from_instances, rog_from_instances
+from repro.workloads.generators import figure_2_instance
+from tests.conftest import hierarchical_instances
+
+
+class TestRigFromInstances:
+    def test_figure_2_family_yields_the_cyclic_rig(self):
+        rig = rig_from_instances([figure_2_instance(8)])
+        assert set(rig.edges) == {("A", "B"), ("B", "A")}
+
+    def test_golden(self, small_instance):
+        rig = rig_from_instances([small_instance])
+        assert set(rig.edges) == {
+            ("A", "B"),
+            ("A", "C"),
+            ("A", "D"),
+            ("B", "D"),
+            ("C", "B"),
+            ("C", "D"),
+        }
+
+    def test_union_over_corpus(self, small_instance):
+        alone = rig_from_instances([small_instance])
+        both = rig_from_instances([small_instance, figure_2_instance(4)])
+        assert set(alone.edges) <= set(both.edges)
+
+    @given(hierarchical_instances())
+    def test_derived_rig_is_satisfied(self, instance):
+        assert rig_from_instances([instance]).satisfied_by(instance)
+
+    @given(hierarchical_instances())
+    def test_derived_rig_is_minimal(self, instance):
+        """Every derived edge is witnessed by some direct inclusion."""
+        rig = rig_from_instances([instance])
+        forest = instance.forest()
+        witnessed = {
+            (instance.name_of(p), instance.name_of(c))
+            for p, c in forest.iter_edges()
+        }
+        assert set(rig.edges) == witnessed
+
+
+class TestRogFromInstances:
+    @given(hierarchical_instances())
+    def test_derived_rog_is_satisfied(self, instance):
+        assert rog_from_instances([instance]).satisfied_by(instance)
+
+    def test_golden(self, small_instance):
+        rog = rog_from_instances([small_instance])
+        assert rog.has_edge("B", "C")  # B[1,8] → C[10,18]
+        assert rog.has_edge("D", "A")  # D[15,17] → A[25,30]
+        assert rog.has_edge("A", "A")  # A[0,19] → A[25,30], nothing between
+        assert not rog.has_edge("C", "B")  # no B ever follows a C directly

@@ -1,0 +1,171 @@
+"""Grammars and the RIG/ROG derivations of Section 2.2."""
+
+import random
+
+import pytest
+
+from repro.engine.tagged import parse_tagged_text
+from repro.errors import GrammarError
+from repro.rig.derive import rig_from_instances, rog_from_instances
+from repro.rig.grammar import Grammar
+
+
+@pytest.fixture
+def play_grammar():
+    return Grammar(
+        "play",
+        {
+            "play": [["act", "act"]],
+            "act": [["scene"], ["scene", "scene"]],
+            "scene": [["speech"], ["speech", "speech"]],
+            "speech": [["speaker", "line"], ["speaker", "line", "line"]],
+            "speaker": [["WORD"]],
+            "line": [["WORD", "WORD"]],
+        },
+    )
+
+
+class TestGrammarValidation:
+    def test_start_must_have_productions(self):
+        with pytest.raises(GrammarError):
+            Grammar("S", {"A": [["x"]]})
+
+    def test_empty_alternatives_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("S", {"S": []})
+
+    def test_empty_production_rejected(self):
+        with pytest.raises(GrammarError):
+            Grammar("S", {"S": [[]]})
+
+    def test_nonterminals(self, play_grammar):
+        assert play_grammar.nonterminals == {
+            "play",
+            "act",
+            "scene",
+            "speech",
+            "speaker",
+            "line",
+        }
+        assert play_grammar.is_nonterminal("act")
+        assert not play_grammar.is_nonterminal("WORD")
+
+
+class TestRigDerivation:
+    def test_paper_rule(self, play_grammar):
+        """Edge (A_i, A_j) iff A_j occurs in a body of A_i."""
+        rig = play_grammar.derive_rig()
+        assert rig.has_edge("play", "act")
+        assert rig.has_edge("speech", "speaker")
+        assert not rig.has_edge("act", "speaker")
+        assert rig.is_acyclic()
+
+    def test_recursive_grammar_gives_cyclic_rig(self):
+        grammar = Grammar("S", {"S": [["(", "S", ")"], ["x"]]})
+        assert not grammar.derive_rig().is_acyclic()
+
+
+class TestRogDerivation:
+    def test_adjacent_siblings(self, play_grammar):
+        rog = play_grammar.derive_rog()
+        assert rog.has_edge("speaker", "line")
+        assert rog.has_edge("line", "line")
+        assert rog.has_edge("act", "act")
+
+    def test_spine_edges_cross_boundaries(self, play_grammar):
+        rog = play_grammar.derive_rog()
+        # The last line of the last speech of a scene directly precedes
+        # the next scene and its leftmost spine.
+        assert rog.has_edge("line", "scene")
+        assert rog.has_edge("line", "speech")
+        assert rog.has_edge("line", "speaker")
+        assert rog.has_edge("scene", "scene")
+
+    def test_no_edge_without_adjacency(self, play_grammar):
+        rog = play_grammar.derive_rog()
+        assert not rog.has_edge("speaker", "speaker")  # one speaker per speech
+
+
+class TestRandomDerivation:
+    """Grammar-driven instance generation (workload side of Section 2.2)."""
+
+    def test_derived_instances_satisfy_derived_graphs(self, play_grammar):
+        rng = random.Random(11)
+        rig = play_grammar.derive_rig()
+        rog = play_grammar.derive_rog()
+        for _ in range(25):
+            instance = play_grammar.random_instance(rng)
+            instance.validate_hierarchy()
+            assert rig.satisfied_by(instance)
+            assert rog.satisfied_by(instance)
+
+    def test_recursive_grammar_respects_depth_budget(self):
+        grammar = Grammar("S", {"S": [["(", "S", ")"], ["x"]]})
+        rng = random.Random(12)
+        for _ in range(20):
+            instance = grammar.random_instance(rng, max_depth=5)
+            assert instance.nesting_depth() <= 5
+            assert grammar.derive_rig().satisfied_by(instance)
+
+    def test_terminals_become_word_labels(self, play_grammar):
+        rng = random.Random(13)
+        instance = play_grammar.random_instance(rng)
+        speakers = instance.region_set("speaker")
+        assert speakers
+        assert all(instance.matches(s, "WORD") for s in speakers)
+
+    def test_non_terminating_grammar_rejected(self):
+        grammar = Grammar("S", {"S": [["S", "S"]]})
+        with pytest.raises(GrammarError, match="no finite derivation"):
+            grammar.random_instance(random.Random(0))
+
+    def test_unknown_start_symbol(self, play_grammar):
+        with pytest.raises(GrammarError, match="unknown start"):
+            play_grammar.random_instance(random.Random(0), start="nope")
+
+    def test_alternative_start_symbol(self, play_grammar):
+        rng = random.Random(14)
+        instance = play_grammar.random_instance(rng, start="scene")
+        assert len(instance.region_set("play")) == 0
+        assert len(instance.region_set("scene")) == 1
+
+
+class TestDerivationCoversGeneratedDocuments:
+    """Grammar-derived graphs must cover every document the grammar's
+    generator can emit — checked against observed instance graphs."""
+
+    def _documents(self):
+        rng = random.Random(5)
+        from repro.workloads.corpora import generate_play
+
+        return [
+            parse_tagged_text(generate_play(rng, acts=2, scenes_per_act=2)).instance
+            for _ in range(5)
+        ]
+
+    def _grammar(self):
+        # The corpus generator's shape as a grammar (wider alternatives).
+        return Grammar(
+            "play",
+            {
+                "play": [["act"], ["act", "act"], ["act", "act", "act"]],
+                "act": [["scene"], ["scene", "scene"], ["scene", "scene", "scene"]],
+                "scene": [["speech"], ["speech", "speech"],
+                          ["speech", "speech", "speech"],
+                          ["speech", "speech", "speech", "speech"]],
+                "speech": [["speaker", "line"], ["speaker", "line", "line"],
+                           ["speaker", "line", "line", "line"]],
+                "speaker": [["W"]],
+                "line": [["W", "W"]],
+            },
+        )
+
+    def test_rig_covers_observed_inclusions(self):
+        derived = self._grammar().derive_rig()
+        observed = rig_from_instances(self._documents())
+        assert set(observed.edges) <= set(derived.edges)
+
+    def test_rog_covers_observed_precedences(self):
+        derived = self._grammar().derive_rog()
+        observed = rog_from_instances(self._documents())
+        assert set(observed.edges) <= set(derived.edges)

@@ -1,0 +1,131 @@
+"""Region inclusion graphs: structure, satisfaction, path queries."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.regionset import RegionSet
+from repro.errors import UnknownRegionNameError
+from repro.rig.graph import RegionInclusionGraph, figure_1_rig
+from repro.workloads.generators import figure_2_instance
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self):
+        rig = RegionInclusionGraph(("A", "B"), [("A", "B")])
+        assert rig.names == ("A", "B")
+        assert rig.has_edge("A", "B")
+        assert not rig.has_edge("B", "A")
+
+    def test_unknown_edge_endpoint_rejected(self):
+        with pytest.raises(UnknownRegionNameError):
+            RegionInclusionGraph(("A",), [("A", "B")])
+
+    def test_successors_predecessors(self):
+        rig = figure_1_rig()
+        assert set(rig.successors("Proc")) == {"Proc_header", "Proc_body"}
+        assert set(rig.predecessors("Name")) == {"Prog_header", "Proc_header"}
+
+    def test_contains_and_equality(self):
+        a = RegionInclusionGraph(("A", "B"), [("A", "B")])
+        b = RegionInclusionGraph(("B", "A"), [("A", "B")])
+        assert "A" in a
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_as_networkx_returns_copy(self):
+        rig = figure_1_rig()
+        graph = rig.as_networkx()
+        graph.remove_node("Proc")
+        assert "Proc" in rig
+
+
+class TestFigureOne:
+    def test_edges_match_the_paper(self):
+        rig = figure_1_rig()
+        assert rig.has_edge("Program", "Prog_header")
+        assert rig.has_edge("Prog_body", "Proc")
+        assert rig.has_edge("Proc_body", "Proc")  # nested procedures
+        assert rig.has_edge("Proc_header", "Name")
+        assert not rig.has_edge("Program", "Name")
+
+    def test_cycle_through_proc(self):
+        rig = figure_1_rig()
+        assert not rig.is_acyclic()
+        assert rig.self_nesting_bound("Proc") is None
+        assert rig.self_nesting_bound("Program") == 1
+
+    def test_longest_path_requires_acyclic(self):
+        with pytest.raises(ValueError):
+            figure_1_rig().longest_path_length()
+
+
+class TestAcyclicProperties:
+    def test_longest_path(self):
+        rig = RegionInclusionGraph(
+            ("A", "B", "C", "D"), [("A", "B"), ("B", "C"), ("A", "D")]
+        )
+        assert rig.is_acyclic()
+        assert rig.longest_path_length() == 3
+
+    def test_self_loop_unbounded(self):
+        rig = RegionInclusionGraph(("A",), [("A", "A")])
+        assert rig.self_nesting_bound("A") is None
+
+
+class TestPathQueries:
+    @pytest.fixture
+    def rig(self):
+        return figure_1_rig()
+
+    def test_paths_avoiding_blocked(self, rig):
+        # Program → … → Name always passes a header.
+        assert rig.paths_avoiding("Program", "Name", set())
+        assert not rig.paths_avoiding(
+            "Program", "Name", {"Prog_header", "Proc_header"}
+        )
+
+    def test_direct_edge_is_not_a_length_two_walk(self, rig):
+        # Program → Prog_header is direct, and no longer walk exists —
+        # but Proc → Proc_header also has the interior walk through a
+        # nested Proc, so it still counts.
+        assert not rig.paths_avoiding("Program", "Prog_header", set())
+        assert rig.paths_avoiding("Proc", "Proc_header", set())
+
+    def test_paths_avoiding_respects_cycles(self, rig):
+        # Proc reaches Proc through Proc_body.
+        assert rig.paths_avoiding("Proc", "Proc", set())
+        assert not rig.paths_avoiding("Proc", "Proc", {"Proc_body"})
+
+    def test_interior_nodes(self, rig):
+        interior = rig.interior_nodes("Program", "Name")
+        assert "Prog_header" in interior
+        assert "Proc" in interior
+        assert "Var" not in interior
+
+
+class TestSatisfaction:
+    def test_satisfied_by_valid_instance(self, small_instance):
+        rig = RegionInclusionGraph(
+            ("A", "B", "C", "D"),
+            [("A", "B"), ("A", "C"), ("A", "D"), ("B", "D"), ("C", "B"), ("C", "D")],
+        )
+        assert rig.satisfied_by(small_instance)
+
+    def test_violations_reported(self, small_instance):
+        rig = RegionInclusionGraph(("A", "B", "C", "D"), [("A", "B"), ("A", "C")])
+        violations = set(small_instance and rig.violations(small_instance))
+        assert ("B", "D") in violations
+
+    def test_unknown_nonempty_name_fails(self):
+        instance = Instance({"X": RegionSet.of((0, 1))})
+        rig = RegionInclusionGraph(("A",), [])
+        assert not rig.satisfied_by(instance)
+
+    def test_unknown_empty_name_is_fine(self):
+        instance = Instance({"X": RegionSet.empty(), "A": RegionSet.of((0, 1))})
+        rig = RegionInclusionGraph(("A",), [])
+        assert rig.satisfied_by(instance)
+
+    def test_figure_2_instance_satisfies_cyclic_rig(self):
+        rig = RegionInclusionGraph(("A", "B"), [("A", "B"), ("B", "A")])
+        assert rig.satisfied_by(figure_2_instance(8))

@@ -1,0 +1,168 @@
+"""The Section 6 minimal-set problem and the Proposition 6.1 reduction."""
+
+import random
+
+import pytest
+
+from repro.errors import OptimizationError
+from repro.rig.graph import RegionInclusionGraph, figure_1_rig
+from repro.rig.minimal_set import (
+    covers,
+    minimal_set_bruteforce,
+    minimal_set_greedy,
+    minimal_set_single_pair,
+    minimum_vertex_cover_bruteforce,
+    vertex_cover_to_minimal_set,
+)
+
+
+class TestCovers:
+    @pytest.fixture
+    def rig(self):
+        return figure_1_rig()
+
+    def test_direct_edges_are_vacuous(self, rig):
+        # Program → Prog_header is a direct edge with no longer walk:
+        # nothing can interpose, so the empty set covers the pair.
+        assert covers(rig, ["Program", "Prog_header"], set())
+        # Proc → Proc_header is direct too, but nested procedures give it
+        # interior walks, so it still needs covering.
+        assert not covers(rig, ["Proc", "Proc_header"], set())
+        assert covers(rig, ["Proc", "Proc_header"], {"Proc_body"})
+
+    def test_interposable_pair_needs_cover(self, rig):
+        # Program → … → Name passes headers.
+        assert not covers(rig, ["Program", "Name"], set())
+        assert covers(rig, ["Program", "Name"], {"Prog_header", "Proc_header"})
+
+    def test_chain_requires_all_pairs(self, rig):
+        chain = ["Program", "Proc", "Var"]
+        assert not covers(rig, chain, {"Prog_body"})
+        assert covers(rig, chain, {"Prog_body", "Proc_body"})
+
+    def test_short_chain_rejected(self, rig):
+        with pytest.raises(OptimizationError):
+            covers(rig, ["Program"], set())
+
+
+class TestBruteForce:
+    def test_minimal_cover_for_program_to_var(self):
+        rig = figure_1_rig()
+        result = minimal_set_bruteforce(rig, ["Program", "Var"])
+        # Prog_body alone blocks Program→Var interiors? No: the walk
+        # Program→Prog_body→Var needs Prog_body; every walk passes it.
+        assert result == frozenset({"Prog_body"})
+
+    def test_max_size_can_fail(self):
+        rig = RegionInclusionGraph(
+            ("S", "T", "a", "b"),
+            [("S", "a"), ("a", "T"), ("S", "b"), ("b", "T")],
+        )
+        assert minimal_set_bruteforce(rig, ["S", "T"], max_size=1) is None
+        assert minimal_set_bruteforce(rig, ["S", "T"]) == frozenset({"a", "b"})
+
+    def test_vacuous_chain_is_empty(self):
+        rig = RegionInclusionGraph(("A", "B"), [("A", "B")])
+        assert minimal_set_bruteforce(rig, ["A", "B"]) == frozenset()
+
+
+class TestSinglePairMinCut:
+    def test_matches_bruteforce_on_figure_1(self):
+        rig = figure_1_rig()
+        for source, target in [("Program", "Var"), ("Program", "Name"), ("Proc", "Var")]:
+            cut = minimal_set_single_pair(rig, source, target)
+            brute = minimal_set_bruteforce(rig, [source, target])
+            assert covers(rig, [source, target], cut)
+            assert len(cut) == len(brute)
+
+    def test_no_path_gives_empty(self):
+        rig = RegionInclusionGraph(("A", "B"), [])
+        assert minimal_set_single_pair(rig, "A", "B") == frozenset()
+
+    def test_direct_edge_is_removed_first(self):
+        rig = RegionInclusionGraph(("A", "B"), [("A", "B")])
+        assert minimal_set_single_pair(rig, "A", "B") == frozenset()
+
+    def test_matches_bruteforce_on_random_dags(self):
+        rng = random.Random(99)
+        for _ in range(30):
+            nodes = [f"N{i}" for i in range(rng.randint(4, 8))]
+            edges = []
+            for i, u in enumerate(nodes):
+                for v in nodes[i + 1 :]:
+                    if rng.random() < 0.4:
+                        edges.append((u, v))
+            rig = RegionInclusionGraph(nodes, edges)
+            source, target = nodes[0], nodes[-1]
+            cut = minimal_set_single_pair(rig, source, target)
+            brute = minimal_set_bruteforce(rig, [source, target])
+            assert covers(rig, [source, target], cut), (edges, cut)
+            assert len(cut) == len(brute), (edges, cut, brute)
+
+
+class TestGreedy:
+    def test_greedy_always_covers(self):
+        rig = figure_1_rig()
+        chain = ["Program", "Proc", "Var"]
+        subset = minimal_set_greedy(rig, chain)
+        assert covers(rig, chain, subset)
+
+    def test_greedy_at_most_sum_of_pair_optima(self):
+        rig = figure_1_rig()
+        chain = ["Program", "Proc", "Var"]
+        greedy = minimal_set_greedy(rig, chain)
+        pair_sum = sum(
+            len(minimal_set_single_pair(rig, a, b))
+            for a, b in zip(chain, chain[1:])
+        )
+        assert len(greedy) <= pair_sum
+
+
+class TestVertexCoverReduction:
+    """Proposition 6.1: the minimal set problem is NP-complete, by
+    reduction from vertex cover.  The reduction is size-preserving."""
+
+    def test_triangle(self):
+        vertices = ["u", "v", "w"]
+        edges = [("u", "v"), ("v", "w"), ("u", "w")]
+        rig, chain = vertex_cover_to_minimal_set(vertices, edges)
+        minimal = minimal_set_bruteforce(rig, chain)
+        assert minimal is not None
+        assert len(minimal) == len(minimum_vertex_cover_bruteforce(vertices, edges))
+        assert len(minimal) == 2
+
+    def test_star_graph(self):
+        vertices = ["c", "a", "b", "d"]
+        edges = [("c", "a"), ("c", "b"), ("c", "d")]
+        rig, chain = vertex_cover_to_minimal_set(vertices, edges)
+        minimal = minimal_set_bruteforce(rig, chain)
+        assert minimal == frozenset({"c"})
+
+    def test_random_graphs_preserve_optimum(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            count = rng.randint(2, 5)
+            vertices = [f"v{i}" for i in range(count)]
+            edges = sorted(
+                {
+                    tuple(sorted(rng.sample(vertices, 2)))
+                    for _ in range(rng.randint(1, 6))
+                }
+            )
+            rig, chain = vertex_cover_to_minimal_set(vertices, edges)
+            minimal = minimal_set_bruteforce(rig, chain)
+            cover = minimum_vertex_cover_bruteforce(vertices, edges)
+            assert minimal is not None
+            assert len(minimal) == len(cover), (edges, minimal, cover)
+
+    def test_cover_solutions_transfer(self):
+        vertices = ["u", "v"]
+        edges = [("u", "v")]
+        rig, chain = vertex_cover_to_minimal_set(vertices, edges)
+        assert covers(rig, chain, {"u"})
+        assert covers(rig, chain, {"v"})
+        assert not covers(rig, chain, set())
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(OptimizationError):
+            vertex_cover_to_minimal_set(["u"], [])

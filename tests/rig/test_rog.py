@@ -1,0 +1,105 @@
+"""Region order graphs and direct precedence."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.instance import Instance
+from repro.core.regionset import RegionSet
+from repro.errors import UnknownRegionNameError
+from repro.rig.rog import RegionOrderGraph, direct_precedence_pairs
+from tests.conftest import hierarchical_instances
+
+
+def _naive_direct_pairs(instance):
+    regions = list(instance.all_regions())
+    out = set()
+    for r in regions:
+        for s in regions:
+            if r.precedes(s) and not any(
+                r.precedes(t) and t.precedes(s) for t in regions
+            ):
+                out.add((r, s))
+    return out
+
+
+class TestDirectPrecedencePairs:
+    def test_golden(self, small_instance):
+        pairs = {
+            (r.as_tuple(), s.as_tuple())
+            for r, s in direct_precedence_pairs(small_instance)
+        }
+        # B[1,8] directly precedes C[10,18] and its leftmost descendants.
+        assert ((1, 8), (10, 18)) in pairs
+        assert ((1, 8), (11, 13)) in pairs
+        # …but not D[15,17]: B[11,13] lies in between.
+        assert ((1, 8), (15, 17)) not in pairs
+
+    def test_cross_boundary_pairs(self, small_instance):
+        pairs = {
+            (r.as_tuple(), s.as_tuple())
+            for r, s in direct_precedence_pairs(small_instance)
+        }
+        # The last inner region of A[0,19] directly precedes A[25,30].
+        assert ((15, 17), (25, 30)) in pairs
+        assert ((15, 17), (26, 28)) in pairs
+        # Ancestors ending with it too.
+        assert ((0, 19), (25, 30)) in pairs
+
+    @given(hierarchical_instances())
+    def test_matches_naive_oracle(self, instance):
+        fast = set(direct_precedence_pairs(instance))
+        assert fast == _naive_direct_pairs(instance)
+
+
+class TestRegionOrderGraph:
+    def test_construction_and_queries(self):
+        rog = RegionOrderGraph(("A", "B"), [("A", "B")])
+        assert rog.has_edge("A", "B")
+        assert not rog.has_edge("B", "A")
+        assert rog.names == ("A", "B")
+
+    def test_unknown_edge_rejected(self):
+        with pytest.raises(UnknownRegionNameError):
+            RegionOrderGraph(("A",), [("A", "B")])
+
+    def test_equality(self):
+        assert RegionOrderGraph(("A", "B"), [("A", "B")]) == RegionOrderGraph(
+            ("B", "A"), [("A", "B")]
+        )
+
+    def test_acyclic_and_longest_path(self):
+        rog = RegionOrderGraph(("A", "B", "C"), [("A", "B"), ("B", "C")])
+        assert rog.is_acyclic()
+        assert rog.longest_path_length() == 3
+
+    def test_longest_path_rejects_cycles(self):
+        rog = RegionOrderGraph(("A", "B"), [("A", "B"), ("B", "A")])
+        with pytest.raises(ValueError):
+            rog.longest_path_length()
+
+    def test_satisfied_by(self, small_instance):
+        full = RegionOrderGraph(
+            ("A", "B", "C", "D"),
+            list(
+                {
+                    (small_instance.name_of(r), small_instance.name_of(s))
+                    for r, s in direct_precedence_pairs(small_instance)
+                }
+            ),
+        )
+        assert full.satisfied_by(small_instance)
+
+    def test_violations(self, small_instance):
+        empty = RegionOrderGraph(("A", "B", "C", "D"), [])
+        assert list(empty.violations(small_instance))
+        assert not empty.satisfied_by(small_instance)
+
+    def test_unknown_nonempty_name_fails(self):
+        instance = Instance({"X": RegionSet.of((0, 1))})
+        assert not RegionOrderGraph(("A",), []).satisfied_by(instance)
+
+    def test_width_bound_via_longest_path(self):
+        """Acyclic ROG ⇒ bounded non-overlapping regions (Prop 5.4's
+        premise).  A 3-node path bounds every <-chain by 3."""
+        rog = RegionOrderGraph(("A", "B", "C"), [("A", "B"), ("B", "C")])
+        assert rog.longest_path_length() == 3

@@ -1,0 +1,35 @@
+"""Top-level package surface."""
+
+import pytest
+
+
+class TestPackage:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_engine_attribute(self):
+        import repro
+
+        assert repro.Engine.__name__ == "Engine"
+
+    def test_unknown_attribute(self):
+        import repro
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.nope
+
+    def test_star_surface(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_core_workflow_from_top_level(self):
+        from repro import Engine, evaluate, parse, to_text
+
+        engine = Engine.from_tagged_text("<a><b> hi </b></a>")
+        expr = parse("b within a")
+        assert to_text(expr) == "b within a"
+        assert evaluate(expr, engine.instance) == engine.query("b within a")

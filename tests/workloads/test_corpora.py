@@ -1,0 +1,123 @@
+"""Synthetic corpora: generated documents must parse and be well shaped."""
+
+import random
+
+from repro.engine.tagged import parse_tagged_text
+from repro.workloads.corpora import generate_play, generate_report
+
+
+class TestPlayCorpus:
+    def test_parses_with_expected_names(self):
+        rng = random.Random(0)
+        doc = parse_tagged_text(generate_play(rng))
+        assert set(doc.instance.names) == {
+            "play",
+            "act",
+            "scene",
+            "speech",
+            "speaker",
+            "line",
+        }
+
+    def test_shape_parameters(self):
+        rng = random.Random(1)
+        text = generate_play(rng, acts=3, scenes_per_act=2, speeches_per_scene=2)
+        instance = parse_tagged_text(text).instance
+        assert len(instance.region_set("act")) == 3
+        assert len(instance.region_set("scene")) == 6
+        assert len(instance.region_set("speech")) == 12
+
+    def test_speakers_are_indexed_words(self):
+        rng = random.Random(2)
+        instance = parse_tagged_text(
+            generate_play(rng, speakers=("ROMEO",))
+        ).instance
+        speakers = instance.region_set("speaker")
+        assert all(instance.matches(s, "ROMEO") for s in speakers)
+
+    def test_every_speech_has_speaker_before_lines(self):
+        rng = random.Random(3)
+        from repro.algebra.evaluator import evaluate
+
+        instance = parse_tagged_text(generate_play(rng)).instance
+        speeches = instance.region_set("speech")
+        with_pair = evaluate("bi(speech, speaker, line)", instance)
+        assert with_pair == speeches
+
+
+class TestDictionaryCorpus:
+    """The OED-flavoured corpus — PAT's original application."""
+
+    def test_parses_with_expected_names(self):
+        rng = random.Random(10)
+        from repro.workloads.corpora import DICTIONARY_REGION_NAMES, generate_dictionary
+
+        instance = parse_tagged_text(generate_dictionary(rng)).instance
+        assert set(instance.names) <= set(DICTIONARY_REGION_NAMES)
+        assert len(instance.region_set("entry")) == 10
+
+    def test_every_entry_has_headword_and_sense(self):
+        rng = random.Random(11)
+        from repro.algebra.evaluator import evaluate
+        from repro.workloads.corpora import generate_dictionary
+
+        instance = parse_tagged_text(generate_dictionary(rng)).instance
+        entries = instance.region_set("entry")
+        assert evaluate("entry dcontaining headword", instance) == entries
+        assert evaluate("entry containing sense", instance) == entries
+
+    def test_headwords_alphabetical(self):
+        rng = random.Random(12)
+        from repro.workloads.corpora import generate_dictionary
+
+        doc = parse_tagged_text(generate_dictionary(rng, entries=6))
+        words = [
+            doc.extract(r).replace("<headword>", "").replace("</headword>", "").strip()
+            for r in sorted(doc.instance.region_set("headword"))
+        ]
+        assert words == sorted(words)
+
+    def test_sub_senses_nest(self):
+        rng = random.Random(13)
+        from repro.algebra.evaluator import evaluate
+        from repro.workloads.corpora import generate_dictionary
+
+        nested = False
+        for _ in range(10):
+            instance = parse_tagged_text(generate_dictionary(rng)).instance
+            if evaluate("sense within sense", instance):
+                nested = True
+                break
+        assert nested
+
+    def test_quotation_structure(self):
+        rng = random.Random(14)
+        from repro.algebra.evaluator import evaluate
+        from repro.workloads.corpora import generate_dictionary
+
+        instance = parse_tagged_text(generate_dictionary(rng)).instance
+        quotations = instance.region_set("quotation")
+        if quotations:
+            assert evaluate("quotation dcontaining author", instance) == quotations
+
+
+class TestReportCorpus:
+    def test_parses_and_self_nests(self):
+        rng = random.Random(4)
+        found_nested = False
+        for _ in range(10):
+            instance = parse_tagged_text(generate_report(rng)).instance
+            sections = instance.region_set("section")
+            if sections.max_nesting_depth() > 1:
+                found_nested = True
+                break
+        assert found_nested
+
+    def test_every_section_has_title(self):
+        rng = random.Random(5)
+        from repro.algebra.evaluator import evaluate
+
+        instance = parse_tagged_text(generate_report(rng)).instance
+        sections = instance.region_set("section")
+        titled = evaluate("section dcontaining title", instance)
+        assert titled == sections

@@ -1,0 +1,149 @@
+"""Synthetic instance generators: validity and shape guarantees."""
+
+import random
+
+import pytest
+
+from repro.rig.graph import RegionInclusionGraph, figure_1_rig
+from repro.workloads.generators import (
+    TreeNode,
+    balanced_tree,
+    figure_2_instance,
+    figure_3_instance,
+    flat_row,
+    instance_from_trees,
+    nested_tower,
+    random_instance,
+    rig_constrained_instance,
+)
+
+
+class TestInstanceFromTrees:
+    def test_basic_lowering(self):
+        tree = TreeNode("A", [TreeNode("B"), TreeNode("B")])
+        instance = instance_from_trees([tree])
+        assert len(instance.region_set("A")) == 1
+        assert len(instance.region_set("B")) == 2
+        (a,) = instance.region_set("A")
+        for b in instance.region_set("B"):
+            assert a.includes(b)
+
+    def test_sibling_order_preserved(self):
+        tree = TreeNode("A", [TreeNode("B"), TreeNode("C")])
+        instance = instance_from_trees([tree])
+        (b,) = instance.region_set("B")
+        (c,) = instance.region_set("C")
+        assert b.precedes(c)
+
+    def test_labels_become_word_index(self):
+        tree = TreeNode("A", [], frozenset({"p"}))
+        instance = instance_from_trees([tree])
+        (a,) = instance.region_set("A")
+        assert instance.matches(a, "p")
+
+    def test_explicit_name_universe(self):
+        instance = instance_from_trees([TreeNode("A")], names=("A", "B"))
+        assert instance.names == ("A", "B")
+        assert len(instance.region_set("B")) == 0
+
+    def test_always_hierarchical(self):
+        rng = random.Random(0)
+        for _ in range(30):
+            random_instance(rng).validate_hierarchy()
+
+
+class TestRandomGenerators:
+    def test_random_instance_respects_name_universe(self):
+        rng = random.Random(1)
+        instance = random_instance(rng, names=("X", "Y"))
+        assert instance.names == ("X", "Y")
+
+    def test_random_instance_patterns(self):
+        rng = random.Random(2)
+        found = False
+        for _ in range(20):
+            instance = random_instance(
+                rng, patterns=("p",), pattern_probability=0.9
+            )
+            found = found or any(
+                instance.matches(r, "p") for r in instance.all_regions()
+            )
+        assert found
+
+    def test_rig_constrained_always_satisfies(self):
+        rng = random.Random(3)
+        rig = figure_1_rig()
+        for _ in range(30):
+            instance = rig_constrained_instance(rng, rig, roots=("Program",))
+            assert rig.satisfied_by(instance)
+
+    def test_rig_constrained_with_cyclic_rig(self):
+        rng = random.Random(4)
+        rig = RegionInclusionGraph(("A", "B"), [("A", "B"), ("B", "A")])
+        for _ in range(10):
+            instance = rig_constrained_instance(rng, rig, roots=("A", "B"))
+            assert rig.satisfied_by(instance)
+
+
+class TestFigureFamilies:
+    def test_figure_2_alternation(self):
+        tower = figure_2_instance(6)
+        forest = tower.forest()
+        names = [
+            tower.name_of(region) for region in forest.preorder
+        ]
+        assert names == ["B", "A", "B", "A", "B", "A"]
+
+    def test_figure_2_odd_depth_still_b_outermost(self):
+        tower = figure_2_instance(5)
+        forest = tower.forest()
+        assert tower.name_of(forest.roots()[0]) == "B"
+
+    def test_figure_2_invalid_depth(self):
+        with pytest.raises(ValueError):
+            figure_2_instance(0)
+
+    def test_figure_3_middle_structure(self):
+        family = figure_3_instance(1)
+        forest = family.forest()
+        c_regions = sorted(family.region_set("C"), key=lambda r: r.left)
+        assert len(c_regions) == 5
+        middle_children = [
+            family.name_of(c) for c in forest.children_of(c_regions[2])
+        ]
+        assert middle_children == ["A", "B", "A"]
+        side_children = [
+            family.name_of(c) for c in forest.children_of(c_regions[0])
+        ]
+        assert side_children == ["A", "B"]
+
+    def test_figure_3_invalid_k(self):
+        with pytest.raises(ValueError):
+            figure_3_instance(-1)
+
+
+class TestShapePrimitives:
+    def test_nested_tower(self):
+        tower = nested_tower(5, ("A", "B"))
+        assert tower.nesting_depth() == 5
+        assert len(tower.region_set("A")) == 3
+        assert len(tower.region_set("B")) == 2
+
+    def test_flat_row(self):
+        row = flat_row(7, "R", labels=("p",))
+        assert len(row.region_set("R")) == 7
+        assert row.nesting_depth() == 1
+        assert all(row.matches(r, "p") for r in row.all_regions())
+
+    def test_balanced_tree(self):
+        tree = balanced_tree(3, 2, ("A", "B", "C"))
+        assert len(tree.region_set("A")) == 1
+        assert len(tree.region_set("B")) == 2
+        assert len(tree.region_set("C")) == 4
+        assert tree.nesting_depth() == 3
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            nested_tower(0, ("A",))
+        with pytest.raises(ValueError):
+            balanced_tree(0, 2, ("A",))

@@ -1,0 +1,38 @@
+"""The public hypothesis strategies."""
+
+from hypothesis import given
+
+from repro.workloads.strategies import (
+    hierarchical_instances,
+    region_lists,
+    regions,
+    tree_nodes,
+)
+
+
+class TestStrategies:
+    @given(regions())
+    def test_regions_are_valid(self, region):
+        assert region.left <= region.right
+
+    @given(region_lists(max_size=10))
+    def test_region_lists_bounded(self, items):
+        assert len(items) <= 10
+
+    @given(tree_nodes(names=("X",), patterns=("p",)))
+    def test_tree_nodes_use_given_universe(self, node):
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            assert current.name == "X"
+            assert current.labels <= {"p"}
+            stack.extend(current.children)
+
+    @given(hierarchical_instances(names=("X", "Y"), patterns=("p",)))
+    def test_instances_are_valid_and_scoped(self, instance):
+        instance.validate_hierarchy()
+        assert instance.names == ("X", "Y")
+
+    @given(hierarchical_instances(max_trees=2, max_depth=2, max_children=2))
+    def test_shape_bounds_respected(self, instance):
+        assert instance.nesting_depth() <= 3  # max_depth counts from 0
