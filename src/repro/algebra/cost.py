@@ -66,6 +66,13 @@ class CostModel:
             return CostEstimate(0.0, self.name_sizes.get(expr.name, self.default_name_size))
         if isinstance(expr, A.Empty):
             return CostEstimate(0.0, 0.0)
+        if isinstance(expr, A.MatchPoints):
+            # A word query is one inverted-index probe; without corpus
+            # statistics per pattern, guess like an unknown name scaled
+            # by the pattern selectivity.
+            return CostEstimate(
+                0.0, self.default_name_size * self.pattern_selectivity
+            )
         if isinstance(expr, A.Select):
             child = self.estimate(expr.child)
             return CostEstimate(

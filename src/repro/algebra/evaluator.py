@@ -20,7 +20,9 @@ on the (hashable, immutable) expression nodes for the duration of one
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Literal
+from dataclasses import dataclass
+from time import perf_counter
+from typing import TYPE_CHECKING, Literal
 
 from repro.algebra import ast as A
 from repro.algebra.parser import parse
@@ -31,9 +33,21 @@ from repro.core.sparse import RangeMin
 from repro.core.wordindex import TextWordIndex
 from repro.errors import EvaluationError
 
-__all__ = ["Evaluator", "evaluate", "Strategy"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+
+__all__ = ["Evaluator", "EvalStats", "evaluate", "Strategy"]
 
 Strategy = Literal["indexed", "naive"]
+
+
+@dataclass
+class EvalStats:
+    """Per-:meth:`Evaluator.evaluate` accounting (observed mode only)."""
+
+    nodes_evaluated: int = 0
+    memo_hits: int = 0
 
 
 class _ContainmentWindow:
@@ -137,13 +151,44 @@ class Evaluator:
 
     ``memoize`` controls per-query caching of common sub-expressions;
     disabling it exists for the ablation benchmarks.
+
+    ``tracer``/``metrics`` attach the observability layer: with either
+    present, every node evaluation is timed into the
+    ``eval_node_seconds{op=...}`` histogram, memo hits are counted, and
+    (when the tracer is enabled) each node emits a span carrying its
+    expression and output cardinality.  With both absent — the default —
+    evaluation takes the original uninstrumented path; the only
+    per-node overhead is one attribute check (see
+    ``benchmarks/bench_e12_obs_overhead.py``).
     """
 
-    def __init__(self, strategy: Strategy = "indexed", memoize: bool = True):
+    def __init__(
+        self,
+        strategy: Strategy = "indexed",
+        memoize: bool = True,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+    ):
         if strategy not in ("indexed", "naive"):
             raise EvaluationError(f"unknown strategy {strategy!r}")
         self.strategy: Strategy = strategy
         self.memoize = memoize
+        self.tracer = tracer
+        self.metrics = metrics
+        self._observed = tracer is not None or metrics is not None
+        self._node_hist = None
+        if self._observed:
+            # Shadow the class-level _eval with the instrumented twin so
+            # the uninstrumented hot path stays byte-for-byte the seed
+            # code — no per-node "is observability on?" check at all.
+            self._eval = self._eval_observed
+        if metrics is not None:
+            from repro.obs.metrics import EVAL_NODE_SECONDS
+
+            self._node_hist = metrics.histogram(EVAL_NODE_SECONDS)
+        #: Accounting for the most recent ``evaluate`` call; ``None``
+        #: unless a tracer or metrics registry is attached.
+        self.last_stats: EvalStats | None = None
 
     def evaluate(self, expr: A.Expr | str, instance: Instance) -> RegionSet:
         """The result ``e(I)`` of Definition 2.3.
@@ -153,7 +198,17 @@ class Evaluator:
         if isinstance(expr, str):
             expr = parse(expr)
         memo: dict[A.Expr, RegionSet] = {}
-        return self._eval(expr, instance, memo)
+        if not self._observed:
+            return self._eval(expr, instance, memo)
+        self.last_stats = stats = EvalStats()
+        result = self._eval(expr, instance, memo)
+        if self.metrics is not None:
+            from repro.obs.metrics import EVAL_NODES_TOTAL, MEMO_HITS_TOTAL
+
+            self.metrics.counter(EVAL_NODES_TOTAL).inc(stats.nodes_evaluated)
+            if stats.memo_hits:
+                self.metrics.counter(MEMO_HITS_TOTAL).inc(stats.memo_hits)
+        return result
 
     # ------------------------------------------------------------------
 
@@ -167,6 +222,46 @@ class Evaluator:
             return cached
         result = self._dispatch(expr, instance, memo)
         memo[expr] = result
+        return result
+
+    def _eval_observed(
+        self, expr: A.Expr, instance: Instance, memo: dict[A.Expr, RegionSet]
+    ) -> RegionSet:
+        """The instrumented twin of :meth:`_eval` (tracer/metrics set)."""
+        stats = self.last_stats
+        if stats is None:  # direct _eval call without evaluate()
+            self.last_stats = stats = EvalStats()
+        stats.nodes_evaluated += 1
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        op = type(expr).__name__
+        if self.memoize:
+            cached = memo.get(expr)
+            if cached is not None:
+                stats.memo_hits += 1
+                if tracing:
+                    with tracer.span(
+                        f"eval.{op}",
+                        expression=expr,
+                        cardinality=len(cached),
+                        cached=True,
+                    ):
+                        pass
+                return cached
+        if tracing:
+            with tracer.span(f"eval.{op}", expression=expr, cached=False) as span:
+                started = perf_counter()
+                result = self._dispatch(expr, instance, memo)
+                elapsed = perf_counter() - started
+                span.set("cardinality", len(result))
+        else:
+            started = perf_counter()
+            result = self._dispatch(expr, instance, memo)
+            elapsed = perf_counter() - started
+        if self._node_hist is not None:
+            self._node_hist.observe(elapsed, op=op)
+        if self.memoize:
+            memo[expr] = result
         return result
 
     def _dispatch(

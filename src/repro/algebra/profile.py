@@ -5,11 +5,18 @@ expression while recording, for every node, its output cardinality and
 cumulative wall time.  The report feeds the cost model's calibration
 tests (estimated vs actual cardinalities) and makes the engine's
 behaviour inspectable from the CLI and examples.
+
+Since the observability layer landed this is a thin view over a trace:
+:func:`profile` runs the ordinary :class:`Evaluator` under an enabled
+:class:`~repro.obs.trace.Tracer` and flattens the span tree, pre-order,
+into :class:`NodeProfile` rows.  Memoization stays **on** — matching
+production behaviour on DAG-shaped queries — so a repeated
+sub-expression shows up as a cache hit (``cache_hit=True``, near-zero
+time) rather than being re-timed as if the engine recomputed it.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.algebra import ast as A
@@ -18,8 +25,9 @@ from repro.algebra.parser import parse
 from repro.algebra.printer import to_text
 from repro.core.instance import Instance
 from repro.core.regionset import RegionSet
+from repro.obs.trace import Span, Tracer
 
-__all__ = ["NodeProfile", "QueryProfile", "profile"]
+__all__ = ["NodeProfile", "QueryProfile", "profile", "profile_from_span"]
 
 
 @dataclass(frozen=True)
@@ -30,6 +38,7 @@ class NodeProfile:
     cardinality: int
     seconds: float
     depth: int
+    cache_hit: bool = False
 
     @property
     def text(self) -> str:
@@ -47,6 +56,11 @@ class QueryProfile:
     def total_seconds(self) -> float:
         return self.nodes[0].seconds if self.nodes else 0.0
 
+    @property
+    def cache_hits(self) -> int:
+        """Memoization hits across the whole evaluation."""
+        return sum(1 for node in self.nodes if node.cache_hit)
+
     def hottest(self, count: int = 3) -> list[NodeProfile]:
         """The nodes with the largest inclusive times."""
         return sorted(self.nodes, key=lambda n: n.seconds, reverse=True)[:count]
@@ -55,46 +69,55 @@ class QueryProfile:
         lines = []
         for node in self.nodes:
             indent = "  " * node.depth
+            tag = " (cached)" if node.cache_hit else ""
             lines.append(
                 f"{indent}{node.text}  -> {node.cardinality} regions, "
-                f"{node.seconds * 1e6:.0f} µs"
+                f"{node.seconds * 1e6:.0f} µs{tag}"
             )
         return "\n".join(lines)
 
 
-class _ProfilingEvaluator(Evaluator):
-    """An evaluator that records every node evaluation, pre-order.
+def profile_from_span(root: Span, result: RegionSet) -> QueryProfile:
+    """Flatten an evaluator span tree into a :class:`QueryProfile`.
 
-    Memoization is disabled so each node's inclusive time is attributed
-    where it occurs in the tree.
+    Only ``eval.*`` spans carry node data; other spans (``query``,
+    ``parse``, …) are transparent — their children are walked at the
+    same depth.
     """
+    nodes: list[NodeProfile] = []
+    _flatten(root, 0, nodes)
+    return QueryProfile(result=result, nodes=nodes)
 
-    def __init__(self, strategy: Strategy):
-        super().__init__(strategy, memoize=False)
-        self.records: list[NodeProfile] = []
-        self._depth = 0
 
-    def _eval(self, expr, instance, memo):
-        slot = len(self.records)
-        self.records.append(None)  # type: ignore[arg-type]  # reserve pre-order slot
-        depth = self._depth
-        self._depth += 1
-        started = time.perf_counter()
-        try:
-            result = super()._eval(expr, instance, memo)
-        finally:
-            self._depth -= 1
-        elapsed = time.perf_counter() - started
-        self.records[slot] = NodeProfile(expr, len(result), elapsed, depth)
-        return result
+def _flatten(span: Span, depth: int, out: list[NodeProfile]) -> None:
+    if span.name.startswith("eval.") and "expression" in span.attributes:
+        out.append(
+            NodeProfile(
+                expression=span.attributes["expression"],
+                cardinality=span.attributes.get("cardinality", 0),
+                seconds=span.duration,
+                depth=depth,
+                cache_hit=bool(span.attributes.get("cached", False)),
+            )
+        )
+        depth += 1
+    for child in span.children:
+        _flatten(child, depth, out)
 
 
 def profile(
-    expr: A.Expr | str, instance: Instance, strategy: Strategy = "indexed"
+    expr: A.Expr | str,
+    instance: Instance,
+    strategy: Strategy = "indexed",
+    memoize: bool = True,
 ) -> QueryProfile:
     """Evaluate ``expr`` and return the per-node breakdown."""
     if isinstance(expr, str):
         expr = parse(expr)
-    evaluator = _ProfilingEvaluator(strategy)
+    tracer = Tracer(enabled=True)
+    evaluator = Evaluator(strategy, memoize=memoize, tracer=tracer)
     result = evaluator.evaluate(expr, instance)
-    return QueryProfile(result=result, nodes=evaluator.records)
+    root = tracer.last_root
+    if root is None:  # pragma: no cover - evaluate always opens a span
+        return QueryProfile(result=result)
+    return profile_from_span(root, result)

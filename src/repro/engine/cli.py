@@ -1,4 +1,4 @@
-"""Command-line interface: index, query, explain, stats.
+"""Command-line interface: index, query, explain, stats, trace, querylog.
 
 A small operational wrapper over :class:`repro.engine.Engine`::
 
@@ -6,11 +6,21 @@ A small operational wrapper over :class:`repro.engine.Engine`::
     python -m repro query  doc.index.json 'speech containing (speaker @ "ROMEO")'
     python -m repro query  doc.index.json 'Name within Proc' --text src.prog
     python -m repro explain doc.index.json 'Name within Proc_header within Proc'
-    python -m repro stats  doc.index.json
+    python -m repro stats  doc.index.json --telemetry
+    python -m repro trace  doc.index.json 'speech within scene'
+    python -m repro querylog doc.index.json 'speech' 'scene' --optimize
 
 ``index --format source`` uses the toy program language (Figure 1
 structure); ``explain`` applies the Figure 1 RIG automatically for
 source-derived indexes (``--rig figure1``).
+
+The observability commands (``docs/observability.md``) ride on the
+engine's telemetry layer: ``trace`` runs one query with span collection
+on and prints the span tree (inclusive times, so children sum to at
+most their parent); ``querylog`` runs a batch of queries and dumps the
+engine's structured query log; ``stats --telemetry`` appends the
+metrics snapshot.  All three speak ``--json`` for benchmarks and
+scripts.
 """
 
 from __future__ import annotations
@@ -83,6 +93,39 @@ def build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser("stats", help="print index statistics")
     stats.add_argument("index", type=Path)
     stats.add_argument("--json", action="store_true")
+    stats.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="include the engine's metrics snapshot (index build timings)",
+    )
+
+    trace = commands.add_parser(
+        "trace", help="run a query with tracing on and print the span tree"
+    )
+    trace.add_argument("index", type=Path)
+    trace.add_argument("query", help="region-algebra query text")
+    trace.add_argument("--optimize", action="store_true", help="optimize first")
+    trace.add_argument(
+        "--rig", choices=("figure1",), help="schema graph for optimization"
+    )
+    trace.add_argument("--json", action="store_true", help="machine-readable output")
+
+    querylog = commands.add_parser(
+        "querylog", help="run queries and dump the structured query log"
+    )
+    querylog.add_argument("index", type=Path)
+    querylog.add_argument("queries", nargs="+", help="queries to run, in order")
+    querylog.add_argument("--optimize", action="store_true", help="optimize each")
+    querylog.add_argument(
+        "--rig", choices=("figure1",), help="schema graph for optimization"
+    )
+    querylog.add_argument("--json", action="store_true", help="machine-readable output")
+    querylog.add_argument(
+        "--capacity",
+        type=int,
+        default=None,
+        help="query-log ring-buffer capacity (default: engine default)",
+    )
 
     kwic = commands.add_parser(
         "kwic", help="keyword-in-context lines for a pattern in a document"
@@ -120,7 +163,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
         report = profile(args.query, engine.instance)
         print(report)
-        print(f"total: {report.total_seconds * 1e6:.0f} µs")
+        print(
+            f"total: {report.total_seconds * 1e6:.0f} µs, "
+            f"{report.cache_hits} memo hit(s)"
+        )
         return 0
     result = engine.query(args.query, optimize_query=args.optimize)
     regions = sorted(result, key=lambda r: (r.left, r.right))
@@ -162,12 +208,104 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     engine = _load_engine(args.index, None)
     stats = engine.statistics()
+    telemetry = getattr(args, "telemetry", False)
+    if telemetry:
+        stats["telemetry"] = engine.telemetry()
     if args.json:
         print(json.dumps(stats))
         return 0
     print(f"regions: {stats['total']}, nesting depth: {stats['nesting_depth']}")
     for name, count in sorted(stats["regions"].items()):
         print(f"  {name:20s} {count}")
+    if telemetry:
+        histograms = stats["telemetry"]["metrics"]["histograms"]
+        for label, series in histograms.get("index_build_seconds", {}).items():
+            print(
+                f"  index build ({label})  {series['sum'] * 1e3:.2f} ms "
+                f"over {series['count']} build(s)"
+            )
+    return 0
+
+
+def _span_tree_lines(span, depth: int, lines: list[str]) -> None:
+    label = span.name
+    attrs = span.attributes
+    if "cardinality" in attrs:
+        label += f" -> {attrs['cardinality']} region(s)"
+    if attrs.get("cached"):
+        label += " (cached)"
+    lines.append(f"{'  ' * depth}{label}  {span.duration * 1e6:.0f} µs")
+    for child in span.children:
+        _span_tree_lines(child, depth + 1, lines)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import span_to_dict
+
+    engine = _load_engine(args.index, args.rig)
+    engine.enable_tracing()
+    result = engine.query(args.query, optimize_query=args.optimize)
+    root = engine.tracer.last_root
+    assert root is not None  # tracing was just enabled
+    if args.json:
+        print(json.dumps(span_to_dict(root)))
+        return 0
+    lines: list[str] = []
+    _span_tree_lines(root, 0, lines)
+    print("\n".join(lines))
+    eval_spans = [
+        s for s in root.walk() if s.name.startswith("eval.")
+    ]
+    total = root.duration
+    evaluated = sum(s.duration for s in eval_spans if s.parent_id == root.span_id)
+    print(
+        f"{len(result)} region(s) in {total * 1e6:.0f} µs "
+        f"({len(eval_spans)} operator span(s), "
+        f"evaluation {evaluated / total * 100 if total else 0:.0f}% of total)"
+    )
+    return 0
+
+
+def _cmd_querylog(args: argparse.Namespace) -> int:
+    from repro.engine.storage import load_instance
+    from repro.obs import Telemetry
+
+    rig = figure_1_rig() if args.rig == "figure1" else None
+    if args.capacity is not None and args.capacity < 1:
+        print("error: --capacity must be positive", file=sys.stderr)
+        return 1
+    telemetry = (
+        Telemetry(query_log_capacity=args.capacity)
+        if args.capacity is not None
+        else None
+    )
+    engine = Engine(load_instance(args.index), rig=rig, telemetry=telemetry)
+    for query in args.queries:
+        engine.query(query, optimize_query=args.optimize)
+    records = [record.to_dict() for record in engine.query_log]
+    if args.json:
+        print(
+            json.dumps(
+                {"summary": engine.query_log.summary(), "records": records}
+            )
+        )
+        return 0
+    for record in records:
+        error = record["cardinality_error"]
+        line = (
+            f"[{record['kind']}] {record['query']!r} -> plan {record['plan']!r}: "
+            f"{record['cardinality']} region(s), "
+            f"{record['seconds'] * 1e6:.0f} µs, "
+            f"{record['memo_hits']} memo hit(s)"
+        )
+        if error is not None:
+            line += f", card.err {error:.2f}"
+        print(line)
+    summary = engine.query_log.summary()
+    print(
+        f"{summary['retained']} record(s) retained "
+        f"({summary['evicted']} evicted, capacity {summary['capacity']})"
+    )
     return 0
 
 
@@ -189,6 +327,8 @@ _COMMANDS = {
     "query": _cmd_query,
     "explain": _cmd_explain,
     "stats": _cmd_stats,
+    "trace": _cmd_trace,
+    "querylog": _cmd_querylog,
     "kwic": _cmd_kwic,
 }
 

@@ -14,17 +14,28 @@ retrieval system exposes:
 * ``extract`` — the raw text a result region covers;
 * ``explain`` — the plan: parsed form, optimized form, cost estimates;
 * ``save``/``load`` — index persistence.
+
+Every engine carries a :class:`~repro.obs.Telemetry` bundle: metrics
+and the query log are always on (cheap), span tracing is off until
+:meth:`Engine.enable_tracing`.  ``query`` and ``explain`` share one
+plan-construction path (:meth:`Engine.plan`), so the plan the optimizer
+explains is exactly the plan the evaluator runs, and both calls append
+a structured record — plan, cardinality, wall time, memo hits,
+estimated-vs-actual cardinality error — to ``engine.query_log``.
+:meth:`Engine.telemetry` snapshots all of it as plain JSON-ready data.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 from typing import Any
 
 from repro.algebra import ast as A
 from repro.algebra.cost import CostModel
-from repro.algebra.evaluator import Evaluator, Strategy
+from repro.algebra.evaluator import EvalStats, Evaluator, Strategy
 from repro.algebra.parser import parse
 from repro.algebra.printer import to_text
 from repro.core.instance import Instance
@@ -32,6 +43,16 @@ from repro.core.region import Region
 from repro.core.regionset import RegionSet
 from repro.core.wordindex import TextWordIndex
 from repro.errors import EvaluationError, UnknownRegionNameError
+from repro.obs import Telemetry
+from repro.obs.metrics import (
+    CARDINALITY_BUCKETS,
+    INDEX_BUILD_SECONDS,
+    PARSE_SECONDS,
+    QUERIES_TOTAL,
+    RESULT_CARDINALITY,
+)
+from repro.obs.querylog import QueryLog, QueryRecord
+from repro.obs.trace import Tracer, maybe_span
 from repro.optimize.optimizer import optimize
 from repro.rig.graph import RegionInclusionGraph
 
@@ -68,12 +89,19 @@ class Engine:
         text: str | None = None,
         rig: RegionInclusionGraph | None = None,
         strategy: Strategy = "indexed",
+        telemetry: Telemetry | None = None,
     ):
         self._instance = instance
         self._text = text
         self._rig = rig
-        self._evaluator = Evaluator(strategy)
+        self._telemetry = telemetry if telemetry is not None else Telemetry()
+        self._evaluator = Evaluator(
+            strategy,
+            tracer=self._telemetry.tracer,
+            metrics=self._telemetry.metrics,
+        )
         self._views: dict[str, A.Expr] = {}
+        self._cost_model: CostModel | None = None
 
     # ------------------------------------------------------------------
     # Constructors.
@@ -86,8 +114,11 @@ class Engine:
         """Index an SGML-like tagged document."""
         from repro.engine.tagged import parse_tagged_text
 
+        started = perf_counter()
         document = parse_tagged_text(text)
-        return cls(document.instance, text=document.text, rig=rig)
+        engine = cls(document.instance, text=document.text, rig=rig)
+        engine._observe_index_build("tagged", perf_counter() - started)
+        return engine
 
     @classmethod
     def from_source(cls, text: str) -> "Engine":
@@ -95,14 +126,26 @@ class Engine:
         from repro.engine.sourcecode import parse_source
         from repro.rig.graph import figure_1_rig
 
+        started = perf_counter()
         document = parse_source(text)
-        return cls(document.instance, text=document.text, rig=figure_1_rig())
+        engine = cls(document.instance, text=document.text, rig=figure_1_rig())
+        engine._observe_index_build("source", perf_counter() - started)
+        return engine
 
     @classmethod
     def load(cls, path: str | Path, rig: RegionInclusionGraph | None = None) -> "Engine":
         from repro.engine.storage import load_instance
 
-        return cls(load_instance(path), rig=rig)
+        started = perf_counter()
+        instance = load_instance(path)
+        engine = cls(instance, rig=rig)
+        engine._observe_index_build("load", perf_counter() - started)
+        return engine
+
+    def _observe_index_build(self, kind: str, seconds: float) -> None:
+        self._telemetry.metrics.histogram(INDEX_BUILD_SECONDS).observe(
+            seconds, kind=kind
+        )
 
     # ------------------------------------------------------------------
     # Accessors.
@@ -133,6 +176,31 @@ class Engine:
         }
 
     # ------------------------------------------------------------------
+    # Observability.
+    # ------------------------------------------------------------------
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._telemetry.tracer
+
+    @property
+    def metrics(self):
+        return self._telemetry.metrics
+
+    @property
+    def query_log(self) -> QueryLog:
+        return self._telemetry.query_log
+
+    def enable_tracing(self, enabled: bool = True) -> None:
+        """Turn span collection on (or back off) for this engine."""
+        self._telemetry.enable_tracing(enabled)
+
+    def telemetry(self) -> dict[str, Any]:
+        """A JSON-ready snapshot of this engine's metrics, query log,
+        and tracing state (see ``docs/observability.md``)."""
+        return self._telemetry.snapshot()
+
+    # ------------------------------------------------------------------
     # Querying.
     # ------------------------------------------------------------------
 
@@ -140,22 +208,132 @@ class Engine:
         self, query: str | A.Expr, optimize_query: bool = False
     ) -> RegionSet:
         """Evaluate a query (text or expression tree) against the index."""
-        expr = self._prepare(query)
-        if optimize_query:
-            expr = optimize(expr, rig=self._rig).expression
-        return self._evaluator.evaluate(expr, self._instance)
+        tracer = self._telemetry.tracer
+        started = perf_counter()
+        with maybe_span(tracer, "query", optimize=optimize_query) as root:
+            with maybe_span(tracer, "parse"):
+                parse_started = perf_counter()
+                expr = self._prepare(query)
+                parse_seconds = perf_counter() - parse_started
+            plan = self._plan(expr) if optimize_query else None
+            executed = plan.optimized if plan is not None else expr
+            if root is not None:
+                root.set("text", to_text(expr))
+            result = self._evaluator.evaluate(executed, self._instance)
+            if root is not None:
+                root.set("cardinality", len(result))
+        self._record(
+            kind="query",
+            query=query,
+            executed=executed,
+            plan=plan,
+            result=result,
+            seconds=perf_counter() - started,
+            parse_seconds=parse_seconds,
+            stats=self._evaluator.last_stats,
+        )
+        return result
 
     def explain(self, query: str | A.Expr) -> QueryPlan:
-        """The optimizer's plan for a query, without running it."""
-        expr = self._prepare(query)
-        model = CostModel.from_instance(self._instance)
-        result = optimize(expr, rig=self._rig, cost_model=model)
+        """The optimizer's plan for a query, without running it.
+
+        Built by the same :meth:`plan` path :meth:`query` executes, so
+        what is explained is exactly what would run.
+        """
+        tracer = self._telemetry.tracer
+        started = perf_counter()
+        with maybe_span(tracer, "explain"):
+            with maybe_span(tracer, "parse"):
+                parse_started = perf_counter()
+                expr = self._prepare(query)
+                parse_seconds = perf_counter() - parse_started
+            plan = self._plan(expr)
+        self._record(
+            kind="explain",
+            query=query,
+            executed=plan.optimized,
+            plan=plan,
+            result=None,
+            seconds=perf_counter() - started,
+            parse_seconds=parse_seconds,
+            stats=None,
+        )
+        return plan
+
+    def plan(self, query: str | A.Expr) -> QueryPlan:
+        """The plan ``query(..., optimize_query=True)`` would execute."""
+        return self._plan(self._prepare(query))
+
+    def _plan(self, expr: A.Expr) -> QueryPlan:
+        """The single plan-construction path shared by query/explain."""
+        result = optimize(
+            expr,
+            rig=self._rig,
+            cost_model=self._ensure_cost_model(),
+            tracer=self._telemetry.tracer,
+            metrics=self._telemetry.metrics,
+        )
         return QueryPlan(
             original=expr,
             optimized=result.expression,
             original_cost=result.original_cost,
             optimized_cost=result.optimized_cost,
             steps=result.steps,
+        )
+
+    def _ensure_cost_model(self) -> CostModel:
+        if self._cost_model is None:
+            self._cost_model = CostModel.from_instance(self._instance)
+        return self._cost_model
+
+    def _record(
+        self,
+        kind: str,
+        query: str | A.Expr,
+        executed: A.Expr,
+        plan: QueryPlan | None,
+        result: RegionSet | None,
+        seconds: float,
+        parse_seconds: float,
+        stats: EvalStats | None,
+    ) -> None:
+        metrics = self._telemetry.metrics
+        metrics.counter(QUERIES_TOTAL).inc(kind=kind)
+        metrics.histogram(PARSE_SECONDS).observe(parse_seconds)
+        try:
+            estimate = self._ensure_cost_model().estimate(executed)
+        except TypeError:
+            # The cost model covers the core algebra; word queries
+            # (match points) and extended nodes fall outside it.
+            estimate = None
+        cardinality = error = None
+        if result is not None:
+            cardinality = len(result)
+            metrics.histogram(
+                RESULT_CARDINALITY, CARDINALITY_BUCKETS
+            ).observe(cardinality)
+            if estimate is not None:
+                error = (
+                    abs(estimate.cardinality - cardinality) / max(cardinality, 1)
+                )
+        self._telemetry.query_log.append(
+            QueryRecord(
+                kind=kind,
+                query=query if isinstance(query, str) else to_text(query),
+                plan=to_text(executed),
+                optimized=plan is not None,
+                seconds=seconds,
+                cardinality=cardinality,
+                memo_hits=stats.memo_hits if stats is not None else 0,
+                nodes_evaluated=stats.nodes_evaluated if stats is not None else 0,
+                estimated_cost=estimate.cost if estimate is not None else None,
+                estimated_cardinality=(
+                    estimate.cardinality if estimate is not None else None
+                ),
+                cardinality_error=error,
+                steps=plan.steps if plan is not None else (),
+                timestamp=time.time(),
+            )
         )
 
     def match_points(self, pattern: str) -> RegionSet:

@@ -104,9 +104,22 @@ def save_instance(instance: Instance, path: str | Path) -> None:
 
 
 def load_instance(path: str | Path) -> Instance:
-    """Read an instance back from :func:`save_instance` output."""
+    """Read an instance back from :func:`save_instance` output.
+
+    Load time lands in the process-wide
+    ``index_build_seconds{kind=load}`` histogram.
+    """
+    from time import perf_counter
+
+    from repro.obs.metrics import INDEX_BUILD_SECONDS, global_registry
+
+    started = perf_counter()
     try:
         data = json.loads(Path(path).read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError) as exc:
         raise StorageError(f"cannot read index from {path}: {exc}") from exc
-    return instance_from_dict(data)
+    instance = instance_from_dict(data)
+    global_registry().histogram(INDEX_BUILD_SECONDS).observe(
+        perf_counter() - started, kind="load"
+    )
+    return instance

@@ -1,0 +1,106 @@
+"""Observability for the query engine: traces, metrics, query log.
+
+Three cooperating pieces, each usable alone:
+
+* :mod:`repro.obs.trace` — hierarchical spans under a context-var
+  driven :class:`Tracer` (what happened inside one call, and when);
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and fixed-bucket histograms (what the process has done,
+  aggregated);
+* :mod:`repro.obs.querylog` — a ring buffer of structured
+  :class:`QueryRecord` entries (what queries ran and how they went).
+
+:class:`Telemetry` bundles one of each, the unit an
+:class:`~repro.engine.Engine` carries; see ``docs/observability.md``
+for the metric catalogue and span taxonomy.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import (
+    CARDINALITY_BUCKETS,
+    EVAL_NODE_SECONDS,
+    EVAL_NODES_TOTAL,
+    INDEX_BUILD_SECONDS,
+    MEMO_HITS_TOTAL,
+    OPTIMIZE_SECONDS,
+    OPTIMIZER_RULE_FIRES_TOTAL,
+    PARSE_SECONDS,
+    QUERIES_TOTAL,
+    RESULT_CARDINALITY,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.obs.querylog import QueryLog, QueryRecord
+from repro.obs.trace import Span, Tracer, load_jsonl, maybe_span, span_from_dict, span_to_dict
+
+__all__ = [
+    "Telemetry",
+    "Tracer",
+    "Span",
+    "maybe_span",
+    "span_to_dict",
+    "span_from_dict",
+    "load_jsonl",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "global_registry",
+    "QueryLog",
+    "QueryRecord",
+    "SECONDS_BUCKETS",
+    "CARDINALITY_BUCKETS",
+    "QUERIES_TOTAL",
+    "PARSE_SECONDS",
+    "OPTIMIZE_SECONDS",
+    "EVAL_NODE_SECONDS",
+    "EVAL_NODES_TOTAL",
+    "MEMO_HITS_TOTAL",
+    "RESULT_CARDINALITY",
+    "INDEX_BUILD_SECONDS",
+    "OPTIMIZER_RULE_FIRES_TOTAL",
+]
+
+
+class Telemetry:
+    """One engine's observability bundle: tracer + metrics + query log.
+
+    Tracing starts disabled (spans cost time; metrics and the query log
+    are cheap enough to keep always on).  Flip it with
+    :meth:`enable_tracing` or ``telemetry.tracer.enabled = True``.
+    """
+
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        query_log: QueryLog | None = None,
+        query_log_capacity: int = 256,
+    ):
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.query_log = (
+            query_log if query_log is not None else QueryLog(query_log_capacity)
+        )
+
+    def enable_tracing(self, enabled: bool = True) -> None:
+        self.tracer.enabled = enabled
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-ready view of everything this bundle has recorded."""
+        return {
+            "tracing_enabled": self.tracer.enabled,
+            "traces_retained": len(self.tracer.roots),
+            "metrics": self.metrics.snapshot(),
+            "query_log": self.query_log.summary(),
+            "recent_queries": [
+                record.to_dict() for record in self.query_log.records()[-10:]
+            ],
+        }

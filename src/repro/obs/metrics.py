@@ -1,0 +1,297 @@
+"""A process-wide metrics registry: counters, gauges, histograms.
+
+The quantitative half of the observability layer (the qualitative half —
+traces — lives in :mod:`repro.obs.trace`).  All instruments support
+label sets (``histogram.observe(t, op="Union")``), stored per sorted
+label tuple, and render into a plain-dict snapshot for JSON output.
+
+The engine's well-known metric names are module constants so the
+instrumented call sites, the CLI, and the tests agree on spelling:
+
+==========================  =============================================
+``queries_total``           counter, per :meth:`Engine.query`/``explain``
+``parse_seconds``           histogram, query-text parsing + view expansion
+``optimize_seconds``        histogram, one :func:`optimize` call
+``eval_node_seconds``       histogram ``{op=...}``, one evaluator node
+``memo_hits_total``         counter, common-sub-expression cache hits
+``eval_nodes_total``        counter, evaluator nodes visited
+``result_cardinality``      histogram, regions returned per query
+``index_build_seconds``     histogram ``{kind=...}``, parse/load an index
+``optimizer_rule_fires_total``  counter ``{rule=...}``, rewrites applied
+==========================  =============================================
+
+A registry is cheap; engines carry their own.  The module-level
+:func:`global_registry` aggregates call sites that run before any engine
+exists (the index builders).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "SECONDS_BUCKETS",
+    "CARDINALITY_BUCKETS",
+    "QUERIES_TOTAL",
+    "PARSE_SECONDS",
+    "OPTIMIZE_SECONDS",
+    "EVAL_NODE_SECONDS",
+    "MEMO_HITS_TOTAL",
+    "EVAL_NODES_TOTAL",
+    "RESULT_CARDINALITY",
+    "INDEX_BUILD_SECONDS",
+    "OPTIMIZER_RULE_FIRES_TOTAL",
+]
+
+QUERIES_TOTAL = "queries_total"
+PARSE_SECONDS = "parse_seconds"
+OPTIMIZE_SECONDS = "optimize_seconds"
+EVAL_NODE_SECONDS = "eval_node_seconds"
+MEMO_HITS_TOTAL = "memo_hits_total"
+EVAL_NODES_TOTAL = "eval_nodes_total"
+RESULT_CARDINALITY = "result_cardinality"
+INDEX_BUILD_SECONDS = "index_build_seconds"
+OPTIMIZER_RULE_FIRES_TOTAL = "optimizer_rule_fires_total"
+
+#: Upper bucket bounds for wall-time histograms (seconds; +inf implied).
+SECONDS_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+#: Upper bucket bounds for cardinality histograms (+inf implied).
+CARDINALITY_BUCKETS = (0.0, 1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _label_text(key: LabelKey) -> str:
+    return ",".join(f"{k}={v}" for k, v in key)
+
+
+class Counter:
+    """A monotonically increasing sum, per label set."""
+
+    __slots__ = ("name", "help", "_values")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """The sum over every label set."""
+        return sum(self._values.values())
+
+    def snapshot(self) -> dict[str, float]:
+        return {_label_text(key): value for key, value in self._values.items()}
+
+
+class Gauge:
+    """A value that goes up and down, per label set."""
+
+    __slots__ = ("name", "help", "_values")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def snapshot(self) -> dict[str, float]:
+        return {_label_text(key): value for key, value in self._values.items()}
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * (n_buckets + 1)  # +1 for the +inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """Fixed upper-bound buckets plus a running sum and count.
+
+    A value lands in the first bucket whose bound is ``>= value``
+    (cumulative-style edges: a value exactly on a bound counts in that
+    bound's bucket); values above every bound land in the implicit
+    ``+inf`` bucket.
+    """
+
+    __slots__ = ("name", "help", "buckets", "_series")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Iterable[float] = SECONDS_BUCKETS,
+        help: str = "",
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name} needs increasing bucket bounds")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._series: dict[LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        series.bucket_counts[index] += 1
+        series.sum += value
+        series.count += 1
+
+    # ------------------------------------------------------------------
+
+    def count(self, **labels: Any) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels: Any) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.sum if series else 0.0
+
+    def mean(self, **labels: Any) -> float:
+        series = self._series.get(_label_key(labels))
+        if series is None or series.count == 0:
+            return math.nan
+        return series.sum / series.count
+
+    def total_count(self) -> int:
+        return sum(s.count for s in self._series.values())
+
+    def total_sum(self) -> float:
+        return sum(s.sum for s in self._series.values())
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        out: dict[str, dict[str, Any]] = {}
+        for key, series in self._series.items():
+            out[_label_text(key)] = {
+                "count": series.count,
+                "sum": series.sum,
+                "buckets": {
+                    **{
+                        str(bound): count
+                        for bound, count in zip(self.buckets, series.bucket_counts)
+                    },
+                    "+inf": series.bucket_counts[-1],
+                },
+            }
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    Re-registering a name with a different instrument kind is an error;
+    re-registering a histogram with different buckets is too (silent
+    bucket drift would corrupt the series).
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        self._check_free(name, self._counters)
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name, help)
+        return counter
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        self._check_free(name, self._gauges)
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name, help)
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = SECONDS_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        self._check_free(name, self._histograms)
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, buckets, help)
+        elif histogram.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return histogram
+
+    def _check_free(self, name: str, home: dict[str, Any]) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if kind is not home and name in kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as a different kind"
+                )
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Every instrument's state as plain JSON-ready dicts."""
+        return {
+            "counters": {
+                name: counter.snapshot()
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.snapshot()
+                for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry (index builders record here)."""
+    return _GLOBAL

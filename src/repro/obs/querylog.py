@@ -1,0 +1,139 @@
+"""The query log: a ring buffer of structured per-query records.
+
+Every :meth:`Engine.query` and :meth:`Engine.explain` call appends one
+:class:`QueryRecord` — query text, chosen plan, result cardinality,
+wall time, memo hits, and the cost model's estimate against what
+actually happened (the feedback signal a self-tuning optimizer needs).
+The buffer is bounded: a production engine must never grow without
+limit because someone forgot to drain its log.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["QueryRecord", "QueryLog"]
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One logged engine call."""
+
+    kind: str  #: ``"query"`` or ``"explain"``
+    query: str  #: the query text as submitted
+    plan: str  #: the plan actually chosen (optimized form when optimizing)
+    optimized: bool
+    seconds: float  #: wall time of the whole call
+    cardinality: int | None = None  #: result size (None for ``explain``)
+    memo_hits: int = 0
+    nodes_evaluated: int = 0
+    estimated_cost: float | None = None
+    estimated_cardinality: float | None = None
+    cardinality_error: float | None = None  #: |estimated − actual| / max(actual, 1)
+    steps: tuple[str, ...] = field(default_factory=tuple)
+    timestamp: float = 0.0  #: wall-clock seconds since the epoch
+
+    def to_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["steps"] = list(self.steps)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "QueryRecord":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416 - py3.10 compat
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs["steps"] = tuple(kwargs.get("steps", ()))
+        return cls(**kwargs)
+
+
+class QueryLog:
+    """A bounded, append-only log of :class:`QueryRecord`.
+
+    When full, appending evicts the oldest record (ring-buffer
+    semantics).  ``capacity`` must be positive.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("query log capacity must be positive")
+        self.capacity = capacity
+        self._records: deque[QueryRecord] = deque(maxlen=capacity)
+        self._appended = 0
+
+    def append(self, record: QueryRecord) -> None:
+        self._records.append(record)
+        self._appended += 1
+
+    @property
+    def total_appended(self) -> int:
+        """Records ever appended, including evicted ones."""
+        return self._appended
+
+    @property
+    def evicted(self) -> int:
+        return self._appended - len(self._records)
+
+    def records(self) -> tuple[QueryRecord, ...]:
+        """Retained records, oldest first."""
+        return tuple(self._records)
+
+    def last(self) -> QueryRecord | None:
+        return self._records[-1] if self._records else None
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[QueryRecord]:
+        return iter(self._records)
+
+    # ------------------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate view for telemetry snapshots."""
+        records = list(self._records)
+        queries = [r for r in records if r.kind == "query"]
+        errors = [
+            r.cardinality_error
+            for r in records
+            if r.cardinality_error is not None
+        ]
+        return {
+            "capacity": self.capacity,
+            "retained": len(records),
+            "appended": self._appended,
+            "evicted": self.evicted,
+            "queries": len(queries),
+            "total_seconds": sum(r.seconds for r in records),
+            "memo_hits": sum(r.memo_hits for r in records),
+            "mean_cardinality_error": (
+                sum(errors) / len(errors) if errors else None
+            ),
+        }
+
+    def to_jsonl(self, path: str | Path) -> int:
+        """Write one JSON object per record; returns the record count."""
+        lines = [json.dumps(r.to_dict()) for r in self._records]
+        Path(path).write_text(
+            "".join(line + "\n" for line in lines), encoding="utf-8"
+        )
+        return len(lines)
+
+    @classmethod
+    def from_jsonl(cls, path: str | Path, capacity: int | None = None) -> "QueryLog":
+        """Rebuild a log from :meth:`to_jsonl` output."""
+        lines = [
+            line
+            for line in Path(path).read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        log = cls(capacity or max(len(lines), 1))
+        for line in lines:
+            log.append(QueryRecord.from_dict(json.loads(line)))
+        return log

@@ -1,0 +1,272 @@
+"""Hierarchical tracing: spans, a context-var driven tracer, JSONL export.
+
+The engine's introspection substrate.  A :class:`Span` is one timed unit
+of work (a query, an optimizer pass, one evaluator node); spans nest via
+a :class:`contextvars.ContextVar`, so any code running under an open
+span attaches its own spans as children without threading a handle
+through every call.  A :class:`Tracer` owns the context variable, keeps
+the most recent finished root spans, and exports them as JSON or JSONL.
+
+Design constraints:
+
+* **Near-zero cost when disabled.**  Hot paths guard with
+  ``tracer is not None and tracer.enabled`` (or :func:`maybe_span`);
+  a disabled tracer never touches the clock or the context variable.
+* **Inclusive timings.**  A span's ``duration`` covers its whole
+  subtree, so a child's duration never exceeds its parent's and the
+  children of a span sum to at most the parent's duration.
+* **Round-trippable.**  ``span_to_dict``/``span_from_dict`` preserve
+  the tree, timings, and (JSON-sanitized) attributes exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+from collections import deque
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "maybe_span",
+    "span_to_dict",
+    "span_from_dict",
+    "load_jsonl",
+]
+
+_ids = itertools.count(1)
+
+
+class Span:
+    """One timed, attributed unit of work in a trace tree."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "children",
+        "started_at",
+        "_start",
+        "_end",
+    )
+
+    def __init__(self, name: str, parent_id: int | None = None, **attributes: Any):
+        self.name = name
+        self.span_id = next(_ids)
+        self.parent_id = parent_id
+        self.attributes: dict[str, Any] = dict(attributes)
+        self.children: list[Span] = []
+        self.started_at = time.time()
+        self._start = time.perf_counter()
+        self._end: float | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._end is not None
+
+    @property
+    def duration(self) -> float:
+        """Inclusive wall seconds (0.0 while the span is still open)."""
+        if self._end is None:
+            return 0.0
+        return self._end - self._start
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attributes[key] = value
+
+    def finish(self) -> None:
+        if self._end is None:
+            self._end = time.perf_counter()
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def tree_text(self, time_unit: float = 1e-6, unit_label: str = "µs") -> str:
+        """An indented rendering of the subtree (for CLIs and debugging)."""
+        lines: list[str] = []
+        self._render(lines, 0, time_unit, unit_label)
+        return "\n".join(lines)
+
+    def _render(
+        self, lines: list[str], depth: int, time_unit: float, unit_label: str
+    ) -> None:
+        attrs = " ".join(
+            f"{key}={_sanitize(value)}"
+            for key, value in sorted(self.attributes.items())
+        )
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(
+            f"{'  ' * depth}{self.name}  {self.duration / time_unit:.0f} "
+            f"{unit_label}{suffix}"
+        )
+        for child in self.children:
+            child._render(lines, depth + 1, time_unit, unit_label)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration * 1e6:.0f}µs" if self.finished else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+def _sanitize(value: Any) -> Any:
+    """A JSON-representable stand-in for an attribute value."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return str(value)
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """The JSON-ready representation of a span subtree."""
+    return {
+        "name": span.name,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "started_at": span.started_at,
+        "duration": span.duration,
+        "attributes": {
+            key: _sanitize(value) for key, value in span.attributes.items()
+        },
+        "children": [span_to_dict(child) for child in span.children],
+    }
+
+
+def span_from_dict(data: dict[str, Any]) -> Span:
+    """Rebuild a span subtree from :func:`span_to_dict` output."""
+    span = Span(data["name"], parent_id=data.get("parent_id"))
+    span.span_id = data["span_id"]
+    span.attributes = dict(data.get("attributes", {}))
+    span.started_at = data.get("started_at", 0.0)
+    span._start = 0.0
+    span._end = data.get("duration", 0.0)
+    for child in data.get("children", ()):
+        span.children.append(span_from_dict(child))
+    return span
+
+
+class _SpanContext:
+    """The context manager :meth:`Tracer.span` returns."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._token = self._tracer._current.set(self._span)
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._span.finish()
+        self._tracer._current.reset(self._token)
+        if self._span.parent_id is None:
+            self._tracer._roots.append(self._span)
+
+
+class _NullContext:
+    """Stands in for a span context when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Tracer:
+    """Collects span trees; the context variable lives here.
+
+    ``enabled`` may be flipped at any time; spans opened while disabled
+    are simply never created (callers get a no-op context).  Finished
+    root spans are kept in a bounded deque, newest last.
+    """
+
+    def __init__(self, enabled: bool = True, max_roots: int = 256):
+        self.enabled = enabled
+        self._roots: deque[Span] = deque(maxlen=max_roots)
+        self._current: ContextVar[Span | None] = ContextVar(
+            "repro-trace-current", default=None
+        )
+
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext | _NullContext:
+        """Open a child span of whatever span is currently active."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        parent = self._current.get()
+        span = Span(name, parent_id=parent.span_id if parent else None, **attributes)
+        if parent is not None:
+            parent.children.append(span)
+        return _SpanContext(self, span)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._current.get()
+
+    @property
+    def roots(self) -> tuple[Span, ...]:
+        """Finished root spans, oldest first."""
+        return tuple(self._roots)
+
+    @property
+    def last_root(self) -> Span | None:
+        return self._roots[-1] if self._roots else None
+
+    def clear(self) -> None:
+        self._roots.clear()
+
+    # ------------------------------------------------------------------
+    # Export.
+    # ------------------------------------------------------------------
+
+    def export_json(self) -> str:
+        """All finished root spans as one JSON array."""
+        return json.dumps([span_to_dict(root) for root in self._roots])
+
+    def export_jsonl(self, path: str | Path) -> int:
+        """Write one JSON object per root span; returns the span count."""
+        lines = [json.dumps(span_to_dict(root)) for root in self._roots]
+        Path(path).write_text(
+            "".join(line + "\n" for line in lines), encoding="utf-8"
+        )
+        return len(lines)
+
+
+def load_jsonl(path: str | Path) -> list[Span]:
+    """Read spans back from :meth:`Tracer.export_jsonl` output."""
+    spans: list[Span] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            spans.append(span_from_dict(json.loads(line)))
+    return spans
+
+
+def maybe_span(
+    tracer: Tracer | None, name: str, **attributes: Any
+) -> _SpanContext | _NullContext:
+    """A span context if ``tracer`` is present and enabled, else a no-op.
+
+    The guard instrumented code uses so an absent or disabled tracer
+    costs one ``is None`` check and nothing else.
+    """
+    if tracer is not None and tracer.enabled:
+        return tracer.span(name, **attributes)
+    return _NULL_CONTEXT

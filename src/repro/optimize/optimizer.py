@@ -19,14 +19,21 @@ optimizer is layered:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
+from typing import TYPE_CHECKING
 
 from repro.algebra import ast as A
 from repro.algebra.cost import CostModel, operation_count
 from repro.algebra.enumerate import enumerate_expressions
+from repro.obs.trace import maybe_span
 from repro.optimize.equivalence import check_equivalence
 from repro.optimize.rewrite import simplify_chains, simplify_deep
 from repro.rig.graph import RegionInclusionGraph
 from repro.rig.rog import RegionOrderGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
 
 __all__ = ["OptimizationResult", "optimize"]
 
@@ -54,6 +61,8 @@ def optimize(
     equivalence_nodes: int = 4,
     seed: int = 0,
     rog: "RegionOrderGraph | None" = None,
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> OptimizationResult:
     """Optimize ``expr``; see the module docstring for the passes.
 
@@ -61,51 +70,80 @@ def optimize(
     most ``max_candidate_ops`` operations (default: one less than the
     current best) and equivalence is certified by the layered test of
     :mod:`repro.optimize.equivalence` w.r.t. ``rig``.
+
+    A ``tracer`` gets one span per rewrite pass (``rule.identities``,
+    ``rule.chains``, ``rule.prune``, ``rule.exhaustive``) under an
+    ``optimize`` root; a ``metrics`` registry records the call into
+    ``optimize_seconds`` and counts applied rewrites in
+    ``optimizer_rule_fires_total{rule=...}``.  Both default to absent
+    and cost nothing then.
     """
     price = cost_model.price if cost_model is not None else operation_count
     original_cost = price(expr)
     steps: list[str] = []
+    started = perf_counter()
 
-    best = simplify_deep(expr)
-    if best != expr:
-        steps.append("algebraic identities")
-    if rig is not None:
-        chained = simplify_chains(best, rig)
-        if chained != best:
-            steps.append("RIG chain simplification")
-            best = chained
-        from repro.optimize.static import prune_with_rig
+    def fired(rule: str) -> None:
+        steps.append(rule)
+        if metrics is not None:
+            from repro.obs.metrics import OPTIMIZER_RULE_FIRES_TOTAL
 
-        pruned = prune_with_rig(best, rig, rog)
-        if pruned != best:
-            steps.append("RIG static pruning")
-            best = pruned
+            metrics.counter(OPTIMIZER_RULE_FIRES_TOTAL).inc(rule=rule)
 
-    if exhaustive:
-        names = sorted(A.region_names(best)) or ["R"]
-        patterns = sorted(A.pattern_names(best))
-        budget = (
-            max_candidate_ops
-            if max_candidate_ops is not None
-            else max(A.size(best) - 1, 0)
-        )
-        for candidate in enumerate_expressions(names, budget, patterns):
-            if price(candidate) >= price(best):
-                continue
-            verdict = check_equivalence(
-                best,
-                candidate,
-                rig=rig,
-                max_nodes=equivalence_nodes,
-                seed=seed,
+    with maybe_span(tracer, "optimize", original_cost=original_cost) as root:
+        with maybe_span(tracer, "rule.identities"):
+            best = simplify_deep(expr)
+        if best != expr:
+            fired("algebraic identities")
+        if rig is not None:
+            with maybe_span(tracer, "rule.chains"):
+                chained = simplify_chains(best, rig)
+            if chained != best:
+                fired("RIG chain simplification")
+                best = chained
+            from repro.optimize.static import prune_with_rig
+
+            with maybe_span(tracer, "rule.prune"):
+                pruned = prune_with_rig(best, rig, rog)
+            if pruned != best:
+                fired("RIG static pruning")
+                best = pruned
+
+        if exhaustive:
+            names = sorted(A.region_names(best)) or ["R"]
+            patterns = sorted(A.pattern_names(best))
+            budget = (
+                max_candidate_ops
+                if max_candidate_ops is not None
+                else max(A.size(best) - 1, 0)
             )
-            if verdict.equivalent:
-                best = candidate
-                steps.append("exhaustive search")
+            with maybe_span(tracer, "rule.exhaustive", budget=budget):
+                for candidate in enumerate_expressions(names, budget, patterns):
+                    if price(candidate) >= price(best):
+                        continue
+                    verdict = check_equivalence(
+                        best,
+                        candidate,
+                        rig=rig,
+                        max_nodes=equivalence_nodes,
+                        seed=seed,
+                    )
+                    if verdict.equivalent:
+                        best = candidate
+                        fired("exhaustive search")
+
+        optimized_cost = price(best)
+        if root is not None:
+            root.set("optimized_cost", optimized_cost)
+            root.set("rewrites", len(steps))
+    if metrics is not None:
+        from repro.obs.metrics import OPTIMIZE_SECONDS
+
+        metrics.histogram(OPTIMIZE_SECONDS).observe(perf_counter() - started)
 
     return OptimizationResult(
         expression=best,
         original_cost=original_cost,
-        optimized_cost=price(best),
+        optimized_cost=optimized_cost,
         steps=tuple(steps),
     )

@@ -152,6 +152,130 @@ class TestExplainAndStats:
         payload = json.loads(capsys.readouterr().out)
         assert payload["regions"]["Proc"] == 1
 
+    def test_stats_telemetry(self, source_index, capsys):
+        _, index = source_index
+        assert main(["stats", str(index), "--telemetry"]) == 0
+        assert "index build (kind=load)" in capsys.readouterr().out
+
+    def test_stats_telemetry_json(self, source_index, capsys):
+        _, index = source_index
+        assert main(["stats", str(index), "--telemetry", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        histograms = payload["telemetry"]["metrics"]["histograms"]
+        assert histograms["index_build_seconds"]["kind=load"]["count"] == 1
+
+
+class TestTrace:
+    def test_trace_tree_shape(self, tagged_index, capsys):
+        _, index = tagged_index
+        assert main(["trace", str(index), "speech within scene"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("query")
+        assert lines[1].lstrip().startswith("parse")
+        assert any(line.lstrip().startswith("eval.IncludedIn") for line in lines)
+        assert any(line.lstrip().startswith("eval.NameRef") for line in lines)
+        assert "µs" in lines[0]
+        assert lines[-1].startswith("1 region(s)")
+
+    def test_trace_times_sum_consistently(self, tagged_index, capsys):
+        _, index = tagged_index
+        assert main(
+            ["trace", str(index), "speech within scene", "--json"]
+        ) == 0
+        root = json.loads(capsys.readouterr().out)
+
+        def check(span):
+            child_sum = sum(c["duration"] for c in span["children"])
+            assert child_sum <= span["duration"] + 1e-9
+            for child in span["children"]:
+                check(child)
+
+        assert root["name"] == "query"
+        check(root)
+
+    def test_trace_optimized(self, source_index, capsys):
+        _, index = source_index
+        code = main(
+            [
+                "trace",
+                str(index),
+                "Name within Proc_header within Proc within Program",
+                "--optimize",
+                "--rig",
+                "figure1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimize" in out
+        assert "rule.chains" in out
+
+    def test_trace_parse_error(self, tagged_index, capsys):
+        _, index = tagged_index
+        assert main(["trace", str(index), "speech within within"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuerylog:
+    def test_querylog_records_each_query(self, tagged_index, capsys):
+        _, index = tagged_index
+        code = main(
+            ["querylog", str(index), "speech within scene", "play", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["retained"] == 2
+        queries = [record["query"] for record in payload["records"]]
+        assert queries == ["speech within scene", "play"]
+        assert all(r["cardinality_error"] is not None for r in payload["records"])
+
+    def test_querylog_optimized_plan_logged(self, source_index, capsys):
+        _, index = source_index
+        code = main(
+            [
+                "querylog",
+                str(index),
+                "Name within Proc_header within Proc within Program",
+                "--optimize",
+                "--rig",
+                "figure1",
+                "--json",
+            ]
+        )
+        assert code == 0
+        record = json.loads(capsys.readouterr().out)["records"][0]
+        assert record["optimized"] is True
+        assert record["plan"] == "Name within Proc_header within Program"
+        assert record["steps"] == ["RIG chain simplification"]
+
+    def test_querylog_capacity_evicts(self, tagged_index, capsys):
+        _, index = tagged_index
+        code = main(
+            [
+                "querylog",
+                str(index),
+                "speech",
+                "scene",
+                "play",
+                "--capacity",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["capacity"] == 2
+        assert payload["summary"]["evicted"] == 1
+        assert [r["query"] for r in payload["records"]] == ["scene", "play"]
+
+    def test_querylog_human_output(self, tagged_index, capsys):
+        _, index = tagged_index
+        assert main(["querylog", str(index), "speech"]) == 0
+        out = capsys.readouterr().out
+        assert "[query] 'speech'" in out
+        assert "memo hit(s)" in out
+        assert "1 record(s) retained" in out
+
 
 class TestKwic:
     def test_kwic_lines(self, tmp_path, capsys):

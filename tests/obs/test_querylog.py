@@ -1,0 +1,113 @@
+"""The ring-buffer query log: eviction, summaries, JSONL round-trip."""
+
+import pytest
+
+from repro.obs.querylog import QueryLog, QueryRecord
+
+
+def make_record(i: int, **overrides) -> QueryRecord:
+    defaults = dict(
+        kind="query",
+        query=f"Q{i}",
+        plan=f"P{i}",
+        optimized=True,
+        seconds=0.001 * (i + 1),
+        cardinality=i,
+        memo_hits=i % 2,
+        nodes_evaluated=3,
+        estimated_cost=10.0,
+        estimated_cardinality=float(i + 1),
+        cardinality_error=1.0 / (i + 1),
+        steps=("algebraic identities",),
+        timestamp=1_700_000_000.0 + i,
+    )
+    defaults.update(overrides)
+    return QueryRecord(**defaults)
+
+
+class TestRingBuffer:
+    def test_append_and_order(self):
+        log = QueryLog(capacity=4)
+        for i in range(3):
+            log.append(make_record(i))
+        assert [r.query for r in log.records()] == ["Q0", "Q1", "Q2"]
+        assert log.last().query == "Q2"
+        assert len(log) == 3
+
+    def test_eviction_drops_oldest(self):
+        log = QueryLog(capacity=3)
+        for i in range(5):
+            log.append(make_record(i))
+        assert [r.query for r in log.records()] == ["Q2", "Q3", "Q4"]
+        assert len(log) == 3
+        assert log.total_appended == 5
+        assert log.evicted == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QueryLog(capacity=0)
+
+    def test_clear_keeps_append_count(self):
+        log = QueryLog(capacity=2)
+        log.append(make_record(0))
+        log.clear()
+        assert len(log) == 0
+        assert log.total_appended == 1
+
+    def test_empty_log(self):
+        log = QueryLog()
+        assert log.last() is None
+        assert log.records() == ()
+
+
+class TestSummary:
+    def test_summary_aggregates(self):
+        log = QueryLog(capacity=10)
+        log.append(make_record(0, memo_hits=2, cardinality_error=0.5))
+        log.append(make_record(1, memo_hits=1, cardinality_error=1.5))
+        log.append(
+            make_record(
+                2,
+                kind="explain",
+                cardinality=None,
+                cardinality_error=None,
+                memo_hits=0,
+            )
+        )
+        summary = log.summary()
+        assert summary["retained"] == 3
+        assert summary["queries"] == 2
+        assert summary["memo_hits"] == 3
+        assert summary["mean_cardinality_error"] == pytest.approx(1.0)
+
+    def test_summary_without_errors(self):
+        log = QueryLog()
+        log.append(make_record(0, cardinality_error=None))
+        assert log.summary()["mean_cardinality_error"] is None
+
+
+class TestSerialization:
+    def test_record_dict_round_trip(self):
+        record = make_record(3)
+        rebuilt = QueryRecord.from_dict(record.to_dict())
+        assert rebuilt == record
+        assert isinstance(rebuilt.steps, tuple)
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = make_record(0).to_dict()
+        data["surprise"] = "extra"
+        assert QueryRecord.from_dict(data) == make_record(0)
+
+    def test_jsonl_round_trip(self, tmp_path):
+        log = QueryLog(capacity=8)
+        for i in range(4):
+            log.append(make_record(i))
+        path = tmp_path / "log.jsonl"
+        assert log.to_jsonl(path) == 4
+        loaded = QueryLog.from_jsonl(path)
+        assert loaded.records() == log.records()
+
+    def test_jsonl_round_trip_empty(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        QueryLog().to_jsonl(path)
+        assert QueryLog.from_jsonl(path).records() == ()

@@ -1,0 +1,193 @@
+"""The span/tracer layer: nesting, attributes, export round-trips."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    load_jsonl,
+    maybe_span,
+    span_from_dict,
+    span_to_dict,
+)
+
+
+class TestSpanNesting:
+    def test_children_attach_to_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child-1"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-2"):
+                pass
+        assert [c.name for c in root.children] == ["child-1", "child-2"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+
+    def test_parent_ids_link_the_tree(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+
+    def test_only_roots_collected(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in tracer.roots] == ["root"]
+        assert tracer.last_root.name == "root"
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.roots] == ["a", "b"]
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("root") as root:
+            assert tracer.current is root
+            with tracer.span("child") as child:
+                assert tracer.current is child
+            assert tracer.current is root
+        assert tracer.current is None
+
+    def test_root_deque_bounded(self):
+        tracer = Tracer(max_roots=2)
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [s.name for s in tracer.roots] == ["b", "c"]
+
+    def test_exception_still_finishes_and_pops(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("root"):
+                raise RuntimeError("boom")
+        assert tracer.current is None
+        assert tracer.last_root.finished
+
+
+class TestTimings:
+    def test_inclusive_times_nest(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                pass
+        assert root.duration >= child.duration >= 0.0
+
+    def test_children_sum_within_root(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            for _ in range(5):
+                with tracer.span("child"):
+                    sum(range(100))
+        assert sum(c.duration for c in root.children) <= root.duration
+
+    def test_open_span_reports_zero(self):
+        span = Span("open")
+        assert not span.finished
+        assert span.duration == 0.0
+
+
+class TestAttributes:
+    def test_constructor_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", op="Union") as span:
+            span.set("cardinality", 7)
+        assert span.attributes == {"op": "Union", "cardinality": 7}
+
+    def test_set_overwrites(self):
+        span = Span("s", x=1)
+        span.set("x", 2)
+        assert span.attributes["x"] == 2
+
+
+class TestDisabled:
+    def test_disabled_span_is_noop(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("root") as span:
+            assert span is None
+        assert tracer.roots == ()
+
+    def test_maybe_span_none_tracer(self):
+        with maybe_span(None, "x") as span:
+            assert span is None
+
+    def test_maybe_span_disabled_tracer(self):
+        with maybe_span(Tracer(enabled=False), "x") as span:
+            assert span is None
+
+    def test_maybe_span_enabled(self):
+        tracer = Tracer()
+        with maybe_span(tracer, "x", k="v") as span:
+            assert span is not None
+        assert tracer.last_root.attributes == {"k": "v"}
+
+    def test_reenable_midstream(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("invisible"):
+            pass
+        tracer.enabled = True
+        with tracer.span("visible"):
+            pass
+        assert [s.name for s in tracer.roots] == ["visible"]
+
+
+class TestExport:
+    def _tree(self):
+        tracer = Tracer()
+        with tracer.span("root", query="A union B") as root:
+            with tracer.span("child") as child:
+                child.set("cardinality", 3)
+        return tracer, root
+
+    def test_to_dict_shape(self):
+        _, root = self._tree()
+        data = span_to_dict(root)
+        assert data["name"] == "root"
+        assert data["attributes"] == {"query": "A union B"}
+        assert len(data["children"]) == 1
+        assert data["children"][0]["parent_id"] == data["span_id"]
+
+    def test_dict_round_trip(self):
+        _, root = self._tree()
+        rebuilt = span_from_dict(span_to_dict(root))
+        assert span_to_dict(rebuilt) == span_to_dict(root)
+
+    def test_non_json_attributes_stringified(self):
+        span = Span("s", obj=object())
+        data = span_to_dict(span)
+        assert isinstance(data["attributes"]["obj"], str)
+        json.dumps(data)  # must not raise
+
+    def test_export_json_is_valid(self):
+        tracer, _ = self._tree()
+        parsed = json.loads(tracer.export_json())
+        assert len(parsed) == 1 and parsed[0]["name"] == "root"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer, root = self._tree()
+        with tracer.span("second"):
+            pass
+        path = tmp_path / "spans.jsonl"
+        assert tracer.export_jsonl(path) == 2
+        loaded = load_jsonl(path)
+        assert [s.name for s in loaded] == ["root", "second"]
+        assert span_to_dict(loaded[0]) == span_to_dict(root)
+        assert loaded[0].children[0].attributes["cardinality"] == 3
+
+    def test_tree_text(self):
+        _, root = self._tree()
+        text = root.tree_text()
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
