@@ -19,10 +19,11 @@ on the (hashable, immutable) expression nodes for the duration of one
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from time import perf_counter
-from typing import TYPE_CHECKING, Literal
+from time import monotonic, perf_counter
+from typing import TYPE_CHECKING, Literal, Protocol, runtime_checkable
 
 from repro.algebra import ast as A
 from repro.algebra.parser import parse
@@ -31,15 +32,22 @@ from repro.core.region import Region
 from repro.core.regionset import RegionSet
 from repro.core.sparse import RangeMin
 from repro.core.wordindex import TextWordIndex
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, QueryCancelled, QueryTimeout
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.trace import Tracer
 
-__all__ = ["Evaluator", "EvalStats", "evaluate", "Strategy"]
+__all__ = ["Evaluator", "EvalStats", "evaluate", "Strategy", "CancelToken"]
 
 Strategy = Literal["indexed", "naive"]
+
+
+@runtime_checkable
+class CancelToken(Protocol):
+    """Anything with ``is_set()`` — e.g. :class:`threading.Event`."""
+
+    def is_set(self) -> bool: ...  # pragma: no cover - protocol
 
 
 @dataclass
@@ -48,6 +56,35 @@ class EvalStats:
 
     nodes_evaluated: int = 0
     memo_hits: int = 0
+
+
+class _Limits:
+    """Per-call deadline/cancellation state, checked once per operator.
+
+    Lives in the evaluator's thread-local slot for the duration of one
+    :meth:`Evaluator.evaluate` call, so concurrent queries on a shared
+    evaluator (the server's worker threads) never see each other's
+    deadlines.
+    """
+
+    __slots__ = ("budget", "started", "deadline_at", "cancel")
+
+    def __init__(self, budget: float | None, cancel: CancelToken | None):
+        self.budget = budget
+        self.cancel = cancel
+        self.started = monotonic()
+        self.deadline_at = (
+            self.started + budget if budget is not None else None
+        )
+
+    def check(self) -> None:
+        """Raise if the deadline passed or the token was cancelled."""
+        if self.cancel is not None and self.cancel.is_set():
+            raise QueryCancelled()
+        if self.deadline_at is not None:
+            now = monotonic()
+            if now > self.deadline_at:
+                raise QueryTimeout(self.budget, elapsed=now - self.started)
 
 
 class _ContainmentWindow:
@@ -186,22 +223,59 @@ class Evaluator:
             from repro.obs.metrics import EVAL_NODE_SECONDS
 
             self._node_hist = metrics.histogram(EVAL_NODE_SECONDS)
-        #: Accounting for the most recent ``evaluate`` call; ``None``
-        #: unless a tracer or metrics registry is attached.
-        self.last_stats: EvalStats | None = None
+        # Per-thread call state (deadline/cancel limits, last stats), so
+        # one evaluator instance is safe to share across server workers.
+        self._local = threading.local()
 
-    def evaluate(self, expr: A.Expr | str, instance: Instance) -> RegionSet:
+    @property
+    def last_stats(self) -> EvalStats | None:
+        """Accounting for this thread's most recent ``evaluate`` call;
+        ``None`` unless a tracer or metrics registry is attached."""
+        return getattr(self._local, "stats", None)
+
+    @last_stats.setter
+    def last_stats(self, stats: EvalStats | None) -> None:
+        self._local.stats = stats
+
+    def evaluate(
+        self,
+        expr: A.Expr | str,
+        instance: Instance,
+        deadline: float | None = None,
+        cancel: CancelToken | None = None,
+    ) -> RegionSet:
         """The result ``e(I)`` of Definition 2.3.
 
         Accepts either an expression tree or query text (parsed first).
+
+        ``deadline`` is a wall-clock budget in seconds for this call;
+        when it runs out the evaluation aborts with
+        :class:`~repro.errors.QueryTimeout`.  ``cancel`` is a
+        :class:`threading.Event`-like token polled alongside the
+        deadline; once set, evaluation aborts with
+        :class:`~repro.errors.QueryCancelled`.  Both are checked
+        cooperatively, once per operator evaluation, so an abort lands
+        within one node of the trigger.  With neither given there is no
+        per-node clock read.
         """
         if isinstance(expr, str):
             expr = parse(expr)
         memo: dict[A.Expr, RegionSet] = {}
-        if not self._observed:
-            return self._eval(expr, instance, memo)
-        self.last_stats = stats = EvalStats()
-        result = self._eval(expr, instance, memo)
+        limited = deadline is not None or cancel is not None
+        if limited:
+            if deadline is not None and deadline < 0:
+                raise EvaluationError("deadline must be non-negative")
+            self._local.limits = limits = _Limits(deadline, cancel)
+        try:
+            if limited:
+                limits.check()  # an already-expired budget aborts up front
+            if not self._observed:
+                return self._eval(expr, instance, memo)
+            self.last_stats = stats = EvalStats()
+            result = self._eval(expr, instance, memo)
+        finally:
+            if limited:
+                self._local.limits = None
         if self.metrics is not None:
             from repro.obs.metrics import EVAL_NODES_TOTAL, MEMO_HITS_TOTAL
 
@@ -267,6 +341,11 @@ class Evaluator:
     def _dispatch(
         self, expr: A.Expr, instance: Instance, memo: dict[A.Expr, RegionSet]
     ) -> RegionSet:
+        # Cooperative deadline/cancellation point: one thread-local read
+        # per operator when no limits are active (see `evaluate`).
+        limits = getattr(self._local, "limits", None)
+        if limits is not None:
+            limits.check()
         indexed = self.strategy == "indexed"
         if isinstance(expr, A.NameRef):
             return instance.region_set(expr.name)
@@ -337,8 +416,12 @@ _ORACLE = Evaluator("naive")
 
 
 def evaluate(
-    expr: A.Expr | str, instance: Instance, strategy: Strategy = "indexed"
+    expr: A.Expr | str,
+    instance: Instance,
+    strategy: Strategy = "indexed",
+    deadline: float | None = None,
+    cancel: CancelToken | None = None,
 ) -> RegionSet:
     """Module-level convenience wrapper around :class:`Evaluator`."""
     evaluator = _DEFAULT if strategy == "indexed" else _ORACLE
-    return evaluator.evaluate(expr, instance)
+    return evaluator.evaluate(expr, instance, deadline=deadline, cancel=cancel)

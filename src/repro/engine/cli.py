@@ -1,4 +1,5 @@
-"""Command-line interface: index, query, explain, stats, trace, querylog.
+"""Command-line interface: index, query, explain, stats, trace, querylog,
+serve, loadgen.
 
 A small operational wrapper over :class:`repro.engine.Engine`::
 
@@ -9,6 +10,13 @@ A small operational wrapper over :class:`repro.engine.Engine`::
     python -m repro stats  doc.index.json --telemetry
     python -m repro trace  doc.index.json 'speech within scene'
     python -m repro querylog doc.index.json 'speech' 'scene' --optimize
+    python -m repro serve  doc.index.json --port 8600 --workers 4
+    python -m repro loadgen --port 8600 --mix play --qps 25 --duration 5
+
+``serve`` runs the concurrent query service of :mod:`repro.server`
+(endpoints, capacity knobs, and cache semantics: ``docs/server.md``);
+``loadgen`` replays a named query mix against it and reports
+p50/p95/p99 latencies.
 
 ``index --format source`` uses the toy program language (Figure 1
 structure); ``explain`` applies the Figure 1 RIG automatically for
@@ -136,6 +144,88 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("tagged", "source"), default="tagged"
     )
     kwic.add_argument("--width", type=int, default=24, help="context width")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the concurrent query service (docs/server.md)",
+    )
+    serve.add_argument(
+        "corpora",
+        nargs="*",
+        type=Path,
+        help="index files to serve (name = file stem); see also --synthetic",
+    )
+    serve.add_argument(
+        "--synthetic",
+        action="append",
+        choices=("play", "dictionary", "report", "source"),
+        default=None,
+        help="also serve a generated corpus (repeatable)",
+    )
+    serve.add_argument("--scale", type=int, default=4, help="synthetic size")
+    serve.add_argument("--seed", type=int, default=2024)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8600, help="0 = any free port")
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=16,
+        help="waiting requests beyond which new ones get 429",
+    )
+    serve.add_argument("--cache-capacity", type=int, default=512)
+    serve.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=5.0,
+        help="default per-query deadline, seconds",
+    )
+    serve.add_argument(
+        "--max-deadline",
+        type=float,
+        default=60.0,
+        help="largest deadline a request may ask for",
+    )
+    serve.add_argument(
+        "--optimize", action="store_true", help="optimize queries by default"
+    )
+    serve.add_argument(
+        "--trace", action="store_true", help="collect span trees per request"
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen", help="replay a query mix against a running server"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--corpus", default=None, help="corpus to query")
+    loadgen.add_argument(
+        "--mix",
+        choices=("play", "source", "dictionary", "report"),
+        default=None,
+        help="named query mix from repro.workloads",
+    )
+    loadgen.add_argument(
+        "--query",
+        action="append",
+        default=None,
+        help="literal query to add to the mix (repeatable)",
+    )
+    loadgen.add_argument("--qps", type=float, default=20.0)
+    loadgen.add_argument("--duration", type=float, default=3.0)
+    loadgen.add_argument("--concurrency", type=int, default=4)
+    loadgen.add_argument("--optimize", action="store_true")
+    loadgen.add_argument(
+        "--no-cache", action="store_true", help="ask the server to skip its cache"
+    )
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument("--json", action="store_true")
     return parser
 
 
@@ -322,6 +412,103 @@ def _cmd_kwic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.server import CorpusSpec, QueryService, ServerConfig, create_server
+
+    specs = [
+        CorpusSpec(name=path.name.split(".")[0], kind="index", path=str(path))
+        for path in args.corpora
+    ]
+    for kind in args.synthetic or ():
+        specs.append(
+            CorpusSpec(
+                name=kind,
+                kind="synthetic",
+                path=kind,
+                seed=args.seed,
+                scale=args.scale,
+            )
+        )
+    if not specs:
+        print(
+            "error: nothing to serve (pass index files and/or --synthetic)",
+            file=sys.stderr,
+        )
+        return 1
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        cache_capacity=args.cache_capacity,
+        cache_enabled=not args.no_cache,
+        default_deadline=args.deadline,
+        max_deadline=args.max_deadline,
+        optimize_default=args.optimize,
+        tracing=args.trace,
+        corpora=tuple(specs),
+    )
+    service = QueryService(config)
+    server = create_server(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    names = ", ".join(service.corpus_names)
+    print(
+        f"serving {len(specs)} corpus(es) [{names}] on "
+        f"http://{args.host}:{server.bound_port}  "
+        f"({config.workers} workers, queue {config.queue_depth}, "
+        f"cache {'off' if args.no_cache else config.cache_capacity})",
+        flush=True,
+    )
+    # serve_forever runs on a helper thread so the main thread can wait
+    # for SIGINT/SIGTERM and drive one clean shutdown path for both.
+    stop = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop.set())
+    thread = server.serve_in_background()
+    stop.wait()
+    server.stop()
+    thread.join(timeout=5.0)
+    requests = service.telemetry.metrics.counter("server_requests_total")
+    print(f"shut down cleanly after {requests.total():.0f} request(s)")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.server.loadgen import run_load
+    from repro.workloads.queries import QUERY_MIXES
+
+    mix: dict[str, str] = {}
+    if args.mix:
+        mix.update(QUERY_MIXES[args.mix])
+    for i, text in enumerate(args.query or ()):
+        mix[f"query_{i}"] = text
+    if not mix:
+        print("error: pass --mix and/or --query", file=sys.stderr)
+        return 1
+    result = run_load(
+        args.host,
+        args.port,
+        mix,
+        corpus=args.corpus,
+        qps=args.qps,
+        duration=args.duration,
+        concurrency=args.concurrency,
+        optimize=args.optimize,
+        use_cache=not args.no_cache,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(result.summary()))
+    else:
+        print(result.format_report())
+    # Non-zero exit when nothing succeeded, so smoke scripts fail loudly.
+    return 0 if result.status_counts.get("200", 0) > 0 else 1
+
+
 _COMMANDS = {
     "index": _cmd_index,
     "query": _cmd_query,
@@ -330,6 +517,8 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "querylog": _cmd_querylog,
     "kwic": _cmd_kwic,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -35,7 +35,7 @@ from typing import Any
 
 from repro.algebra import ast as A
 from repro.algebra.cost import CostModel
-from repro.algebra.evaluator import EvalStats, Evaluator, Strategy
+from repro.algebra.evaluator import CancelToken, EvalStats, Evaluator, Strategy
 from repro.algebra.parser import parse
 from repro.algebra.printer import to_text
 from repro.core.instance import Instance
@@ -205,9 +205,19 @@ class Engine:
     # ------------------------------------------------------------------
 
     def query(
-        self, query: str | A.Expr, optimize_query: bool = False
+        self,
+        query: str | A.Expr,
+        optimize_query: bool = False,
+        deadline: float | None = None,
+        cancel: "CancelToken | None" = None,
     ) -> RegionSet:
-        """Evaluate a query (text or expression tree) against the index."""
+        """Evaluate a query (text or expression tree) against the index.
+
+        ``deadline`` (seconds) and ``cancel`` (a
+        :class:`threading.Event`-like token) bound the evaluation; see
+        :meth:`Evaluator.evaluate`.  A query that runs out of budget
+        raises :class:`~repro.errors.QueryTimeout` and is not logged.
+        """
         tracer = self._telemetry.tracer
         started = perf_counter()
         with maybe_span(tracer, "query", optimize=optimize_query) as root:
@@ -219,7 +229,9 @@ class Engine:
             executed = plan.optimized if plan is not None else expr
             if root is not None:
                 root.set("text", to_text(expr))
-            result = self._evaluator.evaluate(executed, self._instance)
+            result = self._evaluator.evaluate(
+                executed, self._instance, deadline=deadline, cancel=cancel
+            )
             if root is not None:
                 root.set("cardinality", len(result))
         self._record(
@@ -263,6 +275,13 @@ class Engine:
     def plan(self, query: str | A.Expr) -> QueryPlan:
         """The plan ``query(..., optimize_query=True)`` would execute."""
         return self._plan(self._prepare(query))
+
+    def normalize(self, query: str | A.Expr) -> str:
+        """The canonical text of a query after parsing and view
+        expansion — equal for syntactically different spellings of the
+        same plan, which makes it the result-cache key the query
+        service uses (see ``docs/server.md``)."""
+        return to_text(self._prepare(query))
 
     def _plan(self, expr: A.Expr) -> QueryPlan:
         """The single plan-construction path shared by query/explain."""

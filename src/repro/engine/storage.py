@@ -21,6 +21,8 @@ silently dropped.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
@@ -30,9 +32,18 @@ from repro.core.regionset import RegionSet
 from repro.core.wordindex import LabelWordIndex, TextWordIndex
 from repro.errors import StorageError
 
-__all__ = ["instance_to_dict", "instance_from_dict", "save_instance", "load_instance"]
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    "SUPPORTED_VERSIONS",
+]
 
 _VERSION = 1
+
+#: Format versions :func:`instance_from_dict` can read.
+SUPPORTED_VERSIONS = (1,)
 
 
 def instance_to_dict(instance: Instance) -> dict[str, Any]:
@@ -71,8 +82,13 @@ def instance_to_dict(instance: Instance) -> dict[str, Any]:
 def instance_from_dict(data: dict[str, Any]) -> Instance:
     """Rebuild an instance from :func:`instance_to_dict` output."""
     try:
-        if data["version"] != _VERSION:
-            raise StorageError(f"unsupported index version {data['version']!r}")
+        if data["version"] not in SUPPORTED_VERSIONS:
+            supported = ", ".join(str(v) for v in SUPPORTED_VERSIONS)
+            raise StorageError(
+                f"unsupported index version {data['version']!r} "
+                f"(this build reads version(s): {supported}); "
+                "re-index the document with this version of repro"
+            )
         sets = {
             name: RegionSet(Region(l, r) for l, r in data["sets"].get(name, []))
             for name in data["names"]
@@ -99,8 +115,28 @@ def instance_from_dict(data: dict[str, Any]) -> Instance:
 
 
 def save_instance(instance: Instance, path: str | Path) -> None:
-    """Write an instance to a JSON file."""
-    Path(path).write_text(json.dumps(instance_to_dict(instance)), encoding="utf-8")
+    """Write an instance to a JSON file, atomically.
+
+    The payload lands in a temporary file in the target directory and is
+    moved into place with :func:`os.replace`, so a reader (or a serving
+    process reloading its corpus) never observes a torn index: it sees
+    either the complete old file or the complete new one.
+    """
+    target = Path(path)
+    payload = json.dumps(instance_to_dict(instance))
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent or Path("."), prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_instance(path: str | Path) -> Instance:

@@ -49,6 +49,43 @@ class EvaluationError(ReproError):
     """An expression could not be evaluated against an instance."""
 
 
+class QueryTimeout(EvaluationError):
+    """A query exceeded its deadline and was cooperatively aborted.
+
+    The evaluator checks the deadline between operator evaluations, so a
+    timed-out query stops within one node of the budget running out —
+    the resource-limit enforcement the Co-NP-hardness of emptiness
+    (FMFT Theorem 3.5) makes mandatory for a shared serving layer.
+    """
+
+    def __init__(self, budget: float, elapsed: float | None = None):
+        self.budget = budget
+        self.elapsed = elapsed
+        detail = f" after {elapsed:.3f}s" if elapsed is not None else ""
+        super().__init__(
+            f"query exceeded its {budget:.3f}s deadline{detail}"
+        )
+
+
+class QueryCancelled(EvaluationError):
+    """A query was cancelled while (or before) evaluating."""
+
+    def __init__(self, message: str = "query was cancelled"):
+        super().__init__(message)
+
+
+class ServerOverloadedError(ReproError):
+    """The query service rejected a request at admission time.
+
+    Raised when the worker pool's bounded queue is full; HTTP callers
+    see it as ``429 Too Many Requests`` with a ``Retry-After`` hint.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
 class PatternError(ReproError):
     """A pattern string was malformed for the selected pattern language."""
 

@@ -31,6 +31,15 @@ from repro.obs.metrics import (
     QUERIES_TOTAL,
     RESULT_CARDINALITY,
     SECONDS_BUCKETS,
+    SERVER_CACHE_EVICTIONS_TOTAL,
+    SERVER_CACHE_HITS_TOTAL,
+    SERVER_CACHE_MISSES_TOTAL,
+    SERVER_INFLIGHT,
+    SERVER_QUEUE_DEPTH,
+    SERVER_REJECTED_TOTAL,
+    SERVER_REQUEST_SECONDS,
+    SERVER_REQUESTS_TOTAL,
+    SERVER_TIMEOUTS_TOTAL,
     Counter,
     Gauge,
     Histogram,
@@ -66,6 +75,15 @@ __all__ = [
     "RESULT_CARDINALITY",
     "INDEX_BUILD_SECONDS",
     "OPTIMIZER_RULE_FIRES_TOTAL",
+    "SERVER_REQUESTS_TOTAL",
+    "SERVER_REQUEST_SECONDS",
+    "SERVER_QUEUE_DEPTH",
+    "SERVER_INFLIGHT",
+    "SERVER_CACHE_HITS_TOTAL",
+    "SERVER_CACHE_MISSES_TOTAL",
+    "SERVER_CACHE_EVICTIONS_TOTAL",
+    "SERVER_REJECTED_TOTAL",
+    "SERVER_TIMEOUTS_TOTAL",
 ]
 
 

@@ -28,6 +28,7 @@ exists (the index builders).
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any, Iterable
 
 __all__ = [
@@ -47,6 +48,15 @@ __all__ = [
     "RESULT_CARDINALITY",
     "INDEX_BUILD_SECONDS",
     "OPTIMIZER_RULE_FIRES_TOTAL",
+    "SERVER_REQUESTS_TOTAL",
+    "SERVER_REQUEST_SECONDS",
+    "SERVER_QUEUE_DEPTH",
+    "SERVER_INFLIGHT",
+    "SERVER_CACHE_HITS_TOTAL",
+    "SERVER_CACHE_MISSES_TOTAL",
+    "SERVER_CACHE_EVICTIONS_TOTAL",
+    "SERVER_REJECTED_TOTAL",
+    "SERVER_TIMEOUTS_TOTAL",
 ]
 
 QUERIES_TOTAL = "queries_total"
@@ -58,6 +68,17 @@ EVAL_NODES_TOTAL = "eval_nodes_total"
 RESULT_CARDINALITY = "result_cardinality"
 INDEX_BUILD_SECONDS = "index_build_seconds"
 OPTIMIZER_RULE_FIRES_TOTAL = "optimizer_rule_fires_total"
+
+# The serving layer (repro.server) — see docs/server.md.
+SERVER_REQUESTS_TOTAL = "server_requests_total"
+SERVER_REQUEST_SECONDS = "server_request_seconds"
+SERVER_QUEUE_DEPTH = "server_queue_depth"
+SERVER_INFLIGHT = "server_inflight"
+SERVER_CACHE_HITS_TOTAL = "server_cache_hits_total"
+SERVER_CACHE_MISSES_TOTAL = "server_cache_misses_total"
+SERVER_CACHE_EVICTIONS_TOTAL = "server_cache_evictions_total"
+SERVER_REJECTED_TOTAL = "server_rejected_total"
+SERVER_TIMEOUTS_TOTAL = "server_timeouts_total"
 
 #: Upper bucket bounds for wall-time histograms (seconds; +inf implied).
 SECONDS_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
@@ -77,20 +98,27 @@ def _label_text(key: LabelKey) -> str:
 
 
 class Counter:
-    """A monotonically increasing sum, per label set."""
+    """A monotonically increasing sum, per label set.
 
-    __slots__ = ("name", "help", "_values")
+    Updates take a per-instrument lock: the serving layer increments
+    counters from many worker threads, and an unlocked read-modify-write
+    would drop increments under contention.
+    """
+
+    __slots__ = ("name", "help", "_values", "_lock")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self._values: dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0.0)
@@ -104,21 +132,27 @@ class Counter:
 
 
 class Gauge:
-    """A value that goes up and down, per label set."""
+    """A value that goes up and down, per label set (thread-safe)."""
 
-    __slots__ = ("name", "help", "_values")
+    __slots__ = ("name", "help", "_values", "_lock")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
         self.help = help
         self._values: dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
 
     def set(self, value: float, **labels: Any) -> None:
-        self._values[_label_key(labels)] = float(value)
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
 
     def value(self, **labels: Any) -> float:
         return self._values.get(_label_key(labels), 0.0)
@@ -145,7 +179,7 @@ class Histogram:
     ``+inf`` bucket.
     """
 
-    __slots__ = ("name", "help", "buckets", "_series")
+    __slots__ = ("name", "help", "buckets", "_series", "_lock")
 
     def __init__(
         self,
@@ -160,20 +194,22 @@ class Histogram:
         self.help = help
         self.buckets = bounds
         self._series: dict[LabelKey, _HistogramSeries] = {}
+        self._lock = threading.Lock()
 
     def observe(self, value: float, **labels: Any) -> None:
         key = _label_key(labels)
-        series = self._series.get(key)
-        if series is None:
-            series = self._series[key] = _HistogramSeries(len(self.buckets))
         index = len(self.buckets)
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 index = i
                 break
-        series.bucket_counts[index] += 1
-        series.sum += value
-        series.count += 1
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(len(self.buckets))
+            series.bucket_counts[index] += 1
+            series.sum += value
+            series.count += 1
 
     # ------------------------------------------------------------------
 
@@ -219,27 +255,32 @@ class MetricsRegistry:
 
     Re-registering a name with a different instrument kind is an error;
     re-registering a histogram with different buckets is too (silent
-    bucket drift would corrupt the series).
+    bucket drift would corrupt the series).  Get-or-create runs under a
+    registry lock so concurrent first touches of one name agree on the
+    instrument instance.
     """
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str, help: str = "") -> Counter:
-        self._check_free(name, self._counters)
-        counter = self._counters.get(name)
-        if counter is None:
-            counter = self._counters[name] = Counter(name, help)
-        return counter
+        with self._lock:
+            self._check_free(name, self._counters)
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name, help)
+            return counter
 
     def gauge(self, name: str, help: str = "") -> Gauge:
-        self._check_free(name, self._gauges)
-        gauge = self._gauges.get(name)
-        if gauge is None:
-            gauge = self._gauges[name] = Gauge(name, help)
-        return gauge
+        with self._lock:
+            self._check_free(name, self._gauges)
+            gauge = self._gauges.get(name)
+            if gauge is None:
+                gauge = self._gauges[name] = Gauge(name, help)
+            return gauge
 
     def histogram(
         self,
@@ -247,15 +288,16 @@ class MetricsRegistry:
         buckets: Iterable[float] = SECONDS_BUCKETS,
         help: str = "",
     ) -> Histogram:
-        self._check_free(name, self._histograms)
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = Histogram(name, buckets, help)
-        elif histogram.buckets != tuple(float(b) for b in buckets):
-            raise ValueError(
-                f"histogram {name!r} already registered with different buckets"
-            )
-        return histogram
+        with self._lock:
+            self._check_free(name, self._histograms)
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(name, buckets, help)
+            elif histogram.buckets != tuple(float(b) for b in buckets):
+                raise ValueError(
+                    f"histogram {name!r} already registered with different buckets"
+                )
+            return histogram
 
     def _check_free(self, name: str, home: dict[str, Any]) -> None:
         for kind in (self._counters, self._gauges, self._histograms):
@@ -284,9 +326,10 @@ class MetricsRegistry:
         }
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
 
 _GLOBAL = MetricsRegistry()

@@ -11,6 +11,7 @@ limit because someone forgot to drain its log.
 from __future__ import annotations
 
 import json
+import threading
 from collections import deque
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -54,7 +55,9 @@ class QueryLog:
     """A bounded, append-only log of :class:`QueryRecord`.
 
     When full, appending evicts the oldest record (ring-buffer
-    semantics).  ``capacity`` must be positive.
+    semantics).  ``capacity`` must be positive.  Appends and snapshot
+    reads are serialized by a lock: the server appends from many worker
+    threads while ``/metrics`` snapshots the log.
     """
 
     def __init__(self, capacity: int = 256):
@@ -63,10 +66,12 @@ class QueryLog:
         self.capacity = capacity
         self._records: deque[QueryRecord] = deque(maxlen=capacity)
         self._appended = 0
+        self._lock = threading.Lock()
 
     def append(self, record: QueryRecord) -> None:
-        self._records.append(record)
-        self._appended += 1
+        with self._lock:
+            self._records.append(record)
+            self._appended += 1
 
     @property
     def total_appended(self) -> int:
@@ -79,25 +84,29 @@ class QueryLog:
 
     def records(self) -> tuple[QueryRecord, ...]:
         """Retained records, oldest first."""
-        return tuple(self._records)
+        with self._lock:
+            return tuple(self._records)
 
     def last(self) -> QueryRecord | None:
-        return self._records[-1] if self._records else None
+        with self._lock:
+            return self._records[-1] if self._records else None
 
     def clear(self) -> None:
-        self._records.clear()
+        with self._lock:
+            self._records.clear()
 
     def __len__(self) -> int:
         return len(self._records)
 
     def __iter__(self) -> Iterator[QueryRecord]:
-        return iter(self._records)
+        return iter(self.records())
 
     # ------------------------------------------------------------------
 
     def summary(self) -> dict[str, Any]:
         """Aggregate view for telemetry snapshots."""
-        records = list(self._records)
+        with self._lock:
+            records = list(self._records)
         queries = [r for r in records if r.kind == "query"]
         errors = [
             r.cardinality_error
@@ -119,7 +128,7 @@ class QueryLog:
 
     def to_jsonl(self, path: str | Path) -> int:
         """Write one JSON object per record; returns the record count."""
-        lines = [json.dumps(r.to_dict()) for r in self._records]
+        lines = [json.dumps(r.to_dict()) for r in self.records()]
         Path(path).write_text(
             "".join(line + "\n" for line in lines), encoding="utf-8"
         )

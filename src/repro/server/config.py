@@ -1,0 +1,118 @@
+"""Configuration for the concurrent query service.
+
+One frozen dataclass holds every capacity knob the serving layer
+exposes, with defaults sized for an interactive single-host deployment;
+``docs/server.md`` documents how each knob trades latency against
+throughput and memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ReproError
+
+__all__ = ["ServerConfig", "CorpusSpec"]
+
+#: Synthetic corpora ``CorpusSpec(kind="synthetic")`` can name.
+_SYNTHETIC_KINDS = ("play", "dictionary", "report", "source")
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Where one served corpus comes from.
+
+    ``kind`` selects the loader:
+
+    * ``"index"`` — a saved index file (``repro index`` output);
+    * ``"tagged"`` — an SGML-ish document, indexed at load;
+    * ``"source"`` — a toy-language program, indexed at load (carries
+      the Figure 1 RIG, so optimization is schema-aware);
+    * ``"synthetic"`` — a generated corpus (``path`` names the
+      generator: play, dictionary, report, source).
+
+    File-backed corpora can be hot-reloaded (``/corpora/<name>/reload``)
+    to pick up a re-indexed file; the generation counter and result
+    cache handle the swap.
+    """
+
+    name: str
+    kind: str
+    path: str
+    seed: int = 2024
+    scale: int = 4  #: size multiplier for synthetic corpora
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("index", "tagged", "source", "synthetic"):
+            raise ReproError(f"unknown corpus kind {self.kind!r}")
+        if self.kind == "synthetic" and self.path not in _SYNTHETIC_KINDS:
+            raise ReproError(
+                f"unknown synthetic corpus {self.path!r} "
+                f"(available: {', '.join(_SYNTHETIC_KINDS)})"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "kind": self.kind, "path": self.path}
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Capacity and behavior knobs for :class:`~repro.server.QueryService`.
+
+    ``workers``
+        Evaluation threads.  Queries are GIL-bound Python, so past a
+        handful of workers the win is overlap of queueing and I/O, not
+        CPU parallelism.
+    ``queue_depth``
+        Bounded admission queue.  A request arriving with ``workers``
+        busy and ``queue_depth`` requests waiting is rejected with
+        ``429``/``Retry-After`` instead of queueing without bound —
+        shed load early rather than time out everything late.
+    ``cache_capacity`` / ``cache_enabled``
+        Result-cache entries (LRU).  Keyed by (corpus, generation,
+        normalized plan, optimize flag); reloading a corpus invalidates
+        its entries.
+    ``default_deadline`` / ``max_deadline``
+        Seconds.  Every query gets a deadline (requests may lower or
+        raise theirs up to ``max_deadline``); the evaluator aborts
+        cooperatively with ``QueryTimeout`` when it expires.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8600
+    workers: int = 4
+    queue_depth: int = 16
+    cache_capacity: int = 512
+    cache_enabled: bool = True
+    default_deadline: float = 5.0
+    max_deadline: float = 60.0
+    optimize_default: bool = False
+    tracing: bool = False
+    query_log_capacity: int = 1024
+    corpora: tuple[CorpusSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ReproError("server needs at least one worker")
+        if self.queue_depth < 0:
+            raise ReproError("queue depth cannot be negative")
+        if self.cache_capacity < 1:
+            raise ReproError("cache capacity must be positive")
+        if not (0 < self.default_deadline <= self.max_deadline):
+            raise ReproError(
+                "deadlines must satisfy 0 < default_deadline <= max_deadline"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready view (what ``/healthz`` reports as ``config``)."""
+        return {
+            "workers": self.workers,
+            "queue_depth": self.queue_depth,
+            "cache_capacity": self.cache_capacity,
+            "cache_enabled": self.cache_enabled,
+            "default_deadline": self.default_deadline,
+            "max_deadline": self.max_deadline,
+            "optimize_default": self.optimize_default,
+            "tracing": self.tracing,
+        }

@@ -1,0 +1,280 @@
+"""The JSON/HTTP front end over :class:`~repro.server.QueryService`.
+
+Stdlib-only: a :class:`http.server.ThreadingHTTPServer` whose handler
+threads do admission, parsing, and cache probes, while evaluation runs
+on the service's bounded worker pool.  Endpoints:
+
+====================================  =======================================
+``POST /query``                       evaluate; body ``{"query": …,
+                                      "corpus": …, "optimize": bool,
+                                      "deadline": seconds,
+                                      "use_cache": bool}``
+``GET /query?q=…&corpus=…``           same, for curl convenience
+``POST /explain``                     the optimizer's plan, not executed
+``GET /corpora``                      served corpora with generations
+``POST /corpora/<name>/reload``       hot-reload one corpus (bumps its
+                                      generation, invalidates its cache)
+``GET /healthz``                      liveness + pool/cache/config state
+``GET /metrics``                      the shared registry snapshot (JSON);
+                                      ``?format=prometheus`` for text
+====================================  =======================================
+
+Status mapping: ``400`` parse/validation errors, ``404`` unknown corpus
+or path, ``408`` client-requested deadline ≤ 0, ``429`` admission
+rejection (with ``Retry-After``), ``504`` query deadline exceeded,
+``500`` anything unexpected.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import (
+    QueryTimeout,
+    ReproError,
+    ServerOverloadedError,
+)
+from repro.server.service import QueryService, UnknownCorpusError
+
+__all__ = ["QueryHTTPServer", "create_server", "render_prometheus"]
+
+
+def render_prometheus(snapshot: dict[str, Any]) -> str:
+    """The registry snapshot in Prometheus text exposition format.
+
+    Only what scrapers need: ``# TYPE`` lines, one sample per label set,
+    histogram ``_bucket``/``_sum``/``_count`` expansion.
+    """
+    lines: list[str] = []
+    metrics = snapshot.get("metrics", snapshot)
+
+    def labelize(text: str, extra: str = "") -> str:
+        parts = [p for p in text.split(",") if p]
+        rendered = ",".join(
+            f'{k}="{v}"' for k, v in (p.split("=", 1) for p in parts)
+        )
+        if extra:
+            rendered = f"{rendered},{extra}" if rendered else extra
+        return "{" + rendered + "}" if rendered else ""
+
+    for name, series in metrics.get("counters", {}).items():
+        lines.append(f"# TYPE {name} counter")
+        for labels, value in sorted(series.items()):
+            lines.append(f"{name}{labelize(labels)} {value}")
+    for name, series in metrics.get("gauges", {}).items():
+        lines.append(f"# TYPE {name} gauge")
+        for labels, value in sorted(series.items()):
+            lines.append(f"{name}{labelize(labels)} {value}")
+    for name, series in metrics.get("histograms", {}).items():
+        lines.append(f"# TYPE {name} histogram")
+        for labels, data in sorted(series.items()):
+            cumulative = 0
+            for bound, count in data["buckets"].items():
+                cumulative += count
+                le = "+Inf" if bound == "+inf" else bound
+                le_label = 'le="%s"' % le
+                lines.append(
+                    f"{name}_bucket{labelize(labels, le_label)} {cumulative}"
+                )
+            lines.append(f"{name}_sum{labelize(labels)} {data['sum']}")
+            lines.append(f"{name}_count{labelize(labels)} {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the service; one instance per request."""
+
+    protocol_version = "HTTP/1.1"
+    server: "QueryHTTPServer"
+
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlsplit(self.path)
+        try:
+            if url.path == "/healthz":
+                self._json(200, self.server.service.healthz())
+            elif url.path == "/corpora":
+                self._json(200, {"corpora": self.server.service.corpora_info()})
+            elif url.path == "/metrics":
+                self._metrics(url)
+            elif url.path == "/query":
+                self._query_from_params(url)
+            else:
+                self._json(404, {"error": f"no such endpoint {url.path!r}"})
+        except Exception as exc:  # noqa: BLE001 - last-resort boundary
+            self._error(exc)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        url = urlsplit(self.path)
+        try:
+            if url.path == "/query":
+                self._run(self._body(), explain_only=False)
+            elif url.path == "/explain":
+                self._run(self._body(), explain_only=True)
+            elif url.path.startswith("/corpora/") and url.path.endswith(
+                "/reload"
+            ):
+                name = url.path[len("/corpora/") : -len("/reload")]
+                self._json(200, self.server.service.reload_corpus(name))
+            else:
+                self._json(404, {"error": f"no such endpoint {url.path!r}"})
+        except Exception as exc:  # noqa: BLE001 - last-resort boundary
+            self._error(exc)
+
+    # ------------------------------------------------------------------
+
+    def _metrics(self, url) -> None:
+        snapshot = self.server.service.metrics_snapshot()
+        params = parse_qs(url.query)
+        if params.get("format", [""])[0] == "prometheus":
+            body = render_prometheus(snapshot).encode("utf-8")
+            self._raw(200, body, "text/plain; version=0.0.4")
+        else:
+            self._json(200, snapshot)
+
+    def _query_from_params(self, url) -> None:
+        params = parse_qs(url.query)
+
+        def first(key: str, default: str | None = None) -> str | None:
+            return params.get(key, [default])[0]
+
+        query = first("q") or first("query")
+        if not query:
+            self._json(400, {"error": "missing query parameter 'q'"})
+            return
+        request: dict[str, Any] = {"query": query, "corpus": first("corpus")}
+        if first("optimize") is not None:
+            request["optimize"] = first("optimize") not in ("0", "false", "no")
+        if first("deadline") is not None:
+            request["deadline"] = float(first("deadline"))
+        self._run(request, explain_only=False)
+
+    def _body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ReproError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(body, dict):
+            raise ReproError("request body must be a JSON object")
+        return body
+
+    def _run(self, request: dict[str, Any], explain_only: bool) -> None:
+        query = request.get("query")
+        if not isinstance(query, str) or not query.strip():
+            self._json(400, {"error": "request needs a non-empty 'query'"})
+            return
+        deadline = request.get("deadline")
+        if deadline is not None:
+            deadline = float(deadline)
+        response = self.server.service.execute(
+            query,
+            corpus=request.get("corpus"),
+            optimize=request.get("optimize"),
+            deadline=deadline,
+            use_cache=bool(request.get("use_cache", True)),
+            explain_only=explain_only,
+        )
+        self._json(200, response)
+
+    # ------------------------------------------------------------------
+
+    def _error(self, exc: Exception) -> None:
+        if isinstance(exc, ServerOverloadedError):
+            self._json(
+                429,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                extra_headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
+        elif isinstance(exc, QueryTimeout):
+            self._json(504, {"error": str(exc), "budget": exc.budget})
+        elif isinstance(exc, UnknownCorpusError):
+            self._json(404, {"error": str(exc)})
+        elif isinstance(exc, (ReproError, ValueError)):
+            self._json(400, {"error": str(exc)})
+        else:
+            self._json(500, {"error": f"internal error: {exc!r}"})
+
+    def _json(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        self._raw(
+            status,
+            json.dumps(payload).encode("utf-8"),
+            "application/json",
+            extra_headers,
+        )
+
+    def _raw(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: dict[str, str] | None = None,
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class QueryHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`QueryService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ):
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), _Handler)
+
+    @property
+    def bound_port(self) -> int:
+        return self.server_address[1]
+
+    def serve_in_background(self) -> threading.Thread:
+        """Start ``serve_forever`` on a daemon thread (tests, benches)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        """Shut down the listener, then drain the service's pool."""
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+
+
+def create_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> QueryHTTPServer:
+    """Bind (but do not start) the HTTP server; ``port=0`` picks a free
+    port, readable afterwards as ``server.bound_port``."""
+    return QueryHTTPServer(service, host=host, port=port, verbose=verbose)

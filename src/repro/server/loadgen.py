@@ -1,0 +1,215 @@
+"""An open-loop HTTP load generator for the query service.
+
+Replays a query mix against ``POST /query`` at a target QPS and reports
+the latency distribution (p50/p95/p99), per-status counts, and dropped
+connections.  Open-loop means request start times are fixed on a global
+schedule (``start + i/qps``) rather than waiting for responses — the
+arrival pattern real traffic has — so a slow server accumulates
+concurrent requests instead of silently throttling the generator, and
+saturation shows up as 429s/timeouts rather than a lower achieved QPS.
+
+Stdlib-only (:mod:`http.client`); reused keep-alive connections, one per
+worker thread.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import threading
+from dataclasses import dataclass, field
+from time import monotonic, sleep
+from typing import Any, Mapping, Sequence
+
+__all__ = ["LoadResult", "run_load", "percentile"]
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass
+class LoadResult:
+    """What one load run measured."""
+
+    target_qps: float
+    duration: float  #: wall seconds the run actually took
+    sent: int = 0
+    dropped: int = 0  #: connection-level failures (refused, reset, timeout)
+    status_counts: dict[str, int] = field(default_factory=dict)
+    latencies: list[float] = field(default_factory=list)  #: seconds, ok only
+    cache_hits: int = 0
+
+    @property
+    def completed(self) -> int:
+        return sum(self.status_counts.values())
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.completed / self.duration if self.duration > 0 else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        ordered = sorted(self.latencies)
+        return {
+            "target_qps": self.target_qps,
+            "achieved_qps": round(self.achieved_qps, 2),
+            "duration_seconds": round(self.duration, 3),
+            "sent": self.sent,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "cache_hits": self.cache_hits,
+            "latency_ms": {
+                "p50": round(percentile(ordered, 0.50) * 1e3, 3),
+                "p95": round(percentile(ordered, 0.95) * 1e3, 3),
+                "p99": round(percentile(ordered, 0.99) * 1e3, 3),
+                "mean": round(
+                    (sum(ordered) / len(ordered) * 1e3) if ordered else 0.0, 3
+                ),
+            },
+        }
+
+    def format_report(self) -> str:
+        s = self.summary()
+        lat = s["latency_ms"]
+        lines = [
+            f"sent {s['sent']} requests in {s['duration_seconds']:.1f}s "
+            f"(target {s['target_qps']:g} QPS, achieved {s['achieved_qps']:g})",
+            f"statuses: "
+            + ", ".join(f"{k}: {v}" for k, v in s["status_counts"].items())
+            + f"; dropped: {s['dropped']}; cache hits: {s['cache_hits']}",
+            f"latency  p50 {lat['p50']:.1f} ms   p95 {lat['p95']:.1f} ms   "
+            f"p99 {lat['p99']:.1f} ms   mean {lat['mean']:.1f} ms",
+        ]
+        return "\n".join(lines)
+
+
+class _Clock:
+    """Hands out schedule slots: worker i-th request fires at start+i/qps."""
+
+    def __init__(self, qps: float, deadline_at: float):
+        self._interval = 1.0 / qps
+        self._start = monotonic()
+        self._deadline_at = deadline_at
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def next_slot(self) -> float | None:
+        """The absolute time of the next unclaimed slot, or None when
+        the run's duration has elapsed."""
+        with self._lock:
+            slot = self._start + self._next * self._interval
+            if slot >= self._deadline_at:
+                return None
+            self._next += 1
+            return slot
+
+
+def run_load(
+    host: str,
+    port: int,
+    queries: Mapping[str, str] | Sequence[str],
+    corpus: str | None = None,
+    qps: float = 20.0,
+    duration: float = 3.0,
+    concurrency: int = 4,
+    optimize: bool = False,
+    use_cache: bool = True,
+    timeout: float = 10.0,
+    seed: int = 7,
+) -> LoadResult:
+    """Drive ``host:port`` with ``queries`` at ``qps`` for ``duration``
+    seconds using ``concurrency`` keep-alive client threads.
+
+    Queries are drawn from the mix uniformly at random (seeded — two
+    runs replay the same request sequence).  Returns a
+    :class:`LoadResult`; connection-level failures count as ``dropped``
+    and never raise.
+    """
+    if qps <= 0:
+        raise ValueError("qps must be positive")
+    pool = list(queries.values()) if isinstance(queries, Mapping) else list(queries)
+    if not pool:
+        raise ValueError("the query mix is empty")
+    rng = random.Random(seed)
+    # Pre-draw the request sequence so randomness is schedule-independent.
+    planned = [pool[rng.randrange(len(pool))] for _ in range(int(qps * duration) + concurrency)]
+    result = LoadResult(target_qps=qps, duration=0.0)
+    result_lock = threading.Lock()
+    started = monotonic()
+    clock = _Clock(qps, started + duration)
+
+    def worker() -> None:
+        connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            while True:
+                slot = clock.next_slot()
+                if slot is None:
+                    return
+                delay = slot - monotonic()
+                if delay > 0:
+                    sleep(delay)
+                index_query = planned[
+                    min(len(planned) - 1, int((slot - started) * qps))
+                ]
+                body = json.dumps(
+                    {
+                        "query": index_query,
+                        "corpus": corpus,
+                        "optimize": optimize,
+                        "use_cache": use_cache,
+                    }
+                )
+                sent_at = monotonic()
+                try:
+                    connection.request(
+                        "POST",
+                        "/query",
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    payload = response.read()
+                    latency = monotonic() - sent_at
+                    status = str(response.status)
+                    hit = False
+                    if response.status == 200:
+                        try:
+                            hit = bool(json.loads(payload).get("cached"))
+                        except (json.JSONDecodeError, UnicodeDecodeError):
+                            pass
+                    with result_lock:
+                        result.sent += 1
+                        result.status_counts[status] = (
+                            result.status_counts.get(status, 0) + 1
+                        )
+                        if response.status == 200:
+                            result.latencies.append(latency)
+                            if hit:
+                                result.cache_hits += 1
+                except (OSError, http.client.HTTPException):
+                    with result_lock:
+                        result.sent += 1
+                        result.dropped += 1
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        host, port, timeout=timeout
+                    )
+        finally:
+            connection.close()
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
+        for i in range(max(1, concurrency))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.duration = monotonic() - started
+    return result

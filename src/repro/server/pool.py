@@ -1,0 +1,176 @@
+"""A fixed worker pool with bounded queueing and admission control.
+
+``concurrent.futures.ThreadPoolExecutor`` queues without bound, which is
+exactly wrong for a query service: under overload every request waits,
+every request times out, and no feedback reaches the client.  This pool
+instead rejects at admission time — ``submit`` raises
+:class:`~repro.errors.ServerOverloadedError` the moment the bounded
+queue is full — so saturation turns into fast ``429`` responses with a
+``Retry-After`` estimate derived from observed service times, while
+accepted requests keep their latency.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from time import monotonic, perf_counter
+from typing import Any, Callable
+
+from repro.errors import ServerOverloadedError
+
+__all__ = ["WorkerPool"]
+
+_STOP = object()
+
+
+class _Job:
+    __slots__ = ("fn", "args", "kwargs", "future", "enqueued_at")
+
+    def __init__(self, fn: Callable[..., Any], args: tuple, kwargs: dict):
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.future: Future = Future()
+        self.enqueued_at = monotonic()
+
+
+class WorkerPool:
+    """``workers`` daemon threads draining a queue of at most
+    ``queue_depth`` waiting jobs (running jobs do not count against the
+    queue bound).
+
+    ``on_depth_change``, when given, is called with the current number
+    of waiting jobs after every enqueue/dequeue — the hook the service
+    uses to keep the ``server_queue_depth`` gauge current without the
+    pool knowing about metrics.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_depth: int = 16,
+        name: str = "repro-worker",
+        on_depth_change: Callable[[int], None] | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("worker pool needs at least one worker")
+        if queue_depth < 0:
+            raise ValueError("queue depth cannot be negative")
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_depth + workers)
+        self._admission = threading.Semaphore(queue_depth + workers)
+        self._on_depth_change = on_depth_change
+        self._shutdown = False
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._completed = 0
+        self._rejected = 0
+        # EWMA of job service time, seeding the Retry-After estimate.
+        self._ewma_seconds = 0.05
+        self._threads = [
+            threading.Thread(target=self._run, name=f"{name}-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+
+    def submit(self, fn: Callable[..., Any], /, *args: Any, **kwargs: Any) -> Future:
+        """Enqueue ``fn(*args, **kwargs)``; never blocks.
+
+        Raises :class:`ServerOverloadedError` when ``workers`` jobs are
+        running and ``queue_depth`` more are already waiting.
+        """
+        if self._shutdown:
+            raise ServerOverloadedError("worker pool is shut down", retry_after=1.0)
+        # The semaphore counts free slots (running + waiting); a failed
+        # non-blocking acquire IS the admission decision.
+        if not self._admission.acquire(blocking=False):
+            with self._lock:
+                self._rejected += 1
+                retry_after = self.estimate_retry_after()
+            raise ServerOverloadedError(
+                f"query queue is full ({self.queue_depth} waiting, "
+                f"{self.workers} running)",
+                retry_after=retry_after,
+            )
+        job = _Job(fn, args, kwargs)
+        self._queue.put(job)  # cannot block: the semaphore bounds occupancy
+        self._notify_depth()
+        return job.future
+
+    def estimate_retry_after(self) -> float:
+        """Seconds until a queue slot plausibly frees up: the backlog
+        ahead of a new arrival divided by drain rate, floored at 100ms."""
+        backlog = self._queue.qsize() + self.workers
+        return round(max(0.1, backlog * self._ewma_seconds / self.workers), 3)
+
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                self._queue.task_done()
+                return
+            self._notify_depth()
+            with self._lock:
+                self._inflight += 1
+            started = perf_counter()
+            try:
+                if job.future.set_running_or_notify_cancel():
+                    try:
+                        job.future.set_result(job.fn(*job.args, **job.kwargs))
+                    except BaseException as exc:  # noqa: BLE001 - relayed
+                        job.future.set_exception(exc)
+            finally:
+                elapsed = perf_counter() - started
+                with self._lock:
+                    self._inflight -= 1
+                    self._completed += 1
+                    self._ewma_seconds += 0.2 * (elapsed - self._ewma_seconds)
+                self._admission.release()
+                self._queue.task_done()
+
+    def _notify_depth(self) -> None:
+        if self._on_depth_change is not None:
+            self._on_depth_change(self.waiting)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def waiting(self) -> int:
+        """Jobs enqueued but not yet picked up by a worker (approximate:
+        jobs between ``put`` and a worker's ``get`` are counted)."""
+        return self._queue.qsize()
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "queue_depth": self.queue_depth,
+                "waiting": self.waiting,
+                "inflight": self._inflight,
+                "completed": self._completed,
+                "rejected": self._rejected,
+                "ewma_seconds": self._ewma_seconds,
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work; drain queued jobs, then stop workers."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=10.0)

@@ -1,0 +1,459 @@
+"""The concurrent query service: corpora + worker pool + result cache.
+
+:class:`QueryService` is the transport-independent core of the serving
+layer (the HTTP front end in :mod:`repro.server.http` is a thin JSON
+adapter over it, and the benchmarks drive it in-process).  One service
+owns:
+
+* a set of named **corpus handles**, each wrapping an
+  :class:`~repro.engine.Engine` plus a monotonically increasing
+  *generation* counter bumped on every reload;
+* a :class:`~repro.server.pool.WorkerPool` providing bounded admission
+  (reject-early under overload) and the threads queries evaluate on;
+* a :class:`~repro.server.cache.ResultCache` keyed by
+  ``(corpus, generation, normalized plan, optimize flag)`` — reloading a
+  corpus bumps the generation and eagerly invalidates its entries;
+* one shared :class:`~repro.obs.Telemetry` bundle all engines record
+  into, extended with the ``server_*`` metrics, so ``/metrics`` is a
+  single registry snapshot.
+
+Every query request carries a deadline.  The clock starts at admission:
+time spent waiting in the queue counts against the budget, and the
+remaining budget is handed to the evaluator's cooperative
+deadline/cancellation check — a queued request whose client has already
+given up aborts on pickup instead of burning a worker.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import monotonic, perf_counter
+from typing import Any
+
+from repro.engine.session import Engine
+from repro.errors import (
+    QueryTimeout,
+    ReproError,
+    ServerOverloadedError,
+    UnknownRegionNameError,
+)
+from repro.obs import Telemetry
+from repro.obs.metrics import (
+    SERVER_CACHE_EVICTIONS_TOTAL,
+    SERVER_CACHE_HITS_TOTAL,
+    SERVER_CACHE_MISSES_TOTAL,
+    SERVER_INFLIGHT,
+    SERVER_QUEUE_DEPTH,
+    SERVER_REJECTED_TOTAL,
+    SERVER_REQUEST_SECONDS,
+    SERVER_REQUESTS_TOTAL,
+    SERVER_TIMEOUTS_TOTAL,
+)
+from repro.server.cache import ResultCache
+from repro.server.config import CorpusSpec, ServerConfig
+from repro.server.pool import WorkerPool
+
+__all__ = ["QueryService", "UnknownCorpusError"]
+
+
+class UnknownCorpusError(ReproError):
+    """A request named a corpus the service does not serve."""
+
+    def __init__(self, name: str, known: tuple[str, ...]):
+        self.name = name
+        self.known = known
+        hint = f"; serving: {', '.join(sorted(known))}" if known else ""
+        super().__init__(f"unknown corpus {name!r}{hint}")
+
+
+def _build_engine(spec: CorpusSpec, telemetry: Telemetry) -> Engine:
+    """Load one corpus per its spec, sharing the service telemetry."""
+    from pathlib import Path
+
+    if spec.kind == "synthetic":
+        text = _synthesize(spec)
+        if spec.path == "source":
+            document_engine = Engine.from_source(text)
+        else:
+            document_engine = Engine.from_tagged_text(text)
+        # Rebuild on the shared telemetry (constructors make their own).
+        engine = Engine(
+            document_engine.instance,
+            text=text,
+            rig=document_engine.rig,
+            telemetry=telemetry,
+        )
+        return engine
+    text = None
+    if spec.kind == "index":
+        from repro.engine.storage import load_instance
+
+        instance = load_instance(spec.path)
+        rig = None
+    elif spec.kind == "tagged":
+        from repro.engine.tagged import parse_tagged_text
+
+        text = Path(spec.path).read_text(encoding="utf-8")
+        document = parse_tagged_text(text)
+        instance, text = document.instance, document.text
+        rig = None
+    else:  # "source"
+        from repro.engine.sourcecode import parse_source
+        from repro.rig.graph import figure_1_rig
+
+        text = Path(spec.path).read_text(encoding="utf-8")
+        document = parse_source(text)
+        instance, text = document.instance, document.text
+        rig = figure_1_rig()
+    return Engine(instance, text=text, rig=rig, telemetry=telemetry)
+
+
+def _synthesize(spec: CorpusSpec) -> str:
+    import random
+
+    from repro.workloads.corpora import (
+        generate_dictionary,
+        generate_play,
+        generate_report,
+    )
+
+    rng = random.Random(spec.seed)
+    scale = max(1, spec.scale)
+    if spec.path == "play":
+        return generate_play(
+            rng,
+            acts=scale,
+            scenes_per_act=scale,
+            speeches_per_scene=2 * scale,
+            lines_per_speech=3,
+        )
+    if spec.path == "dictionary":
+        return generate_dictionary(rng, entries=5 * scale)
+    if spec.path == "report":
+        return generate_report(rng, sections=scale, max_depth=3)
+    from repro.engine.sourcecode import generate_program_source
+
+    return generate_program_source(rng, procedures=10 * scale)
+
+
+class _CorpusHandle:
+    """One served corpus: engine + generation + reload lock."""
+
+    __slots__ = ("spec", "engine", "generation", "loaded_at", "lock")
+
+    def __init__(self, spec: CorpusSpec, engine: Engine):
+        self.spec = spec
+        self.engine = engine
+        self.generation = 1
+        self.loaded_at = monotonic()
+        self.lock = threading.Lock()  # serializes reloads, not queries
+        self._warm()
+
+    def _warm(self) -> None:
+        # Build the lazily-cached forest up front so concurrent first
+        # queries don't race on its construction.
+        self.engine.instance.forest()
+
+    def reload(self, telemetry: Telemetry) -> int:
+        """Swap in a freshly loaded engine; returns the new generation.
+
+        Queries already running keep the old engine (their reference
+        keeps it alive); new requests see the new generation atomically.
+        """
+        with self.lock:
+            engine = _build_engine(self.spec, telemetry)
+            engine.instance.forest()
+            self.engine = engine
+            self.generation += 1
+            self.loaded_at = monotonic()
+            return self.generation
+
+    def info(self) -> dict[str, Any]:
+        stats = self.engine.statistics()
+        return {
+            **self.spec.to_dict(),
+            "generation": self.generation,
+            "regions": stats["total"],
+            "region_names": sorted(stats["regions"]),
+            "nesting_depth": stats["nesting_depth"],
+        }
+
+
+class QueryService:
+    """See the module docstring.  Construct, then :meth:`execute`."""
+
+    def __init__(self, config: ServerConfig | None = None):
+        self.config = config if config is not None else ServerConfig()
+        self.telemetry = Telemetry(
+            query_log_capacity=self.config.query_log_capacity
+        )
+        if self.config.tracing:
+            self.telemetry.enable_tracing()
+        metrics = self.telemetry.metrics
+        self._requests = metrics.counter(
+            SERVER_REQUESTS_TOTAL, help="requests by endpoint and status"
+        )
+        self._request_seconds = metrics.histogram(
+            SERVER_REQUEST_SECONDS, help="request wall time by endpoint"
+        )
+        self._queue_gauge = metrics.gauge(
+            SERVER_QUEUE_DEPTH, help="requests waiting for a worker"
+        )
+        self._inflight_gauge = metrics.gauge(
+            SERVER_INFLIGHT, help="requests currently evaluating"
+        )
+        self._cache_hits = metrics.counter(SERVER_CACHE_HITS_TOTAL)
+        self._cache_misses = metrics.counter(SERVER_CACHE_MISSES_TOTAL)
+        self._cache_evictions = metrics.counter(SERVER_CACHE_EVICTIONS_TOTAL)
+        self._rejected = metrics.counter(
+            SERVER_REJECTED_TOTAL, help="admission rejections by reason"
+        )
+        self._timeouts = metrics.counter(SERVER_TIMEOUTS_TOTAL)
+        self.cache = ResultCache(self.config.cache_capacity)
+        self.pool = WorkerPool(
+            workers=self.config.workers,
+            queue_depth=self.config.queue_depth,
+            on_depth_change=self._queue_gauge.set,
+        )
+        self._corpora: dict[str, _CorpusHandle] = {}
+        self._corpora_lock = threading.Lock()
+        self._started_at = monotonic()
+        self._evictions_seen = 0
+        self._closed = False
+        for spec in self.config.corpora:
+            self.add_corpus(spec)
+
+    # ------------------------------------------------------------------
+    # Corpus management.
+    # ------------------------------------------------------------------
+
+    def add_corpus(self, spec: CorpusSpec) -> None:
+        engine = _build_engine(spec, self.telemetry)
+        with self._corpora_lock:
+            if spec.name in self._corpora:
+                raise ReproError(f"corpus {spec.name!r} is already served")
+            self._corpora[spec.name] = _CorpusHandle(spec, engine)
+
+    def _handle(self, name: str | None) -> _CorpusHandle:
+        with self._corpora_lock:
+            if name is None:
+                if len(self._corpora) == 1:
+                    return next(iter(self._corpora.values()))
+                raise UnknownCorpusError(
+                    "(unspecified)", tuple(self._corpora)
+                )
+            try:
+                return self._corpora[name]
+            except KeyError:
+                raise UnknownCorpusError(name, tuple(self._corpora)) from None
+
+    @property
+    def corpus_names(self) -> tuple[str, ...]:
+        with self._corpora_lock:
+            return tuple(sorted(self._corpora))
+
+    def reload_corpus(self, name: str) -> dict[str, Any]:
+        """Reload one corpus from its spec and invalidate its cache."""
+        handle = self._handle(name)
+        generation = handle.reload(self.telemetry)
+        invalidated = self.cache.invalidate((handle.spec.name,))
+        return {
+            "corpus": handle.spec.name,
+            "generation": generation,
+            "cache_invalidated": invalidated,
+        }
+
+    def corpora_info(self) -> list[dict[str, Any]]:
+        with self._corpora_lock:
+            handles = list(self._corpora.values())
+        return [handle.info() for handle in handles]
+
+    # ------------------------------------------------------------------
+    # The request path.
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: str,
+        corpus: str | None = None,
+        optimize: bool | None = None,
+        deadline: float | None = None,
+        use_cache: bool = True,
+        explain_only: bool = False,
+    ) -> dict[str, Any]:
+        """Run (or explain) one query; the unit behind ``POST /query``.
+
+        Returns a JSON-ready response dict.  Raises
+        :class:`UnknownCorpusError`, :class:`ServerOverloadedError`,
+        :class:`~repro.errors.QueryTimeout`, or another
+        :class:`~repro.errors.ReproError` (parse errors, unknown region
+        names); the HTTP layer maps each to a status code.
+        """
+        endpoint = "explain" if explain_only else "query"
+        started = perf_counter()
+        try:
+            response = self._execute(
+                endpoint, query, corpus, optimize, deadline, use_cache
+            )
+        except ServerOverloadedError:
+            self._observe(endpoint, "429", started)
+            self._rejected.inc(reason="saturated")
+            raise
+        except QueryTimeout:
+            self._observe(endpoint, "504", started)
+            self._timeouts.inc()
+            raise
+        except UnknownCorpusError:
+            self._observe(endpoint, "404", started)
+            raise
+        except ReproError:
+            self._observe(endpoint, "400", started)
+            raise
+        self._observe(endpoint, "200", started)
+        response["seconds"] = perf_counter() - started
+        return response
+
+    def _observe(self, endpoint: str, status: str, started: float) -> None:
+        self._requests.inc(endpoint=endpoint, status=status)
+        self._request_seconds.observe(
+            perf_counter() - started, endpoint=endpoint
+        )
+
+    def _execute(
+        self,
+        endpoint: str,
+        query: str,
+        corpus: str | None,
+        optimize: bool | None,
+        deadline: float | None,
+        use_cache: bool,
+    ) -> dict[str, Any]:
+        if self._closed:
+            raise ServerOverloadedError("service is shutting down")
+        handle = self._handle(corpus)
+        engine, generation = handle.engine, handle.generation
+        optimize = (
+            self.config.optimize_default if optimize is None else bool(optimize)
+        )
+        budget = self._clamp_deadline(deadline)
+        # Parse + view-expand on the calling thread: cheap, and parse
+        # errors turn into 400s without consuming a worker slot.
+        plan_key = engine.normalize(query)
+        if endpoint == "explain":
+            future = self.pool.submit(self._run_explain, engine, query)
+            plan = self._await(future, budget)
+            return {
+                "corpus": handle.spec.name,
+                "generation": generation,
+                "query": query,
+                "plan": str(plan),
+                "original_cost": plan.original_cost,
+                "optimized_cost": plan.optimized_cost,
+                "rewrites": list(plan.steps),
+            }
+        caching = use_cache and self.config.cache_enabled
+        key = (handle.spec.name, generation, plan_key, optimize)
+        if caching:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._cache_hits.inc()
+                return {**cached, "cached": True}
+            self._cache_misses.inc()
+        admitted_at = monotonic()
+        future = self.pool.submit(
+            self._run_query,
+            engine,
+            query,
+            optimize,
+            budget,
+            admitted_at,
+        )
+        response = self._await(future, budget)
+        response.update(
+            corpus=handle.spec.name, generation=generation, query=query
+        )
+        if caching:
+            self.cache.put(key, dict(response))
+        return {**response, "cached": False}
+
+    def _clamp_deadline(self, deadline: float | None) -> float:
+        if deadline is None:
+            return self.config.default_deadline
+        if deadline <= 0:
+            raise ReproError("deadline must be positive seconds")
+        return min(float(deadline), self.config.max_deadline)
+
+    def _await(self, future: Any, budget: float) -> Any:
+        """Wait for a pool future, bounding the wait by the budget plus
+        grace for the evaluator's own cooperative abort to fire."""
+        from concurrent.futures import TimeoutError as FutureTimeout
+
+        try:
+            return future.result(timeout=budget + 2.0)
+        except FutureTimeout:  # pragma: no cover - defensive backstop
+            raise QueryTimeout(budget) from None
+
+    def _run_query(
+        self,
+        engine: Engine,
+        query: str,
+        optimize: bool,
+        budget: float,
+        admitted_at: float,
+    ) -> dict[str, Any]:
+        """Worker-side: evaluate with whatever budget queueing left."""
+        remaining = budget - (monotonic() - admitted_at)
+        if remaining <= 0:
+            raise QueryTimeout(budget)
+        self._inflight_gauge.inc()
+        try:
+            eval_started = perf_counter()
+            result = engine.query(
+                query, optimize_query=optimize, deadline=remaining
+            )
+            eval_seconds = perf_counter() - eval_started
+        finally:
+            self._inflight_gauge.dec()
+        return {
+            "regions": [[r.left, r.right] for r in result],
+            "cardinality": len(result),
+            "optimized": optimize,
+            "eval_seconds": eval_seconds,
+            "queued_seconds": monotonic() - admitted_at - eval_seconds,
+        }
+
+    @staticmethod
+    def _run_explain(engine: Engine, query: str):
+        return engine.explain(query)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return {
+            "status": "ok" if not self._closed else "shutting-down",
+            "uptime_seconds": monotonic() - self._started_at,
+            "corpora": len(self.corpus_names),
+            "pool": self.pool.stats(),
+            "cache": self.cache.snapshot(),
+            "config": self.config.to_dict(),
+        }
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """The shared registry + query log, JSON-ready (``/metrics``)."""
+        # Mirror cache/pool state into instruments so one registry
+        # snapshot tells the whole story.
+        snapshot = self.cache.snapshot()
+        metrics = self.telemetry.metrics
+        metrics.gauge("server_cache_entries").set(snapshot["entries"])
+        new_evictions = snapshot["evictions"] - self._evictions_seen
+        if new_evictions > 0:
+            self._cache_evictions.inc(new_evictions)
+            self._evictions_seen = snapshot["evictions"]
+        return self.telemetry.snapshot()
+
+    def close(self) -> None:
+        """Stop admitting work and drain the pool."""
+        self._closed = True
+        self.pool.shutdown(wait=True)

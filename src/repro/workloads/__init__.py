@@ -19,7 +19,14 @@ from repro.workloads.generators import (
     random_trees,
     rig_constrained_instance,
 )
-from repro.workloads.queries import CHAIN_QUERIES, PLAY_QUERIES, SOURCE_QUERIES
+from repro.workloads.queries import (
+    CHAIN_QUERIES,
+    DICTIONARY_QUERIES,
+    PLAY_QUERIES,
+    QUERY_MIXES,
+    REPORT_QUERIES,
+    SOURCE_QUERIES,
+)
 
 __all__ = [
     "TreeNode",
@@ -39,5 +46,8 @@ __all__ = [
     "PLAY_REGION_NAMES",
     "SOURCE_QUERIES",
     "PLAY_QUERIES",
+    "DICTIONARY_QUERIES",
+    "REPORT_QUERIES",
+    "QUERY_MIXES",
     "CHAIN_QUERIES",
 ]

@@ -1,8 +1,20 @@
-"""Standard query workloads used by examples, tests, and benchmarks."""
+"""Standard query workloads used by examples, tests, and benchmarks.
+
+``QUERY_MIXES`` names each per-corpus query set so the serving layer's
+load generator (``repro loadgen --mix play``) and the throughput
+benchmarks can replay a realistic mix by name.
+"""
 
 from __future__ import annotations
 
-__all__ = ["SOURCE_QUERIES", "PLAY_QUERIES", "CHAIN_QUERIES"]
+__all__ = [
+    "SOURCE_QUERIES",
+    "PLAY_QUERIES",
+    "DICTIONARY_QUERIES",
+    "REPORT_QUERIES",
+    "CHAIN_QUERIES",
+    "QUERY_MIXES",
+]
 
 # Queries over the Figure 1 source-code index, including the paper's
 # running examples (Sections 2.2 and 5.1).
@@ -28,6 +40,32 @@ PLAY_QUERIES: dict[str, str] = {
     "romeo_then_juliet": 'bi(scene, speaker @ "ROMEO", speaker @ "JULIET")',
     "lines_about_night": 'line @ "night" within act',
     "first_speeches": "speech dwithin scene",
+}
+
+# Queries over the OED-flavoured dictionary corpus
+# (workloads.corpora.generate_dictionary).
+DICTIONARY_QUERIES: dict[str, str] = {
+    "senses_quoting_chaucer": 'sense containing (author @ "Chaucer")',
+    "definitions_in_entries": "definition within entry",
+    "nested_senses": "sense within sense",
+    "entries_def_before_quote": "bi(entry, definition, quotation)",
+    "top_level_senses": "sense dwithin entry",
+}
+
+# Queries over the nested-report corpus (workloads.corpora.generate_report).
+REPORT_QUERIES: dict[str, str] = {
+    "titles_everywhere": "title within section",
+    "leaf_paragraphs": "para dwithin section",
+    "nested_sections": "section within section",
+    "sections_title_then_para": "bi(section, title, para)",
+}
+
+# Named per-corpus mixes for the load generator and benchmarks.
+QUERY_MIXES: dict[str, dict[str, str]] = {
+    "play": PLAY_QUERIES,
+    "source": SOURCE_QUERIES,
+    "dictionary": DICTIONARY_QUERIES,
+    "report": REPORT_QUERIES,
 }
 
 # Inclusion chains of growing length for the optimizer benchmarks.

@@ -1,0 +1,115 @@
+"""Cooperative deadlines and cancellation in the evaluator.
+
+The checks live in the per-node dispatch loop, so they need no thread
+machinery to test: an already-expired deadline or an already-set cancel
+token aborts the very first node.
+"""
+
+import threading
+
+import pytest
+
+from repro.algebra.evaluator import Evaluator, evaluate
+from repro.errors import EvaluationError, QueryCancelled, QueryTimeout
+
+
+@pytest.fixture
+def evaluator():
+    return Evaluator("indexed")
+
+
+class TestDeadline:
+    def test_generous_deadline_is_a_no_op(self, evaluator, small_instance):
+        unconstrained = evaluator.evaluate("D within B", small_instance)
+        bounded = evaluator.evaluate(
+            "D within B", small_instance, deadline=60.0
+        )
+        assert bounded == unconstrained
+
+    def test_expired_deadline_raises_typed_timeout(
+        self, evaluator, small_instance
+    ):
+        with pytest.raises(QueryTimeout) as excinfo:
+            evaluator.evaluate(
+                "A containing (B union D)", small_instance, deadline=1e-9
+            )
+        assert excinfo.value.budget == pytest.approx(1e-9)
+        assert excinfo.value.elapsed is None or excinfo.value.elapsed > 0
+        assert isinstance(excinfo.value, EvaluationError)
+
+    def test_limits_cleared_after_timeout(self, evaluator, small_instance):
+        with pytest.raises(QueryTimeout):
+            evaluator.evaluate("A", small_instance, deadline=1e-9)
+        # The expired budget must not leak into the next call.
+        assert len(evaluator.evaluate("A", small_instance)) == 2
+
+    def test_module_level_wrapper_passes_deadline(self, small_instance):
+        with pytest.raises(QueryTimeout):
+            evaluate("A containing D", small_instance, deadline=1e-9)
+
+    def test_both_strategies_honor_deadlines(self, small_instance):
+        for strategy in ("indexed", "naive"):
+            with pytest.raises(QueryTimeout):
+                Evaluator(strategy).evaluate(
+                    "A containing D", small_instance, deadline=1e-9
+                )
+
+
+class TestCancellation:
+    def test_preset_token_cancels_immediately(self, evaluator, small_instance):
+        token = threading.Event()
+        token.set()
+        with pytest.raises(QueryCancelled):
+            evaluator.evaluate("D within B", small_instance, cancel=token)
+
+    def test_unset_token_is_a_no_op(self, evaluator, small_instance):
+        token = threading.Event()
+        result = evaluator.evaluate(
+            "D within B", small_instance, cancel=token
+        )
+        assert result == evaluator.evaluate("D within B", small_instance)
+
+    def test_any_is_set_object_works(self, evaluator, small_instance):
+        class Token:
+            def is_set(self):
+                return True
+
+        with pytest.raises(QueryCancelled):
+            evaluator.evaluate("A", small_instance, cancel=Token())
+
+
+class TestThreadIsolation:
+    def test_deadlines_and_stats_are_per_thread(self, small_instance):
+        """One shared evaluator, one thread with an expired budget: the
+        other thread's unconstrained call must not be affected."""
+        evaluator = Evaluator("indexed")
+        outcomes: dict[str, object] = {}
+        barrier = threading.Barrier(2, timeout=10)
+
+        def doomed() -> None:
+            barrier.wait()
+            try:
+                for _ in range(50):
+                    evaluator.evaluate("A", small_instance, deadline=1e-9)
+                outcomes["doomed"] = "no-timeout"
+            except QueryTimeout:
+                outcomes["doomed"] = "timeout"
+
+        def healthy() -> None:
+            barrier.wait()
+            try:
+                for _ in range(50):
+                    assert len(evaluator.evaluate("A", small_instance)) == 2
+                outcomes["healthy"] = "ok"
+            except QueryTimeout:  # pragma: no cover - the bug this guards
+                outcomes["healthy"] = "leaked-timeout"
+
+        threads = [
+            threading.Thread(target=doomed),
+            threading.Thread(target=healthy),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes == {"doomed": "timeout", "healthy": "ok"}

@@ -8,6 +8,7 @@ from repro.core.instance import Instance
 from repro.core.region import Region
 from repro.core.regionset import RegionSet
 from repro.engine.storage import (
+    SUPPORTED_VERSIONS,
     instance_from_dict,
     instance_to_dict,
     load_instance,
@@ -49,6 +50,47 @@ class TestRoundTrips:
         assert rebuilt == small_instance
 
 
+class TestAtomicWrites:
+    def test_no_temp_file_left_behind(self, small_instance, tmp_path):
+        save_instance(small_instance, tmp_path / "index.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["index.json"]
+
+    def test_overwrite_replaces_completely(self, small_instance, tmp_path):
+        path = tmp_path / "index.json"
+        other = Instance({"Z": RegionSet.of((0, 5))})
+        save_instance(other, path)
+        save_instance(small_instance, path)
+        assert load_instance(path) == small_instance
+
+    def test_failed_replace_keeps_old_file_and_cleans_temp(
+        self, small_instance, tmp_path, monkeypatch
+    ):
+        import repro.engine.storage as storage
+
+        path = tmp_path / "index.json"
+        old = Instance({"Z": RegionSet.of((0, 5))})
+        save_instance(old, path)
+
+        def broken_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(storage.os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            save_instance(small_instance, path)
+        monkeypatch.undo()
+        # The prior index is intact and no *.tmp litter remains.
+        assert load_instance(path) == old
+        assert [p.name for p in tmp_path.iterdir()] == ["index.json"]
+
+    def test_saved_payload_declares_supported_version(
+        self, small_instance, tmp_path
+    ):
+        path = tmp_path / "index.json"
+        save_instance(small_instance, path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["version"] in SUPPORTED_VERSIONS
+
+
 class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(StorageError):
@@ -63,8 +105,11 @@ class TestErrors:
     def test_wrong_version(self, small_instance):
         data = instance_to_dict(small_instance)
         data["version"] = 99
-        with pytest.raises(StorageError, match="version"):
+        with pytest.raises(StorageError, match="version") as excinfo:
             instance_from_dict(data)
+        # The error tells the operator what this build can read.
+        assert "re-index" in str(excinfo.value)
+        assert "1" in str(excinfo.value)
 
     def test_missing_keys(self):
         with pytest.raises(StorageError, match="malformed"):

@@ -1,0 +1,98 @@
+"""ResultCache: LRU behavior, prefix invalidation, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.server import ResultCache
+
+
+class TestLRU:
+    def test_get_miss_then_hit(self):
+        cache = ResultCache(4)
+        assert cache.get(("c", 1, "plan")) is None
+        cache.put(("c", 1, "plan"), {"answer": 42})
+        assert cache.get(("c", 1, "plan")) == {"answer": 42}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_eviction_drops_least_recently_used(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a"; "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_put_existing_key_refreshes_without_evicting(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.get("a") == 10
+        assert cache.stats.evictions == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ResultCache(0)
+
+
+class TestInvalidation:
+    def test_prefix_invalidation_is_scoped(self):
+        cache = ResultCache(8)
+        cache.put(("play", 1, "q1"), "r1")
+        cache.put(("play", 1, "q2"), "r2")
+        cache.put(("play", 2, "q1"), "r3")
+        cache.put(("dict", 1, "q1"), "r4")
+        assert cache.invalidate(("play",)) == 3
+        assert ("dict", 1, "q1") in cache
+        assert len(cache) == 1
+
+    def test_generation_scoped_invalidation(self):
+        cache = ResultCache(8)
+        cache.put(("play", 1, "q1"), "r1")
+        cache.put(("play", 2, "q1"), "r2")
+        assert cache.invalidate(("play", 1)) == 1
+        assert ("play", 2, "q1") in cache
+
+    def test_clear(self):
+        cache = ResultCache(8)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+
+class TestConcurrency:
+    def test_hammering_from_many_threads_stays_consistent(self):
+        cache = ResultCache(16)
+        errors = []
+
+        def worker(base: int) -> None:
+            try:
+                for i in range(300):
+                    key = ("c", base, i % 24)
+                    cache.put(key, i)
+                    cache.get(key)
+                    if i % 50 == 0:
+                        cache.invalidate(("c", base))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16
+        snapshot = cache.snapshot()
+        assert snapshot["capacity"] == 16
+        assert snapshot["hits"] + snapshot["misses"] == 6 * 300

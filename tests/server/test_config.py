@@ -1,0 +1,43 @@
+"""ServerConfig and CorpusSpec validation."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.server import CorpusSpec, ServerConfig
+
+
+class TestCorpusSpec:
+    def test_valid_kinds(self):
+        CorpusSpec(name="a", kind="index", path="a.json")
+        CorpusSpec(name="b", kind="tagged", path="b.txt")
+        CorpusSpec(name="c", kind="source", path="c.src")
+        CorpusSpec(name="d", kind="synthetic", path="play")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError, match="kind"):
+            CorpusSpec(name="a", kind="parquet", path="a")
+
+    def test_unknown_synthetic_generator(self):
+        with pytest.raises(ReproError, match="synthetic"):
+            CorpusSpec(name="a", kind="synthetic", path="novel")
+
+
+class TestServerConfig:
+    def test_defaults_are_valid(self):
+        config = ServerConfig()
+        assert config.workers >= 1
+        assert config.to_dict()["cache_enabled"] is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": 0},
+            {"queue_depth": -1},
+            {"cache_capacity": 0},
+            {"default_deadline": 0.0},
+            {"default_deadline": 10.0, "max_deadline": 5.0},
+        ],
+    )
+    def test_invalid_knobs(self, kwargs):
+        with pytest.raises(ReproError):
+            ServerConfig(**kwargs)

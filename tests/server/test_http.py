@@ -1,0 +1,220 @@
+"""The HTTP front end, exercised over real sockets on a free port."""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.server import (
+    CorpusSpec,
+    QueryService,
+    ServerConfig,
+    create_server,
+    render_prometheus,
+)
+
+PLAY = CorpusSpec(name="play", kind="synthetic", path="play", seed=11, scale=2)
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = QueryService(
+        ServerConfig(workers=2, queue_depth=4, corpora=(PLAY,))
+    )
+    srv = create_server(service, port=0)
+    srv.serve_in_background()
+    yield srv
+    srv.stop()
+
+
+def request(server, method, path, body=None):
+    connection = http.client.HTTPConnection(
+        "127.0.0.1", server.bound_port, timeout=10
+    )
+    try:
+        payload = json.dumps(body) if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        connection.request(method, path, body=payload, headers=headers)
+        response = connection.getresponse()
+        raw = response.read()
+        try:
+            decoded = json.loads(raw)
+        except json.JSONDecodeError:
+            decoded = raw.decode("utf-8")
+        return response.status, dict(response.getheaders()), decoded
+    finally:
+        connection.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, _, body = request(server, "GET", "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_post_query(self, server):
+        status, _, body = request(
+            server, "POST", "/query", {"query": "speech dwithin scene"}
+        )
+        assert status == 200
+        assert body["corpus"] == "play"
+        assert body["cardinality"] == len(body["regions"]) > 0
+
+    def test_get_query_matches_post(self, server):
+        _, _, posted = request(
+            server, "POST", "/query", {"query": "scene within act"}
+        )
+        status, _, got = request(
+            server, "GET", "/query?q=scene%20within%20act"
+        )
+        assert status == 200
+        assert got["regions"] == posted["regions"]
+
+    def test_explain(self, server):
+        status, _, body = request(
+            server,
+            "POST",
+            "/explain",
+            {"query": "line within speech within scene", "optimize": True},
+        )
+        assert status == 200
+        assert "plan" in body and "regions" not in body
+
+    def test_corpora_listing_and_reload(self, server):
+        status, _, body = request(server, "GET", "/corpora")
+        assert status == 200
+        (info,) = body["corpora"]
+        assert info["name"] == "play"
+        generation = info["generation"]
+
+        status, _, body = request(server, "POST", "/corpora/play/reload")
+        assert status == 200
+        assert body["generation"] == generation + 1
+
+    def test_metrics_json_and_prometheus(self, server):
+        request(server, "POST", "/query", {"query": "speech dwithin scene"})
+        status, _, body = request(server, "GET", "/metrics")
+        assert status == 200
+        assert "server_requests_total" in body["metrics"]["counters"]
+
+        status, headers, text = request(
+            server, "GET", "/metrics?format=prometheus"
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "# TYPE server_requests_total counter" in text
+        assert 'endpoint="query"' in text
+
+
+class TestErrorMapping:
+    def test_400_on_parse_error(self, server):
+        status, _, body = request(
+            server, "POST", "/query", {"query": "speech within within"}
+        )
+        assert status == 400
+        assert "error" in body
+
+    def test_400_on_missing_query(self, server):
+        status, _, _ = request(server, "POST", "/query", {})
+        assert status == 400
+        status, _, _ = request(server, "GET", "/query")
+        assert status == 400
+
+    def test_400_on_bad_json(self, server):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.bound_port, timeout=10
+        )
+        try:
+            connection.request(
+                "POST",
+                "/query",
+                body="{not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            response.read()
+            assert response.status == 400
+        finally:
+            connection.close()
+
+    def test_404_on_unknown_corpus_and_path(self, server):
+        status, _, _ = request(
+            server, "POST", "/query", {"query": "speech", "corpus": "nope"}
+        )
+        assert status == 404
+        status, _, _ = request(server, "GET", "/no/such/endpoint")
+        assert status == 404
+
+    def test_504_on_timeout(self, server):
+        status, _, body = request(
+            server,
+            "POST",
+            "/query",
+            {
+                "query": "line within speech within scene",
+                "deadline": 1e-6,
+                "use_cache": False,
+            },
+        )
+        assert status == 504
+        assert body["budget"] == pytest.approx(1e-6)
+
+    def test_429_with_retry_after_under_saturation(self, server):
+        service = server.service
+        release = threading.Event()
+        running = threading.Event()
+
+        def block():
+            running.set()
+            release.wait(timeout=10)
+
+        # Saturate the pool directly: 2 workers + 4 queue slots.
+        blockers = [service.pool.submit(block) for _ in range(6)]
+        try:
+            assert running.wait(timeout=5)
+            status, headers, body = request(
+                server,
+                "POST",
+                "/query",
+                {"query": "speech dwithin scene", "use_cache": False},
+            )
+            assert status == 429
+            assert float(headers["Retry-After"]) > 0
+            assert body["retry_after"] > 0
+        finally:
+            release.set()
+            for future in blockers:
+                future.result(timeout=5)
+
+
+class TestPrometheusRendering:
+    def test_renders_all_instrument_kinds(self):
+        snapshot = {
+            "metrics": {
+                "counters": {
+                    "requests_total": {"endpoint=query,status=200": 3.0}
+                },
+                "gauges": {"inflight": {"": 1.0}},
+                "histograms": {
+                    "latency": {
+                        "": {
+                            "count": 2,
+                            "sum": 0.3,
+                            "buckets": {"0.1": 1, "1.0": 1, "+inf": 0},
+                        }
+                    }
+                },
+            }
+        }
+        text = render_prometheus(snapshot)
+        assert (
+            'requests_total{endpoint="query",status="200"} 3.0' in text
+        )
+        assert "inflight 1.0" in text
+        # Buckets are cumulative and the +inf bucket equals the count.
+        assert 'latency_bucket{le="0.1"} 1' in text
+        assert 'latency_bucket{le="1.0"} 2' in text
+        assert 'latency_bucket{le="+Inf"} 2' in text
+        assert "latency_sum 0.3" in text
+        assert "latency_count 2" in text

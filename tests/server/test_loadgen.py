@@ -1,0 +1,88 @@
+"""The load generator: percentile math and a short live-server run."""
+
+import pytest
+
+from repro.server import (
+    CorpusSpec,
+    LoadResult,
+    QueryService,
+    ServerConfig,
+    create_server,
+    percentile,
+    run_load,
+)
+from repro.workloads import PLAY_QUERIES
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 51.0
+        assert percentile(values, 1.0) == 100.0
+        assert percentile(values, 0.95) == 95.0
+
+
+class TestLoadResult:
+    def test_summary_math(self):
+        result = LoadResult(target_qps=10.0, duration=2.0)
+        result.sent = 20
+        result.status_counts = {"200": 18, "429": 2}
+        result.latencies = [0.01] * 18
+        result.cache_hits = 5
+        summary = result.summary()
+        assert result.completed == 20
+        assert summary["achieved_qps"] == 10.0
+        assert summary["latency_ms"]["p50"] == 10.0
+        assert summary["cache_hits"] == 5
+        assert "p99" in result.format_report() or "p99" in str(summary)
+
+    def test_run_load_validates_input(self):
+        with pytest.raises(ValueError):
+            run_load("127.0.0.1", 1, {}, qps=10.0)
+        with pytest.raises(ValueError):
+            run_load("127.0.0.1", 1, PLAY_QUERIES, qps=0)
+
+
+class TestLiveRun:
+    def test_short_run_no_drops_below_saturation(self):
+        service = QueryService(
+            ServerConfig(
+                workers=4,
+                queue_depth=16,
+                corpora=(
+                    CorpusSpec(
+                        name="play",
+                        kind="synthetic",
+                        path="play",
+                        seed=11,
+                        scale=2,
+                    ),
+                ),
+            )
+        )
+        server = create_server(service, port=0)
+        server.serve_in_background()
+        try:
+            result = run_load(
+                "127.0.0.1",
+                server.bound_port,
+                PLAY_QUERIES,
+                qps=25.0,
+                duration=1.0,
+                concurrency=2,
+            )
+            assert result.dropped == 0
+            assert result.status_counts.get("200", 0) == result.sent > 0
+            # The mix has 5 queries; a cached server repeats answers.
+            assert result.cache_hits >= result.sent - 2 * len(PLAY_QUERIES)
+            assert result.summary()["latency_ms"]["p99"] >= 0
+        finally:
+            server.stop()

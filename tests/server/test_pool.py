@@ -1,0 +1,113 @@
+"""WorkerPool: execution, bounded admission, shutdown."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServerOverloadedError
+from repro.server import WorkerPool
+
+
+@pytest.fixture
+def pool():
+    p = WorkerPool(workers=2, queue_depth=2)
+    yield p
+    p.shutdown(wait=True)
+
+
+class TestExecution:
+    def test_submit_returns_result(self, pool):
+        future = pool.submit(lambda a, b: a + b, 2, 3)
+        assert future.result(timeout=5) == 5
+
+    def test_exceptions_are_relayed(self, pool):
+        def boom():
+            raise KeyError("inner")
+
+        future = pool.submit(boom)
+        with pytest.raises(KeyError):
+            future.result(timeout=5)
+
+    def test_many_jobs_all_complete(self, pool):
+        # More jobs than slots: clients that retry on 429 all succeed.
+        futures = []
+        for i in range(40):
+            while True:
+                try:
+                    futures.append(pool.submit(lambda i=i: i * i))
+                    break
+                except ServerOverloadedError:
+                    time.sleep(0.005)
+        assert [f.result(timeout=5) for f in futures] == [
+            i * i for i in range(40)
+        ]
+        assert pool.stats()["completed"] >= 40
+
+
+class TestAdmission:
+    def test_rejects_when_saturated_and_recovers(self):
+        pool = WorkerPool(workers=1, queue_depth=1)
+        try:
+            release = threading.Event()
+            running = threading.Event()
+
+            def block():
+                running.set()
+                release.wait(timeout=10)
+                return "done"
+
+            first = pool.submit(block)
+            assert running.wait(timeout=5)
+            second = pool.submit(block)  # fills the single queue slot
+            with pytest.raises(ServerOverloadedError) as excinfo:
+                pool.submit(lambda: None)
+            assert excinfo.value.retry_after >= 0.1
+            assert pool.stats()["rejected"] == 1
+
+            release.set()
+            assert first.result(timeout=5) == "done"
+            assert second.result(timeout=5) == "done"
+            # Capacity freed: admission works again.
+            assert pool.submit(lambda: "ok").result(timeout=5) == "ok"
+        finally:
+            pool.shutdown(wait=True)
+
+    def test_depth_hook_sees_queue_growth(self):
+        depths = []
+        pool = WorkerPool(
+            workers=1, queue_depth=4, on_depth_change=depths.append
+        )
+        try:
+            release = threading.Event()
+            futures = [
+                pool.submit(lambda: release.wait(timeout=10)) for _ in range(4)
+            ]
+            release.set()
+            for f in futures:
+                f.result(timeout=5)
+            assert max(depths) >= 1
+            assert depths[-1] == 0 or 0 in depths
+        finally:
+            pool.shutdown(wait=True)
+
+
+class TestShutdown:
+    def test_shutdown_drains_then_rejects(self):
+        pool = WorkerPool(workers=2, queue_depth=2)
+        futures = [pool.submit(lambda i=i: i) for i in range(4)]
+        pool.shutdown(wait=True)
+        assert [f.result(timeout=1) for f in futures] == [0, 1, 2, 3]
+        with pytest.raises(ServerOverloadedError):
+            pool.submit(lambda: None)
+
+    def test_shutdown_is_idempotent(self):
+        pool = WorkerPool(workers=1, queue_depth=0)
+        pool.shutdown(wait=True)
+        pool.shutdown(wait=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+        with pytest.raises(ValueError):
+            WorkerPool(workers=1, queue_depth=-1)
