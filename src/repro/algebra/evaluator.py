@@ -33,6 +33,7 @@ from repro.core.regionset import RegionSet
 from repro.core.sparse import RangeMin
 from repro.core.wordindex import TextWordIndex
 from repro.errors import EvaluationError, QueryCancelled, QueryTimeout
+from repro.faults import registry as _faults
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
@@ -346,6 +347,10 @@ class Evaluator:
         limits = getattr(self._local, "limits", None)
         if limits is not None:
             limits.check()
+        # Fault point (repro.faults): a module-attribute None check when
+        # no registry is active, so the disabled cost stays in the noise.
+        if _faults._active is not None:
+            _faults._active.fire("evaluator.step")
         indexed = self.strategy == "indexed"
         if isinstance(expr, A.NameRef):
             return instance.region_set(expr.name)

@@ -1,5 +1,5 @@
 """Command-line interface: index, query, explain, stats, trace, querylog,
-serve, loadgen.
+serve, loadgen, chaos.
 
 A small operational wrapper over :class:`repro.engine.Engine`::
 
@@ -12,11 +12,14 @@ A small operational wrapper over :class:`repro.engine.Engine`::
     python -m repro querylog doc.index.json 'speech' 'scene' --optimize
     python -m repro serve  doc.index.json --port 8600 --workers 4
     python -m repro loadgen --port 8600 --mix play --qps 25 --duration 5
+    python -m repro chaos --seed 0 --fault-seconds 4
 
 ``serve`` runs the concurrent query service of :mod:`repro.server`
 (endpoints, capacity knobs, and cache semantics: ``docs/server.md``);
 ``loadgen`` replays a named query mix against it and reports
-p50/p95/p99 latencies.
+p50/p95/p99 latencies; ``chaos`` runs the self-contained fault-injection
+scenario of :mod:`repro.faults.chaos` (see ``docs/robustness.md``) and
+exits non-zero if any resilience invariant is violated.
 
 ``index --format source`` uses the toy program language (Figure 1
 structure); ``explain`` applies the Figure 1 RIG automatically for
@@ -226,6 +229,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--seed", type=int, default=7)
     loadgen.add_argument("--json", action="store_true")
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run the fault-injection scenario (docs/robustness.md)",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--scale", type=int, default=2, help="corpus size")
+    chaos.add_argument("--qps", type=float, default=60.0)
+    chaos.add_argument("--concurrency", type=int, default=4)
+    chaos.add_argument("--warmup-seconds", type=float, default=1.0)
+    chaos.add_argument("--fault-seconds", type=float, default=4.0)
+    chaos.add_argument("--recovery-seconds", type=float, default=3.0)
+    chaos.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.05,
+        help="probability for the storage fault points; evaluator and "
+        "kill rates scale down from it",
+    )
+    chaos.add_argument(
+        "--no-disk-corruption",
+        action="store_true",
+        help="skip the deliberate on-disk index corruption",
+    )
+    chaos.add_argument("--json", action="store_true")
     return parser
 
 
@@ -509,6 +537,30 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if result.status_counts.get("200", 0) > 0 else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        seed=args.seed,
+        scale=args.scale,
+        qps=args.qps,
+        concurrency=args.concurrency,
+        warmup_seconds=args.warmup_seconds,
+        fault_seconds=args.fault_seconds,
+        recovery_seconds=args.recovery_seconds,
+        storage_fault_rate=args.fault_rate,
+        evaluator_fault_rate=args.fault_rate / 12.5,
+        kill_rate=args.fault_rate / 5.0,
+        corrupt_disk=not args.no_disk_corruption,
+    )
+    report = run_chaos(config)
+    if args.json:
+        print(json.dumps(report.summary()))
+    else:
+        print(report.format_report())
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "index": _cmd_index,
     "query": _cmd_query,
@@ -519,6 +571,7 @@ _COMMANDS = {
     "kwic": _cmd_kwic,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -43,6 +43,7 @@ from repro.core.region import Region
 from repro.core.regionset import RegionSet
 from repro.core.wordindex import TextWordIndex
 from repro.errors import EvaluationError, UnknownRegionNameError
+from repro.faults import registry as _faults
 from repro.obs import Telemetry
 from repro.obs.metrics import (
     CARDINALITY_BUCKETS,
@@ -114,6 +115,7 @@ class Engine:
         """Index an SGML-like tagged document."""
         from repro.engine.tagged import parse_tagged_text
 
+        _faults.fire("index.build")
         started = perf_counter()
         document = parse_tagged_text(text)
         engine = cls(document.instance, text=document.text, rig=rig)
@@ -126,6 +128,7 @@ class Engine:
         from repro.engine.sourcecode import parse_source
         from repro.rig.graph import figure_1_rig
 
+        _faults.fire("index.build")
         started = perf_counter()
         document = parse_source(text)
         engine = cls(document.instance, text=document.text, rig=figure_1_rig())
@@ -136,6 +139,7 @@ class Engine:
     def load(cls, path: str | Path, rig: RegionInclusionGraph | None = None) -> "Engine":
         from repro.engine.storage import load_instance
 
+        _faults.fire("index.build")
         started = perf_counter()
         instance = load_instance(path)
         engine = cls(instance, rig=rig)

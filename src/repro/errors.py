@@ -3,6 +3,12 @@
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch library failures with a single ``except`` clause while
 still distinguishing the common cases.
+
+Every class carries a stable, machine-readable ``code`` — the string the
+query server puts in its JSON error envelope (``{"error": …, "code":
+…}``) so clients can branch on failures without parsing prose.  The
+taxonomy is documented in ``docs/server.md``; codes are append-only
+(renaming one is a breaking API change).
 """
 
 from __future__ import annotations
@@ -11,9 +17,20 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
+    #: Stable machine-readable identifier for this error family.
+    code = "internal"
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable ``code`` for any exception (``"internal"`` outside the
+    :class:`ReproError` hierarchy)."""
+    return exc.code if isinstance(exc, ReproError) else "internal"
+
 
 class InvalidRegionError(ReproError):
     """A region with inconsistent endpoints was constructed or supplied."""
+
+    code = "invalid_region"
 
 
 class HierarchyError(ReproError):
@@ -24,9 +41,13 @@ class HierarchyError(ReproError):
     strictly includes the other.
     """
 
+    code = "hierarchy_violation"
+
 
 class UnknownRegionNameError(ReproError):
     """A query referenced a region name that the index does not define."""
+
+    code = "unknown_region_name"
 
     def __init__(self, name: str, known: tuple[str, ...] = ()):
         self.name = name
@@ -38,6 +59,8 @@ class UnknownRegionNameError(ReproError):
 class ParseError(ReproError):
     """The textual query (or document) could not be parsed."""
 
+    code = "parse_error"
+
     def __init__(self, message: str, position: int | None = None):
         self.position = position
         if position is not None:
@@ -48,6 +71,8 @@ class ParseError(ReproError):
 class EvaluationError(ReproError):
     """An expression could not be evaluated against an instance."""
 
+    code = "evaluation_error"
+
 
 class QueryTimeout(EvaluationError):
     """A query exceeded its deadline and was cooperatively aborted.
@@ -57,6 +82,8 @@ class QueryTimeout(EvaluationError):
     the resource-limit enforcement the Co-NP-hardness of emptiness
     (FMFT Theorem 3.5) makes mandatory for a shared serving layer.
     """
+
+    code = "query_timeout"
 
     def __init__(self, budget: float, elapsed: float | None = None):
         self.budget = budget
@@ -70,6 +97,8 @@ class QueryTimeout(EvaluationError):
 class QueryCancelled(EvaluationError):
     """A query was cancelled while (or before) evaluating."""
 
+    code = "query_cancelled"
+
     def __init__(self, message: str = "query was cancelled"):
         super().__init__(message)
 
@@ -81,22 +110,109 @@ class ServerOverloadedError(ReproError):
     see it as ``429 Too Many Requests`` with a ``Retry-After`` hint.
     """
 
+    code = "server_overloaded"
+
     def __init__(self, message: str, retry_after: float = 1.0):
         self.retry_after = retry_after
         super().__init__(message)
 
 
+class ServiceUnhealthyError(ReproError):
+    """The service is shedding load because it judged itself unhealthy.
+
+    Raised on the request path while the health state machine (see
+    ``docs/robustness.md``) is in its ``unhealthy`` state; HTTP callers
+    see ``503 Service Unavailable`` with a ``Retry-After`` hint.
+    """
+
+    code = "service_unhealthy"
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class CorpusUnavailableError(ReproError):
+    """A corpus cannot be (re)loaded right now — its circuit breaker is
+    open after repeated load failures.  HTTP callers see ``503``."""
+
+    code = "corpus_unavailable"
+
+    def __init__(self, name: str, retry_after: float = 1.0):
+        self.name = name
+        self.retry_after = retry_after
+        super().__init__(
+            f"corpus {name!r} is unavailable (circuit breaker open); "
+            f"retry in {retry_after:.1f}s"
+        )
+
+
+class WorkerCrashedError(ReproError):
+    """A worker thread died while holding this request's job.
+
+    The pool replaces the dead worker and the service retries dispatch;
+    callers only see this when the retry budget is exhausted.
+    """
+
+    code = "worker_crashed"
+
+
 class PatternError(ReproError):
     """A pattern string was malformed for the selected pattern language."""
+
+    code = "pattern_error"
 
 
 class GrammarError(ReproError):
     """A grammar definition was malformed."""
 
+    code = "grammar_error"
+
 
 class OptimizationError(ReproError):
     """The optimizer was given inputs it cannot handle."""
 
+    code = "optimization_error"
+
 
 class StorageError(ReproError):
     """An index could not be serialized or deserialized."""
+
+    code = "storage_error"
+
+
+class CorruptIndexError(StorageError):
+    """An index file exists but its contents fail validation — checksum
+    mismatch, undecodable bytes, or malformed JSON.
+
+    Distinguished from :class:`StorageError` so the serving layer can
+    quarantine the file and rebuild from source text instead of merely
+    reporting an I/O failure.
+    """
+
+    code = "corrupt_index"
+
+
+class FaultInjected(ReproError):
+    """An error deliberately raised by the fault-injection registry
+    (:mod:`repro.faults`).  Never raised in production configurations —
+    it surfaces only when a :class:`~repro.faults.FaultRegistry` is
+    active, and maps to HTTP 500 so chaos runs can tell injected
+    failures from client errors."""
+
+    code = "fault_injected"
+
+    def __init__(self, point: str, message: str | None = None):
+        self.point = point
+        super().__init__(message or f"injected fault at {point!r}")
+
+
+class WorkerKilled(FaultInjected):
+    """A ``kill``-mode fault: the worker thread that drew this fault
+    must die.  Raised at the ``pool.worker`` fault point and translated
+    by the pool into :class:`WorkerCrashedError` on the job's future."""
+
+    code = "worker_killed"
+
+    def __init__(self, point: str = "pool.worker"):
+        super().__init__(point, f"injected worker death at {point!r}")

@@ -57,6 +57,18 @@ __all__ = [
     "SERVER_CACHE_EVICTIONS_TOTAL",
     "SERVER_REJECTED_TOTAL",
     "SERVER_TIMEOUTS_TOTAL",
+    "SERVER_SHED_TOTAL",
+    "SERVER_STALE_SERVED_TOTAL",
+    "SERVER_HEALTH_STATE",
+    "SERVER_HEALTH_TRANSITIONS_TOTAL",
+    "FAULT_INJECTIONS_TOTAL",
+    "RETRY_ATTEMPTS_TOTAL",
+    "RETRY_EXHAUSTED_TOTAL",
+    "BREAKER_STATE",
+    "BREAKER_TRANSITIONS_TOTAL",
+    "STORAGE_QUARANTINED_TOTAL",
+    "INDEX_REBUILDS_TOTAL",
+    "POOL_WORKER_DEATHS_TOTAL",
 ]
 
 QUERIES_TOTAL = "queries_total"
@@ -79,6 +91,21 @@ SERVER_CACHE_MISSES_TOTAL = "server_cache_misses_total"
 SERVER_CACHE_EVICTIONS_TOTAL = "server_cache_evictions_total"
 SERVER_REJECTED_TOTAL = "server_rejected_total"
 SERVER_TIMEOUTS_TOTAL = "server_timeouts_total"
+
+# The resilience layer (repro.faults + server hardening) —
+# see docs/robustness.md.
+SERVER_SHED_TOTAL = "server_shed_total"
+SERVER_STALE_SERVED_TOTAL = "server_stale_served_total"
+SERVER_HEALTH_STATE = "server_health_state"
+SERVER_HEALTH_TRANSITIONS_TOTAL = "server_health_transitions_total"
+FAULT_INJECTIONS_TOTAL = "fault_injections_total"
+RETRY_ATTEMPTS_TOTAL = "retry_attempts_total"
+RETRY_EXHAUSTED_TOTAL = "retry_exhausted_total"
+BREAKER_STATE = "breaker_state"
+BREAKER_TRANSITIONS_TOTAL = "breaker_transitions_total"
+STORAGE_QUARANTINED_TOTAL = "storage_quarantined_total"
+INDEX_REBUILDS_TOTAL = "index_rebuilds_total"
+POOL_WORKER_DEATHS_TOTAL = "pool_worker_deaths_total"
 
 #: Upper bucket bounds for wall-time histograms (seconds; +inf implied).
 SECONDS_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)

@@ -81,6 +81,21 @@ class ResultCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
 
+    def get_where(self, predicate) -> tuple[Hashable, Any] | None:
+        """The most recently used ``(key, value)`` whose key satisfies
+        ``predicate`` — without refreshing recency or touching stats.
+
+        The degraded-mode stale lookup: the service scans for an entry
+        matching (corpus, plan, optimize) at *any* generation when the
+        current generation misses.  O(entries) under the lock, used only
+        while degraded.
+        """
+        with self._lock:
+            for key in reversed(self._entries):
+                if predicate(key):
+                    return key, self._entries[key]
+            return None
+
     def invalidate(self, prefix: tuple) -> int:
         """Drop every entry whose (tuple) key starts with ``prefix``.
 

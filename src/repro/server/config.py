@@ -35,6 +35,14 @@ class CorpusSpec:
     File-backed corpora can be hot-reloaded (``/corpora/<name>/reload``)
     to pick up a re-indexed file; the generation counter and result
     cache handle the swap.
+
+    ``source`` (``kind="index"`` only) names the document the index was
+    built from.  When a load finds the index file corrupt
+    (:class:`~repro.errors.CorruptIndexError` survives its retries), the
+    service quarantines the bad file and rebuilds the engine from this
+    source — ``source_format`` says how to parse it (``"tagged"`` or
+    ``"source"``) — then re-saves the index.  Without a ``source`` the
+    corpus just fails to (re)load and its circuit breaker handles it.
     """
 
     name: str
@@ -42,6 +50,8 @@ class CorpusSpec:
     path: str
     seed: int = 2024
     scale: int = 4  #: size multiplier for synthetic corpora
+    source: str | None = None  #: rebuild document for ``kind="index"``
+    source_format: str = "tagged"
 
     def __post_init__(self) -> None:
         if self.kind not in ("index", "tagged", "source", "synthetic"):
@@ -51,9 +61,22 @@ class CorpusSpec:
                 f"unknown synthetic corpus {self.path!r} "
                 f"(available: {', '.join(_SYNTHETIC_KINDS)})"
             )
+        if self.source_format not in ("tagged", "source"):
+            raise ReproError(
+                f"unknown source format {self.source_format!r} "
+                "(available: tagged, source)"
+            )
+        if self.source is not None and self.kind != "index":
+            raise ReproError(
+                "a rebuild source only makes sense for kind='index'"
+            )
 
     def to_dict(self) -> dict[str, Any]:
-        return {"name": self.name, "kind": self.kind, "path": self.path}
+        data = {"name": self.name, "kind": self.kind, "path": self.path}
+        if self.source is not None:
+            data["source"] = self.source
+            data["source_format"] = self.source_format
+        return data
 
 
 @dataclass(frozen=True)
@@ -77,6 +100,25 @@ class ServerConfig:
         Seconds.  Every query gets a deadline (requests may lower or
         raise theirs up to ``max_deadline``); the evaluator aborts
         cooperatively with ``QueryTimeout`` when it expires.
+
+    Resilience knobs (``docs/robustness.md``):
+
+    ``retry_attempts`` / ``retry_base_delay`` / ``retry_max_delay``
+        Backoff policy around corpus (re)loads.
+    ``dispatch_retries``
+        How many times the service re-submits a job whose worker died
+        (:class:`~repro.errors.WorkerCrashedError`) before giving up.
+    ``breaker_threshold`` / ``breaker_reset``
+        Per-corpus circuit breaker: consecutive load failures that trip
+        it, and the seconds an open breaker waits before half-opening.
+    ``health_window`` / ``degraded_threshold`` / ``unhealthy_threshold``
+        The sliding window (seconds) and error-rate thresholds of the
+        health state machine; ``health_min_samples`` outcomes must be in
+        the window before leaving ``healthy``; when unhealthy every
+        ``probe_interval``-th request is admitted as a probe.
+    ``stale_when_degraded``
+        While degraded, a cache miss may be answered by a matching
+        entry from an older corpus generation (marked ``"stale": true``).
     """
 
     host: str = "127.0.0.1"
@@ -91,6 +133,18 @@ class ServerConfig:
     tracing: bool = False
     query_log_capacity: int = 1024
     corpora: tuple[CorpusSpec, ...] = field(default_factory=tuple)
+    retry_attempts: int = 3
+    retry_base_delay: float = 0.05
+    retry_max_delay: float = 0.5
+    dispatch_retries: int = 2
+    breaker_threshold: int = 3
+    breaker_reset: float = 5.0
+    health_window: float = 10.0
+    degraded_threshold: float = 0.10
+    unhealthy_threshold: float = 0.50
+    health_min_samples: int = 10
+    probe_interval: int = 10
+    stale_when_degraded: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -102,6 +156,21 @@ class ServerConfig:
         if not (0 < self.default_deadline <= self.max_deadline):
             raise ReproError(
                 "deadlines must satisfy 0 < default_deadline <= max_deadline"
+            )
+        if self.retry_attempts < 1:
+            raise ReproError("retry_attempts must be at least 1")
+        if self.dispatch_retries < 0:
+            raise ReproError("dispatch_retries cannot be negative")
+        if self.breaker_threshold < 1:
+            raise ReproError("breaker_threshold must be at least 1")
+        if self.breaker_reset <= 0:
+            raise ReproError("breaker_reset must be positive seconds")
+        if not (
+            0 < self.degraded_threshold <= self.unhealthy_threshold <= 1.0
+        ):
+            raise ReproError(
+                "thresholds must satisfy "
+                "0 < degraded_threshold <= unhealthy_threshold <= 1"
             )
 
     def to_dict(self) -> dict[str, Any]:
@@ -115,4 +184,12 @@ class ServerConfig:
             "max_deadline": self.max_deadline,
             "optimize_default": self.optimize_default,
             "tracing": self.tracing,
+            "retry_attempts": self.retry_attempts,
+            "dispatch_retries": self.dispatch_retries,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_reset": self.breaker_reset,
+            "health_window": self.health_window,
+            "degraded_threshold": self.degraded_threshold,
+            "unhealthy_threshold": self.unhealthy_threshold,
+            "stale_when_degraded": self.stale_when_degraded,
         }

@@ -21,8 +21,14 @@ on the service's bounded worker pool.  Endpoints:
 
 Status mapping: ``400`` parse/validation errors, ``404`` unknown corpus
 or path, ``408`` client-requested deadline ≤ 0, ``429`` admission
-rejection (with ``Retry-After``), ``504`` query deadline exceeded,
-``500`` anything unexpected.
+rejection (with ``Retry-After``), ``503`` load shed or corpus breaker
+open (with ``Retry-After``), ``504`` query deadline exceeded, ``500``
+worker crashes, injected faults, and anything unexpected.
+
+Every error envelope carries a stable machine-readable ``code``
+(``{"error": …, "code": …}``) from the taxonomy in
+:mod:`repro.errors` — documented in ``docs/server.md`` — so clients
+branch on codes, not on prose or transport status.
 """
 
 from __future__ import annotations
@@ -34,9 +40,12 @@ from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import (
+    CorpusUnavailableError,
     QueryTimeout,
     ReproError,
     ServerOverloadedError,
+    ServiceUnhealthyError,
+    error_code,
 )
 from repro.server.service import QueryService, UnknownCorpusError
 
@@ -97,7 +106,15 @@ class _Handler(BaseHTTPRequestHandler):
         url = urlsplit(self.path)
         try:
             if url.path == "/healthz":
-                self._json(200, self.server.service.healthz())
+                health = self.server.service.healthz()
+                # Liveness stays 200 while degraded (still serving);
+                # only an unhealthy or stopping service answers 503.
+                status = (
+                    503
+                    if health["status"] in ("unhealthy", "shutting-down")
+                    else 200
+                )
+                self._json(status, health)
             elif url.path == "/corpora":
                 self._json(200, {"corpora": self.server.service.corpora_info()})
             elif url.path == "/metrics":
@@ -105,7 +122,10 @@ class _Handler(BaseHTTPRequestHandler):
             elif url.path == "/query":
                 self._query_from_params(url)
             else:
-                self._json(404, {"error": f"no such endpoint {url.path!r}"})
+                self._json(
+                    404,
+                    {"error": f"no such endpoint {url.path!r}", "code": "not_found"},
+                )
         except Exception as exc:  # noqa: BLE001 - last-resort boundary
             self._error(exc)
 
@@ -122,7 +142,10 @@ class _Handler(BaseHTTPRequestHandler):
                 name = url.path[len("/corpora/") : -len("/reload")]
                 self._json(200, self.server.service.reload_corpus(name))
             else:
-                self._json(404, {"error": f"no such endpoint {url.path!r}"})
+                self._json(
+                    404,
+                    {"error": f"no such endpoint {url.path!r}", "code": "not_found"},
+                )
         except Exception as exc:  # noqa: BLE001 - last-resort boundary
             self._error(exc)
 
@@ -145,7 +168,10 @@ class _Handler(BaseHTTPRequestHandler):
 
         query = first("q") or first("query")
         if not query:
-            self._json(400, {"error": "missing query parameter 'q'"})
+            self._json(
+                400,
+                {"error": "missing query parameter 'q'", "code": "invalid_request"},
+            )
             return
         request: dict[str, Any] = {"query": query, "corpus": first("corpus")}
         if first("optimize") is not None:
@@ -168,7 +194,10 @@ class _Handler(BaseHTTPRequestHandler):
     def _run(self, request: dict[str, Any], explain_only: bool) -> None:
         query = request.get("query")
         if not isinstance(query, str) or not query.strip():
-            self._json(400, {"error": "request needs a non-empty 'query'"})
+            self._json(
+                400,
+                {"error": "request needs a non-empty 'query'", "code": "invalid_request"},
+            )
             return
         deadline = request.get("deadline")
         if deadline is not None:
@@ -186,20 +215,37 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
 
     def _error(self, exc: Exception) -> None:
+        code = error_code(exc)
         if isinstance(exc, ServerOverloadedError):
             self._json(
                 429,
-                {"error": str(exc), "retry_after": exc.retry_after},
+                {"error": str(exc), "code": code, "retry_after": exc.retry_after},
+                extra_headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
+        elif isinstance(exc, (ServiceUnhealthyError, CorpusUnavailableError)):
+            self._json(
+                503,
+                {"error": str(exc), "code": code, "retry_after": exc.retry_after},
                 extra_headers={"Retry-After": f"{exc.retry_after:.3f}"},
             )
         elif isinstance(exc, QueryTimeout):
-            self._json(504, {"error": str(exc), "budget": exc.budget})
+            self._json(
+                504, {"error": str(exc), "code": code, "budget": exc.budget}
+            )
         elif isinstance(exc, UnknownCorpusError):
-            self._json(404, {"error": str(exc)})
-        elif isinstance(exc, (ReproError, ValueError)):
-            self._json(400, {"error": str(exc)})
+            self._json(404, {"error": str(exc), "code": code})
+        elif isinstance(exc, ReproError) and code in (
+            "worker_crashed",
+            "fault_injected",
+            "worker_killed",
+        ):
+            self._json(500, {"error": str(exc), "code": code})
+        elif isinstance(exc, ReproError):
+            self._json(400, {"error": str(exc), "code": code})
+        elif isinstance(exc, ValueError):
+            self._json(400, {"error": str(exc), "code": "invalid_request"})
         else:
-            self._json(500, {"error": f"internal error: {exc!r}"})
+            self._json(500, {"error": f"internal error: {exc!r}", "code": code})
 
     def _json(
         self,

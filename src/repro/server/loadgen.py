@@ -20,9 +20,12 @@ import random
 import threading
 from dataclasses import dataclass, field
 from time import monotonic, sleep
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 __all__ = ["LoadResult", "run_load", "percentile"]
+
+#: Longest single backoff honored from a ``Retry-After`` hint (seconds).
+_RETRY_AFTER_CAP = 1.0
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
@@ -41,6 +44,7 @@ class LoadResult:
     duration: float  #: wall seconds the run actually took
     sent: int = 0
     dropped: int = 0  #: connection-level failures (refused, reset, timeout)
+    retried: int = 0  #: 429/503 responses retried after their Retry-After
     status_counts: dict[str, int] = field(default_factory=dict)
     latencies: list[float] = field(default_factory=list)  #: seconds, ok only
     cache_hits: int = 0
@@ -62,6 +66,7 @@ class LoadResult:
             "sent": self.sent,
             "completed": self.completed,
             "dropped": self.dropped,
+            "retried": self.retried,
             "status_counts": dict(sorted(self.status_counts.items())),
             "cache_hits": self.cache_hits,
             "latency_ms": {
@@ -82,7 +87,8 @@ class LoadResult:
             f"(target {s['target_qps']:g} QPS, achieved {s['achieved_qps']:g})",
             f"statuses: "
             + ", ".join(f"{k}: {v}" for k, v in s["status_counts"].items())
-            + f"; dropped: {s['dropped']}; cache hits: {s['cache_hits']}",
+            + f"; retried: {s['retried']}; dropped: {s['dropped']}; "
+            f"cache hits: {s['cache_hits']}",
             f"latency  p50 {lat['p50']:.1f} ms   p95 {lat['p95']:.1f} ms   "
             f"p99 {lat['p99']:.1f} ms   mean {lat['mean']:.1f} ms",
         ]
@@ -122,6 +128,8 @@ def run_load(
     use_cache: bool = True,
     timeout: float = 10.0,
     seed: int = 7,
+    max_retries: int = 2,
+    on_response: Callable[[int, bytes], None] | None = None,
 ) -> LoadResult:
     """Drive ``host:port`` with ``queries`` at ``qps`` for ``duration``
     seconds using ``concurrency`` keep-alive client threads.
@@ -130,6 +138,13 @@ def run_load(
     runs replay the same request sequence).  Returns a
     :class:`LoadResult`; connection-level failures count as ``dropped``
     and never raise.
+
+    Flow-control responses (``429``/``503``) are retried up to
+    ``max_retries`` times, honoring the server's ``Retry-After`` hint
+    capped at 1s; each retry counts in ``LoadResult.retried`` and only
+    the final status lands in ``status_counts``.  ``on_response``, when
+    given, is called with ``(status, body_bytes)`` for every final
+    response — the hook the chaos harness uses to verify payloads.
     """
     if qps <= 0:
         raise ValueError("qps must be positive")
@@ -167,14 +182,30 @@ def run_load(
                 )
                 sent_at = monotonic()
                 try:
-                    connection.request(
-                        "POST",
-                        "/query",
-                        body=body,
-                        headers={"Content-Type": "application/json"},
-                    )
-                    response = connection.getresponse()
-                    payload = response.read()
+                    retries_left = max(0, max_retries)
+                    while True:
+                        connection.request(
+                            "POST",
+                            "/query",
+                            body=body,
+                            headers={"Content-Type": "application/json"},
+                        )
+                        response = connection.getresponse()
+                        payload = response.read()
+                        if response.status in (429, 503) and retries_left > 0:
+                            # Honor the server's backpressure hint
+                            # (capped) instead of giving up immediately.
+                            hint = response.getheader("Retry-After")
+                            try:
+                                delay = float(hint) if hint else 0.1
+                            except ValueError:
+                                delay = 0.1
+                            retries_left -= 1
+                            with result_lock:
+                                result.retried += 1
+                            sleep(max(0.0, min(delay, _RETRY_AFTER_CAP)))
+                            continue
+                        break
                     latency = monotonic() - sent_at
                     status = str(response.status)
                     hit = False
@@ -192,6 +223,8 @@ def run_load(
                             result.latencies.append(latency)
                             if hit:
                                 result.cache_hits += 1
+                    if on_response is not None:
+                        on_response(response.status, payload)
                 except (OSError, http.client.HTTPException):
                     with result_lock:
                         result.sent += 1

@@ -18,7 +18,8 @@ from concurrent.futures import Future
 from time import monotonic, perf_counter
 from typing import Any, Callable
 
-from repro.errors import ServerOverloadedError
+from repro.errors import ServerOverloadedError, WorkerCrashedError, WorkerKilled
+from repro.faults import registry as _faults
 
 __all__ = ["WorkerPool"]
 
@@ -44,7 +45,11 @@ class WorkerPool:
     ``on_depth_change``, when given, is called with the current number
     of waiting jobs after every enqueue/dequeue — the hook the service
     uses to keep the ``server_queue_depth`` gauge current without the
-    pool knowing about metrics.
+    pool knowing about metrics.  ``on_worker_death`` fires whenever a
+    worker thread dies at the ``pool.worker`` fault point (chaos only):
+    the job it held fails with
+    :class:`~repro.errors.WorkerCrashedError` and a replacement thread
+    is spawned immediately, so pool capacity is never lost.
     """
 
     def __init__(
@@ -53,6 +58,7 @@ class WorkerPool:
         queue_depth: int = 16,
         name: str = "repro-worker",
         on_depth_change: Callable[[int], None] | None = None,
+        on_worker_death: Callable[[], None] | None = None,
     ):
         if workers < 1:
             raise ValueError("worker pool needs at least one worker")
@@ -60,22 +66,33 @@ class WorkerPool:
             raise ValueError("queue depth cannot be negative")
         self.workers = workers
         self.queue_depth = queue_depth
+        self._name = name
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_depth + workers)
         self._admission = threading.Semaphore(queue_depth + workers)
         self._on_depth_change = on_depth_change
+        self._on_worker_death = on_worker_death
         self._shutdown = False
         self._lock = threading.Lock()
         self._inflight = 0
         self._completed = 0
         self._rejected = 0
+        self._deaths = 0
+        self._spawned = 0
         # EWMA of job service time, seeding the Retry-After estimate.
         self._ewma_seconds = 0.05
-        self._threads = [
-            threading.Thread(target=self._run, name=f"{name}-{i}", daemon=True)
-            for i in range(workers)
-        ]
-        for thread in self._threads:
-            thread.start()
+        self._threads: list[threading.Thread] = []
+        for _ in range(workers):
+            self._threads.append(self._spawn())
+
+    def _spawn(self) -> threading.Thread:
+        with self._lock:
+            index = self._spawned
+            self._spawned += 1
+        thread = threading.Thread(
+            target=self._run, name=f"{self._name}-{index}", daemon=True
+        )
+        thread.start()
+        return thread
 
     # ------------------------------------------------------------------
 
@@ -118,6 +135,20 @@ class WorkerPool:
                 self._queue.task_done()
                 return
             self._notify_depth()
+            # Fault point: a worker can die while picking up a job
+            # (chaos only — the check is one module-attribute load).
+            if _faults._active is not None:
+                try:
+                    _faults._active.fire("pool.worker")
+                except WorkerKilled:
+                    self._abandon(job)
+                    return
+                except Exception as exc:  # noqa: BLE001 - injected error
+                    if job.future.set_running_or_notify_cancel():
+                        job.future.set_exception(exc)
+                    self._admission.release()
+                    self._queue.task_done()
+                    continue
             with self._lock:
                 self._inflight += 1
             started = perf_counter()
@@ -135,6 +166,29 @@ class WorkerPool:
                     self._ewma_seconds += 0.2 * (elapsed - self._ewma_seconds)
                 self._admission.release()
                 self._queue.task_done()
+
+    def _abandon(self, job: "_Job") -> None:
+        """This worker drew a kill fault: fail the job it was holding
+        with :class:`WorkerCrashedError`, spawn a replacement thread,
+        and let the calling thread return (die)."""
+        if job.future.set_running_or_notify_cancel():
+            job.future.set_exception(
+                WorkerCrashedError(
+                    "worker thread died while holding this job; "
+                    "a replacement worker was started"
+                )
+            )
+        self._admission.release()
+        self._queue.task_done()
+        with self._lock:
+            self._deaths += 1
+            dead = threading.current_thread()
+            self._threads = [t for t in self._threads if t is not dead]
+            respawn = not self._shutdown
+        if self._on_worker_death is not None:
+            self._on_worker_death()
+        if respawn:
+            self._threads.append(self._spawn())
 
     def _notify_depth(self) -> None:
         if self._on_depth_change is not None:
@@ -161,6 +215,7 @@ class WorkerPool:
                 "inflight": self._inflight,
                 "completed": self._completed,
                 "rejected": self._rejected,
+                "worker_deaths": self._deaths,
                 "ewma_seconds": self._ewma_seconds,
             }
 
@@ -169,8 +224,10 @@ class WorkerPool:
         if self._shutdown:
             return
         self._shutdown = True
-        for _ in self._threads:
+        with self._lock:
+            threads = list(self._threads)
+        for _ in threads:
             self._queue.put(_STOP)
         if wait:
-            for thread in self._threads:
+            for thread in threads:
                 thread.join(timeout=10.0)

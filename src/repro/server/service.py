@@ -22,6 +22,16 @@ time spent waiting in the queue counts against the budget, and the
 remaining budget is handed to the evaluator's cooperative
 deadline/cancellation check — a queued request whose client has already
 given up aborts on pickup instead of burning a worker.
+
+Resilience (``docs/robustness.md``): corpus (re)loads run under a
+bounded-backoff retry and a per-corpus circuit breaker; a persistently
+corrupt index file is quarantined and the engine rebuilt from source
+text when the spec names one; a job whose worker died is re-dispatched;
+a :class:`~repro.server.health.HealthMonitor` classifies the service
+healthy/degraded/unhealthy from worker-path outcomes — while degraded
+the optimizer pass is skipped and cache misses may be answered by a
+stale entry from an older generation, and while unhealthy load is shed
+with ``503`` except for a trickle of probes.
 """
 
 from __future__ import annotations
@@ -32,25 +42,45 @@ from typing import Any
 
 from repro.engine.session import Engine
 from repro.errors import (
+    CorpusUnavailableError,
+    CorruptIndexError,
+    FaultInjected,
     QueryTimeout,
     ReproError,
     ServerOverloadedError,
+    ServiceUnhealthyError,
+    StorageError,
     UnknownRegionNameError,
+    WorkerCrashedError,
 )
+from repro.faults import registry as _faults
+from repro.faults.retry import CircuitBreaker, RetryPolicy, retry_call
 from repro.obs import Telemetry
 from repro.obs.metrics import (
+    BREAKER_STATE,
+    BREAKER_TRANSITIONS_TOTAL,
+    INDEX_REBUILDS_TOTAL,
+    POOL_WORKER_DEATHS_TOTAL,
+    RETRY_ATTEMPTS_TOTAL,
+    RETRY_EXHAUSTED_TOTAL,
     SERVER_CACHE_EVICTIONS_TOTAL,
     SERVER_CACHE_HITS_TOTAL,
     SERVER_CACHE_MISSES_TOTAL,
+    SERVER_HEALTH_STATE,
+    SERVER_HEALTH_TRANSITIONS_TOTAL,
     SERVER_INFLIGHT,
     SERVER_QUEUE_DEPTH,
     SERVER_REJECTED_TOTAL,
     SERVER_REQUEST_SECONDS,
     SERVER_REQUESTS_TOTAL,
+    SERVER_SHED_TOTAL,
+    SERVER_STALE_SERVED_TOTAL,
     SERVER_TIMEOUTS_TOTAL,
 )
 from repro.server.cache import ResultCache
 from repro.server.config import CorpusSpec, ServerConfig
+from repro.server.health import HEALTHY, HealthMonitor
+from repro.server.health import STATE_VALUES as _HEALTH_VALUES
 from repro.server.pool import WorkerPool
 
 __all__ = ["QueryService", "UnknownCorpusError"]
@@ -58,6 +88,8 @@ __all__ = ["QueryService", "UnknownCorpusError"]
 
 class UnknownCorpusError(ReproError):
     """A request named a corpus the service does not serve."""
+
+    code = "unknown_corpus"
 
     def __init__(self, name: str, known: tuple[str, ...]):
         self.name = name
@@ -70,6 +102,7 @@ def _build_engine(spec: CorpusSpec, telemetry: Telemetry) -> Engine:
     """Load one corpus per its spec, sharing the service telemetry."""
     from pathlib import Path
 
+    _faults.fire("index.build")
     if spec.kind == "synthetic":
         text = _synthesize(spec)
         if spec.path == "source":
@@ -108,6 +141,35 @@ def _build_engine(spec: CorpusSpec, telemetry: Telemetry) -> Engine:
     return Engine(instance, text=text, rig=rig, telemetry=telemetry)
 
 
+def _rebuild_engine(spec: CorpusSpec, telemetry: Telemetry) -> Engine:
+    """Rebuild an ``index`` corpus from its source document and try to
+    re-save the index file (best-effort) — the corruption-recovery path."""
+    from pathlib import Path
+
+    from repro.engine.storage import save_instance
+
+    text = Path(spec.source).read_text(encoding="utf-8")
+    if spec.source_format == "source":
+        from repro.engine.sourcecode import parse_source
+        from repro.rig.graph import figure_1_rig
+
+        document = parse_source(text)
+        rig = figure_1_rig()
+    else:
+        from repro.engine.tagged import parse_tagged_text
+
+        document = parse_tagged_text(text)
+        rig = None
+    engine = Engine(
+        document.instance, text=document.text, rig=rig, telemetry=telemetry
+    )
+    try:
+        save_instance(engine.instance, spec.path)
+    except (ReproError, OSError):
+        pass  # serving from memory is fine; the next save may succeed
+    return engine
+
+
 def _synthesize(spec: CorpusSpec) -> str:
     import random
 
@@ -137,32 +199,33 @@ def _synthesize(spec: CorpusSpec) -> str:
 
 
 class _CorpusHandle:
-    """One served corpus: engine + generation + reload lock."""
+    """One served corpus: engine + generation + reload lock + breaker."""
 
-    __slots__ = ("spec", "engine", "generation", "loaded_at", "lock")
+    __slots__ = ("spec", "engine", "generation", "loaded_at", "lock", "breaker")
 
-    def __init__(self, spec: CorpusSpec, engine: Engine):
+    def __init__(self, spec: CorpusSpec, engine: Engine, breaker: CircuitBreaker):
         self.spec = spec
         self.engine = engine
         self.generation = 1
         self.loaded_at = monotonic()
         self.lock = threading.Lock()  # serializes reloads, not queries
-        self._warm()
+        self.breaker = breaker
+        self._warm(engine)
 
-    def _warm(self) -> None:
+    @staticmethod
+    def _warm(engine: Engine) -> None:
         # Build the lazily-cached forest up front so concurrent first
         # queries don't race on its construction.
-        self.engine.instance.forest()
+        engine.instance.forest()
 
-    def reload(self, telemetry: Telemetry) -> int:
+    def install(self, engine: Engine) -> int:
         """Swap in a freshly loaded engine; returns the new generation.
 
         Queries already running keep the old engine (their reference
         keeps it alive); new requests see the new generation atomically.
         """
         with self.lock:
-            engine = _build_engine(self.spec, telemetry)
-            engine.instance.forest()
+            self._warm(engine)
             self.engine = engine
             self.generation += 1
             self.loaded_at = monotonic()
@@ -176,7 +239,14 @@ class _CorpusHandle:
             "regions": stats["total"],
             "region_names": sorted(stats["regions"]),
             "nesting_depth": stats["nesting_depth"],
+            "breaker": self.breaker.snapshot(),
         }
+
+
+#: Load failures worth retrying: transient I/O, injected faults, and
+#: corruption (a *transient* injected corruption clears on re-read; a
+#: persistent one exhausts the retries and reaches the rebuild path).
+_RETRYABLE_LOAD = (StorageError, FaultInjected, OSError)
 
 
 class QueryService:
@@ -209,11 +279,54 @@ class QueryService:
             SERVER_REJECTED_TOTAL, help="admission rejections by reason"
         )
         self._timeouts = metrics.counter(SERVER_TIMEOUTS_TOTAL)
+        self._shed = metrics.counter(
+            SERVER_SHED_TOTAL, help="requests shed while unhealthy"
+        )
+        self._stale_served = metrics.counter(
+            SERVER_STALE_SERVED_TOTAL,
+            help="cache misses answered by an older generation",
+        )
+        self._retry_attempts = metrics.counter(
+            RETRY_ATTEMPTS_TOTAL, help="retries by operation"
+        )
+        self._retry_exhausted = metrics.counter(
+            RETRY_EXHAUSTED_TOTAL, help="retry budgets exhausted by operation"
+        )
+        self._breaker_state = metrics.gauge(
+            BREAKER_STATE, help="0 closed, 1 half-open, 2 open"
+        )
+        self._breaker_transitions = metrics.counter(BREAKER_TRANSITIONS_TOTAL)
+        self._health_state = metrics.gauge(
+            SERVER_HEALTH_STATE, help="0 healthy, 1 degraded, 2 unhealthy"
+        )
+        self._health_transitions = metrics.counter(
+            SERVER_HEALTH_TRANSITIONS_TOTAL
+        )
+        self._rebuilds = metrics.counter(
+            INDEX_REBUILDS_TOTAL, help="indexes rebuilt from source text"
+        )
+        self._worker_deaths = metrics.counter(POOL_WORKER_DEATHS_TOTAL)
+        self.health = HealthMonitor(
+            window_seconds=self.config.health_window,
+            degraded_threshold=self.config.degraded_threshold,
+            unhealthy_threshold=self.config.unhealthy_threshold,
+            min_samples=self.config.health_min_samples,
+            probe_interval=self.config.probe_interval,
+            on_transition=self._on_health_transition,
+        )
+        self._health_state.set(0)
+        self._retry_policy = RetryPolicy(
+            attempts=self.config.retry_attempts,
+            base_delay=self.config.retry_base_delay,
+            max_delay=self.config.retry_max_delay,
+            budget=5.0,
+        )
         self.cache = ResultCache(self.config.cache_capacity)
         self.pool = WorkerPool(
             workers=self.config.workers,
             queue_depth=self.config.queue_depth,
             on_depth_change=self._queue_gauge.set,
+            on_worker_death=self._worker_deaths.inc,
         )
         self._corpora: dict[str, _CorpusHandle] = {}
         self._corpora_lock = threading.Lock()
@@ -224,15 +337,76 @@ class QueryService:
             self.add_corpus(spec)
 
     # ------------------------------------------------------------------
+    # Health / breaker plumbing.
+    # ------------------------------------------------------------------
+
+    def _on_health_transition(self, old: str, new: str) -> None:
+        self._health_state.set(_HEALTH_VALUES[new])
+        self._health_transitions.inc(**{"from": old, "to": new})
+
+    def _make_breaker(self, corpus: str) -> CircuitBreaker:
+        def on_transition(old: str, new: str) -> None:
+            self._breaker_state.set(
+                CircuitBreaker.STATE_VALUES[new], corpus=corpus
+            )
+            self._breaker_transitions.inc(
+                corpus=corpus, **{"from": old, "to": new}
+            )
+            # An open breaker is external pressure: the service is at
+            # least degraded while a corpus cannot be reloaded.
+            self.health.set_pressure(
+                f"breaker:{corpus}", new != CircuitBreaker.CLOSED
+            )
+
+        return CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            reset_timeout=self.config.breaker_reset,
+            on_transition=on_transition,
+        )
+
+    # ------------------------------------------------------------------
     # Corpus management.
     # ------------------------------------------------------------------
 
+    def _load_engine(self, spec: CorpusSpec) -> Engine:
+        """Build a corpus engine under retry; quarantine + rebuild from
+        source when corruption survives the retries."""
+
+        def on_retry(_attempt: int, _delay: float, _exc: BaseException) -> None:
+            self._retry_attempts.inc(op="load", corpus=spec.name)
+
+        def on_exhausted(_exc: BaseException) -> None:
+            self._retry_exhausted.inc(op="load", corpus=spec.name)
+
+        try:
+            return retry_call(
+                lambda: _build_engine(spec, self.telemetry),
+                policy=self._retry_policy,
+                retry_on=_RETRYABLE_LOAD,
+                op=f"load:{spec.name}",
+                on_retry=on_retry,
+                on_exhausted=on_exhausted,
+            )
+        except CorruptIndexError:
+            if spec.kind != "index" or not spec.source:
+                raise
+            from repro.engine.storage import quarantine_index
+
+            quarantine_index(spec.path)
+            engine = _rebuild_engine(spec, self.telemetry)
+            self._rebuilds.inc(corpus=spec.name)
+            return engine
+
     def add_corpus(self, spec: CorpusSpec) -> None:
-        engine = _build_engine(spec, self.telemetry)
         with self._corpora_lock:
             if spec.name in self._corpora:
                 raise ReproError(f"corpus {spec.name!r} is already served")
-            self._corpora[spec.name] = _CorpusHandle(spec, engine)
+        engine = self._load_engine(spec)
+        handle = _CorpusHandle(spec, engine, self._make_breaker(spec.name))
+        with self._corpora_lock:
+            if spec.name in self._corpora:
+                raise ReproError(f"corpus {spec.name!r} is already served")
+            self._corpora[spec.name] = handle
 
     def _handle(self, name: str | None) -> _CorpusHandle:
         with self._corpora_lock:
@@ -253,9 +427,27 @@ class QueryService:
             return tuple(sorted(self._corpora))
 
     def reload_corpus(self, name: str) -> dict[str, Any]:
-        """Reload one corpus from its spec and invalidate its cache."""
+        """Reload one corpus from its spec and invalidate its cache.
+
+        Guarded by the corpus's circuit breaker: while it is open
+        (repeated load failures), reloads short-circuit with
+        :class:`~repro.errors.CorpusUnavailableError` — queries keep
+        serving the last good engine either way.
+        """
         handle = self._handle(name)
-        generation = handle.reload(self.telemetry)
+        breaker = handle.breaker
+        if not breaker.allow():
+            raise CorpusUnavailableError(
+                handle.spec.name,
+                retry_after=max(0.1, breaker.seconds_until_probe()),
+            )
+        try:
+            engine = self._load_engine(handle.spec)
+        except Exception:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        generation = handle.install(engine)
         invalidated = self.cache.invalidate((handle.spec.name,))
         return {
             "corpus": handle.spec.name,
@@ -285,6 +477,7 @@ class QueryService:
 
         Returns a JSON-ready response dict.  Raises
         :class:`UnknownCorpusError`, :class:`ServerOverloadedError`,
+        :class:`~repro.errors.ServiceUnhealthyError` (load shed),
         :class:`~repro.errors.QueryTimeout`, or another
         :class:`~repro.errors.ReproError` (parse errors, unknown region
         names); the HTTP layer maps each to a status code.
@@ -295,6 +488,16 @@ class QueryService:
             response = self._execute(
                 endpoint, query, corpus, optimize, deadline, use_cache
             )
+        except ServiceUnhealthyError:
+            # The monitor's own shed decision: neither a success nor a
+            # worker-path failure, so it does not feed back into state.
+            self._observe(endpoint, "503", started)
+            self._shed.inc()
+            self._rejected.inc(reason="unhealthy")
+            raise
+        except CorpusUnavailableError:
+            self._observe(endpoint, "503", started)
+            raise
         except ServerOverloadedError:
             self._observe(endpoint, "429", started)
             self._rejected.inc(reason="saturated")
@@ -302,14 +505,21 @@ class QueryService:
         except QueryTimeout:
             self._observe(endpoint, "504", started)
             self._timeouts.inc()
+            self.health.record_failure()
+            raise
+        except (WorkerCrashedError, FaultInjected):
+            self._observe(endpoint, "500", started)
+            self.health.record_failure()
             raise
         except UnknownCorpusError:
             self._observe(endpoint, "404", started)
             raise
         except ReproError:
+            # Client-side errors (parse, validation): not a health signal.
             self._observe(endpoint, "400", started)
             raise
         self._observe(endpoint, "200", started)
+        self.health.record_success()
         response["seconds"] = perf_counter() - started
         return response
 
@@ -330,11 +540,20 @@ class QueryService:
     ) -> dict[str, Any]:
         if self._closed:
             raise ServerOverloadedError("service is shutting down")
+        if self.health.should_shed():
+            raise ServiceUnhealthyError(
+                "service is unhealthy and shedding load", retry_after=1.0
+            )
+        degraded = self.health.state != HEALTHY
         handle = self._handle(corpus)
         engine, generation = handle.engine, handle.generation
         optimize = (
             self.config.optimize_default if optimize is None else bool(optimize)
         )
+        if optimize and degraded and endpoint != "explain":
+            # Degraded mode: skip the optimizer pass — evaluate the
+            # parsed plan directly, trading plan quality for less work.
+            optimize = False
         budget = self._clamp_deadline(deadline)
         # Parse + view-expand on the calling thread: cheap, and parse
         # errors turn into 400s without consuming a worker slot.
@@ -354,27 +573,70 @@ class QueryService:
         caching = use_cache and self.config.cache_enabled
         key = (handle.spec.name, generation, plan_key, optimize)
         if caching:
-            cached = self.cache.get(key)
+            cached = self._cache_get(key)
             if cached is not None:
                 self._cache_hits.inc()
                 return {**cached, "cached": True}
             self._cache_misses.inc()
-        admitted_at = monotonic()
-        future = self.pool.submit(
-            self._run_query,
-            engine,
-            query,
-            optimize,
-            budget,
-            admitted_at,
-        )
-        response = self._await(future, budget)
+            if degraded and self.config.stale_when_degraded:
+                stale = self._stale_lookup(handle.spec.name, plan_key, optimize)
+                if stale is not None:
+                    self._stale_served.inc()
+                    return {**stale, "cached": True, "stale": True}
+        response = self._dispatch(engine, query, optimize, budget)
         response.update(
             corpus=handle.spec.name, generation=generation, query=query
         )
         if caching:
             self.cache.put(key, dict(response))
         return {**response, "cached": False}
+
+    def _cache_get(self, key: tuple) -> dict[str, Any] | None:
+        """A cache probe that survives an injected ``cache.get`` fault:
+        a failing cache is just a cache miss."""
+        try:
+            _faults.fire("cache.get")
+        except FaultInjected:
+            return None
+        return self.cache.get(key)
+
+    def _stale_lookup(
+        self, corpus: str, plan_key: str, optimize: bool
+    ) -> dict[str, Any] | None:
+        """Degraded mode: a matching entry from *any* generation."""
+        found = self.cache.get_where(
+            lambda k: (
+                isinstance(k, tuple)
+                and len(k) == 4
+                and k[0] == corpus
+                and k[2] == plan_key
+                and k[3] == optimize
+            )
+        )
+        if found is None:
+            return None
+        _key, value = found
+        return dict(value)
+
+    def _dispatch(
+        self, engine: Engine, query: str, optimize: bool, budget: float
+    ) -> dict[str, Any]:
+        """Submit to the pool, re-dispatching when a worker dies holding
+        the job (``dispatch_retries`` budget)."""
+        attempts = self.config.dispatch_retries + 1
+        for attempt in range(attempts):
+            admitted_at = monotonic()
+            future = self.pool.submit(
+                self._run_query, engine, query, optimize, budget, admitted_at
+            )
+            try:
+                return self._await(future, budget)
+            except WorkerCrashedError:
+                if attempt + 1 >= attempts:
+                    self._retry_exhausted.inc(op="dispatch")
+                    raise
+                self._retry_attempts.inc(op="dispatch")
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _clamp_deadline(self, deadline: float | None) -> float:
         if deadline is None:
@@ -431,10 +693,19 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def healthz(self) -> dict[str, Any]:
+        with self._corpora_lock:
+            breakers = {
+                name: handle.breaker.snapshot()
+                for name, handle in self._corpora.items()
+            }
+        faults = _faults.active()
         return {
-            "status": "ok" if not self._closed else "shutting-down",
+            "status": "shutting-down" if self._closed else self.health.state,
             "uptime_seconds": monotonic() - self._started_at,
             "corpora": len(self.corpus_names),
+            "health": self.health.snapshot(),
+            "breakers": breakers,
+            "faults": faults.snapshot() if faults is not None else None,
             "pool": self.pool.stats(),
             "cache": self.cache.snapshot(),
             "config": self.config.to_dict(),

@@ -11,6 +11,7 @@ import pytest
 
 from repro.algebra.evaluator import Evaluator, evaluate
 from repro.errors import EvaluationError, QueryCancelled, QueryTimeout
+from repro.obs.metrics import MetricsRegistry
 
 
 @pytest.fixture
@@ -113,3 +114,127 @@ class TestThreadIsolation:
         for t in threads:
             t.join()
         assert outcomes == {"doomed": "timeout", "healthy": "ok"}
+
+
+class TestMidEvaluationCancellation:
+    def test_token_flipping_mid_set_operation_aborts_partway(
+        self, evaluator, small_instance
+    ):
+        """Cancellation must land *between* operator nodes of one
+        expression, not just at the very first poll: a token that turns
+        on after a few polls aborts a set-op chain partway through."""
+
+        class FlipToken:
+            def __init__(self, after: int):
+                self.polls = 0
+                self.after = after
+
+            def is_set(self) -> bool:
+                self.polls += 1
+                return self.polls > self.after
+
+        query = "(D within B) union (B union D) isect A"
+        token = FlipToken(after=3)
+        with pytest.raises(QueryCancelled):
+            evaluator.evaluate(query, small_instance, cancel=token)
+        # Evaluation got past the first node before the cancel landed.
+        assert token.polls > 3
+        # The aborted call must not poison the next one.
+        untainted = evaluator.evaluate(query, small_instance)
+        assert untainted == evaluator.evaluate(query, small_instance)
+
+    def test_cancelled_set_operation_leaves_no_limits_behind(
+        self, evaluator, small_instance
+    ):
+        class FlipToken:
+            polls = 0
+
+            def is_set(self) -> bool:
+                FlipToken.polls += 1
+                return FlipToken.polls > 2
+
+        with pytest.raises(QueryCancelled):
+            evaluator.evaluate(
+                "A containing (B union D)", small_instance, cancel=FlipToken()
+            )
+        token = threading.Event()  # never set
+        result = evaluator.evaluate(
+            "A containing (B union D)", small_instance, cancel=token
+        )
+        assert result == evaluator.evaluate(
+            "A containing (B union D)", small_instance
+        )
+
+
+class TestConcurrentStatsIsolation:
+    def test_last_stats_are_per_thread_on_one_evaluator(self, small_instance):
+        """Two threads hammer one evaluator with queries of different
+        node counts; each must always observe its *own* stats in
+        ``last_stats``, never the other thread's."""
+        evaluator = Evaluator("indexed", memoize=False, metrics=MetricsRegistry())
+        small = "A"
+        large = "(D within B) union (B union D) isect A"
+        expected = {}
+        for name, query in (("small", small), ("large", large)):
+            evaluator.evaluate(query, small_instance)
+            expected[name] = evaluator.last_stats.nodes_evaluated
+        assert expected["small"] != expected["large"]
+
+        barrier = threading.Barrier(2, timeout=10)
+        mismatches: list[tuple[str, int]] = []
+
+        def run(name: str, query: str) -> None:
+            barrier.wait()
+            for _ in range(100):
+                evaluator.evaluate(query, small_instance)
+                observed = evaluator.last_stats.nodes_evaluated
+                if observed != expected[name]:
+                    mismatches.append((name, observed))
+
+        threads = [
+            threading.Thread(target=run, args=("small", small)),
+            threading.Thread(target=run, args=("large", large)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert mismatches == []
+
+    def test_deadline_in_one_thread_never_leaks_stats_or_limits(
+        self, small_instance
+    ):
+        """A thread evaluating under an instantly-expiring deadline must
+        not corrupt another thread's stats on the same evaluator."""
+        evaluator = Evaluator("indexed", memoize=False, metrics=MetricsRegistry())
+        query = "D within B"
+        evaluator.evaluate(query, small_instance)
+        expected_nodes = evaluator.last_stats.nodes_evaluated
+        barrier = threading.Barrier(2, timeout=10)
+        problems: list[str] = []
+
+        def doomed() -> None:
+            barrier.wait()
+            for _ in range(50):
+                try:
+                    evaluator.evaluate(query, small_instance, deadline=1e-9)
+                    problems.append("deadline never fired")
+                except QueryTimeout:
+                    pass
+
+        def healthy() -> None:
+            barrier.wait()
+            for _ in range(50):
+                evaluator.evaluate(query, small_instance)
+                if evaluator.last_stats.nodes_evaluated != expected_nodes:
+                    problems.append("stats leaked across threads")
+
+        threads = [
+            threading.Thread(target=doomed),
+            threading.Thread(target=healthy),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert problems == []

@@ -129,3 +129,103 @@ class TestErrors:
         instance = Instance({"A": RegionSet.of((0, 1))}, Weird())
         with pytest.raises(StorageError, match="cannot serialize"):
             instance_to_dict(instance)
+
+
+class TestChecksums:
+    def test_saved_payload_carries_checksum(self, small_instance):
+        data = instance_to_dict(small_instance)
+        assert isinstance(data["checksum"], str)
+        assert len(data["checksum"]) == 64  # sha256 hex
+
+    def test_checksum_is_canonical(self, small_instance):
+        # Key order must not matter: the checksum is over canonical JSON.
+        from repro.engine.storage import _checksum
+
+        data = instance_to_dict(small_instance)
+        shuffled = dict(reversed(list(data.items())))
+        assert _checksum(data) == _checksum(shuffled)
+
+    def test_corrupted_file_raises_corrupt_index_error(
+        self, small_instance, tmp_path
+    ):
+        from repro.errors import CorruptIndexError
+
+        path = tmp_path / "index.json"
+        save_instance(small_instance, path)
+        data = json.loads(path.read_text())
+        data["sets"]["A"] = data["sets"]["A"][:-1]  # silent data loss
+        path.write_text(json.dumps(data))
+        with pytest.raises(CorruptIndexError, match="checksum"):
+            load_instance(path)
+
+    def test_corrupt_index_error_is_a_storage_error(self):
+        from repro.errors import CorruptIndexError
+
+        assert issubclass(CorruptIndexError, StorageError)
+        assert CorruptIndexError("x").code == "corrupt_index"
+
+    def test_legacy_file_without_checksum_still_loads(
+        self, small_instance, tmp_path
+    ):
+        path = tmp_path / "index.json"
+        save_instance(small_instance, path)
+        data = json.loads(path.read_text())
+        del data["checksum"]
+        path.write_text(json.dumps(data))
+        assert load_instance(path) == small_instance
+
+    def test_in_memory_dict_is_trusted(self, small_instance):
+        # instance_from_dict ignores the checksum: callers holding a
+        # dict already trust it (and may have mutated it legitimately).
+        data = instance_to_dict(small_instance)
+        data["checksum"] = "not-a-real-checksum"
+        assert instance_from_dict(data) == small_instance
+
+
+class TestQuarantine:
+    def test_quarantine_moves_file_aside(self, small_instance, tmp_path):
+        from repro.engine.storage import quarantine_index
+
+        path = tmp_path / "index.json"
+        save_instance(small_instance, path)
+        destination = quarantine_index(path)
+        assert destination == tmp_path / "index.json.quarantined"
+        assert destination.exists()
+        assert not path.exists()
+
+    def test_quarantine_numbers_repeats(self, small_instance, tmp_path):
+        from repro.engine.storage import quarantine_index
+
+        path = tmp_path / "index.json"
+        save_instance(small_instance, path)
+        quarantine_index(path)
+        save_instance(small_instance, path)
+        second = quarantine_index(path)
+        assert second == tmp_path / "index.json.quarantined.1"
+
+    def test_quarantine_of_missing_file_returns_none(self, tmp_path):
+        from repro.engine.storage import quarantine_index
+
+        assert quarantine_index(tmp_path / "gone.json") is None
+
+
+class TestFsync:
+    def test_save_fsyncs_file_and_directory(
+        self, small_instance, tmp_path, monkeypatch
+    ):
+        import os
+
+        import repro.engine.storage as storage
+
+        synced = []
+        real_fsync = os.fsync
+
+        def tracking_fsync(fd):
+            synced.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(storage.os, "fsync", tracking_fsync)
+        save_instance(small_instance, tmp_path / "index.json")
+        # One fsync for the temp file's contents, one for the directory
+        # entry after the rename — both needed for crash safety.
+        assert len(synced) == 2

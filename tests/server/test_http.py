@@ -51,7 +51,7 @@ class TestEndpoints:
     def test_healthz(self, server):
         status, _, body = request(server, "GET", "/healthz")
         assert status == 200
-        assert body["status"] == "ok"
+        assert body["status"] == "healthy"
 
     def test_post_query(self, server):
         status, _, body = request(

@@ -86,3 +86,124 @@ class TestLiveRun:
             assert result.summary()["latency_ms"]["p99"] >= 0
         finally:
             server.stop()
+
+
+class TestRetryAfter:
+    def _stub_server(self, script):
+        """An HTTP stub that answers POST /query from ``script`` — a
+        list of (status, headers, body) — then repeats the last entry."""
+        import http.server
+        import threading
+
+        calls = []
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_POST(self):
+                self.rfile.read(int(self.headers.get("Content-Length") or 0))
+                status, headers, body = script[min(len(calls), len(script) - 1)]
+                calls.append(status)
+                payload = body.encode()
+                self.send_response(status)
+                for key, value in headers.items():
+                    self.send_header(key, value)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args):
+                pass
+
+        server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        return server, calls
+
+    def test_429_retried_after_hint_and_counted(self):
+        server, calls = self._stub_server(
+            [
+                (429, {"Retry-After": "0.01"}, '{"error": "busy"}'),
+                (200, {}, '{"regions": []}'),
+            ]
+        )
+        try:
+            result = run_load(
+                "127.0.0.1",
+                server.server_address[1],
+                ["speech"],
+                qps=1.0,
+                duration=0.5,  # exactly one scheduled request
+                concurrency=1,
+            )
+            assert result.retried == 1
+            assert result.dropped == 0
+            # Only the final status lands in the counts.
+            assert result.status_counts == {"200": 1}
+            assert calls == [429, 200]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_retries_exhausted_record_final_status(self):
+        server, calls = self._stub_server(
+            [(503, {"Retry-After": "0.01"}, '{"error": "shed"}')]
+        )
+        try:
+            result = run_load(
+                "127.0.0.1",
+                server.server_address[1],
+                ["speech"],
+                qps=1.0,
+                duration=0.5,
+                concurrency=1,
+                max_retries=2,
+            )
+            assert result.retried == 2
+            assert result.status_counts == {"503": 1}
+            assert len(calls) == 3  # original + two retries
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_unparseable_retry_after_falls_back(self):
+        server, _ = self._stub_server(
+            [
+                (429, {"Retry-After": "soon"}, '{"error": "busy"}'),
+                (200, {}, '{"regions": []}'),
+            ]
+        )
+        try:
+            result = run_load(
+                "127.0.0.1",
+                server.server_address[1],
+                ["speech"],
+                qps=1.0,
+                duration=0.5,
+                concurrency=1,
+            )
+            assert result.retried == 1
+            assert result.status_counts == {"200": 1}
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_on_response_sees_final_payloads(self):
+        server, _ = self._stub_server([(200, {}, '{"regions": [[1, 2]]}')])
+        seen = []
+        try:
+            run_load(
+                "127.0.0.1",
+                server.server_address[1],
+                ["speech"],
+                qps=4.0,
+                duration=0.5,
+                concurrency=1,
+                on_response=lambda status, body: seen.append((status, body)),
+            )
+            assert seen
+            assert all(status == 200 for status, _ in seen)
+            assert all(b"regions" in body for _, body in seen)
+        finally:
+            server.shutdown()
+            server.server_close()

@@ -218,7 +218,7 @@ class TestDeadlines:
 class TestLifecycle:
     def test_healthz_shape(self, service):
         health = service.healthz()
-        assert health["status"] == "ok"
+        assert health["status"] == "healthy"
         assert health["corpora"] == 1
         assert health["pool"]["workers"] == 2
         assert health["cache"]["capacity"] == 512
