@@ -1,0 +1,164 @@
+"""E14 — sharded scatter-gather scaling (single-query latency).
+
+One query against a large multi-play corpus, evaluated with the
+:mod:`repro.shard` executor at shard counts 1/2/4/8.  Two metrics per
+shard count, both written to ``BENCH_e14.json``:
+
+* **wall seconds** — thread-pool wall time.  On the GIL-bound CPython
+  this container runs (``cpu_count`` is recorded in the JSON), pure
+  Python shard tasks cannot overlap, so wall time is flat-to-worse with
+  shard count; the number is reported for honesty, not asserted.
+* **critical-path seconds** — per-phase maxima of per-shard task times
+  (measured with the ``serial`` pool, so tasks never interleave) plus
+  merge time: the wall time of a machine with one core per shard.  The
+  acceptance bound asserts **>= 1.8x** speedup at 4 shards over the
+  single-shard evaluator, with the merge overhead reported alongside.
+
+The ``benchmark``-fixture functions chart the per-shard-count latency;
+the bound function is a plain assert so the file also runs (and gates)
+under ``pytest --benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from pathlib import Path
+from time import perf_counter
+
+import pytest
+
+from repro.algebra.evaluator import Evaluator
+from repro.algebra.parser import parse
+from repro.shard import ShardExecutor
+from repro.workloads.corpora import generate_play
+
+SHARD_COUNTS = (1, 2, 4, 8)
+QUERY = "speech containing (speaker before line)"
+ROUNDS = 3  #: min-of-N per configuration
+
+
+def _corpus_text() -> str:
+    rng = random.Random(2026)
+    return "\n".join(
+        generate_play(
+            rng,
+            acts=3,
+            scenes_per_act=3,
+            speeches_per_scene=6,
+            lines_per_speech=3,
+        )
+        for _ in range(16)
+    )
+
+
+@pytest.fixture(scope="module")
+def instance():
+    from repro.engine.session import Engine
+
+    return Engine.from_tagged_text(_corpus_text()).instance
+
+
+@pytest.fixture(scope="module")
+def expr():
+    return parse(QUERY)
+
+
+def _baseline_seconds(instance, expr) -> float:
+    evaluator = Evaluator("indexed")
+    evaluator.evaluate(expr, instance)  # warm caches
+    best = float("inf")
+    for _ in range(ROUNDS):
+        started = perf_counter()
+        evaluator.evaluate(expr, instance)
+        best = min(best, perf_counter() - started)
+    return best
+
+
+def _sharded_measurements(instance, expr, shards: int) -> dict:
+    """Min-of-N wall (thread pool) and critical-path (serial) times."""
+    wall = float("inf")
+    with ShardExecutor(instance, shards, pool="thread") as executor:
+        executor.run(expr)  # warm the pool and caches
+        for _ in range(ROUNDS):
+            started = perf_counter()
+            executor.run(expr)
+            wall = min(wall, perf_counter() - started)
+    critical = float("inf")
+    merge = 0.0
+    with ShardExecutor(instance, shards, pool="serial") as executor:
+        executor.run(expr)
+        for _ in range(ROUNDS):
+            started = perf_counter()
+            executor.run(expr)
+            elapsed = perf_counter() - started
+            stats = executor.last_stats
+            # A one-segment partition short-circuits to plain evaluation
+            # and records no phases; its critical path IS the run time.
+            path = stats.critical_path_seconds() or elapsed
+            if path < critical:
+                critical, merge = path, stats.merge_seconds
+        segments = len(executor.partition)
+    return {
+        "shards": shards,
+        "segments": segments,
+        "wall_seconds": wall,
+        "critical_path_seconds": critical,
+        "merge_seconds": merge,
+    }
+
+
+# ----------------------------------------------------------------------
+# The ladder, for the comparison chart.
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="e14-shard-scaling")
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def bench_e14_latency(benchmark, instance, expr, shards):
+    with ShardExecutor(instance, shards, pool="thread") as executor:
+        executor.run(expr)  # warm
+        benchmark(executor.run, expr)
+
+
+# ----------------------------------------------------------------------
+# The acceptance assertion + JSON artifact.
+# ----------------------------------------------------------------------
+
+
+def bench_e14_scaling_bound(instance, expr):
+    baseline = _baseline_seconds(instance, expr)
+    rows = [
+        _sharded_measurements(instance, expr, shards)
+        for shards in SHARD_COUNTS
+    ]
+    for row in rows:
+        row["wall_speedup"] = baseline / row["wall_seconds"]
+        row["critical_path_speedup"] = baseline / row["critical_path_seconds"]
+        row["merge_share"] = row["merge_seconds"] / row["critical_path_seconds"]
+    report = {
+        "experiment": "e14-shard-scaling",
+        "query": QUERY,
+        "corpus_regions": len(instance),
+        "cpu_count": os.cpu_count(),
+        "baseline_seconds": baseline,
+        "rounds": ROUNDS,
+        "results": rows,
+    }
+    out = Path(__file__).resolve().parents[1] / "BENCH_e14.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    # Sharded evaluation must return the same answer it is being timed on.
+    expected = Evaluator("indexed").evaluate(expr, instance)
+    with ShardExecutor(instance, 4) as executor:
+        assert list(executor.run(expr)) == list(expected)
+
+    at_four = next(r for r in rows if r["shards"] == 4)
+    assert at_four["critical_path_speedup"] >= 1.8, (
+        f"critical-path speedup at 4 shards is only "
+        f"{at_four['critical_path_speedup']:.2f}x (bound: 1.8x; baseline "
+        f"{baseline * 1e3:.2f} ms, critical path "
+        f"{at_four['critical_path_seconds'] * 1e3:.2f} ms, merge "
+        f"{at_four['merge_seconds'] * 1e3:.2f} ms)"
+    )

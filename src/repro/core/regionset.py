@@ -90,6 +90,22 @@ class RegionSet:
         """Build a set from ``(left, right)`` tuples — test/demo shorthand."""
         return cls(Region(left, right) for left, right in pairs)
 
+    @classmethod
+    def _from_sorted(cls, regions: list[Region]) -> "RegionSet":
+        """Wrap a list already in ``(left, right)`` order with no duplicates.
+
+        The shard merge produces exactly that (per-shard results are
+        sorted and span-disjoint), so this skips the ``sorted(set(...))``
+        of ``__init__``.  Callers must uphold the invariant.
+        """
+        out = cls.__new__(cls)
+        out._regions = tuple(regions)
+        out._lefts = [r.left for r in regions]
+        out._rights = [r.right for r in regions]
+        out._suffix_min_right = None
+        out._prefix_max_right = None
+        return out
+
     # ------------------------------------------------------------------
     # Container protocol.
     # ------------------------------------------------------------------

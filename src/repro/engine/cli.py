@@ -95,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the whole document with result regions marked "
         "(requires --text)",
     )
+    query.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="evaluate with sharded scatter-gather over K segments",
+    )
 
     explain = commands.add_parser("explain", help="show the optimizer's plan")
     explain.add_argument("index", type=Path)
@@ -108,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry",
         action="store_true",
         help="include the engine's metrics snapshot (index build timings)",
+    )
+    stats.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition into K shards and report the per-shard summary",
     )
 
     trace = commands.add_parser(
@@ -193,6 +205,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="largest deadline a request may ask for",
     )
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="per-corpus shard count for scatter-gather evaluation",
+    )
+    serve.add_argument(
         "--optimize", action="store_true", help="optimize queries by default"
     )
     serve.add_argument(
@@ -236,6 +254,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--scale", type=int, default=2, help="corpus size")
+    chaos.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="per-corpus shard count the service evaluates with",
+    )
     chaos.add_argument("--qps", type=float, default=60.0)
     chaos.add_argument("--concurrency", type=int, default=4)
     chaos.add_argument("--warmup-seconds", type=float, default=1.0)
@@ -257,9 +281,28 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_engine(path: Path, rig_name: str | None) -> Engine:
+def _load_engine(
+    path: Path, rig_name: str | None, shards: int | None = None
+) -> Engine:
     rig = figure_1_rig() if rig_name == "figure1" else None
-    return Engine.load(path, rig=rig)
+    return Engine.load(path, rig=rig, shards=shards)
+
+
+def _shard_summary_lines(summary: dict) -> list[str]:
+    """Human-readable partition summary for ``query``/``stats``."""
+    lines = [
+        f"shards: {len(summary['segments'])} segment(s) "
+        f"(requested {summary['requested']}), {summary['cuts']} cut(s), "
+        f"{len(summary['boundary_regions'])} boundary region pair(s)"
+    ]
+    for segment in summary["segments"]:
+        left, right = segment["span"]
+        span = f"[{left if left is not None else '?'},{right if right is not None else '?'}]"
+        lines.append(
+            f"  shard {segment['index']}: {segment['roots']} root(s), "
+            f"{segment['regions']} region(s), spans {span}"
+        )
+    return lines
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
@@ -275,7 +318,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    engine = _load_engine(args.index, args.rig)
+    engine = _load_engine(args.index, args.rig, shards=args.shards)
     if getattr(args, "profile", False):
         from repro.algebra.profile import profile
 
@@ -304,6 +347,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(annotate(text, RegionSet(shown)))
         return 0
     print(f"{len(regions)} region(s)")
+    if engine.shard_executor is not None:
+        for line in _shard_summary_lines(
+            engine.shard_executor.partition.summary()
+        ):
+            print(line)
     regions = shown
     for region in regions:
         if text is not None:
@@ -324,7 +372,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    engine = _load_engine(args.index, None)
+    engine = _load_engine(args.index, None, shards=args.shards)
     stats = engine.statistics()
     telemetry = getattr(args, "telemetry", False)
     if telemetry:
@@ -335,6 +383,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"regions: {stats['total']}, nesting depth: {stats['nesting_depth']}")
     for name, count in sorted(stats["regions"].items()):
         print(f"  {name:20s} {count}")
+    if "shards" in stats:
+        for line in _shard_summary_lines(stats["shards"]):
+            print(line)
     if telemetry:
         histograms = stats["telemetry"]["metrics"]["histograms"]
         for label, series in histograms.get("index_build_seconds", {}).items():
@@ -478,6 +529,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         optimize_default=args.optimize,
         tracing=args.trace,
         corpora=tuple(specs),
+        shards=args.shards,
     )
     service = QueryService(config)
     server = create_server(
@@ -543,6 +595,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     config = ChaosConfig(
         seed=args.seed,
         scale=args.scale,
+        shards=args.shards,
         qps=args.qps,
         concurrency=args.concurrency,
         warmup_seconds=args.warmup_seconds,

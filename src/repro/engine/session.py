@@ -91,6 +91,8 @@ class Engine:
         rig: RegionInclusionGraph | None = None,
         strategy: Strategy = "indexed",
         telemetry: Telemetry | None = None,
+        shards: int | None = None,
+        shard_pool: str = "thread",
     ):
         self._instance = instance
         self._text = text
@@ -103,6 +105,18 @@ class Engine:
         )
         self._views: dict[str, A.Expr] = {}
         self._cost_model: CostModel | None = None
+        self._shard_executor = None
+        if shards is not None:
+            from repro.shard import ShardExecutor
+
+            self._shard_executor = ShardExecutor(
+                instance,
+                shards,
+                pool=shard_pool,
+                strategy=strategy,
+                tracer=self._telemetry.tracer,
+                metrics=self._telemetry.metrics,
+            )
 
     # ------------------------------------------------------------------
     # Constructors.
@@ -110,7 +124,11 @@ class Engine:
 
     @classmethod
     def from_tagged_text(
-        cls, text: str, rig: RegionInclusionGraph | None = None
+        cls,
+        text: str,
+        rig: RegionInclusionGraph | None = None,
+        shards: int | None = None,
+        shard_pool: str = "thread",
     ) -> "Engine":
         """Index an SGML-like tagged document."""
         from repro.engine.tagged import parse_tagged_text
@@ -118,12 +136,23 @@ class Engine:
         _faults.fire("index.build")
         started = perf_counter()
         document = parse_tagged_text(text)
-        engine = cls(document.instance, text=document.text, rig=rig)
+        engine = cls(
+            document.instance,
+            text=document.text,
+            rig=rig,
+            shards=shards,
+            shard_pool=shard_pool,
+        )
         engine._observe_index_build("tagged", perf_counter() - started)
         return engine
 
     @classmethod
-    def from_source(cls, text: str) -> "Engine":
+    def from_source(
+        cls,
+        text: str,
+        shards: int | None = None,
+        shard_pool: str = "thread",
+    ) -> "Engine":
         """Index toy program source code (Figure 1 structure and RIG)."""
         from repro.engine.sourcecode import parse_source
         from repro.rig.graph import figure_1_rig
@@ -131,18 +160,30 @@ class Engine:
         _faults.fire("index.build")
         started = perf_counter()
         document = parse_source(text)
-        engine = cls(document.instance, text=document.text, rig=figure_1_rig())
+        engine = cls(
+            document.instance,
+            text=document.text,
+            rig=figure_1_rig(),
+            shards=shards,
+            shard_pool=shard_pool,
+        )
         engine._observe_index_build("source", perf_counter() - started)
         return engine
 
     @classmethod
-    def load(cls, path: str | Path, rig: RegionInclusionGraph | None = None) -> "Engine":
+    def load(
+        cls,
+        path: str | Path,
+        rig: RegionInclusionGraph | None = None,
+        shards: int | None = None,
+        shard_pool: str = "thread",
+    ) -> "Engine":
         from repro.engine.storage import load_instance
 
         _faults.fire("index.build")
         started = perf_counter()
         instance = load_instance(path)
-        engine = cls(instance, rig=rig)
+        engine = cls(instance, rig=rig, shards=shards, shard_pool=shard_pool)
         engine._observe_index_build("load", perf_counter() - started)
         return engine
 
@@ -167,9 +208,15 @@ class Engine:
     def region_names(self) -> tuple[str, ...]:
         return self._instance.names
 
+    @property
+    def shard_executor(self):
+        """The :class:`~repro.shard.ShardExecutor` when ``shards`` was
+        given at construction, else ``None``."""
+        return self._shard_executor
+
     def statistics(self) -> dict[str, Any]:
         """Index statistics: per-name cardinalities and nesting depth."""
-        return {
+        stats = {
             "regions": {
                 name: len(self._instance.region_set(name))
                 for name in self._instance.names
@@ -178,6 +225,14 @@ class Engine:
             "nesting_depth": self._instance.nesting_depth(),
             "views": sorted(self._views),
         }
+        if self._shard_executor is not None:
+            stats["shards"] = self._shard_executor.partition.summary()
+        return stats
+
+    def close(self) -> None:
+        """Release the shard executor's worker pool, if any."""
+        if self._shard_executor is not None:
+            self._shard_executor.close()
 
     # ------------------------------------------------------------------
     # Observability.
@@ -233,9 +288,14 @@ class Engine:
             executed = plan.optimized if plan is not None else expr
             if root is not None:
                 root.set("text", to_text(expr))
-            result = self._evaluator.evaluate(
-                executed, self._instance, deadline=deadline, cancel=cancel
-            )
+            if self._shard_executor is not None:
+                result = self._shard_executor.run(
+                    executed, deadline=deadline, cancel=cancel
+                )
+            else:
+                result = self._evaluator.evaluate(
+                    executed, self._instance, deadline=deadline, cancel=cancel
+                )
             if root is not None:
                 root.set("cardinality", len(result))
         self._record(
@@ -246,7 +306,11 @@ class Engine:
             result=result,
             seconds=perf_counter() - started,
             parse_seconds=parse_seconds,
-            stats=self._evaluator.last_stats,
+            stats=(
+                self._evaluator.last_stats
+                if self._shard_executor is None
+                else None
+            ),
         )
         return result
 

@@ -51,7 +51,9 @@ class ChaosConfig:
     """Knobs for one chaos run (defaults match the CI smoke job)."""
 
     seed: int = 0
-    scale: int = 2  #: size of the generated play corpus
+    scale: int = 2  #: size of each generated play
+    documents: int = 3  #: plays concatenated into the corpus (forest roots)
+    shards: int = 2  #: per-corpus shard count the service evaluates with
     qps: float = 60.0
     concurrency: int = 4
     warmup_seconds: float = 1.0
@@ -63,6 +65,7 @@ class ChaosConfig:
     latency_fault_rate: float = 0.02
     latency_seconds: float = 0.002
     kill_rate: float = 0.01
+    shard_fault_rate: float = 0.05  #: per shard *task*; retry/degrade absorbs
     reload_period: float = 0.4
     corrupt_disk: bool = True  #: deliberately corrupt the index file once
     breaker_reset: float = 1.0
@@ -85,6 +88,9 @@ class ChaosReport:
     breaker_final_state: str = ""
     worker_deaths: int = 0
     rebuilds: int = 0
+    shard_task_errors: int = 0
+    shard_retries: int = 0
+    shard_degraded: int = 0
     health_states_seen: list[str] = field(default_factory=list)
     final_health: str = ""
     loadgen: dict[str, Any] = field(default_factory=dict)
@@ -109,6 +115,9 @@ class ChaosReport:
             "breaker_final_state": self.breaker_final_state,
             "worker_deaths": self.worker_deaths,
             "rebuilds": self.rebuilds,
+            "shard_task_errors": self.shard_task_errors,
+            "shard_retries": self.shard_retries,
+            "shard_degraded": self.shard_degraded,
             "health_states_seen": self.health_states_seen,
             "final_health": self.final_health,
             "loadgen": self.loadgen,
@@ -141,6 +150,10 @@ class ChaosReport:
             f"breaker: {self.breaker_trips} trip(s), final state "
             f"{self.breaker_final_state}; worker deaths: "
             f"{self.worker_deaths}; index rebuilds: {self.rebuilds}",
+            f"shards: {self.shard_task_errors} task error(s) injected, "
+            f"{self.shard_retries} retried, {self.shard_degraded} "
+            f"quer{'y' if self.shard_degraded == 1 else 'ies'} degraded "
+            "to single-shard",
             f"health: {' -> '.join(self.health_states_seen)} "
             f"(final: {self.final_health})",
         ]
@@ -184,11 +197,15 @@ class _Oracles:
         ]
         exprs: dict[str, A.Expr] = {}
         order_free: dict[str, A.Expr] = {}
+        # Baseline truth comes from a plain single-shard evaluator, so a
+        # sharded serving engine is checked against an independent path.
+        baseline_evaluator = Evaluator("indexed")
         for text in queries.values():
             expr = parse(text)
             exprs[text] = expr
             self.baseline[text] = {
-                (r.left, r.right) for r in engine.query(text)
+                (r.left, r.right)
+                for r in baseline_evaluator.evaluate(expr, instance)
             }
             if A.order_op_count(expr) == 0:
                 order_free[text] = expr
@@ -252,7 +269,12 @@ class _Oracles:
 
 
 def _build_corpus(config: ChaosConfig, workdir: Path):
-    """Generate a play document, index it to disk, return the spec."""
+    """Generate a multi-play document, index it to disk, return the spec.
+
+    Several plays are concatenated so the instance is a multi-root
+    forest the sharded executor can actually cut — a single play is one
+    top-level tree and degenerates to a single segment.
+    """
     import random
 
     from repro.engine.session import Engine
@@ -261,12 +283,16 @@ def _build_corpus(config: ChaosConfig, workdir: Path):
     from repro.workloads.corpora import generate_play
 
     scale = max(1, config.scale)
-    text = generate_play(
-        random.Random(config.seed),
-        acts=scale,
-        scenes_per_act=scale,
-        speeches_per_scene=2 * scale,
-        lines_per_speech=3,
+    rng = random.Random(config.seed)
+    text = "\n".join(
+        generate_play(
+            rng,
+            acts=scale,
+            scenes_per_act=scale,
+            speeches_per_scene=2 * scale,
+            lines_per_speech=3,
+        )
+        for _ in range(max(1, config.documents))
     )
     source_path = workdir / "play.tagged"
     source_path.write_text(text, encoding="utf-8")
@@ -319,6 +345,7 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
             degraded_threshold=0.02,
             unhealthy_threshold=0.6,
             health_min_samples=8,
+            shards=config.shards,
         )
         service = QueryService(server_config)
         server = create_server(service, port=0)
@@ -446,6 +473,11 @@ def _run_phases(config, report, service, server, queries, workdir) -> None:
         registry.arm(
             FaultSpec("pool.worker", "kill", probability=config.kill_rate)
         )
+        registry.arm(
+            FaultSpec(
+                "shard.task", "error", probability=config.shard_fault_rate
+            )
+        )
         activate(registry)
         smash_timer = None
         if config.corrupt_disk:
@@ -501,6 +533,13 @@ def _run_phases(config, report, service, server, queries, workdir) -> None:
     snapshot = service.metrics_snapshot()["metrics"]["counters"]
     rebuilds = snapshot.get("index_rebuilds_total", {})
     report.rebuilds = int(sum(rebuilds.values()))
+    report.shard_task_errors = registry.fires(point="shard.task", mode="error")
+    report.shard_retries = int(
+        sum(snapshot.get("shard_task_retries_total", {}).values())
+    )
+    report.shard_degraded = int(
+        sum(snapshot.get("shard_degraded_total", {}).values())
+    )
     report.health_states_seen = service.health.states_seen()
     report.final_health = service.health.state
 
@@ -530,6 +569,13 @@ def _run_phases(config, report, service, server, queries, workdir) -> None:
     if config.corrupt_disk and report.rebuilds < 1:
         report.violations.append(
             "the corrupted index file was never rebuilt from source"
+        )
+    if report.shard_task_errors and not (
+        report.shard_retries or report.shard_degraded
+    ):
+        report.violations.append(
+            f"shard.task faults fired ({report.shard_task_errors}) but the "
+            "sharded executor never retried or degraded a query"
         )
     if "degraded" not in report.health_states_seen:
         report.violations.append(

@@ -11,6 +11,7 @@ doing their real work:
 ``evaluator.step``  one operator evaluation inside the evaluator
 ``pool.worker``     a worker picking up a job from the pool queue
 ``cache.get``       a result-cache probe in the query service
+``shard.task``      one per-shard task of the sharded executor
 ==================  ====================================================
 
 With no registry active (the default, and the only production state)
@@ -70,6 +71,7 @@ FAULT_POINTS = (
     "evaluator.step",
     "pool.worker",
     "cache.get",
+    "shard.task",
 )
 
 #: The ways a fault point can misbehave.

@@ -69,6 +69,12 @@ __all__ = [
     "STORAGE_QUARANTINED_TOTAL",
     "INDEX_REBUILDS_TOTAL",
     "POOL_WORKER_DEATHS_TOTAL",
+    "SHARD_TASKS_TOTAL",
+    "SHARD_TASK_SECONDS",
+    "SHARD_MERGE_SECONDS",
+    "SHARD_TASK_RETRIES_TOTAL",
+    "SHARD_DEGRADED_TOTAL",
+    "SHARD_FALLBACK_TOTAL",
 ]
 
 QUERIES_TOTAL = "queries_total"
@@ -106,6 +112,14 @@ BREAKER_TRANSITIONS_TOTAL = "breaker_transitions_total"
 STORAGE_QUARANTINED_TOTAL = "storage_quarantined_total"
 INDEX_REBUILDS_TOTAL = "index_rebuilds_total"
 POOL_WORKER_DEATHS_TOTAL = "pool_worker_deaths_total"
+
+# The sharded executor (repro.shard) — see docs/internals.md.
+SHARD_TASKS_TOTAL = "shard_tasks_total"
+SHARD_TASK_SECONDS = "shard_task_seconds"
+SHARD_MERGE_SECONDS = "shard_merge_seconds"
+SHARD_TASK_RETRIES_TOTAL = "shard_task_retries_total"
+SHARD_DEGRADED_TOTAL = "shard_degraded_total"
+SHARD_FALLBACK_TOTAL = "shard_fallback_total"
 
 #: Upper bucket bounds for wall-time histograms (seconds; +inf implied).
 SECONDS_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)

@@ -52,8 +52,11 @@ class CorpusSpec:
     scale: int = 4  #: size multiplier for synthetic corpora
     source: str | None = None  #: rebuild document for ``kind="index"``
     source_format: str = "tagged"
+    shards: int | None = None  #: override ``ServerConfig.shards`` per corpus
 
     def __post_init__(self) -> None:
+        if self.shards is not None and self.shards < 1:
+            raise ReproError("a corpus needs at least one shard")
         if self.kind not in ("index", "tagged", "source", "synthetic"):
             raise ReproError(f"unknown corpus kind {self.kind!r}")
         if self.kind == "synthetic" and self.path not in _SYNTHETIC_KINDS:
@@ -76,6 +79,8 @@ class CorpusSpec:
         if self.source is not None:
             data["source"] = self.source
             data["source_format"] = self.source_format
+        if self.shards is not None:
+            data["shards"] = self.shards
         return data
 
 
@@ -119,6 +124,11 @@ class ServerConfig:
     ``stale_when_degraded``
         While degraded, a cache miss may be answered by a matching
         entry from an older corpus generation (marked ``"stale": true``).
+    ``shards``
+        Per-corpus shard count for sharded scatter-gather evaluation
+        (``docs/internals.md``); 1 (the default) keeps the plain
+        single-shard evaluator.  A :class:`CorpusSpec` may override it
+        per corpus via its own ``shards`` field.
     """
 
     host: str = "127.0.0.1"
@@ -145,10 +155,13 @@ class ServerConfig:
     health_min_samples: int = 10
     probe_interval: int = 10
     stale_when_degraded: bool = True
+    shards: int = 1
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ReproError("server needs at least one worker")
+        if self.shards < 1:
+            raise ReproError("server needs at least one shard per corpus")
         if self.queue_depth < 0:
             raise ReproError("queue depth cannot be negative")
         if self.cache_capacity < 1:
@@ -192,4 +205,5 @@ class ServerConfig:
             "degraded_threshold": self.degraded_threshold,
             "unhealthy_threshold": self.unhealthy_threshold,
             "stale_when_degraded": self.stale_when_degraded,
+            "shards": self.shards,
         }

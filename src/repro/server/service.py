@@ -98,7 +98,9 @@ class UnknownCorpusError(ReproError):
         super().__init__(f"unknown corpus {name!r}{hint}")
 
 
-def _build_engine(spec: CorpusSpec, telemetry: Telemetry) -> Engine:
+def _build_engine(
+    spec: CorpusSpec, telemetry: Telemetry, shards: int | None = None
+) -> Engine:
     """Load one corpus per its spec, sharing the service telemetry."""
     from pathlib import Path
 
@@ -115,6 +117,7 @@ def _build_engine(spec: CorpusSpec, telemetry: Telemetry) -> Engine:
             text=text,
             rig=document_engine.rig,
             telemetry=telemetry,
+            shards=shards,
         )
         return engine
     text = None
@@ -138,10 +141,14 @@ def _build_engine(spec: CorpusSpec, telemetry: Telemetry) -> Engine:
         document = parse_source(text)
         instance, text = document.instance, document.text
         rig = figure_1_rig()
-    return Engine(instance, text=text, rig=rig, telemetry=telemetry)
+    return Engine(
+        instance, text=text, rig=rig, telemetry=telemetry, shards=shards
+    )
 
 
-def _rebuild_engine(spec: CorpusSpec, telemetry: Telemetry) -> Engine:
+def _rebuild_engine(
+    spec: CorpusSpec, telemetry: Telemetry, shards: int | None = None
+) -> Engine:
     """Rebuild an ``index`` corpus from its source document and try to
     re-save the index file (best-effort) — the corruption-recovery path."""
     from pathlib import Path
@@ -161,7 +168,11 @@ def _rebuild_engine(spec: CorpusSpec, telemetry: Telemetry) -> Engine:
         document = parse_tagged_text(text)
         rig = None
     engine = Engine(
-        document.instance, text=document.text, rig=rig, telemetry=telemetry
+        document.instance,
+        text=document.text,
+        rig=rig,
+        telemetry=telemetry,
+        shards=shards,
     )
     try:
         save_instance(engine.instance, spec.path)
@@ -233,7 +244,7 @@ class _CorpusHandle:
 
     def info(self) -> dict[str, Any]:
         stats = self.engine.statistics()
-        return {
+        info = {
             **self.spec.to_dict(),
             "generation": self.generation,
             "regions": stats["total"],
@@ -241,6 +252,9 @@ class _CorpusHandle:
             "nesting_depth": stats["nesting_depth"],
             "breaker": self.breaker.snapshot(),
         }
+        if "shards" in stats:
+            info["shards"] = stats["shards"]
+        return info
 
 
 #: Load failures worth retrying: transient I/O, injected faults, and
@@ -368,9 +382,16 @@ class QueryService:
     # Corpus management.
     # ------------------------------------------------------------------
 
+    def _shards_for(self, spec: CorpusSpec) -> int | None:
+        """The effective shard count of a corpus: its own override, else
+        the service default; ``None`` (plain evaluation) when it is 1."""
+        shards = spec.shards if spec.shards is not None else self.config.shards
+        return shards if shards > 1 else None
+
     def _load_engine(self, spec: CorpusSpec) -> Engine:
         """Build a corpus engine under retry; quarantine + rebuild from
         source when corruption survives the retries."""
+        shards = self._shards_for(spec)
 
         def on_retry(_attempt: int, _delay: float, _exc: BaseException) -> None:
             self._retry_attempts.inc(op="load", corpus=spec.name)
@@ -380,7 +401,7 @@ class QueryService:
 
         try:
             return retry_call(
-                lambda: _build_engine(spec, self.telemetry),
+                lambda: _build_engine(spec, self.telemetry, shards),
                 policy=self._retry_policy,
                 retry_on=_RETRYABLE_LOAD,
                 op=f"load:{spec.name}",
@@ -393,7 +414,7 @@ class QueryService:
             from repro.engine.storage import quarantine_index
 
             quarantine_index(spec.path)
-            engine = _rebuild_engine(spec, self.telemetry)
+            engine = _rebuild_engine(spec, self.telemetry, shards)
             self._rebuilds.inc(corpus=spec.name)
             return engine
 
@@ -728,3 +749,7 @@ class QueryService:
         """Stop admitting work and drain the pool."""
         self._closed = True
         self.pool.shutdown(wait=True)
+        with self._corpora_lock:
+            handles = list(self._corpora.values())
+        for handle in handles:
+            handle.engine.close()

@@ -1,0 +1,132 @@
+"""Per-shard expression rewriting and the evaluator that runs it.
+
+The executor never teaches shards about each other; instead it rewrites
+the query per shard so the ordinary evaluator machinery produces the
+shard's slice of the global answer:
+
+* a :class:`RegionLiteral` replaces a match-point leaf with the
+  occurrences *routed to this shard* by the partitioner's ownership
+  spans;
+* an :class:`OrderBound` replaces a resolved ``<``/``>`` node: the
+  right operand disappears entirely, leaving a filter of the (still
+  per-shard) left operand against the globally exchanged scalar —
+  ``right(r) < bound`` for ``<``, ``left(r) > bound`` for ``>`` —
+  mirroring the indexed single-shard implementations exactly;
+* a resolved ordering node whose right operand was globally empty
+  becomes :class:`~repro.algebra.ast.Empty` (``R < ∅ = ∅``).
+
+Both node types are private to the shard layer: they are produced only
+here, evaluated only by :class:`ShardEvaluator`, and never escape into
+user-visible plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import CancelToken, Evaluator, _Limits
+from repro.core.instance import Instance
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+
+__all__ = ["RegionLiteral", "OrderBound", "ShardEvaluator", "rewrite"]
+
+
+@dataclass(frozen=True, slots=True)
+class RegionLiteral(A.Expr):
+    """A materialized region set (this shard's routed match points)."""
+
+    regions: tuple[Region, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class OrderBound(A.Expr):
+    """A resolved ordering semi-join: filter ``child`` by a global scalar."""
+
+    child: A.Expr
+    kind: str  #: "preceding" or "following"
+    bound: int  #: global max-left (preceding) or min-right (following)
+
+
+def rewrite(
+    expr: A.Expr,
+    bounds: Mapping[A.Expr, int | None],
+    points: Mapping[str, tuple[Region, ...]],
+) -> A.Expr:
+    """The shard-local form of ``expr`` under the given resolutions.
+
+    ``bounds`` maps original ``<``/``>`` nodes to their exchanged scalar
+    (``None`` for a globally empty right operand); ``points`` maps
+    match-point patterns to this shard's routed occurrences.  Nodes
+    without a resolution are rebuilt unchanged, so the same function
+    serves both the per-round right-operand rewrites (partial
+    ``bounds``) and the final scatter (complete ``bounds``).
+    """
+    if isinstance(expr, A.MatchPoints):
+        routed = points.get(expr.pattern)
+        if routed is None:
+            return expr
+        return RegionLiteral(routed)
+    if isinstance(expr, (A.Preceding, A.Following)) and expr in bounds:
+        bound = bounds[expr]
+        if bound is None:
+            return A.Empty()
+        kind = "preceding" if isinstance(expr, A.Preceding) else "following"
+        return OrderBound(rewrite(expr.left, bounds, points), kind, bound)
+    out = expr
+    for i, child in enumerate(A.children(expr)):
+        new = rewrite(child, bounds, points)
+        if new is not child:
+            out = A.replace_child(out, i, new)
+    return out
+
+
+class ShardEvaluator(Evaluator):
+    """An :class:`Evaluator` that also understands the shard-only nodes."""
+
+    def _dispatch(
+        self, expr: A.Expr, instance: Instance, memo: dict[A.Expr, RegionSet]
+    ) -> RegionSet:
+        if isinstance(expr, RegionLiteral):
+            limits = getattr(self._local, "limits", None)
+            if limits is not None:
+                limits.check()
+            return RegionSet(expr.regions)
+        if isinstance(expr, OrderBound):
+            limits = getattr(self._local, "limits", None)
+            if limits is not None:
+                limits.check()
+            child = self._eval(expr.child, instance, memo)
+            bound = expr.bound
+            if expr.kind == "preceding":
+                return child.select(lambda r: r.right < bound)
+            return child.select(lambda r: r.left > bound)
+        return super()._dispatch(expr, instance, memo)
+
+    def evaluate_with(
+        self,
+        expr: A.Expr,
+        instance: Instance,
+        memo: dict[A.Expr, RegionSet],
+        deadline: float | None = None,
+        cancel: CancelToken | None = None,
+    ) -> RegionSet:
+        """Like :meth:`evaluate`, but against a caller-owned memo.
+
+        The executor evaluates several rewritten expressions per shard
+        within one query (one per exchange round plus the final
+        scatter); a shared memo lets later phases reuse the unchanged
+        subtrees earlier phases already computed.
+        """
+        limited = deadline is not None or cancel is not None
+        if limited:
+            self._local.limits = limits = _Limits(deadline, cancel)
+        try:
+            if limited:
+                limits.check()
+            return self._eval(expr, instance, memo)
+        finally:
+            if limited:
+                self._local.limits = None

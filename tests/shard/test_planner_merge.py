@@ -1,0 +1,109 @@
+"""Operator classification into exchange rounds, and the k-way merge."""
+
+from repro.algebra import ast as A
+from repro.algebra.parser import parse
+from repro.core.regionset import RegionSet
+from repro.shard.merge import merge_region_sets
+from repro.shard.planner import classify
+
+
+class TestClassify:
+    def test_local_expression(self):
+        plan = classify(parse("(A within B) union (C containing D)"))
+        assert plan.local
+        assert plan.rounds == 0
+
+    def test_single_ordering_node_is_round_one(self):
+        plan = classify(parse("A before B"))
+        assert not plan.local
+        assert plan.rounds == 1
+        (node,) = plan.nodes_in_round(1)
+        assert isinstance(node.node, A.Preceding)
+        assert node.kind == "preceding"
+
+    def test_nested_right_operand_raises_round(self):
+        # The scalar for the outer < comes from (B before C)'s global
+        # result, which itself needs an exchange first.
+        plan = classify(parse("A before (B before C)"))
+        assert plan.rounds == 2
+        assert len(plan.nodes_in_round(1)) == 1
+        assert len(plan.nodes_in_round(2)) == 1
+        outer = plan.nodes_in_round(2)[0].node
+        assert isinstance(outer.right, A.Preceding)
+
+    def test_left_subtree_does_not_raise_round(self):
+        # Ordering nodes in the LEFT operand resolve independently; the
+        # outer node's scalar only depends on its right operand.
+        plan = classify(parse("(A before B) after C"))
+        rounds = {b.kind: b.round for b in plan.boundary}
+        assert rounds == {"preceding": 1, "following": 1}
+
+    def test_equal_subexpressions_share_one_entry(self):
+        plan = classify(parse("(A before B) union (A before B)"))
+        assert len(plan.boundary) == 1
+        assert plan.rounds == 1
+
+    def test_shared_subexpression_takes_max_round(self):
+        # (A before B) occurs bare (round 1) and as the right operand of
+        # another ordering node; one entry, resolved once.
+        plan = classify(parse("(C after (A before B)) union (A before B)"))
+        inner = [b for b in plan.boundary if isinstance(b.node, A.Preceding)]
+        outer = [b for b in plan.boundary if isinstance(b.node, A.Following)]
+        assert len(inner) == 1 and len(outer) == 1
+        assert inner[0].round == 1
+        assert outer[0].round == 2
+
+    def test_match_points_collected(self):
+        plan = classify(parse('A containing "alpha"'))
+        assert plan.patterns == ("alpha",)
+        assert not plan.boundary
+        assert not plan.local
+
+
+class TestMerge:
+    def test_empty_inputs(self):
+        assert len(merge_region_sets([])) == 0
+        assert len(merge_region_sets([RegionSet.empty()])) == 0
+
+    def test_single_part_passthrough(self):
+        part = RegionSet.of((0, 1), (4, 9))
+        assert merge_region_sets([RegionSet.empty(), part]) is part
+
+    def test_disjoint_concatenation(self):
+        a = RegionSet.of((0, 3), (5, 6))
+        b = RegionSet.of((8, 9))
+        c = RegionSet.of((12, 20), (14, 15))
+        merged = merge_region_sets([a, b, c])
+        assert [r.as_tuple() for r in merged] == [
+            (0, 3),
+            (5, 6),
+            (8, 9),
+            (12, 20),
+            (14, 15),
+        ]
+
+    def test_interleaved_fall_back_to_heap_merge(self):
+        a = RegionSet.of((0, 3), (10, 12))
+        b = RegionSet.of((5, 6), (14, 15))
+        merged = merge_region_sets([a, b])
+        assert [r.as_tuple() for r in merged] == [
+            (0, 3),
+            (5, 6),
+            (10, 12),
+            (14, 15),
+        ]
+
+    def test_duplicates_collapse(self):
+        a = RegionSet.of((0, 3), (5, 6))
+        b = RegionSet.of((0, 3), (8, 9))
+        merged = merge_region_sets([a, b])
+        assert [r.as_tuple() for r in merged] == [(0, 3), (5, 6), (8, 9)]
+
+    def test_result_is_canonical_regionset(self):
+        # The merged set must behave like one built the normal way
+        # (sorted order, working set operations).
+        a = RegionSet.of((0, 3))
+        b = RegionSet.of((5, 6))
+        merged = merge_region_sets([a, b])
+        assert merged == RegionSet.of((0, 3), (5, 6))
+        assert len(merged.union(RegionSet.of((0, 3)))) == 2
