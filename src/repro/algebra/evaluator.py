@@ -34,6 +34,7 @@ from repro.core.sparse import RangeMin
 from repro.core.wordindex import TextWordIndex
 from repro.errors import EvaluationError, QueryCancelled, QueryTimeout
 from repro.faults import registry as _faults
+from repro.obs import context as _context
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
@@ -308,7 +309,13 @@ class Evaluator:
             self.last_stats = stats = EvalStats()
         stats.nodes_evaluated += 1
         tracer = self.tracer
-        tracing = tracer is not None and tracer.enabled
+        # Per-operator detail is the expensive part of a trace, so it is
+        # double-gated: the tracer must be on, and the active request's
+        # head-sampling decision (if a request context exists) must say
+        # yes.  The coarse request/shard skeleton is recorded regardless.
+        tracing = (
+            tracer is not None and tracer.enabled and _context.detail_enabled()
+        )
         op = type(expr).__name__
         if self.memoize:
             cached = memo.get(expr)

@@ -1,5 +1,5 @@
 """Command-line interface: index, query, explain, stats, trace, querylog,
-serve, loadgen, chaos.
+serve, loadgen, top, chaos.
 
 A small operational wrapper over :class:`repro.engine.Engine`::
 
@@ -217,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", action="store_true", help="collect span trees per request"
     )
     serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=0.1,
+        help="head-sampling rate for per-operator trace detail (0..1)",
+    )
+    serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
 
@@ -247,6 +253,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--seed", type=int, default=7)
     loadgen.add_argument("--json", action="store_true")
+
+    top = commands.add_parser(
+        "top",
+        help="live terminal dashboard for a running server (docs/observability.md)",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, required=True)
+    top.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between refreshes"
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="stop after N frames (default: run until ctrl-c)",
+    )
+    top.add_argument(
+        "--json", action="store_true", help="one JSON frame per line"
+    )
 
     chaos = commands.add_parser(
         "chaos",
@@ -469,6 +494,8 @@ def _cmd_querylog(args: argparse.Namespace) -> int:
         )
         if error is not None:
             line += f", card.err {error:.2f}"
+        if record.get("trace_id"):
+            line += f", trace {record['trace_id']}"
         print(line)
     summary = engine.query_log.summary()
     print(
@@ -528,6 +555,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_deadline=args.max_deadline,
         optimize_default=args.optimize,
         tracing=args.trace,
+        trace_sample_rate=args.trace_sample,
         corpora=tuple(specs),
         shards=args.shards,
     )
@@ -589,6 +617,22 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if result.status_counts.get("200", 0) > 0 else 1
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.server.dashboard import run_top
+
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 1
+    run_top(
+        args.host,
+        args.port,
+        interval=args.interval,
+        iterations=args.iterations,
+        json_output=args.json,
+    )
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults.chaos import ChaosConfig, run_chaos
 
@@ -624,6 +668,7 @@ _COMMANDS = {
     "kwic": _cmd_kwic,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "top": _cmd_top,
     "chaos": _cmd_chaos,
 }
 

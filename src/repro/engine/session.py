@@ -52,6 +52,7 @@ from repro.obs.metrics import (
     QUERIES_TOTAL,
     RESULT_CARDINALITY,
 )
+from repro.obs import context as _trace_context
 from repro.obs.querylog import QueryLog, QueryRecord
 from repro.obs.trace import Tracer, maybe_span
 from repro.optimize.optimizer import optimize
@@ -420,6 +421,7 @@ class Engine:
                 cardinality_error=error,
                 steps=plan.steps if plan is not None else (),
                 timestamp=time.time(),
+                trace_id=_trace_context.current_trace_id(),
             )
         )
 

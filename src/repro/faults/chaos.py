@@ -91,6 +91,11 @@ class ChaosReport:
     shard_task_errors: int = 0
     shard_retries: int = 0
     shard_degraded: int = 0
+    traces_kept: int = 0
+    fault_marked_traces: int = 0
+    fault_marked_spans: int = 0  #: fault-marked ``shard.task`` spans kept
+    slo: dict[str, Any] = field(default_factory=dict)
+    slowest_traces: list[dict[str, Any]] = field(default_factory=list)
     health_states_seen: list[str] = field(default_factory=list)
     final_health: str = ""
     loadgen: dict[str, Any] = field(default_factory=dict)
@@ -118,6 +123,11 @@ class ChaosReport:
             "shard_task_errors": self.shard_task_errors,
             "shard_retries": self.shard_retries,
             "shard_degraded": self.shard_degraded,
+            "traces_kept": self.traces_kept,
+            "fault_marked_traces": self.fault_marked_traces,
+            "fault_marked_spans": self.fault_marked_spans,
+            "slo": self.slo,
+            "slowest_traces": self.slowest_traces,
             "health_states_seen": self.health_states_seen,
             "final_health": self.final_health,
             "loadgen": self.loadgen,
@@ -154,6 +164,17 @@ class ChaosReport:
             f"{self.shard_retries} retried, {self.shard_degraded} "
             f"quer{'y' if self.shard_degraded == 1 else 'ies'} degraded "
             "to single-shard",
+            f"traces: {self.traces_kept} kept, {self.fault_marked_traces} "
+            f"fault-marked ({self.fault_marked_spans} fault span(s))",
+            f"slo: "
+            + (
+                "; ".join(
+                    f"{name}: {snap['activations']} fast-burn alert(s), "
+                    f"{snap['bad_events']}/{snap['events']} bad"
+                    for name, snap in sorted(self.slo.items())
+                )
+                or "disabled"
+            ),
             f"health: {' -> '.join(self.health_states_seen)} "
             f"(final: {self.final_health})",
         ]
@@ -346,6 +367,17 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
             unhealthy_threshold=0.6,
             health_min_samples=8,
             shards=config.shards,
+            # Tracing on with a roomy tail ring: every fault-marked
+            # trace must survive the run for the fault-span invariant.
+            tracing=True,
+            trace_sample_rate=0.25,
+            trace_tail_capacity=4096,
+            # Tight SLO windows so a few seconds of injected errors can
+            # trip the fast-burn alert within the fault phase.
+            slo_fast_window=1.0,
+            slo_slow_window=2.0,
+            slo_burn_threshold=1.5,
+            slo_min_samples=4,
         )
         service = QueryService(server_config)
         server = create_server(service, port=0)
@@ -542,6 +574,25 @@ def _run_phases(config, report, service, server, queries, workdir) -> None:
     )
     report.health_states_seen = service.health.states_seen()
     report.final_health = service.health.state
+    report.slo = {
+        name: monitor.snapshot()
+        for name, monitor in service.slo.monitors.items()
+    }
+    if service.traces is not None:
+        kept = service.traces.all()
+        report.traces_kept = len(kept)
+        for trace in kept:
+            marked = sum(
+                1
+                for span in trace.root.walk()
+                if span.name == "shard.task" and span.attributes.get("fault")
+            )
+            report.fault_marked_spans += marked
+            if marked:
+                report.fault_marked_traces += 1
+        report.slowest_traces = [
+            trace.to_summary() for trace in service.traces.slowest(5)
+        ]
 
     fault_counts = report.responses.get("fault", {})
     server_errors = fault_counts.get("500", 0) + fault_counts.get("504", 0)
@@ -576,6 +627,25 @@ def _run_phases(config, report, service, server, queries, workdir) -> None:
         report.violations.append(
             f"shard.task faults fired ({report.shard_task_errors}) but the "
             "sharded executor never retried or degraded a query"
+        )
+    # Every injected shard.task fault fires inside (or is synthesized
+    # into) exactly one shard.task span, and any trace containing one is
+    # tail-kept unconditionally — so the kept traces must account for
+    # every fire.
+    if report.shard_task_errors and report.fault_marked_spans < report.shard_task_errors:
+        report.violations.append(
+            f"only {report.fault_marked_spans} fault-marked shard.task "
+            f"span(s) were kept for {report.shard_task_errors} injected "
+            "shard.task fault(s) — the tracer lost fault attribution"
+        )
+    # With enough sustained 5xx the availability fast-burn alert must
+    # have fired at least once; a small error count may legitimately
+    # never align across both burn windows, so gate on volume.
+    availability = report.slo.get("availability", {})
+    if server_errors >= 12 and availability.get("activations", 0) < 1:
+        report.violations.append(
+            f"{server_errors} fault-phase server errors never tripped "
+            "the availability fast-burn alert"
         )
     if "degraded" not in report.health_states_seen:
         report.violations.append(

@@ -10,8 +10,19 @@ Three cooperating pieces, each usable alone:
 * :mod:`repro.obs.querylog` — a ring buffer of structured
   :class:`QueryRecord` entries (what queries ran and how they went).
 
-:class:`Telemetry` bundles one of each, the unit an
-:class:`~repro.engine.Engine` carries; see ``docs/observability.md``
+The request-scoped tracing layer adds three more:
+
+* :mod:`repro.obs.context` — the serializable :class:`TraceContext`
+  that carries a trace id and sampling decision across thread and
+  process pools;
+* :mod:`repro.obs.sampling` — :class:`HeadSampler` (detail on/off at
+  request start) and :class:`TraceStore` (tail-keep retention of slow,
+  errored, and fault-marked traces);
+* :mod:`repro.obs.slo` — declarative :class:`SLObjective` targets and
+  multi-window :class:`BurnRateMonitor` alerting.
+
+:class:`Telemetry` bundles a tracer, registry, and query log — the unit
+an :class:`~repro.engine.Engine` carries; see ``docs/observability.md``
 for the metric catalogue and span taxonomy.
 """
 
@@ -19,6 +30,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs.context import TraceContext, new_trace_id
 from repro.obs.metrics import (
     CARDINALITY_BUCKETS,
     EVAL_NODE_SECONDS,
@@ -47,6 +59,8 @@ from repro.obs.metrics import (
     global_registry,
 )
 from repro.obs.querylog import QueryLog, QueryRecord
+from repro.obs.sampling import HeadSampler, KeptTrace, TraceStore
+from repro.obs.slo import BurnRateMonitor, SLObjective, SLOObservatory
 from repro.obs.trace import Span, Tracer, load_jsonl, maybe_span, span_from_dict, span_to_dict
 
 __all__ = [
@@ -57,6 +71,14 @@ __all__ = [
     "span_to_dict",
     "span_from_dict",
     "load_jsonl",
+    "TraceContext",
+    "new_trace_id",
+    "HeadSampler",
+    "KeptTrace",
+    "TraceStore",
+    "SLObjective",
+    "BurnRateMonitor",
+    "SLOObservatory",
     "MetricsRegistry",
     "Counter",
     "Gauge",

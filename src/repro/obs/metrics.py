@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 from typing import Any, Iterable
 
 __all__ = [
@@ -37,6 +38,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "global_registry",
+    "parse_label_text",
     "SECONDS_BUCKETS",
     "CARDINALITY_BUCKETS",
     "QUERIES_TOTAL",
@@ -75,6 +77,12 @@ __all__ = [
     "SHARD_TASK_RETRIES_TOTAL",
     "SHARD_DEGRADED_TOTAL",
     "SHARD_FALLBACK_TOTAL",
+    "TRACES_KEPT_TOTAL",
+    "TRACES_DROPPED_TOTAL",
+    "SLO_EVENTS_TOTAL",
+    "SLO_BAD_EVENTS_TOTAL",
+    "SLO_BURN_RATE",
+    "SLO_FAST_BURN_ACTIVE",
 ]
 
 QUERIES_TOTAL = "queries_total"
@@ -121,6 +129,15 @@ SHARD_TASK_RETRIES_TOTAL = "shard_task_retries_total"
 SHARD_DEGRADED_TOTAL = "shard_degraded_total"
 SHARD_FALLBACK_TOTAL = "shard_fallback_total"
 
+# The tracing/SLO layer (repro.obs.sampling + repro.obs.slo) —
+# see docs/observability.md.
+TRACES_KEPT_TOTAL = "traces_kept_total"
+TRACES_DROPPED_TOTAL = "traces_dropped_total"
+SLO_EVENTS_TOTAL = "slo_events_total"
+SLO_BAD_EVENTS_TOTAL = "slo_bad_events_total"
+SLO_BURN_RATE = "slo_burn_rate"
+SLO_FAST_BURN_ACTIVE = "slo_fast_burn_active"
+
 #: Upper bucket bounds for wall-time histograms (seconds; +inf implied).
 SECONDS_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
 
@@ -134,8 +151,56 @@ def _label_key(labels: dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_part(text: str) -> str:
+    """Escape the characters ``_label_text`` uses as structure.
+
+    Backslash first (it is the escape character), then the ``,`` and
+    ``=`` separators, then newline — so label values containing any of
+    them round-trip through the snapshot text form instead of corrupting
+    it.  Values without those characters are returned unchanged, which
+    keeps the common snapshot keys (``endpoint=query,status=200``)
+    byte-identical to what they were before escaping existed.
+    """
+    if not any(ch in text for ch in "\\,=\n"):
+        return text
+    return (
+        text.replace("\\", "\\\\")
+        .replace(",", "\\,")
+        .replace("=", "\\=")
+        .replace("\n", "\\n")
+    )
+
+
 def _label_text(key: LabelKey) -> str:
-    return ",".join(f"{k}={v}" for k, v in key)
+    return ",".join(
+        f"{_escape_label_part(k)}={_escape_label_part(v)}" for k, v in key
+    )
+
+
+def parse_label_text(text: str) -> list[tuple[str, str]]:
+    """Invert :func:`_label_text`: split a snapshot label string back
+    into ``(name, value)`` pairs, honouring backslash escapes."""
+    pairs: list[tuple[str, str]] = []
+    if not text:
+        return pairs
+    name: list[str] = []
+    value: list[str] = []
+    target = name
+    chars = iter(text)
+    for ch in chars:
+        if ch == "\\":
+            follower = next(chars, "")
+            target.append("\n" if follower == "n" else follower)
+        elif ch == "=" and target is name:
+            target = value
+        elif ch == ",":
+            pairs.append(("".join(name), "".join(value)))
+            name, value = [], []
+            target = name
+        else:
+            target.append(ch)
+    pairs.append(("".join(name), "".join(value)))
+    return pairs
 
 
 class Counter:
@@ -169,7 +234,10 @@ class Counter:
         return sum(self._values.values())
 
     def snapshot(self) -> dict[str, float]:
-        return {_label_text(key): value for key, value in self._values.items()}
+        with self._lock:
+            return {
+                _label_text(key): value for key, value in self._values.items()
+            }
 
 
 class Gauge:
@@ -199,16 +267,22 @@ class Gauge:
         return self._values.get(_label_key(labels), 0.0)
 
     def snapshot(self) -> dict[str, float]:
-        return {_label_text(key): value for key, value in self._values.items()}
+        with self._lock:
+            return {
+                _label_text(key): value for key, value in self._values.items()
+            }
 
 
 class _HistogramSeries:
-    __slots__ = ("bucket_counts", "sum", "count")
+    __slots__ = ("bucket_counts", "sum", "count", "exemplars")
 
     def __init__(self, n_buckets: int):
         self.bucket_counts = [0] * (n_buckets + 1)  # +1 for the +inf bucket
         self.sum = 0.0
         self.count = 0
+        #: bucket index -> (observed value, exemplar id, unix timestamp);
+        #: newest observation with an exemplar wins per bucket.
+        self.exemplars: dict[int, tuple[float, str, float]] = {}
 
 
 class Histogram:
@@ -237,7 +311,12 @@ class Histogram:
         self._series: dict[LabelKey, _HistogramSeries] = {}
         self._lock = threading.Lock()
 
-    def observe(self, value: float, **labels: Any) -> None:
+    def observe(
+        self, value: float, *, exemplar: str | None = None, **labels: Any
+    ) -> None:
+        """Record ``value``; an ``exemplar`` (a trace id) tags the bucket
+        the value lands in, linking the aggregate back to one concrete
+        kept trace in the OpenMetrics exposition."""
         key = _label_key(labels)
         index = len(self.buckets)
         for i, bound in enumerate(self.buckets):
@@ -251,6 +330,8 @@ class Histogram:
             series.bucket_counts[index] += 1
             series.sum += value
             series.count += 1
+            if exemplar is not None:
+                series.exemplars[index] = (value, exemplar, time.time())
 
     # ------------------------------------------------------------------
 
@@ -275,19 +356,30 @@ class Histogram:
         return sum(s.sum for s in self._series.values())
 
     def snapshot(self) -> dict[str, dict[str, Any]]:
+        bound_names = [str(bound) for bound in self.buckets] + ["+inf"]
         out: dict[str, dict[str, Any]] = {}
-        for key, series in self._series.items():
-            out[_label_text(key)] = {
-                "count": series.count,
-                "sum": series.sum,
-                "buckets": {
-                    **{
-                        str(bound): count
-                        for bound, count in zip(self.buckets, series.bucket_counts)
-                    },
-                    "+inf": series.bucket_counts[-1],
-                },
-            }
+        # The whole walk runs under the instrument lock so a concurrent
+        # observe() can never show a series whose bucket counts do not
+        # sum to its count (a torn read: count bumped, bucket not yet).
+        with self._lock:
+            for key, series in self._series.items():
+                entry: dict[str, Any] = {
+                    "count": series.count,
+                    "sum": series.sum,
+                    "buckets": dict(zip(bound_names, series.bucket_counts)),
+                }
+                if series.exemplars:
+                    entry["exemplars"] = {
+                        bound_names[index]: {
+                            "value": value,
+                            "trace_id": trace_id,
+                            "timestamp": stamp,
+                        }
+                        for index, (value, trace_id, stamp) in sorted(
+                            series.exemplars.items()
+                        )
+                    }
+                out[_label_text(key)] = entry
         return out
 
 

@@ -37,6 +37,7 @@ class QueryRecord:
     cardinality_error: float | None = None  #: |estimated − actual| / max(actual, 1)
     steps: tuple[str, ...] = field(default_factory=tuple)
     timestamp: float = 0.0  #: wall-clock seconds since the epoch
+    trace_id: str | None = None  #: joins the record to an exported trace
 
     def to_dict(self) -> dict[str, Any]:
         data = asdict(self)

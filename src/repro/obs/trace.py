@@ -216,6 +216,61 @@ class Tracer:
             parent.children.append(span)
         return _SpanContext(self, span)
 
+    def record_span(
+        self, name: str, seconds: float = 0.0, **attributes: Any
+    ) -> Span | None:
+        """Attach an already-finished synthetic span under the current one.
+
+        For work measured out-of-band — queue wait read off a timestamp,
+        a merge timed with ``perf_counter`` around a call, a fault that
+        happened on the far side of a process boundary.  The span is
+        backdated so its ``started_at`` reflects when the work began and
+        its ``duration`` equals ``seconds``.  Returns ``None`` when
+        tracing is disabled or there is no open parent to attach to.
+        """
+        if not self.enabled:
+            return None
+        parent = self._current.get()
+        if parent is None:
+            return None
+        span = Span(name, parent_id=parent.span_id, **attributes)
+        span.started_at = time.time() - seconds
+        span._end = span._start
+        span._start = span._end - seconds
+        parent.children.append(span)
+        return span
+
+    def adopt(self, data: dict[str, Any]) -> Span | None:
+        """Re-parent a serialized span subtree under the current span.
+
+        The other half of cross-process stitching: a worker process runs
+        its own :class:`Tracer`, ships its finished subtree back as
+        :func:`span_to_dict` output, and the coordinator adopts it here.
+        Span ids are reissued from this process's counter (the worker's
+        ids come from a different counter and would collide), and the
+        subtree's parent pointers are rewritten to match.  Returns the
+        adopted root, or ``None`` when tracing is disabled.
+        """
+        if not self.enabled:
+            return None
+        parent = self._current.get()
+        root = self._rebuild(data, parent.span_id if parent else None)
+        if parent is not None:
+            parent.children.append(root)
+        else:
+            self._roots.append(root)
+        return root
+
+    def _rebuild(self, data: dict[str, Any], parent_id: int | None) -> Span:
+        span = Span(data["name"], parent_id=parent_id)
+        span.attributes = dict(data.get("attributes", {}))
+        span.started_at = data.get("started_at", 0.0)
+        span._start = 0.0
+        span._end = data.get("duration", 0.0)
+        for child in data.get("children", ()):
+            span.children.append(self._rebuild(child, span.span_id))
+        return span
+
     @property
     def current(self) -> Span | None:
         """The innermost open span, if any."""

@@ -129,6 +129,34 @@ class ServerConfig:
         (``docs/internals.md``); 1 (the default) keeps the plain
         single-shard evaluator.  A :class:`CorpusSpec` may override it
         per corpus via its own ``shards`` field.
+
+    Tracing knobs (``docs/observability.md``), active when ``tracing``:
+
+    ``trace_sample_rate``
+        Fraction of requests head-sampled for per-operator ``eval.*``
+        detail; every request still records the coarse span skeleton.
+    ``trace_store_capacity`` / ``trace_tail_capacity``
+        Ring sizes for head-sampled traces and for tail-kept
+        (slow/error/fault) traces, respectively.
+    ``trace_slow_seconds``
+        A request at or above this duration is tail-kept as ``slow``.
+
+    SLO knobs (always active; they only read request outcomes):
+
+    ``slo_availability_objective``
+        Target fraction of counted requests (200/500/504) that must not
+        fail server-side.
+    ``slo_latency_objective`` / ``slo_latency_threshold``
+        Target fraction of successful requests answered within the
+        threshold (seconds).
+    ``slo_fast_window`` / ``slo_slow_window`` / ``slo_burn_threshold``
+        Multi-window burn-rate alerting: fast-burn fires only when both
+        windows burn the error budget at ``slo_burn_threshold`` times
+        the sustainable rate, with at least ``slo_min_samples`` events
+        in each window.
+    ``slo_shed_on_fast_burn``
+        When true a fast burn forces the health state to unhealthy
+        (load shed); the default only forces degraded.
     """
 
     host: str = "127.0.0.1"
@@ -156,6 +184,18 @@ class ServerConfig:
     probe_interval: int = 10
     stale_when_degraded: bool = True
     shards: int = 1
+    trace_sample_rate: float = 0.1
+    trace_store_capacity: int = 256
+    trace_tail_capacity: int = 256
+    trace_slow_seconds: float = 0.25
+    slo_availability_objective: float = 0.99
+    slo_latency_objective: float = 0.95
+    slo_latency_threshold: float = 0.5
+    slo_fast_window: float = 60.0
+    slo_slow_window: float = 300.0
+    slo_burn_threshold: float = 10.0
+    slo_min_samples: int = 20
+    slo_shed_on_fast_burn: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -185,6 +225,28 @@ class ServerConfig:
                 "thresholds must satisfy "
                 "0 < degraded_threshold <= unhealthy_threshold <= 1"
             )
+        if not (0.0 <= self.trace_sample_rate <= 1.0):
+            raise ReproError("trace_sample_rate must be in [0, 1]")
+        if self.trace_store_capacity < 1 or self.trace_tail_capacity < 1:
+            raise ReproError("trace ring capacities must be at least 1")
+        if self.trace_slow_seconds <= 0:
+            raise ReproError("trace_slow_seconds must be positive")
+        for objective in (
+            self.slo_availability_objective,
+            self.slo_latency_objective,
+        ):
+            if not (0.0 < objective < 1.0):
+                raise ReproError("SLO objectives must be in (0, 1)")
+        if self.slo_latency_threshold <= 0:
+            raise ReproError("slo_latency_threshold must be positive seconds")
+        if not (0 < self.slo_fast_window <= self.slo_slow_window):
+            raise ReproError(
+                "SLO windows must satisfy 0 < slo_fast_window <= slo_slow_window"
+            )
+        if self.slo_burn_threshold <= 0:
+            raise ReproError("slo_burn_threshold must be positive")
+        if self.slo_min_samples < 1:
+            raise ReproError("slo_min_samples must be at least 1")
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready view (what ``/healthz`` reports as ``config``)."""
@@ -206,4 +268,16 @@ class ServerConfig:
             "unhealthy_threshold": self.unhealthy_threshold,
             "stale_when_degraded": self.stale_when_degraded,
             "shards": self.shards,
+            "trace_sample_rate": self.trace_sample_rate,
+            "trace_store_capacity": self.trace_store_capacity,
+            "trace_tail_capacity": self.trace_tail_capacity,
+            "trace_slow_seconds": self.trace_slow_seconds,
+            "slo_availability_objective": self.slo_availability_objective,
+            "slo_latency_objective": self.slo_latency_objective,
+            "slo_latency_threshold": self.slo_latency_threshold,
+            "slo_fast_window": self.slo_fast_window,
+            "slo_slow_window": self.slo_slow_window,
+            "slo_burn_threshold": self.slo_burn_threshold,
+            "slo_min_samples": self.slo_min_samples,
+            "slo_shed_on_fast_burn": self.slo_shed_on_fast_burn,
         }

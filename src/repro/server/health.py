@@ -78,7 +78,8 @@ class HealthMonitor:
         #: (timestamp, failed) per worker-path outcome, oldest first.
         self._outcomes: deque[tuple[float, bool]] = deque()
         self._state = HEALTHY
-        self._pressure: set[str] = set()
+        #: active pressure sources -> the state they force (at minimum).
+        self._pressure: dict[str, str] = {}
         self._requests_seen = 0
         self._transitions: list[tuple[float, str, str]] = []
 
@@ -95,15 +96,21 @@ class HealthMonitor:
             self._outcomes.append((self._clock(), failed))
             self._reclassify()
 
-    def set_pressure(self, source: str, active: bool) -> None:
+    def set_pressure(
+        self, source: str, active: bool, severity: str = DEGRADED
+    ) -> None:
         """External degradation pressure — e.g. ``breaker:<corpus>``
-        while that corpus's circuit breaker is open.  Any active source
-        forces the state to at least ``degraded``."""
+        while that corpus's circuit breaker is open, or ``slo:<name>``
+        while an SLO fast-burn alert fires.  Any active source forces
+        the state to at least its ``severity`` (``DEGRADED`` by
+        default; ``UNHEALTHY`` additionally sheds load)."""
+        if severity not in (DEGRADED, UNHEALTHY):
+            raise ValueError(f"pressure severity must be degraded/unhealthy, got {severity!r}")
         with self._lock:
             if active:
-                self._pressure.add(source)
+                self._pressure[source] = severity
             else:
-                self._pressure.discard(source)
+                self._pressure.pop(source, None)
             self._reclassify()
 
     # ------------------------------------------------------------------
@@ -124,7 +131,10 @@ class HealthMonitor:
     def _reclassify(self) -> None:
         now = self._clock()
         rate, samples = self._error_rate(now)
-        if samples >= self.min_samples and rate >= self.unhealthy_threshold:
+        forced = UNHEALTHY if UNHEALTHY in self._pressure.values() else None
+        if forced == UNHEALTHY or (
+            samples >= self.min_samples and rate >= self.unhealthy_threshold
+        ):
             new = UNHEALTHY
         elif (
             samples >= self.min_samples and rate >= self.degraded_threshold

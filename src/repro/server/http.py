@@ -47,24 +47,36 @@ from repro.errors import (
     ServiceUnhealthyError,
     error_code,
 )
+from repro.obs.metrics import parse_label_text
 from repro.server.service import QueryService, UnknownCorpusError
 
 __all__ = ["QueryHTTPServer", "create_server", "render_prometheus"]
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def render_prometheus(snapshot: dict[str, Any]) -> str:
     """The registry snapshot in Prometheus text exposition format.
 
-    Only what scrapers need: ``# TYPE`` lines, one sample per label set,
-    histogram ``_bucket``/``_sum``/``_count`` expansion.
+    Real-scraper correct: label values are escaped (backslash, double
+    quote, newline), histogram ``_bucket`` series are cumulative and end
+    in the ``+Inf`` bucket equal to ``_count``, and buckets carrying an
+    exemplar get the OpenMetrics ``# {trace_id="…"} value timestamp``
+    suffix linking the aggregate to one kept trace.
     """
     lines: list[str] = []
     metrics = snapshot.get("metrics", snapshot)
 
     def labelize(text: str, extra: str = "") -> str:
-        parts = [p for p in text.split(",") if p]
         rendered = ",".join(
-            f'{k}="{v}"' for k, v in (p.split("=", 1) for p in parts)
+            f'{k}="{_escape_label_value(v)}"'
+            for k, v in parse_label_text(text)
+            if k
         )
         if extra:
             rendered = f"{rendered},{extra}" if rendered else extra
@@ -81,14 +93,20 @@ def render_prometheus(snapshot: dict[str, Any]) -> str:
     for name, series in metrics.get("histograms", {}).items():
         lines.append(f"# TYPE {name} histogram")
         for labels, data in sorted(series.items()):
+            exemplars = data.get("exemplars", {})
             cumulative = 0
             for bound, count in data["buckets"].items():
                 cumulative += count
                 le = "+Inf" if bound == "+inf" else bound
                 le_label = 'le="%s"' % le
-                lines.append(
-                    f"{name}_bucket{labelize(labels, le_label)} {cumulative}"
-                )
+                line = f"{name}_bucket{labelize(labels, le_label)} {cumulative}"
+                exemplar = exemplars.get(bound)
+                if exemplar is not None:
+                    line += (
+                        f' # {{trace_id="{exemplar["trace_id"]}"}} '
+                        f'{exemplar["value"]} {exemplar["timestamp"]:.3f}'
+                    )
+                lines.append(line)
             lines.append(f"{name}_sum{labelize(labels)} {data['sum']}")
             lines.append(f"{name}_count{labelize(labels)} {data['count']}")
     return "\n".join(lines) + "\n"
@@ -119,6 +137,12 @@ class _Handler(BaseHTTPRequestHandler):
                 self._json(200, {"corpora": self.server.service.corpora_info()})
             elif url.path == "/metrics":
                 self._metrics(url)
+            elif url.path == "/slo":
+                self._json(200, self.server.service.slo_snapshot())
+            elif url.path == "/debug/traces":
+                self._trace_listing(url)
+            elif url.path.startswith("/debug/trace/"):
+                self._trace_tree(url.path[len("/debug/trace/") :])
             elif url.path == "/query":
                 self._query_from_params(url)
             else:
@@ -159,6 +183,45 @@ class _Handler(BaseHTTPRequestHandler):
             self._raw(200, body, "text/plain; version=0.0.4")
         else:
             self._json(200, snapshot)
+
+    def _trace_listing(self, url) -> None:
+        service = self.server.service
+        if service.traces is None:
+            self._json(
+                404,
+                {"error": "tracing is not enabled", "code": "tracing_disabled"},
+            )
+            return
+        params = parse_qs(url.query)
+        limit = int(params.get("limit", ["50"])[0])
+        sort = params.get("sort", ["recent"])[0]
+        self._json(
+            200,
+            {
+                "traces": service.trace_summaries(limit=limit, sort=sort),
+                "stats": service.traces.stats(),
+            },
+        )
+
+    def _trace_tree(self, trace_id: str) -> None:
+        service = self.server.service
+        if service.traces is None:
+            self._json(
+                404,
+                {"error": "tracing is not enabled", "code": "tracing_disabled"},
+            )
+            return
+        tree = service.trace_tree(trace_id)
+        if tree is None:
+            self._json(
+                404,
+                {
+                    "error": f"no kept trace {trace_id!r}",
+                    "code": "trace_not_found",
+                },
+            )
+            return
+        self._json(200, tree)
 
     def _query_from_params(self, url) -> None:
         params = parse_qs(url.query)
@@ -216,36 +279,43 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _error(self, exc: Exception) -> None:
         code = error_code(exc)
+        # When tracing is on, the service stamped the exception with its
+        # request's trace id — included so a 5xx is joinable against the
+        # kept trace at /debug/trace/<id>.
+        envelope: dict[str, Any] = {"error": str(exc), "code": code}
+        trace_id = getattr(exc, "trace_id", None)
+        if trace_id is not None:
+            envelope["trace_id"] = trace_id
         if isinstance(exc, ServerOverloadedError):
             self._json(
                 429,
-                {"error": str(exc), "code": code, "retry_after": exc.retry_after},
+                {**envelope, "retry_after": exc.retry_after},
                 extra_headers={"Retry-After": f"{exc.retry_after:.3f}"},
             )
         elif isinstance(exc, (ServiceUnhealthyError, CorpusUnavailableError)):
             self._json(
                 503,
-                {"error": str(exc), "code": code, "retry_after": exc.retry_after},
+                {**envelope, "retry_after": exc.retry_after},
                 extra_headers={"Retry-After": f"{exc.retry_after:.3f}"},
             )
         elif isinstance(exc, QueryTimeout):
-            self._json(
-                504, {"error": str(exc), "code": code, "budget": exc.budget}
-            )
+            self._json(504, {**envelope, "budget": exc.budget})
         elif isinstance(exc, UnknownCorpusError):
-            self._json(404, {"error": str(exc), "code": code})
+            self._json(404, envelope)
         elif isinstance(exc, ReproError) and code in (
             "worker_crashed",
             "fault_injected",
             "worker_killed",
         ):
-            self._json(500, {"error": str(exc), "code": code})
+            self._json(500, envelope)
         elif isinstance(exc, ReproError):
-            self._json(400, {"error": str(exc), "code": code})
+            self._json(400, envelope)
         elif isinstance(exc, ValueError):
-            self._json(400, {"error": str(exc), "code": "invalid_request"})
+            self._json(
+                400, {**envelope, "error": str(exc), "code": "invalid_request"}
+            )
         else:
-            self._json(500, {"error": f"internal error: {exc!r}", "code": code})
+            self._json(500, {**envelope, "error": f"internal error: {exc!r}"})
 
     def _json(
         self,

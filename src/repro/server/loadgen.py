@@ -48,6 +48,8 @@ class LoadResult:
     status_counts: dict[str, int] = field(default_factory=dict)
     latencies: list[float] = field(default_factory=list)  #: seconds, ok only
     cache_hits: int = 0
+    #: (latency_seconds, trace_id) per 200 response that carried one.
+    trace_samples: list[tuple[float, str]] = field(default_factory=list)
 
     @property
     def completed(self) -> int:
@@ -56,6 +58,16 @@ class LoadResult:
     @property
     def achieved_qps(self) -> float:
         return self.completed / self.duration if self.duration > 0 else 0.0
+
+    def slowest_traces(self, n: int = 5) -> list[dict[str, Any]]:
+        """The trace IDs of the ``n`` slowest traced requests — the
+        handles to paste into ``/debug/trace/<id>`` when a run's tail
+        looks bad."""
+        worst = sorted(self.trace_samples, key=lambda s: -s[0])[: max(0, n)]
+        return [
+            {"latency_ms": round(latency * 1e3, 3), "trace_id": trace_id}
+            for latency, trace_id in worst
+        ]
 
     def summary(self) -> dict[str, Any]:
         ordered = sorted(self.latencies)
@@ -77,6 +89,7 @@ class LoadResult:
                     (sum(ordered) / len(ordered) * 1e3) if ordered else 0.0, 3
                 ),
             },
+            "slowest_traces": self.slowest_traces(),
         }
 
     def format_report(self) -> str:
@@ -92,6 +105,12 @@ class LoadResult:
             f"latency  p50 {lat['p50']:.1f} ms   p95 {lat['p95']:.1f} ms   "
             f"p99 {lat['p99']:.1f} ms   mean {lat['mean']:.1f} ms",
         ]
+        if s["slowest_traces"]:
+            lines.append("slowest traces:")
+            lines.extend(
+                f"  {t['latency_ms']:8.1f} ms  trace {t['trace_id']}"
+                for t in s["slowest_traces"]
+            )
         return "\n".join(lines)
 
 
@@ -209,9 +228,12 @@ def run_load(
                     latency = monotonic() - sent_at
                     status = str(response.status)
                     hit = False
+                    trace_id = None
                     if response.status == 200:
                         try:
-                            hit = bool(json.loads(payload).get("cached"))
+                            parsed = json.loads(payload)
+                            hit = bool(parsed.get("cached"))
+                            trace_id = parsed.get("trace_id")
                         except (json.JSONDecodeError, UnicodeDecodeError):
                             pass
                     with result_lock:
@@ -223,6 +245,8 @@ def run_load(
                             result.latencies.append(latency)
                             if hit:
                                 result.cache_hits += 1
+                            if trace_id:
+                                result.trace_samples.append((latency, trace_id))
                     if on_response is not None:
                         on_response(response.status, payload)
                 except (OSError, http.client.HTTPException):

@@ -12,6 +12,7 @@ accepted requests keep their latency.
 
 from __future__ import annotations
 
+import contextvars
 import queue
 import threading
 from concurrent.futures import Future
@@ -27,14 +28,21 @@ _STOP = object()
 
 
 class _Job:
-    __slots__ = ("fn", "args", "kwargs", "future", "enqueued_at")
+    __slots__ = ("fn", "args", "kwargs", "future", "enqueued_at", "ctx")
 
-    def __init__(self, fn: Callable[..., Any], args: tuple, kwargs: dict):
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        ctx: contextvars.Context | None = None,
+    ):
         self.fn = fn
         self.args = args
         self.kwargs = kwargs
         self.future: Future = Future()
         self.enqueued_at = monotonic()
+        self.ctx = ctx
 
 
 class WorkerPool:
@@ -50,6 +58,12 @@ class WorkerPool:
     the job it held fails with
     :class:`~repro.errors.WorkerCrashedError` and a replacement thread
     is spawned immediately, so pool capacity is never lost.
+
+    With ``propagate_context`` (the default), each job captures the
+    submitter's :mod:`contextvars` context and runs inside a copy of it
+    on the worker thread — this is what lets a request's trace context
+    and open span follow the job across the pool boundary, so spans
+    opened on the worker stitch into the submitting request's trace.
     """
 
     def __init__(
@@ -59,6 +73,7 @@ class WorkerPool:
         name: str = "repro-worker",
         on_depth_change: Callable[[int], None] | None = None,
         on_worker_death: Callable[[], None] | None = None,
+        propagate_context: bool = True,
     ):
         if workers < 1:
             raise ValueError("worker pool needs at least one worker")
@@ -66,6 +81,7 @@ class WorkerPool:
             raise ValueError("queue depth cannot be negative")
         self.workers = workers
         self.queue_depth = queue_depth
+        self.propagate_context = propagate_context
         self._name = name
         self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_depth + workers)
         self._admission = threading.Semaphore(queue_depth + workers)
@@ -115,7 +131,8 @@ class WorkerPool:
                 f"{self.workers} running)",
                 retry_after=retry_after,
             )
-        job = _Job(fn, args, kwargs)
+        ctx = contextvars.copy_context() if self.propagate_context else None
+        job = _Job(fn, args, kwargs, ctx)
         self._queue.put(job)  # cannot block: the semaphore bounds occupancy
         self._notify_depth()
         return job.future
@@ -155,7 +172,11 @@ class WorkerPool:
             try:
                 if job.future.set_running_or_notify_cancel():
                     try:
-                        job.future.set_result(job.fn(*job.args, **job.kwargs))
+                        if job.ctx is not None:
+                            result = job.ctx.run(job.fn, *job.args, **job.kwargs)
+                        else:
+                            result = job.fn(*job.args, **job.kwargs)
+                        job.future.set_result(result)
                     except BaseException as exc:  # noqa: BLE001 - relayed
                         job.future.set_exception(exc)
             finally:

@@ -56,6 +56,9 @@ from repro.errors import (
 from repro.faults import registry as _faults
 from repro.faults.retry import CircuitBreaker, RetryPolicy, retry_call
 from repro.obs import Telemetry
+from repro.obs import context as _trace_context
+from repro.obs.sampling import HeadSampler, TraceStore
+from repro.obs.slo import SLOObservatory
 from repro.obs.metrics import (
     BREAKER_STATE,
     BREAKER_TRANSITIONS_TOTAL,
@@ -79,7 +82,7 @@ from repro.obs.metrics import (
 )
 from repro.server.cache import ResultCache
 from repro.server.config import CorpusSpec, ServerConfig
-from repro.server.health import HEALTHY, HealthMonitor
+from repro.server.health import DEGRADED, HEALTHY, UNHEALTHY, HealthMonitor
 from repro.server.health import STATE_VALUES as _HEALTH_VALUES
 from repro.server.pool import WorkerPool
 
@@ -342,6 +345,23 @@ class QueryService:
             on_depth_change=self._queue_gauge.set,
             on_worker_death=self._worker_deaths.inc,
         )
+        # SLO observatory: always on (it only reads request outcomes);
+        # a fast burn becomes health pressure, which degrades — or, if
+        # configured, sheds — before the error budget is gone.
+        self.slo = SLOObservatory.from_config(
+            self.config, metrics=metrics, on_burn_change=self._on_burn_change
+        )
+        # Trace retention only exists when tracing is on; `None` is the
+        # request path's single cheap "is tracing off?" check.
+        self.traces: TraceStore | None = None
+        self._sampler = HeadSampler(self.config.trace_sample_rate)
+        if self.config.tracing:
+            self.traces = TraceStore(
+                capacity=self.config.trace_store_capacity,
+                tail_capacity=self.config.trace_tail_capacity,
+                slow_threshold=self.config.trace_slow_seconds,
+                metrics=metrics,
+            )
         self._corpora: dict[str, _CorpusHandle] = {}
         self._corpora_lock = threading.Lock()
         self._started_at = monotonic()
@@ -357,6 +377,12 @@ class QueryService:
     def _on_health_transition(self, old: str, new: str) -> None:
         self._health_state.set(_HEALTH_VALUES[new])
         self._health_transitions.inc(**{"from": old, "to": new})
+
+    def _on_burn_change(self, name: str, active: bool) -> None:
+        severity = (
+            UNHEALTHY if self.config.slo_shed_on_fast_burn else DEGRADED
+        )
+        self.health.set_pressure(f"slo:{name}", active, severity=severity)
 
     def _make_breaker(self, corpus: str) -> CircuitBreaker:
         def on_transition(old: str, new: str) -> None:
@@ -505,50 +531,140 @@ class QueryService:
         """
         endpoint = "explain" if explain_only else "query"
         started = perf_counter()
+        trace = self._begin_trace(endpoint, query)
+        status = "200"
+        error: BaseException | None = None
         try:
             response = self._execute(
                 endpoint, query, corpus, optimize, deadline, use_cache
             )
-        except ServiceUnhealthyError:
+        except ServiceUnhealthyError as exc:
             # The monitor's own shed decision: neither a success nor a
             # worker-path failure, so it does not feed back into state.
-            self._observe(endpoint, "503", started)
+            status, error = "503", exc
             self._shed.inc()
             self._rejected.inc(reason="unhealthy")
             raise
-        except CorpusUnavailableError:
-            self._observe(endpoint, "503", started)
+        except CorpusUnavailableError as exc:
+            status, error = "503", exc
             raise
-        except ServerOverloadedError:
-            self._observe(endpoint, "429", started)
+        except ServerOverloadedError as exc:
+            status, error = "429", exc
             self._rejected.inc(reason="saturated")
             raise
-        except QueryTimeout:
-            self._observe(endpoint, "504", started)
+        except QueryTimeout as exc:
+            status, error = "504", exc
             self._timeouts.inc()
             self.health.record_failure()
             raise
-        except (WorkerCrashedError, FaultInjected):
-            self._observe(endpoint, "500", started)
+        except (WorkerCrashedError, FaultInjected) as exc:
+            status, error = "500", exc
             self.health.record_failure()
             raise
-        except UnknownCorpusError:
-            self._observe(endpoint, "404", started)
+        except UnknownCorpusError as exc:
+            status, error = "404", exc
             raise
-        except ReproError:
+        except ReproError as exc:
             # Client-side errors (parse, validation): not a health signal.
-            self._observe(endpoint, "400", started)
+            status, error = "400", exc
             raise
-        self._observe(endpoint, "200", started)
-        self.health.record_success()
-        response["seconds"] = perf_counter() - started
-        return response
+        except Exception as exc:  # unexpected: surfaces as 500 upstream
+            status, error = "500", exc
+            raise
+        else:
+            self.health.record_success()
+            response["seconds"] = perf_counter() - started
+            if trace is not None:
+                response["trace_id"] = trace[0].trace_id
+            return response
+        finally:
+            self._complete(endpoint, status, started, trace, error)
 
-    def _observe(self, endpoint: str, status: str, started: float) -> None:
+    # ------------------------------------------------------------------
+    # Request-trace lifecycle.
+    # ------------------------------------------------------------------
+
+    _Trace = tuple  # (TraceContext, context token, span context, root span)
+
+    def _begin_trace(self, endpoint: str, query: str) -> "_Trace | None":
+        """Mint a trace context and open the request root span.
+
+        Returns ``None`` when tracing is off.  The context is installed
+        in this thread's contextvars, from where the worker pool's
+        context propagation carries it — and the open span — into the
+        worker thread and onward to shard executors.
+        """
+        if self.traces is None:
+            return None
+        trace_id = _trace_context.new_trace_id()
+        sampled = self._sampler.sample(trace_id)
+        context = _trace_context.TraceContext(trace_id, sampled=sampled)
+        token = _trace_context.activate(context)
+        span_context = self.telemetry.tracer.span(
+            "request",
+            endpoint=endpoint,
+            trace_id=trace_id,
+            sampled=sampled,
+            query=query,
+        )
+        span = span_context.__enter__()
+        if span is None:  # tracer flipped off mid-flight
+            _trace_context.restore(token)
+            return None
+        return (context, token, span_context, span)
+
+    def _complete(
+        self,
+        endpoint: str,
+        status: str,
+        started: float,
+        trace: "_Trace | None",
+        error: BaseException | None,
+    ) -> None:
+        """Request epilogue, success or not: finish and offer the trace,
+        then record metrics (with an exemplar when the trace was kept)
+        and feed the SLO observatory."""
+        elapsed = perf_counter() - started
+        exemplar = None
+        if trace is not None:
+            exemplar = self._finish_trace(endpoint, status, trace, error)
         self._requests.inc(endpoint=endpoint, status=status)
         self._request_seconds.observe(
-            perf_counter() - started, endpoint=endpoint
+            elapsed, exemplar=exemplar, endpoint=endpoint
         )
+        self.slo.record(endpoint, status, elapsed)
+
+    def _finish_trace(
+        self,
+        endpoint: str,
+        status: str,
+        trace: "_Trace",
+        error: BaseException | None,
+    ) -> str | None:
+        """Close the root span, restore the context, and offer the tree
+        to the store; returns the trace id if it was kept."""
+        context, token, span_context, span = trace
+        span.set("status", status)
+        if error is not None:
+            span.set("error", type(error).__name__)
+            if isinstance(error, FaultInjected):
+                span.set("fault", True)
+            try:
+                # Join handle for error envelopes and the query log.
+                error.trace_id = context.trace_id  # type: ignore[attr-defined]
+            except AttributeError:  # pragma: no cover - slotted exception
+                pass
+        span_context.__exit__(None, None, None)
+        _trace_context.restore(token)
+        reasons = self.traces.offer(
+            context.trace_id,
+            span,
+            sampled=context.sampled,
+            endpoint=endpoint,
+            status=status,
+            error=status in ("500", "504"),
+        )
+        return context.trace_id if reasons else None
 
     def _execute(
         self,
@@ -685,7 +801,13 @@ class QueryService:
         admitted_at: float,
     ) -> dict[str, Any]:
         """Worker-side: evaluate with whatever budget queueing left."""
-        remaining = budget - (monotonic() - admitted_at)
+        queued = monotonic() - admitted_at
+        remaining = budget - queued
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            # The request span crossed the pool boundary with this job's
+            # context copy; backdate a span for the time spent queued.
+            tracer.record_span("queue.wait", queued, budget=budget)
         if remaining <= 0:
             raise QueryTimeout(budget)
         self._inflight_gauge.inc()
@@ -743,7 +865,32 @@ class QueryService:
         if new_evictions > 0:
             self._cache_evictions.inc(new_evictions)
             self._evictions_seen = snapshot["evictions"]
+        self.slo.snapshot()  # refresh the slo_* gauges at scrape time
         return self.telemetry.snapshot()
+
+    def slo_snapshot(self) -> dict[str, Any]:
+        """Objectives, burn rates, and alert state (``/slo``)."""
+        return {
+            "objectives": self.slo.snapshot(),
+            "health": self.health.snapshot(),
+            "tracing": self.traces is not None,
+            "traces": self.traces.stats() if self.traces is not None else None,
+        }
+
+    def trace_tree(self, trace_id: str) -> dict[str, Any] | None:
+        """The stitched span tree of one kept trace, or ``None``."""
+        if self.traces is None:
+            return None
+        kept = self.traces.get(trace_id)
+        return kept.to_dict() if kept is not None else None
+
+    def trace_summaries(
+        self, limit: int = 50, sort: str = "recent"
+    ) -> list[dict[str, Any]]:
+        """Kept-trace listing rows (``/debug/traces``, ``repro top``)."""
+        if self.traces is None:
+            return []
+        return self.traces.summaries(limit=limit, sort=sort)
 
     def close(self) -> None:
         """Stop admitting work and drain the pool."""

@@ -48,8 +48,15 @@ from repro.algebra.parser import parse
 from repro.core.instance import Instance
 from repro.core.regionset import RegionSet
 from repro.core.wordindex import TextWordIndex
-from repro.errors import EvaluationError, QueryCancelled, QueryTimeout, ReproError
+from repro.errors import (
+    EvaluationError,
+    FaultInjected,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+)
 from repro.faults import registry as _faults
+from repro.obs import context as _trace_context
 from repro.obs.trace import maybe_span
 from repro.shard.merge import merge_region_sets
 from repro.shard.partition import Partition, partition_instance
@@ -147,19 +154,54 @@ def _process_init(segments: tuple[Instance, ...], strategy: str) -> None:
 
 
 def _process_task(
-    index: int, exprs: list[A.Expr], want: str, deadline: float | None
-) -> tuple[float, list[Any]]:
+    index: int,
+    exprs: list[A.Expr],
+    want: str,
+    deadline: float | None,
+    trace: dict[str, Any] | None = None,
+) -> tuple[float, list[Any], dict[str, Any] | None]:
+    """One shard's work inside a worker process.
+
+    ``trace`` is the coordinator's :class:`TraceContext` as a dict (the
+    context variable itself cannot cross the pickle boundary).  When
+    present, the worker re-activates it — so the head-sampling decision
+    still gates ``eval.*`` detail — runs under a process-local tracer,
+    and ships the finished ``shard.task`` subtree back as the third
+    element for the coordinator to re-parent with :meth:`Tracer.adopt`.
+    """
     assert _PROCESS_SEGMENTS is not None and _PROCESS_EVALUATOR is not None
-    started = perf_counter()
     instance = _PROCESS_SEGMENTS[index]
     memo: dict[A.Expr, RegionSet] = {}
-    out: list[Any] = []
-    for expr in exprs:
-        result = _PROCESS_EVALUATOR.evaluate_with(
-            expr, instance, memo, deadline=deadline
-        )
-        out.append(_summarize(result) if want == "exchange" else result)
-    return (perf_counter() - started, out)
+    if trace is None:
+        started = perf_counter()
+        out: list[Any] = []
+        for expr in exprs:
+            result = _PROCESS_EVALUATOR.evaluate_with(
+                expr, instance, memo, deadline=deadline
+            )
+            out.append(_summarize(result) if want == "exchange" else result)
+        return (perf_counter() - started, out, None)
+
+    from repro.obs.trace import Tracer, span_to_dict
+
+    tracer = Tracer(enabled=True)
+    evaluator = ShardEvaluator(_PROCESS_EVALUATOR.strategy, tracer=tracer)
+    token = _trace_context.activate(
+        _trace_context.TraceContext.from_dict(trace)
+    )
+    try:
+        with tracer.span("shard.task", shard=index) as span:
+            started = perf_counter()
+            out = []
+            for expr in exprs:
+                result = evaluator.evaluate_with(
+                    expr, instance, memo, deadline=deadline
+                )
+                out.append(_summarize(result) if want == "exchange" else result)
+            seconds = perf_counter() - started
+        return (seconds, out, span_to_dict(span))
+    finally:
+        _trace_context.restore(token)
 
 
 class ShardExecutor:
@@ -351,6 +393,15 @@ class ShardExecutor:
         stats.merge_seconds = perf_counter() - merge_started
         if self._merge_hist is not None:
             self._merge_hist.observe(stats.merge_seconds)
+        if self.tracer is not None and self.tracer.enabled:
+            # Timed around the call rather than with an open span so the
+            # merge itself runs unobserved; backdated under shard.query.
+            self.tracer.record_span(
+                "shard.merge",
+                stats.merge_seconds,
+                shards=len(per_shard),
+                cardinality=len(result),
+            )
         return result
 
     def _single_shard(self, expr, budget, deadline_at, cancel) -> RegionSet:
@@ -408,21 +459,39 @@ class ShardExecutor:
         segments = self.partition.segments
 
         def task(i: int) -> tuple[float, list[Any]]:
-            if _faults._active is not None:
-                _faults._active.fire("shard.task")
-            with maybe_span(self.tracer, "shard.task", shard=i, phase=phase):
-                started = perf_counter()
-                out: list[Any] = []
-                for expr in shard_exprs[i]:
-                    result = evaluator.evaluate_with(
-                        expr,
-                        segments[i].instance,
-                        memos[i],
-                        deadline=_remaining(deadline_at, budget),
-                        cancel=token,
-                    )
-                    out.append(_summarize(result) if want == "exchange" else result)
-                return (perf_counter() - started, out)
+            # The fault point fires *inside* the span so an injected
+            # fault leaves a fault-marked shard.task span in the trace —
+            # the invariant the chaos harness audits.
+            with maybe_span(
+                self.tracer, "shard.task", shard=i, phase=phase
+            ) as span:
+                try:
+                    if _faults._active is not None:
+                        _faults._active.fire("shard.task")
+                    started = perf_counter()
+                    out: list[Any] = []
+                    for expr in shard_exprs[i]:
+                        result = evaluator.evaluate_with(
+                            expr,
+                            segments[i].instance,
+                            memos[i],
+                            deadline=_remaining(deadline_at, budget),
+                            cancel=token,
+                        )
+                        out.append(
+                            _summarize(result) if want == "exchange" else result
+                        )
+                    return (perf_counter() - started, out)
+                except FaultInjected:
+                    if span is not None:
+                        span.set("fault", True)
+                    raise
+                except (QueryCancelled, QueryTimeout):
+                    raise
+                except Exception as exc:
+                    if span is not None:
+                        span.set("error", type(exc).__name__)
+                    raise
 
         if self.pool_kind == "serial":
             return [
@@ -499,18 +568,39 @@ class ShardExecutor:
         so cancellation is only observed between tasks."""
         k = len(self.partition)
         pool = self._ensure_pool()
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.enabled
+        trace_arg: dict[str, Any] | None = None
+        if tracing:
+            context = _trace_context.current()
+            trace_arg = (
+                context.to_dict()
+                if context is not None
+                else {"trace_id": "", "sampled": True}
+            )
 
         def submit(i: int):
             if token.is_set():
                 raise QueryCancelled()
             if _faults._active is not None:
-                _faults._active.fire("shard.task")
+                try:
+                    _faults._active.fire("shard.task")
+                except FaultInjected:
+                    if tracing:
+                        # The fault struck before the task left the
+                        # coordinator; synthesize the fault-marked span
+                        # the worker never got to record.
+                        tracer.record_span(
+                            "shard.task", 0.0, shard=i, phase=phase, fault=True
+                        )
+                    raise
             return pool.submit(
                 _process_task,
                 i,
                 shard_exprs[i],
                 want,
                 _remaining(deadline_at, budget),
+                trace_arg,
             )
 
         outs: list[list[Any]] = []
@@ -532,12 +622,12 @@ class ShardExecutor:
                     raise _Degrade(phase, i) from exc
         for i, future in enumerate(futures):
             try:
-                seconds, payload = future.result()
+                seconds, payload, span_dump = future.result()
             except (QueryCancelled, QueryTimeout):
                 raise
             except Exception:
                 try:
-                    seconds, payload = self._retry_process(
+                    seconds, payload, span_dump = self._retry_process(
                         submit, i, phase, stats
                     )
                 except (QueryCancelled, QueryTimeout):
@@ -547,11 +637,20 @@ class ShardExecutor:
             timings[i] = seconds
             self._observe_task(phase, seconds)
             outs.append(payload)
+            if tracing and span_dump is not None:
+                # Re-parent the worker's shipped subtree under the
+                # coordinator's current span so the stitched trace
+                # crosses the process boundary.
+                adopted = tracer.adopt(span_dump)
+                if adopted is not None:
+                    adopted.set("phase", phase)
             if token.is_set():
                 raise QueryCancelled()
         return outs
 
-    def _retry_process(self, submit, i, phase, stats) -> tuple[float, list[Any]]:
+    def _retry_process(
+        self, submit, i, phase, stats
+    ) -> tuple[float, list[Any], dict[str, Any] | None]:
         stats.retries += 1
         if self._retries_total is not None:
             self._retries_total.inc(phase=phase)

