@@ -1,0 +1,54 @@
+"""Multi-process shard backends behind a frontier.
+
+PR 5 made sharded evaluation parallel *within* one process; this
+package promotes shard groups to independent **backends** so the
+serving layer survives the death of a whole evaluation process:
+
+* :mod:`repro.backend.base` — the transport-agnostic
+  :class:`ShardBackend` interface, plus the slice machinery both
+  implementations share: a backend serves group ``g`` of a corpus
+  partitioned into ``G`` groups, evaluating rewritten sub-plans (the
+  same text-protocol exchange rounds the in-process executor runs)
+  against its restricted sub-instance;
+* :mod:`repro.backend.inprocess` — backends as plain objects in the
+  frontier's process (the refactored form of the executor's pools, and
+  the test/bench harness for failover and hedging);
+* :mod:`repro.backend.httpclient` — backends as separate ``repro
+  serve`` subprocesses spoken to over ``POST /shard/query`` with
+  deadline and trace context propagated in headers;
+* :mod:`repro.backend.ring` — consistent-hash placement of
+  ``(corpus, group)`` onto R of N backend nodes;
+* :mod:`repro.backend.frontier` — scatter-gather with per-backend
+  circuit breakers, replica failover, and hedged requests;
+* :mod:`repro.backend.supervisor` — subprocess lifecycle: spawn, watch,
+  respawn after a crash (and SIGKILL on demand, for the chaos harness).
+
+``docs/server.md`` ("Topology & failover") is the operator guide;
+``docs/robustness.md`` documents the backend-kill chaos mode.
+"""
+
+from repro.backend.base import (
+    BackendResult,
+    ShardBackend,
+    SliceProvider,
+    evaluate_slice,
+)
+from repro.backend.frontier import BackendNode, FrontierExecutor, FrontierStats
+from repro.backend.httpclient import HTTPBackend
+from repro.backend.inprocess import InProcessBackend
+from repro.backend.ring import HashRing
+from repro.backend.supervisor import BackendSupervisor
+
+__all__ = [
+    "BackendNode",
+    "BackendResult",
+    "BackendSupervisor",
+    "FrontierExecutor",
+    "FrontierStats",
+    "HTTPBackend",
+    "HashRing",
+    "InProcessBackend",
+    "ShardBackend",
+    "SliceProvider",
+    "evaluate_slice",
+]

@@ -1,0 +1,282 @@
+"""The transport-agnostic shard-backend interface and slice evaluation.
+
+A **backend** answers one RPC: *evaluate these query texts against your
+slice of a corpus*.  The frontier partitions each corpus into ``G``
+shard groups (the same deterministic top-level-forest cut as
+:mod:`repro.shard.partition`, so every replica of a group computes an
+identical slice independently) and drives the executor's exchange
+protocol over a text wire format:
+
+* ``queries`` — sub-plans as canonical query text
+  (:func:`~repro.algebra.printer.to_text` round-trips through
+  :func:`~repro.algebra.parser.parse`, the same property the result
+  cache's normalized keys already rely on);
+* ``bounds`` — resolved ordering nodes, keyed by *their* printed text
+  and valued by the globally folded scalar (``None`` = globally empty
+  right operand).  The backend re-finds each node in its parsed AST by
+  printed text — sound because the evaluator's node equality is
+  structural and an exchanged scalar is context-independent;
+* ``want`` — ``"sets"`` for region results, ``"exchange"`` for the two
+  scalars per query that exchange rounds fold.
+
+Match points route exactly as in the in-process executor: the word
+index is position-keyed and shared by every restriction, so a backend
+keeps only the occurrences whose left endpoint its group owns; an
+occurrence spanning a cut raises
+:class:`~repro.errors.BackendUnsupportedError`, which the frontier
+answers with the always-correct local fallback rather than failover
+(every replica would refuse identically).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.algebra import ast as A
+from repro.algebra.parser import parse
+from repro.algebra.printer import to_text
+from repro.core.instance import Instance
+from repro.core.regionset import RegionSet
+from repro.core.wordindex import TextWordIndex
+from repro.errors import BackendUnsupportedError
+from repro.shard.merge import summarize_result
+from repro.shard.partition import Segment, partition_instance
+from repro.shard.rewrite import ShardEvaluator, rewrite
+
+__all__ = [
+    "BackendResult",
+    "ShardBackend",
+    "ShardSlice",
+    "SliceProvider",
+    "evaluate_slice",
+]
+
+
+@dataclass(frozen=True)
+class BackendResult:
+    """One backend RPC's answer.
+
+    ``payload`` holds one entry per query text: ``[[left, right], …]``
+    region pairs for ``want="sets"``, a ``(max_left, min_right)`` pair
+    (``None``\\ s when empty) for ``want="exchange"``.  ``span`` is an
+    optional :func:`~repro.obs.trace.span_to_dict` dump of the
+    backend-side span subtree, for the frontier to re-parent with
+    :meth:`~repro.obs.trace.Tracer.adopt`.
+    """
+
+    payload: list[Any]
+    generation: int
+    seconds: float
+    node: str = ""
+    span: dict[str, Any] | None = None
+
+
+class ShardBackend:
+    """One backend node the frontier can scatter shard work to.
+
+    Implementations: :class:`~repro.backend.inprocess.InProcessBackend`
+    (same process) and :class:`~repro.backend.httpclient.HTTPBackend`
+    (a ``repro serve`` subprocess).  Both are safe to call from
+    concurrent frontier threads.
+    """
+
+    node_id: str = ""
+
+    def shard_query(
+        self,
+        corpus: str,
+        group: int,
+        groups: int,
+        queries: Sequence[str],
+        want: str,
+        bounds: Mapping[str, int | None],
+        deadline: float | None = None,
+        trace: Mapping[str, Any] | None = None,
+    ) -> BackendResult:
+        """Evaluate ``queries`` against group ``group`` of ``groups``.
+
+        Raises :class:`~repro.errors.BackendError` for failures worth
+        failing over (transport, remote crash),
+        :class:`~repro.errors.BackendUnsupportedError` when no replica
+        could answer soundly, and :class:`~repro.errors.QueryTimeout`
+        when the propagated deadline expired remotely.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, Any]:
+        return {"node": self.node_id, "transport": type(self).__name__}
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+@dataclass(frozen=True)
+class ShardSlice:
+    """Group ``g``-of-``G`` of one corpus generation, ready to evaluate.
+
+    ``segment.instance`` is the restricted sub-instance; its word index
+    is the *full* corpus index (shared by construction —
+    ``W(r, p)`` is position-keyed), which is what lets a slice route
+    match points by ownership without seeing its siblings.
+    """
+
+    segment: Segment
+    group: int
+    groups: int
+    generation: int
+    evaluator: ShardEvaluator
+
+
+class SliceProvider:
+    """Builds and caches :class:`ShardSlice`\\ s per corpus generation.
+
+    ``lookup(corpus)`` returns ``(instance, generation)`` for the
+    *current* generation — the query service backs it with its corpus
+    handles, a backend subprocess with its own engines.  Partitions are
+    cached per ``(corpus, generation, groups)`` and older generations
+    are dropped on sight, so a hot reload invalidates slices the same
+    way it invalidates the result cache.
+    """
+
+    def __init__(
+        self,
+        lookup: Callable[[str], tuple[Instance, int]],
+        strategy: str = "indexed",
+        tracer: Any = None,
+    ):
+        self._lookup = lookup
+        self._strategy = strategy
+        self._tracer = tracer
+        self._lock = threading.Lock()
+        #: (corpus, groups) ->
+        #:     (generation, partition, evaluator, empty segment | None)
+        self._cache: dict[tuple[str, int], list[Any]] = {}
+
+    def slice_for(self, corpus: str, group: int, groups: int) -> ShardSlice:
+        if groups < 1 or not (0 <= group < groups):
+            raise BackendUnsupportedError(
+                f"bad slice request: group {group} of {groups}"
+            )
+        instance, generation = self._lookup(corpus)
+        key = (corpus, groups)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None and cached[0] == generation:
+                _, partition, evaluator, empty = cached
+            else:
+                partition = partition_instance(instance, groups)
+                evaluator = ShardEvaluator(self._strategy, tracer=self._tracer)
+                empty = None
+                cached = [generation, partition, evaluator, empty]
+                self._cache[key] = cached
+            if group >= len(partition.segments):
+                # A corpus with fewer top-level trees than groups cannot
+                # be cut that finely; surplus groups own nothing and
+                # answer every query with an empty slice, which keeps
+                # placement uniform across corpora of any shape.
+                if empty is None:
+                    empty = _empty_segment(instance)
+                    cached[3] = empty
+                segment = empty
+            else:
+                segment = partition.segments[group]
+        return ShardSlice(
+            segment=segment,
+            group=group,
+            groups=groups,
+            generation=generation,
+            evaluator=evaluator,
+        )
+
+
+def _empty_segment(instance: Instance) -> Segment:
+    """A segment owning no positions and holding no regions — what a
+    surplus group (more groups than top-level trees) evaluates against.
+    The inverted ownership span makes ``owns()`` false everywhere, so
+    match-point routing keeps nothing either."""
+    hollow = Instance(
+        {name: RegionSet(()) for name in instance.names},
+        instance.word_index,
+        validate=False,
+    )
+    return Segment(
+        index=-1, instance=hollow, roots=(), own_left=1, own_right=0
+    )
+
+
+def _route_points(slice_: ShardSlice, patterns: set[str]) -> dict[str, tuple]:
+    """This slice's share of each pattern's occurrences, by ownership of
+    the left endpoint — the backend-side half of the executor's router."""
+    if not patterns:
+        return {}
+    word_index = slice_.segment.instance.word_index
+    if not isinstance(word_index, TextWordIndex):
+        raise BackendUnsupportedError(
+            "match points need a text-backed word index"
+        )
+    segment = slice_.segment
+    routed: dict[str, tuple] = {}
+    for pattern in patterns:
+        kept = []
+        for region in word_index.match_points(pattern):
+            if not segment.owns(region.left):
+                continue
+            if segment.own_right is not None and region.right > segment.own_right:
+                # The occurrence crosses a cut: no slice can host it
+                # soundly, so the whole query must go single-process.
+                raise BackendUnsupportedError(
+                    f"occurrence of {pattern!r} spans a partition cut"
+                )
+            kept.append(region)
+        routed[pattern] = tuple(kept)
+    return routed
+
+
+def evaluate_slice(
+    slice_: ShardSlice,
+    queries: Sequence[str],
+    want: str,
+    bounds: Mapping[str, int | None],
+    deadline: float | None = None,
+) -> tuple[list[Any], float]:
+    """Evaluate query texts against one slice; the shared core of both
+    backend implementations (and of the HTTP server's ``/shard/query``).
+
+    Returns ``(payload, seconds)`` with ``payload`` per
+    :class:`BackendResult`.
+    """
+    if want not in ("sets", "exchange"):
+        raise BackendUnsupportedError(f"unknown want {want!r}")
+    exprs = [parse(text) for text in queries]
+    node_bounds: dict[A.Expr, int | None] = {}
+    patterns: set[str] = set()
+    for expr in exprs:
+        for node in A.walk(expr):
+            if isinstance(node, A.MatchPoints):
+                patterns.add(node.pattern)
+            elif isinstance(node, (A.Preceding, A.Following)):
+                if node not in node_bounds:
+                    resolved = bounds.get(to_text(node), _UNRESOLVED)
+                    if resolved is not _UNRESOLVED:
+                        node_bounds[node] = resolved
+    points = _route_points(slice_, patterns)
+    memo: dict[A.Expr, Any] = {}
+    payload: list[Any] = []
+    started = perf_counter()
+    for expr in exprs:
+        rewritten = rewrite(expr, node_bounds, points)
+        result = slice_.evaluator.evaluate_with(
+            rewritten, slice_.segment.instance, memo, deadline=deadline
+        )
+        if want == "exchange":
+            payload.append(list(summarize_result(result)))
+        else:
+            payload.append([[r.left, r.right] for r in result])
+    return payload, perf_counter() - started
+
+
+#: Sentinel distinguishing "no bound sent" from "bound is None (empty)".
+_UNRESOLVED = object()

@@ -1,0 +1,547 @@
+"""The frontier: scatter sub-plans to backends, survive their deaths.
+
+:class:`FrontierExecutor` mirrors the in-process
+:class:`~repro.shard.ShardExecutor` round for round — exchange rounds
+folding two scalars per ordering node, then a final scatter and an
+order-preserving k-way merge — but each shard group's task goes to a
+**backend node** chosen by consistent hashing, with three layers of
+robustness per call:
+
+1. **Per-backend circuit breakers** — a node that keeps failing stops
+   being asked (its breaker opens), is re-probed on a timer, and its
+   replicas absorb the traffic meanwhile;
+2. **Replica failover** — each ``(corpus, group)`` maps to ``R``
+   distinct nodes in ring order; a failed or breaker-open replica
+   means trying the next, and only when *every* replica of some group
+   is gone does the frontier raise
+   :class:`~repro.errors.BackendUnavailableError` (the query service
+   then degrades to local single-process evaluation — complete and
+   correct, just not distributed);
+3. **Hedged requests** — when the primary replica has not answered
+   within its own recent latency quantile, the same call is issued to
+   the next replica and the first answer wins.  Hedges are metered by
+   a budget (a fraction of primary calls) so tail tolerance cannot
+   double the request volume.
+
+Deadlines and trace context propagate into every call; backend span
+subtrees are adopted under the frontier's current span, so one stitched
+trace crosses the process hop.  The ``backend.rpc`` fault point fires
+frontier-side per call attempt, covering both transports.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from time import monotonic, perf_counter
+from typing import Any, Mapping, Sequence
+
+from repro.algebra import ast as A
+from repro.algebra.printer import to_text
+from repro.backend.base import ShardBackend
+from repro.backend.ring import HashRing
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+from repro.errors import (
+    BackendError,
+    BackendUnavailableError,
+    BackendUnsupportedError,
+    FaultInjected,
+    QueryTimeout,
+)
+from repro.faults import registry as _faults
+from repro.faults.retry import CircuitBreaker
+from repro.obs import context as _trace_context
+from repro.shard.merge import merge_region_sets
+from repro.shard.planner import classify
+
+__all__ = ["BackendNode", "FrontierExecutor", "FrontierStats"]
+
+#: Latency samples kept per node for the hedge-trigger quantile.
+_LATENCY_WINDOW = 64
+
+
+class BackendNode:
+    """One backend plus its frontier-side health state."""
+
+    def __init__(self, backend: ShardBackend, breaker: CircuitBreaker):
+        self.backend = backend
+        self.id = backend.node_id
+        self.breaker = breaker
+        self._lock = threading.Lock()
+        self._latencies: list[float] = []
+        self._next = 0
+        self.requests = 0
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self.requests += 1
+            if len(self._latencies) < _LATENCY_WINDOW:
+                self._latencies.append(seconds)
+            else:
+                self._latencies[self._next] = seconds
+                self._next = (self._next + 1) % _LATENCY_WINDOW
+    def latency_quantile(self, fraction: float) -> float | None:
+        """The windowed latency quantile, or ``None`` with no samples."""
+        with self._lock:
+            if not self._latencies:
+                return None
+            ordered = sorted(self._latencies)
+        rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            samples = sorted(self._latencies)
+            requests = self.requests
+        quantile = lambda f: (  # noqa: E731 - tiny local helper
+            round(samples[min(len(samples) - 1, round(f * (len(samples) - 1)))] * 1e3, 3)
+            if samples
+            else None
+        )
+        return {
+            **self.backend.describe(),
+            "breaker": self.breaker.snapshot(),
+            "requests": requests,
+            "latency_ms": {"p50": quantile(0.50), "p95": quantile(0.95)},
+        }
+
+
+@dataclass
+class FrontierStats:
+    """Accounting for one :meth:`FrontierExecutor.run`."""
+
+    groups: int
+    rounds: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    failovers: int = 0
+    breaker_skips: int = 0
+    nodes_used: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "groups": self.groups,
+            "rounds": self.rounds,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "failovers": self.failovers,
+            "nodes": sorted(set(self.nodes_used)),
+        }
+
+
+class _HedgeBudget:
+    """Token meter: hedges may not exceed ``budget`` × primary calls."""
+
+    def __init__(self, budget: float):
+        self.budget = budget
+        self._lock = threading.Lock()
+        self._primaries = 0
+        self._hedges = 0
+
+    def record_primary(self) -> None:
+        with self._lock:
+            self._primaries += 1
+
+    def take(self) -> bool:
+        if self.budget <= 0:
+            return False
+        with self._lock:
+            if self._hedges + 1 <= self.budget * max(1, self._primaries):
+                self._hedges += 1
+                return True
+            return False
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {"primaries": self._primaries, "hedges": self._hedges}
+
+
+class FrontierExecutor:
+    """See the module docstring."""
+
+    def __init__(
+        self,
+        nodes: Sequence[BackendNode],
+        groups: int,
+        replicas: int = 1,
+        hedge_quantile: float = 0.95,
+        hedge_min_seconds: float = 0.05,
+        hedge_budget: float = 0.1,
+        metrics: Any = None,
+        tracer: Any = None,
+    ):
+        if groups < 1:
+            raise ValueError("the frontier needs at least one shard group")
+        if not nodes:
+            raise ValueError("the frontier needs at least one backend node")
+        self.nodes = list(nodes)
+        self.groups = groups
+        self.replicas = min(max(1, replicas), len(self.nodes))
+        self.hedge_quantile = hedge_quantile
+        self.hedge_min_seconds = hedge_min_seconds
+        self._budget = _HedgeBudget(hedge_budget)
+        self.tracer = tracer
+        self._by_id = {node.id: node for node in self.nodes}
+        self._ring = HashRing([node.id for node in self.nodes])
+        # Group fan-out and hedged calls run on separate pools so a
+        # hedge can never deadlock behind the group tasks that need it.
+        self._group_pool = ThreadPoolExecutor(
+            max_workers=max(2, groups), thread_name_prefix="repro-frontier"
+        )
+        self._call_pool = ThreadPoolExecutor(
+            max_workers=max(4, 2 * groups + 2), thread_name_prefix="repro-hedge"
+        )
+        self._requests = self._rpc_seconds = None
+        self._failovers = self._hedges = self._hedge_wins = None
+        if metrics is not None:
+            from repro.obs.metrics import (
+                BACKEND_FAILOVERS_TOTAL,
+                BACKEND_HEDGE_WINS_TOTAL,
+                BACKEND_HEDGES_TOTAL,
+                BACKEND_REQUESTS_TOTAL,
+                BACKEND_RPC_SECONDS,
+            )
+
+            self._requests = metrics.counter(
+                BACKEND_REQUESTS_TOTAL, help="backend RPCs by node and outcome"
+            )
+            self._rpc_seconds = metrics.histogram(BACKEND_RPC_SECONDS)
+            self._failovers = metrics.counter(BACKEND_FAILOVERS_TOTAL)
+            self._hedges = metrics.counter(BACKEND_HEDGES_TOTAL)
+            self._hedge_wins = metrics.counter(BACKEND_HEDGE_WINS_TOTAL)
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._group_pool.shutdown(wait=False, cancel_futures=True)
+        self._call_pool.shutdown(wait=False, cancel_futures=True)
+        for node in self.nodes:
+            node.backend.close()
+
+    def replicas_for(self, corpus: str, group: int) -> list[BackendNode]:
+        """The ring-ordered replica set serving ``(corpus, group)``."""
+        ids = self._ring.nodes_for(f"{corpus}|{group}", self.replicas)
+        return [self._by_id[node_id] for node_id in ids]
+
+    def placement(self, corpora: Sequence[str]) -> dict[str, dict[str, list[str]]]:
+        return {
+            corpus: {
+                str(group): [n.id for n in self.replicas_for(corpus, group)]
+                for group in range(self.groups)
+            }
+            for corpus in corpora
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "groups": self.groups,
+            "replicas": self.replicas,
+            "hedge": {
+                "quantile": self.hedge_quantile,
+                "min_seconds": self.hedge_min_seconds,
+                "budget": self._budget.budget,
+                **self._budget.snapshot(),
+            },
+            "nodes": [node.snapshot() for node in self.nodes],
+        }
+
+    # ------------------------------------------------------------------
+    # The query path.
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        corpus: str,
+        expr: A.Expr,
+        deadline: float | None = None,
+    ) -> tuple[RegionSet, FrontierStats]:
+        """Evaluate ``expr`` over all shard groups of ``corpus``.
+
+        Same result as single-process evaluation.  Raises
+        :class:`~repro.errors.BackendUnsupportedError` (caller must
+        evaluate locally), :class:`~repro.errors.BackendUnavailableError`
+        (caller should evaluate locally and mark the response degraded),
+        or :class:`~repro.errors.QueryTimeout`.
+        """
+        deadline_at = monotonic() + deadline if deadline is not None else None
+        stats = FrontierStats(groups=self.groups)
+        trace = _trace_context.current()
+        trace_dict = trace.to_dict() if trace is not None else None
+        plan = classify(expr)
+        stats.rounds = plan.rounds
+        bounds_text: dict[str, int | None] = {}
+        for round_no in range(1, plan.rounds + 1):
+            nodes_in_round = plan.nodes_in_round(round_no)
+            rights = list(dict.fromkeys(b.node.right for b in nodes_in_round))
+            texts = [to_text(right) for right in rights]
+            per_group = self._scatter(
+                corpus, texts, "exchange", dict(bounds_text), deadline_at, trace_dict, stats
+            )
+            for j, right in enumerate(rights):
+                max_left: int | None = None
+                min_right: int | None = None
+                for group_payload in per_group:
+                    ml, mr = group_payload[j]
+                    if ml is not None and (max_left is None or ml > max_left):
+                        max_left = ml
+                    if mr is not None and (min_right is None or mr < min_right):
+                        min_right = mr
+                for b in nodes_in_round:
+                    if b.node.right == right:
+                        bounds_text[to_text(b.node)] = (
+                            max_left
+                            if isinstance(b.node, A.Preceding)
+                            else min_right
+                        )
+        per_group = self._scatter(
+            corpus,
+            [to_text(expr)],
+            "sets",
+            dict(bounds_text),
+            deadline_at,
+            trace_dict,
+            stats,
+        )
+        merged = merge_region_sets(
+            [
+                RegionSet(Region(int(l), int(r)) for l, r in payload[0])
+                for payload in per_group
+            ]
+        )
+        return merged, stats
+
+    # ------------------------------------------------------------------
+
+    def _scatter(
+        self, corpus, texts, want, bounds, deadline_at, trace, stats
+    ) -> list[list[Any]]:
+        """One parallel phase: every group's payload, in group order."""
+        if self.groups == 1:
+            return [
+                self._call_group(corpus, 0, texts, want, bounds, deadline_at, trace, stats)
+            ]
+        futures = []
+        for group in range(self.groups):
+            ctx = contextvars.copy_context()
+            futures.append(
+                self._group_pool.submit(
+                    ctx.run,
+                    self._call_group,
+                    corpus,
+                    group,
+                    texts,
+                    want,
+                    bounds,
+                    deadline_at,
+                    trace,
+                    stats,
+                )
+            )
+        outs: list[list[Any]] = []
+        error: BaseException | None = None
+        for future in futures:
+            try:
+                outs.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                error = error or exc
+        if error is not None:
+            raise error
+        return outs
+
+    def _call_group(
+        self, corpus, group, texts, want, bounds, deadline_at, trace, stats
+    ) -> list[Any]:
+        """One group's payload: hedged first wave, then failover."""
+        order = self.replicas_for(corpus, group)
+        tried: set[str] = set()
+        attempts: list[str] = []
+        primary = self._next_replica(order, tried, attempts, stats)
+        if primary is not None:
+            payload = self._hedged_call(
+                primary, order, tried, attempts,
+                corpus, group, texts, want, bounds, deadline_at, trace, stats,
+            )
+            if payload is not None:
+                return payload
+        while True:
+            node = self._next_replica(order, tried, attempts, stats)
+            if node is None:
+                break
+            tried.add(node.id)
+            try:
+                payload = self._invoke(
+                    node, corpus, group, texts, want, bounds, deadline_at, trace, stats
+                )
+                node.breaker.record_success()
+                return payload
+            except (BackendUnsupportedError, QueryTimeout):
+                raise
+            except BackendError as exc:
+                node.breaker.record_failure()
+                self._count_failover(corpus)
+                stats.failovers += 1
+                attempts.append(f"{node.id}: {exc}")
+        raise BackendUnavailableError(corpus, group, attempts)
+
+    def _next_replica(self, order, tried, attempts, stats) -> BackendNode | None:
+        """The next untried replica whose breaker admits a call.
+
+        ``allow()`` is consulted immediately before use — a half-open
+        breaker's single probe slot must go to a call that actually
+        happens."""
+        for node in order:
+            if node.id in tried:
+                continue
+            if node.breaker.allow():
+                return node
+            tried.add(node.id)
+            stats.breaker_skips += 1
+            attempts.append(f"{node.id}: breaker open")
+        return None
+
+    def _hedged_call(
+        self, primary, order, tried, attempts,
+        corpus, group, texts, want, bounds, deadline_at, trace, stats,
+    ) -> list[Any] | None:
+        """First wave: primary, plus one hedge if it dawdles.  Returns
+        the winning payload, or ``None`` when the whole wave failed
+        (sequential failover then continues over untried replicas)."""
+        tried.add(primary.id)
+        self._budget.record_primary()
+        ctx = contextvars.copy_context()
+        futures: dict[Future, BackendNode] = {
+            self._call_pool.submit(
+                ctx.run, self._invoke,
+                primary, corpus, group, texts, want, bounds, deadline_at, trace, stats,
+            ): primary
+        }
+        hedge_node: BackendNode | None = None
+        delay = self._hedge_delay(primary, deadline_at)
+        if delay is not None:
+            done, _ = wait(set(futures), timeout=delay)
+            if not done:
+                hedge_node = self._next_replica(order, tried, attempts, stats)
+                if hedge_node is not None and self._budget.take():
+                    tried.add(hedge_node.id)
+                    stats.hedges += 1
+                    if self._hedges is not None:
+                        self._hedges.inc(corpus=corpus)
+                    ctx2 = contextvars.copy_context()
+                    futures[
+                        self._call_pool.submit(
+                            ctx2.run, self._invoke,
+                            hedge_node, corpus, group, texts, want, bounds,
+                            deadline_at, trace, stats,
+                        )
+                    ] = hedge_node
+                elif hedge_node is not None:
+                    # Candidate consulted but not called: give back its
+                    # untried status so failover can still use it.
+                    tried.discard(hedge_node.id)
+                    hedge_node = None
+        pending = set(futures)
+        winner: list[Any] | None = None
+        while pending and winner is None:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                node = futures[future]
+                try:
+                    payload = future.result()
+                except (BackendUnsupportedError, QueryTimeout):
+                    self._absorb_losers(pending, futures)
+                    raise
+                except BackendError as exc:
+                    node.breaker.record_failure()
+                    self._count_failover(corpus)
+                    stats.failovers += 1
+                    attempts.append(f"{node.id}: {exc}")
+                    continue
+                node.breaker.record_success()
+                if winner is None:
+                    winner = payload
+                    if node is hedge_node:
+                        stats.hedge_wins += 1
+                        if self._hedge_wins is not None:
+                            self._hedge_wins.inc(corpus=corpus)
+        self._absorb_losers(pending, futures)
+        return winner
+
+    def _absorb_losers(self, pending, futures) -> None:
+        """Record late outcomes of abandoned calls on their breakers."""
+        for future in pending:
+            node = futures[future]
+
+            def settle(f: Future, node: BackendNode = node) -> None:
+                exc = f.exception()
+                if exc is None:
+                    node.breaker.record_success()
+                elif isinstance(exc, BackendError):
+                    node.breaker.record_failure()
+
+            future.add_done_callback(settle)
+
+    def _hedge_delay(self, node: BackendNode, deadline_at) -> float | None:
+        """How long to give the primary before hedging (None = never)."""
+        if self._budget.budget <= 0 or len(self.nodes) < 2:
+            return None
+        quantile = node.latency_quantile(self.hedge_quantile)
+        delay = max(self.hedge_min_seconds, quantile or 0.0)
+        if deadline_at is not None:
+            remaining = deadline_at - monotonic()
+            if remaining <= 0:
+                return None
+            delay = min(delay, remaining)
+        return delay
+
+    def _count_failover(self, corpus: str) -> None:
+        if self._failovers is not None:
+            self._failovers.inc(corpus=corpus)
+
+    # ------------------------------------------------------------------
+
+    def _invoke(
+        self, node, corpus, group, texts, want, bounds, deadline_at, trace, stats
+    ) -> list[Any]:
+        """One attempt against one node: fault point, deadline math,
+        latency/metric accounting, and trace adoption."""
+        if _faults._active is not None:
+            try:
+                _faults._active.fire("backend.rpc")
+            except FaultInjected as exc:
+                if self._requests is not None:
+                    self._requests.inc(node=node.id, outcome="fault")
+                raise BackendError(f"backend {node.id}: {exc}") from exc
+        remaining: float | None = None
+        if deadline_at is not None:
+            remaining = deadline_at - monotonic()
+            if remaining <= 0:
+                raise QueryTimeout(0.0)
+        started = perf_counter()
+        try:
+            result = node.backend.shard_query(
+                corpus, group, self.groups, texts, want, bounds,
+                deadline=remaining, trace=trace,
+            )
+        except BackendError:
+            if self._requests is not None:
+                self._requests.inc(node=node.id, outcome="error")
+            raise
+        seconds = perf_counter() - started
+        node.observe(seconds)
+        stats.nodes_used.append(node.id)
+        if self._requests is not None:
+            self._requests.inc(node=node.id, outcome="ok")
+        if self._rpc_seconds is not None:
+            self._rpc_seconds.observe(seconds)
+        if (
+            result.span is not None
+            and self.tracer is not None
+            and getattr(self.tracer, "enabled", False)
+        ):
+            adopted = self.tracer.adopt(result.span)
+            if adopted is not None:
+                adopted.set("node", node.id)
+        return result.payload

@@ -1,0 +1,82 @@
+"""Shard backends living in the frontier's own process.
+
+The refactored descendant of the shard executor's pools: each
+:class:`InProcessBackend` is one logical node of the topology, serving
+any ``(corpus, group)`` slice from a shared :class:`SliceProvider`.
+The frontier treats it exactly like a remote backend — breakers,
+failover, and hedging all apply — which is what makes single-process
+deployments, the test suite, and the hedging benchmark exercise the
+same code paths as the subprocess topology.
+
+Two plain attributes exist purely as fault hooks for tests, benches,
+and chaos scenarios (real injected faults use the ``backend.rpc``
+registry point, which fires frontier-side for every transport):
+
+* ``inject_latency`` — seconds slept before evaluating, the "slow
+  replica" the hedging benchmark measures against;
+* ``fail_requests`` — the next N calls raise
+  :class:`~repro.errors.BackendError`, a dead-replica stand-in.
+"""
+
+from __future__ import annotations
+
+from time import sleep
+from typing import Any, Mapping, Sequence
+
+from repro.backend.base import (
+    BackendResult,
+    ShardBackend,
+    SliceProvider,
+    evaluate_slice,
+)
+from repro.errors import BackendError
+from repro.obs.trace import maybe_span
+
+__all__ = ["InProcessBackend"]
+
+
+class InProcessBackend(ShardBackend):
+    """See the module docstring."""
+
+    def __init__(self, node_id: str, slices: SliceProvider, tracer: Any = None):
+        self.node_id = node_id
+        self._slices = slices
+        self._tracer = tracer
+        self.inject_latency = 0.0
+        self.fail_requests = 0
+
+    def shard_query(
+        self,
+        corpus: str,
+        group: int,
+        groups: int,
+        queries: Sequence[str],
+        want: str,
+        bounds: Mapping[str, int | None],
+        deadline: float | None = None,
+        trace: Mapping[str, Any] | None = None,
+    ) -> BackendResult:
+        if self.fail_requests > 0:
+            self.fail_requests -= 1
+            raise BackendError(f"backend {self.node_id}: injected failure")
+        if self.inject_latency > 0:
+            sleep(self.inject_latency)
+        slice_ = self._slices.slice_for(corpus, group, groups)
+        # The span lands directly in the frontier's tracer (same
+        # process, contextvars carried the parent in), mirroring the
+        # ``backend.query`` span a subprocess ships back for adoption.
+        with maybe_span(
+            self._tracer, "backend.query", node=self.node_id, group=group
+        ):
+            payload, seconds = evaluate_slice(
+                slice_, queries, want, bounds, deadline=deadline
+            )
+        return BackendResult(
+            payload=payload,
+            generation=slice_.generation,
+            seconds=seconds,
+            node=self.node_id,
+        )
+
+    def describe(self) -> dict[str, Any]:
+        return {"node": self.node_id, "transport": "inprocess"}

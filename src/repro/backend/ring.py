@@ -1,0 +1,66 @@
+"""Consistent-hash placement of shard groups onto backend nodes.
+
+A classic hash ring with virtual nodes: each backend id is hashed onto
+the ring ``vnodes`` times, and a key's replica set is the first ``n``
+*distinct* nodes clockwise from the key's hash.  Placement is a pure
+function of the node-id set, so the frontier and any observer (the
+``/backends`` endpoint, tests) agree on who serves ``(corpus, group)``
+without coordination, and adding or removing one node moves only the
+keys adjacent to its vnodes.
+
+Hashing uses :mod:`hashlib` (md5, not for security — for a stable,
+platform-independent 64-bit ring position; Python's builtin ``hash`` is
+salted per process, which would scramble placement between frontier
+restarts).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+__all__ = ["HashRing"]
+
+
+def _position(text: str) -> int:
+    return int.from_bytes(
+        hashlib.md5(text.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Immutable after construction; see the module docstring."""
+
+    def __init__(self, node_ids: Iterable[str], vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.node_ids = tuple(dict.fromkeys(node_ids))
+        if not self.node_ids:
+            raise ValueError("a hash ring needs at least one node")
+        points: list[tuple[int, str]] = []
+        for node in self.node_ids:
+            for v in range(vnodes):
+                points.append((_position(f"{node}#{v}"), node))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [node for _, node in points]
+
+    def __len__(self) -> int:
+        return len(self.node_ids)
+
+    def nodes_for(self, key: str, n: int = 1) -> list[str]:
+        """The first ``n`` distinct nodes clockwise from ``key`` (all of
+        them, in ring order, when ``n`` exceeds the node count)."""
+        n = min(max(1, n), len(self.node_ids))
+        start = bisect.bisect_left(self._points, _position(key))
+        chosen: list[str] = []
+        seen: set[str] = set()
+        for i in range(len(self._owners)):
+            node = self._owners[(start + i) % len(self._owners)]
+            if node not in seen:
+                seen.add(node)
+                chosen.append(node)
+                if len(chosen) == n:
+                    break
+        return chosen

@@ -214,6 +214,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--optimize", action="store_true", help="optimize queries by default"
     )
     serve.add_argument(
+        "--topology",
+        default=None,
+        metavar="GxR",
+        help="serve through a backend topology of G shard groups with R "
+        "replicas each, e.g. 2x2 (docs/server.md)",
+    )
+    serve.add_argument(
+        "--backend-mode",
+        choices=("inprocess", "http"),
+        default="inprocess",
+        help="where backend nodes live: this process, or supervised "
+        "repro-serve subprocesses",
+    )
+    serve.add_argument(
+        "--backend-nodes",
+        type=int,
+        default=None,
+        help="backend node count (default: the R of --topology)",
+    )
+    serve.add_argument(
+        "--hedge-budget",
+        type=float,
+        default=0.1,
+        help="hedged requests as a fraction of primary calls (0 disables)",
+    )
+    # Hidden: how a supervisor hands corpora to backend subprocesses.
+    serve.add_argument(
+        "--corpus-json",
+        action="append",
+        default=None,
+        help=argparse.SUPPRESS,
+    )
+    serve.add_argument(
         "--trace", action="store_true", help="collect span trees per request"
     )
     serve.add_argument(
@@ -254,6 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--seed", type=int, default=7)
     loadgen.add_argument("--json", action="store_true")
 
+    backends = commands.add_parser(
+        "backends",
+        help="show a running server's backend topology (docs/server.md)",
+    )
+    backends.add_argument("--host", default="127.0.0.1")
+    backends.add_argument("--port", type=int, required=True)
+    backends.add_argument("--json", action="store_true")
+
     top = commands.add_parser(
         "top",
         help="live terminal dashboard for a running server (docs/observability.md)",
@@ -276,6 +317,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = commands.add_parser(
         "chaos",
         help="run the fault-injection scenario (docs/robustness.md)",
+    )
+    chaos.add_argument(
+        "--mode",
+        choices=("service", "backend-kill"),
+        default="service",
+        help="service = fault-point injection against an in-process "
+        "service; backend-kill = SIGKILL shard backend subprocesses "
+        "under load (docs/robustness.md)",
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--scale", type=int, default=2, help="corpus size")
@@ -538,12 +587,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 scale=args.scale,
             )
         )
+    for raw in args.corpus_json or ():
+        # The supervisor's wire format: one CorpusSpec as JSON per flag.
+        specs.append(CorpusSpec(**json.loads(raw)))
     if not specs:
         print(
             "error: nothing to serve (pass index files and/or --synthetic)",
             file=sys.stderr,
         )
         return 1
+    groups, replicas = 1, 1
+    if args.topology is not None:
+        try:
+            left, _, right = args.topology.lower().partition("x")
+            groups, replicas = int(left), int(right)
+        except ValueError:
+            print(
+                f"error: --topology wants GxR (e.g. 2x2), got {args.topology!r}",
+                file=sys.stderr,
+            )
+            return 1
+    nodes = args.backend_nodes
+    if nodes is None:
+        nodes = replicas if args.topology is not None else 0
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -558,6 +624,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_sample_rate=args.trace_sample,
         corpora=tuple(specs),
         shards=args.shards,
+        backend_nodes=nodes,
+        backend_groups=groups,
+        backend_replicas=replicas,
+        backend_mode=args.backend_mode,
+        backend_hedge_budget=args.hedge_budget,
     )
     service = QueryService(config)
     server = create_server(
@@ -571,6 +642,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"cache {'off' if args.no_cache else config.cache_capacity})",
         flush=True,
     )
+    if config.backend_nodes:
+        print(
+            f"backend topology: {config.backend_groups} group(s) x "
+            f"{config.backend_replicas} replica(s) on "
+            f"{config.backend_nodes} {config.backend_mode} node(s)",
+            flush=True,
+        )
     # serve_forever runs on a helper thread so the main thread can wait
     # for SIGINT/SIGTERM and drive one clean shutdown path for both.
     stop = threading.Event()
@@ -617,6 +695,53 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0 if result.status_counts.get("200", 0) > 0 else 1
 
 
+def _cmd_backends(args: argparse.Namespace) -> int:
+    import urllib.request
+
+    url = f"http://{args.host}:{args.port}/backends"
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        info = json.loads(response.read().decode("utf-8"))
+    if args.json:
+        print(json.dumps(info))
+        return 0
+    if not info.get("enabled"):
+        print("backend topology: disabled (single-process evaluation)")
+        return 0
+    hedge = info.get("hedge", {})
+    print(
+        f"backend topology: {info.get('groups')} group(s) x "
+        f"{info.get('replicas')} replica(s), mode {info.get('mode')}"
+    )
+    print(
+        f"hedging: budget {hedge.get('budget')} "
+        f"(p{int(100 * (hedge.get('quantile') or 0))} trigger, "
+        f"{hedge.get('hedges', 0)} hedged / {hedge.get('primaries', 0)} primary)"
+    )
+    for node in info.get("nodes", ()):
+        breaker = node.get("breaker", {})
+        latency = node.get("latency_ms", {})
+        address = f" {node['address']}" if "address" in node else ""
+        print(
+            f"  {node.get('node')}{address}: {breaker.get('state', '?')}, "
+            f"{node.get('requests', 0)} request(s), "
+            f"p50 {latency.get('p50')}ms p95 {latency.get('p95')}ms"
+        )
+    for process in info.get("processes", ()):
+        state = "alive" if process.get("alive") else "dead"
+        print(
+            f"  process {process.get('node')} pid {process.get('pid')}: "
+            f"{state}, {process.get('respawns', 0)} respawn(s)"
+        )
+    placements = info.get("placement", {})
+    for corpus, by_group in sorted(placements.items()):
+        owners = ", ".join(
+            f"g{group}->{'/'.join(nodes)}"
+            for group, nodes in sorted(by_group.items(), key=lambda kv: int(kv[0]))
+        )
+        print(f"  placement[{corpus}]: {owners}")
+    return 0
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from repro.server.dashboard import run_top
 
@@ -634,6 +759,29 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.mode == "backend-kill":
+        from repro.faults.backendchaos import (
+            BackendChaosConfig,
+            run_backend_chaos,
+        )
+
+        backend_config = BackendChaosConfig(
+            seed=args.seed,
+            scale=args.scale,
+            groups=max(2, args.shards),
+            qps=args.qps,
+            concurrency=args.concurrency,
+            warmup_seconds=args.warmup_seconds,
+            kill_seconds=args.fault_seconds,
+            recovery_seconds=args.recovery_seconds,
+        )
+        backend_report = run_backend_chaos(backend_config)
+        if args.json:
+            print(json.dumps(backend_report.summary()))
+        else:
+            print(backend_report.format_report())
+        return 0 if backend_report.ok else 1
+
     from repro.faults.chaos import ChaosConfig, run_chaos
 
     config = ChaosConfig(
@@ -668,6 +816,7 @@ _COMMANDS = {
     "kwic": _cmd_kwic,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "backends": _cmd_backends,
     "top": _cmd_top,
     "chaos": _cmd_chaos,
 }

@@ -216,3 +216,41 @@ class WorkerKilled(FaultInjected):
 
     def __init__(self, point: str = "pool.worker"):
         super().__init__(point, f"injected worker death at {point!r}")
+
+
+class BackendError(ReproError):
+    """A shard-backend RPC failed: transport trouble (connection refused
+    or reset while a backend process is down) or a remote-side error the
+    frontier should treat as "this replica is unhealthy".  The frontier
+    records it on the replica's circuit breaker and fails over to the
+    next replica of the group."""
+
+    code = "backend_error"
+
+
+class BackendUnsupportedError(ReproError):
+    """A backend cannot evaluate its slice of this query soundly (a word
+    occurrence spans a partition cut, or the corpus has no text-backed
+    word index).  Not a replica failure: retrying another replica would
+    fail identically, so the frontier falls back to local single-process
+    evaluation — the same always-correct fallback the in-process shard
+    executor uses."""
+
+    code = "backend_unsupported"
+
+
+class BackendUnavailableError(ReproError):
+    """Every replica of some shard group failed (or had an open
+    breaker).  The frontier degrades to local single-process evaluation;
+    the response is still complete and correct, but marked degraded."""
+
+    code = "backend_unavailable"
+
+    def __init__(self, corpus: str, group: int, attempts: "list[str] | None" = None):
+        self.corpus = corpus
+        self.group = group
+        self.attempts = list(attempts or [])
+        detail = f" ({'; '.join(self.attempts)})" if self.attempts else ""
+        super().__init__(
+            f"no live replica for shard group {group} of corpus {corpus!r}{detail}"
+        )

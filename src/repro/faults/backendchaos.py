@@ -1,0 +1,523 @@
+"""The backend-kill chaos harness behind ``repro chaos --mode backend-kill``.
+
+Runs the full multi-process serving topology — a frontier
+:class:`~repro.server.QueryService` whose
+:class:`~repro.backend.supervisor.BackendSupervisor` spawns real
+``repro serve`` subprocesses as shard backends — under open-loop load,
+then SIGKILLs one backend mid-run.  Four phases:
+
+1. **warmup** — all backends healthy; every response must come off the
+   distributed path, verified region-for-region against a single-process
+   oracle.
+2. **kill** — one backend (the primary replica of the first shard
+   group) is killed with SIGKILL.  The frontier must fail over to the
+   surviving replica: responses may be marked ``degraded`` only while a
+   shard group has genuinely lost all replicas, but **every** ``200``
+   must still match the oracle — the PR-5 invariant across processes:
+   losing backends may cost the distributed path, never correctness.
+3. **respawn wait** — the supervisor restarts the victim on its old
+   port; probe traffic drives the per-backend circuit breakers back to
+   closed.
+4. **recovery** — the same load once more; zero server errors, zero
+   degraded responses, and a final query-by-query equivalence sweep
+   against the oracle over the whole mix.
+
+The report mirrors :class:`~repro.faults.chaos.ChaosReport`:
+``summary()`` for machines, ``format_report()`` for humans, ``ok`` iff
+no invariant broke.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import monotonic, sleep
+from typing import Any
+
+__all__ = ["BackendChaosConfig", "BackendChaosReport", "run_backend_chaos"]
+
+
+@dataclass(frozen=True)
+class BackendChaosConfig:
+    """Knobs for one backend-kill run (defaults match the CI smoke job)."""
+
+    seed: int = 0
+    scale: int = 2  #: size of each generated play
+    documents: int = 3  #: plays concatenated into the corpus (forest roots)
+    groups: int = 2  #: shard groups the frontier scatters to
+    replicas: int = 2  #: replicas per group (must survive one kill)
+    nodes: int = 2  #: backend subprocesses
+    qps: float = 40.0
+    concurrency: int = 4
+    warmup_seconds: float = 1.0
+    kill_seconds: float = 4.0
+    recovery_seconds: float = 3.0
+    kill_after: float = 0.3  #: seconds into the kill phase to SIGKILL
+    breaker_threshold: int = 2
+    breaker_reset: float = 1.0
+    respawn_delay: float = 0.3
+    min_kill_availability: float = 0.9
+    workdir: str | None = None
+
+
+@dataclass
+class BackendChaosReport:
+    """What one backend-kill run observed; ``ok`` iff no invariant broke."""
+
+    seed: int = 0
+    duration_seconds: float = 0.0
+    topology: dict[str, Any] = field(default_factory=dict)
+    responses: dict[str, dict[str, int]] = field(default_factory=dict)
+    degraded: dict[str, int] = field(default_factory=dict)  #: per phase
+    fallbacks: dict[str, int] = field(default_factory=dict)  #: per reason
+    verified_responses: int = 0
+    corrupted_responses: int = 0
+    killed_node: str = ""
+    kill_availability: float = 0.0
+    respawns: int = 0
+    failovers: int = 0
+    hedges: int = 0
+    final_breakers: dict[str, str] = field(default_factory=dict)
+    equivalence_checks: int = 0
+    loadgen: dict[str, Any] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "duration_seconds": round(self.duration_seconds, 2),
+            "topology": self.topology,
+            "responses": self.responses,
+            "degraded": self.degraded,
+            "fallbacks": self.fallbacks,
+            "verified_responses": self.verified_responses,
+            "corrupted_responses": self.corrupted_responses,
+            "killed_node": self.killed_node,
+            "kill_availability": round(self.kill_availability, 4),
+            "respawns": self.respawns,
+            "failovers": self.failovers,
+            "hedges": self.hedges,
+            "final_breakers": self.final_breakers,
+            "equivalence_checks": self.equivalence_checks,
+            "loadgen": self.loadgen,
+            "violations": self.violations,
+        }
+
+    def format_report(self) -> str:
+        lines = [
+            f"backend-kill chaos run (seed {self.seed}) "
+            f"{'PASSED' if self.ok else 'FAILED'} "
+            f"in {self.duration_seconds:.1f}s",
+            f"topology: {self.topology.get('nodes', '?')} node(s), "
+            f"{self.topology.get('groups', '?')} group(s) x "
+            f"{self.topology.get('replicas', '?')} replica(s), http",
+            "responses by phase: "
+            + "; ".join(
+                f"{phase}: "
+                + ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+                for phase, counts in self.responses.items()
+            ),
+            f"verified {self.verified_responses} responses against the "
+            f"single-process oracle, {self.corrupted_responses} corrupted",
+            f"degraded responses: "
+            + (
+                ", ".join(
+                    f"{phase}: {count}"
+                    for phase, count in sorted(self.degraded.items())
+                )
+                or "none"
+            )
+            + "; fallbacks: "
+            + (
+                ", ".join(
+                    f"{reason}: {count}"
+                    for reason, count in sorted(self.fallbacks.items())
+                )
+                or "none"
+            ),
+            f"killed {self.killed_node} with SIGKILL; availability during "
+            f"the kill window {self.kill_availability:.1%}; "
+            f"{self.respawns} respawn(s); {self.failovers} failover(s); "
+            f"{self.hedges} hedge(s)",
+            f"final breakers: "
+            + ", ".join(
+                f"{node}: {state}"
+                for node, state in sorted(self.final_breakers.items())
+            ),
+            f"final equivalence sweep: {self.equivalence_checks} quer"
+            f"{'y' if self.equivalence_checks == 1 else 'ies'} checked",
+        ]
+        if self.violations:
+            lines.append("violations:")
+            lines.extend(f"  - {v}" for v in self.violations)
+        else:
+            lines.append("violations: none")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+
+
+def _build_corpus(config: BackendChaosConfig, workdir: Path):
+    """Generate a multi-play corpus, index it to disk, return the spec.
+
+    An on-disk index (rather than a synthetic spec) so the backend
+    subprocesses load bit-identical data from the same file the frontier
+    does — a prerequisite for the equivalence invariants.
+    """
+    import random
+
+    from repro.engine.session import Engine
+    from repro.engine.storage import save_instance
+    from repro.server.config import CorpusSpec
+    from repro.workloads.corpora import generate_play
+
+    scale = max(1, config.scale)
+    rng = random.Random(config.seed)
+    text = "\n".join(
+        generate_play(
+            rng,
+            acts=scale,
+            scenes_per_act=scale,
+            speeches_per_scene=2 * scale,
+            lines_per_speech=3,
+        )
+        for _ in range(max(1, config.documents))
+    )
+    source_path = workdir / "play.tagged"
+    source_path.write_text(text, encoding="utf-8")
+    engine = Engine.from_tagged_text(text)
+    index_path = workdir / "play.json"
+    save_instance(engine.instance, index_path)
+    spec = CorpusSpec(
+        name="chaos",
+        kind="index",
+        path=str(index_path),
+        source=str(source_path),
+        source_format="tagged",
+    )
+    return spec, engine
+
+
+def _baseline(engine, queries: dict[str, str]) -> dict[str, set[tuple[int, int]]]:
+    """The single-process oracle: every mix query evaluated by a plain
+    evaluator against the full instance."""
+    from repro.algebra.evaluator import Evaluator
+    from repro.algebra.parser import parse
+
+    evaluator = Evaluator("indexed")
+    return {
+        text: {
+            (r.left, r.right)
+            for r in evaluator.evaluate(parse(text), engine.instance)
+        }
+        for text in queries.values()
+    }
+
+
+def _post_query(host: str, port: int, query: str, timeout: float = 10.0):
+    """One direct ``POST /query`` (cache off); ``(status, parsed|None)``."""
+    import http.client
+
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request(
+            "POST",
+            "/query",
+            body=json.dumps(
+                {"query": query, "corpus": "chaos", "use_cache": False}
+            ),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        payload = response.read()
+    finally:
+        connection.close()
+    try:
+        return response.status, json.loads(payload)
+    except (ValueError, UnicodeDecodeError):
+        return response.status, None
+
+
+def run_backend_chaos(
+    config: BackendChaosConfig | None = None,
+) -> BackendChaosReport:
+    """Run the backend-kill scenario; see the module docstring."""
+    import tempfile
+
+    from repro.server.config import ServerConfig
+    from repro.server.http import create_server
+    from repro.server.service import QueryService
+    from repro.workloads.queries import PLAY_QUERIES
+
+    config = config if config is not None else BackendChaosConfig()
+    report = BackendChaosReport(seed=config.seed)
+    started = monotonic()
+    owned_tmp = None
+    if config.workdir is None:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="repro-bchaos-")
+        workdir = Path(owned_tmp.name)
+    else:
+        workdir = Path(config.workdir)
+        workdir.mkdir(parents=True, exist_ok=True)
+    try:
+        spec, oracle_engine = _build_corpus(config, workdir)
+        baseline = _baseline(oracle_engine, PLAY_QUERIES)
+        server_config = ServerConfig(
+            workers=4,
+            queue_depth=32,
+            cache_enabled=False,  # every 200 is a fresh evaluation
+            default_deadline=5.0,
+            corpora=(spec,),
+            breaker_threshold=config.breaker_threshold,
+            breaker_reset=config.breaker_reset,
+            backend_nodes=max(config.nodes, config.replicas),
+            backend_groups=config.groups,
+            backend_replicas=config.replicas,
+            backend_mode="http",
+            backend_respawn_delay=config.respawn_delay,
+        )
+        report.topology = {
+            "nodes": server_config.backend_nodes,
+            "groups": config.groups,
+            "replicas": config.replicas,
+        }
+        service = QueryService(server_config)
+        server = create_server(service, port=0)
+        server.serve_in_background()
+        try:
+            _run_phases(config, report, service, server, PLAY_QUERIES, baseline)
+        finally:
+            server.stop()
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+    report.duration_seconds = monotonic() - started
+    return report
+
+
+def _run_phases(config, report, service, server, queries, baseline) -> None:
+    from repro.server.loadgen import run_load
+
+    host, port = "127.0.0.1", server.bound_port
+    lock = threading.Lock()
+    phase = {"name": "warmup"}
+
+    def on_response(status: int, payload: bytes) -> None:
+        name = phase["name"]
+        with lock:
+            counts = report.responses.setdefault(name, {})
+            counts[str(status)] = counts.get(str(status), 0) + 1
+        if status != 200:
+            return
+        try:
+            body = json.loads(payload)
+            query = body["query"]
+            regions = body["regions"]
+        except (ValueError, KeyError, UnicodeDecodeError):
+            with lock:
+                report.corrupted_responses += 1
+                report.violations.append(
+                    "a 200 response failed to parse as a query result"
+                )
+            return
+        backend = body.get("backend") or {}
+        with lock:
+            if backend.get("degraded"):
+                report.degraded[name] = report.degraded.get(name, 0) + 1
+            reason = backend.get("fallback")
+            if reason:
+                report.fallbacks[reason] = report.fallbacks.get(reason, 0) + 1
+            expected = baseline.get(query)
+            if expected is None:
+                return
+            report.verified_responses += 1
+            got = {(int(l), int(r)) for l, r in regions}
+            if got != expected:
+                report.corrupted_responses += 1
+                report.violations.append(
+                    f"response for {query!r} in phase {name!r} disagrees "
+                    f"with the single-process oracle "
+                    f"({len(expected - got)} missing, "
+                    f"{len(got - expected)} extra regions)"
+                )
+
+    def load(phase_name: str, seconds: float, seed: int):
+        phase["name"] = phase_name
+        return run_load(
+            host,
+            port,
+            queries,
+            corpus="chaos",
+            qps=config.qps,
+            duration=seconds,
+            concurrency=config.concurrency,
+            use_cache=False,
+            seed=seed,
+            on_response=on_response,
+        )
+
+    # Phase 1: warmup — all backends healthy.
+    load("warmup", config.warmup_seconds, config.seed + 1)
+
+    # Phase 2: SIGKILL the primary replica of the first shard group a
+    # beat into the phase, while the load keeps arriving.
+    victim = service.frontier.replicas_for("chaos", 0)[0].id
+    report.killed_node = victim
+    killer = threading.Timer(
+        config.kill_after, service.supervisor.kill, args=(victim,)
+    )
+    killer.start()
+    kill_result = load("kill", config.kill_seconds, config.seed + 2)
+    killer.join(timeout=1.0)
+
+    # Phase 3: the supervisor must bring the victim back, and probe
+    # traffic must walk every breaker back to closed.
+    respawn_deadline = monotonic() + max(
+        10.0, 4 * (config.respawn_delay + config.breaker_reset)
+    )
+    while (
+        service.supervisor.respawns(victim) < 1
+        and monotonic() < respawn_deadline
+    ):
+        sleep(0.1)
+    report.respawns = service.supervisor.respawns(victim)
+    probes = 0
+    while monotonic() < respawn_deadline:
+        states = {
+            node.id: node.breaker.state for node in service.frontier.nodes
+        }
+        if all(state == "closed" for state in states.values()):
+            break
+        # A closed breaker needs a successful half-open probe, and
+        # probes only happen under traffic.
+        phase["name"] = "probe"
+        try:
+            _post_query(host, port, next(iter(queries.values())))
+        except OSError:
+            pass
+        probes += 1
+        sleep(0.1)
+
+    # Phase 4: recovery — same load, nothing may be degraded now.
+    tail_result = load("recovery", config.recovery_seconds, config.seed + 3)
+
+    report.loadgen = {
+        "kill": kill_result.summary(),
+        "recovery": tail_result.summary(),
+    }
+
+    # ------------------------------------------------------------------
+    # Final readings + invariants.
+    # ------------------------------------------------------------------
+    report.final_breakers = {
+        node.id: node.breaker.state for node in service.frontier.nodes
+    }
+    counters = service.metrics_snapshot()["metrics"]["counters"]
+    report.failovers = int(
+        sum(counters.get("backend_failovers_total", {}).values())
+    )
+    report.hedges = int(sum(counters.get("backend_hedges_total", {}).values()))
+
+    if report.corrupted_responses:
+        report.violations.append(
+            f"{report.corrupted_responses} corrupted response(s) — a killed "
+            "backend must never cost correctness"
+        )
+    warmup_counts = report.responses.get("warmup", {})
+    warmup_errors = sum(
+        count
+        for status, count in warmup_counts.items()
+        if status not in ("200",)
+    )
+    if warmup_errors:
+        report.violations.append(
+            f"{warmup_errors} non-200 response(s) during warmup with every "
+            "backend healthy"
+        )
+    if report.degraded.get("warmup", 0):
+        report.violations.append(
+            f"{report.degraded['warmup']} degraded response(s) during "
+            "warmup with every backend healthy"
+        )
+    kill_counts = report.responses.get("kill", {})
+    kill_total = sum(kill_counts.values())
+    kill_ok = kill_counts.get("200", 0)
+    report.kill_availability = kill_ok / kill_total if kill_total else 0.0
+    if kill_total == 0:
+        report.violations.append("no responses arrived during the kill phase")
+    elif report.kill_availability < config.min_kill_availability:
+        report.violations.append(
+            f"availability during the kill window was "
+            f"{report.kill_availability:.1%} "
+            f"(minimum {config.min_kill_availability:.0%}) — failover did "
+            "not absorb the dead backend"
+        )
+    if report.respawns < 1:
+        report.violations.append(
+            f"the supervisor never respawned {report.killed_node}"
+        )
+    open_breakers = {
+        node: state
+        for node, state in report.final_breakers.items()
+        if state != "closed"
+    }
+    if open_breakers:
+        report.violations.append(
+            "breakers did not re-close after the respawn: "
+            + ", ".join(f"{n}: {s}" for n, s in sorted(open_breakers.items()))
+        )
+    recovery_counts = report.responses.get("recovery", {})
+    recovery_errors = sum(
+        count
+        for status, count in recovery_counts.items()
+        if status not in ("200",)
+    )
+    if recovery_errors:
+        report.violations.append(
+            f"{recovery_errors} non-200 response(s) in recovery — the "
+            "victim was respawned, so none are acceptable"
+        )
+    if report.degraded.get("recovery", 0):
+        report.violations.append(
+            f"{report.degraded['recovery']} degraded response(s) in "
+            "recovery — the topology must be whole again"
+        )
+
+    # Final sweep: every mix query once more, directly, each answer
+    # checked against the oracle and required off the distributed path.
+    phase["name"] = "final"
+    for name, text in queries.items():
+        try:
+            status, body = _post_query(host, port, text)
+        except OSError as exc:
+            report.violations.append(
+                f"final equivalence query {name!r} failed at the "
+                f"transport: {type(exc).__name__}"
+            )
+            continue
+        report.equivalence_checks += 1
+        if status != 200 or body is None:
+            report.violations.append(
+                f"final equivalence query {name!r} answered {status}"
+            )
+            continue
+        got = {(int(l), int(r)) for l, r in body.get("regions", ())}
+        if got != baseline[text]:
+            report.violations.append(
+                f"final equivalence query {name!r} disagrees with the "
+                "single-process oracle"
+            )
+        backend = body.get("backend") or {}
+        if backend.get("degraded"):
+            report.violations.append(
+                f"final equivalence query {name!r} was still degraded "
+                "after full recovery"
+            )

@@ -12,6 +12,7 @@ doing their real work:
 ``pool.worker``     a worker picking up a job from the pool queue
 ``cache.get``       a result-cache probe in the query service
 ``shard.task``      one per-shard task of the sharded executor
+``backend.rpc``     one frontier→backend shard RPC (any transport)
 ==================  ====================================================
 
 With no registry active (the default, and the only production state)
@@ -72,6 +73,7 @@ FAULT_POINTS = (
     "pool.worker",
     "cache.get",
     "shard.task",
+    "backend.rpc",
 )
 
 #: The ways a fault point can misbehave.

@@ -113,6 +113,12 @@ class CircuitBreaker:
     * **half-open** — exactly one caller gets ``True`` (the probe);
       its :meth:`record_success` closes the breaker, its
       :meth:`record_failure` re-opens it (restarting the timer).
+      Concurrent callers fast-fail (``allow() == False``) while the
+      probe is in flight.  A probe whose caller never reports back
+      (crashed, abandoned, lost) would otherwise wedge the breaker in
+      half-open forever, so an unreported probe expires after
+      ``reset_timeout`` and the next :meth:`allow` hands out a fresh
+      one.
 
     ``on_transition(old, new)`` fires under the lock whenever the state
     changes — the service mirrors it into ``breaker_state`` /
@@ -146,6 +152,7 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at: float | None = None
         self._probe_taken = False
+        self._probe_started: float | None = None
         self._trips = 0
 
     # ------------------------------------------------------------------
@@ -157,6 +164,7 @@ class CircuitBreaker:
             self._trips += 1
         if new == self.HALF_OPEN:
             self._probe_taken = False
+            self._probe_started = None
         if old != new and self._on_transition is not None:
             self._on_transition(old, new)
 
@@ -170,21 +178,33 @@ class CircuitBreaker:
                 if self._clock() - self._opened_at < self.reset_timeout:
                     return False
                 self._transition(self.HALF_OPEN)
-            # half-open: exactly one probe through.
+            # Half-open: exactly one probe in flight at a time.  A
+            # probe nobody reported on within reset_timeout is treated
+            # as lost and replaced — otherwise one crashed caller would
+            # wedge the breaker half-open forever.
             if self._probe_taken:
-                return False
+                if (
+                    self._probe_started is None
+                    or self._clock() - self._probe_started < self.reset_timeout
+                ):
+                    return False
             self._probe_taken = True
+            self._probe_started = self._clock()
             return True
 
     def record_success(self) -> None:
         with self._lock:
             self._consecutive_failures = 0
+            self._probe_taken = False
+            self._probe_started = None
             if self._state != self.CLOSED:
                 self._transition(self.CLOSED)
 
     def record_failure(self) -> None:
         with self._lock:
             self._consecutive_failures += 1
+            self._probe_taken = False
+            self._probe_started = None
             if self._state == self.HALF_OPEN:
                 self._transition(self.OPEN)
             elif (

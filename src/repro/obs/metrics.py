@@ -77,6 +77,13 @@ __all__ = [
     "SHARD_TASK_RETRIES_TOTAL",
     "SHARD_DEGRADED_TOTAL",
     "SHARD_FALLBACK_TOTAL",
+    "BACKEND_REQUESTS_TOTAL",
+    "BACKEND_RPC_SECONDS",
+    "BACKEND_FAILOVERS_TOTAL",
+    "BACKEND_HEDGES_TOTAL",
+    "BACKEND_HEDGE_WINS_TOTAL",
+    "BACKEND_RESPAWNS_TOTAL",
+    "FRONTIER_FALLBACK_TOTAL",
     "TRACES_KEPT_TOTAL",
     "TRACES_DROPPED_TOTAL",
     "SLO_EVENTS_TOTAL",
@@ -128,6 +135,16 @@ SHARD_MERGE_SECONDS = "shard_merge_seconds"
 SHARD_TASK_RETRIES_TOTAL = "shard_task_retries_total"
 SHARD_DEGRADED_TOTAL = "shard_degraded_total"
 SHARD_FALLBACK_TOTAL = "shard_fallback_total"
+
+# The multi-process backend layer (repro.backend) — see docs/server.md
+# ("Topology & failover") and docs/robustness.md.
+BACKEND_REQUESTS_TOTAL = "backend_requests_total"
+BACKEND_RPC_SECONDS = "backend_rpc_seconds"
+BACKEND_FAILOVERS_TOTAL = "backend_failovers_total"
+BACKEND_HEDGES_TOTAL = "backend_hedges_total"
+BACKEND_HEDGE_WINS_TOTAL = "backend_hedge_wins_total"
+BACKEND_RESPAWNS_TOTAL = "backend_respawns_total"
+FRONTIER_FALLBACK_TOTAL = "frontier_fallback_total"
 
 # The tracing/SLO layer (repro.obs.sampling + repro.obs.slo) —
 # see docs/observability.md.

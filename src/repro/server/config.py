@@ -141,6 +141,29 @@ class ServerConfig:
     ``trace_slow_seconds``
         A request at or above this duration is tail-kept as ``slow``.
 
+    Backend topology knobs (``docs/server.md``, "Topology & failover"):
+
+    ``backend_nodes``
+        Backend node count; 0 (the default) disables the frontier and
+        keeps evaluation in-process.  With ``backend_mode="http"`` each
+        node is a supervised ``repro serve`` subprocess.
+    ``backend_groups`` / ``backend_replicas``
+        Shard groups per corpus and replicas per group.  Each
+        ``(corpus, group)`` is placed on ``backend_replicas`` distinct
+        nodes by consistent hashing; a group is unavailable only when
+        *all* its replicas fail, and even then the service degrades to
+        local evaluation rather than failing the query.
+    ``backend_hedge_quantile`` / ``backend_hedge_min_seconds``
+        A call outliving the primary node's recent latency at this
+        quantile (but at least ``min_seconds``) is hedged to the next
+        replica; first answer wins.
+    ``backend_hedge_budget``
+        Hedges may not exceed this fraction of primary calls (0
+        disables hedging).
+    ``backend_respawn_delay``
+        Seconds the supervisor waits before respawning a dead backend
+        subprocess on its old port.
+
     SLO knobs (always active; they only read request outcomes):
 
     ``slo_availability_objective``
@@ -184,6 +207,14 @@ class ServerConfig:
     probe_interval: int = 10
     stale_when_degraded: bool = True
     shards: int = 1
+    backend_nodes: int = 0
+    backend_groups: int = 2
+    backend_replicas: int = 1
+    backend_mode: str = "inprocess"
+    backend_hedge_quantile: float = 0.95
+    backend_hedge_min_seconds: float = 0.05
+    backend_hedge_budget: float = 0.1
+    backend_respawn_delay: float = 0.5
     trace_sample_rate: float = 0.1
     trace_store_capacity: int = 256
     trace_tail_capacity: int = 256
@@ -225,6 +256,29 @@ class ServerConfig:
                 "thresholds must satisfy "
                 "0 < degraded_threshold <= unhealthy_threshold <= 1"
             )
+        if self.backend_mode not in ("inprocess", "http"):
+            raise ReproError(
+                f"unknown backend mode {self.backend_mode!r} "
+                "(available: inprocess, http)"
+            )
+        if self.backend_nodes < 0:
+            raise ReproError("backend_nodes cannot be negative")
+        if self.backend_groups < 1:
+            raise ReproError("backend_groups must be at least 1")
+        if self.backend_replicas < 1:
+            raise ReproError("backend_replicas must be at least 1")
+        if 0 < self.backend_nodes < self.backend_replicas:
+            raise ReproError(
+                "backend_replicas cannot exceed backend_nodes"
+            )
+        if not (0.0 < self.backend_hedge_quantile <= 1.0):
+            raise ReproError("backend_hedge_quantile must be in (0, 1]")
+        if self.backend_hedge_min_seconds < 0:
+            raise ReproError("backend_hedge_min_seconds cannot be negative")
+        if self.backend_hedge_budget < 0:
+            raise ReproError("backend_hedge_budget cannot be negative")
+        if self.backend_respawn_delay <= 0:
+            raise ReproError("backend_respawn_delay must be positive seconds")
         if not (0.0 <= self.trace_sample_rate <= 1.0):
             raise ReproError("trace_sample_rate must be in [0, 1]")
         if self.trace_store_capacity < 1 or self.trace_tail_capacity < 1:
@@ -268,6 +322,14 @@ class ServerConfig:
             "unhealthy_threshold": self.unhealthy_threshold,
             "stale_when_degraded": self.stale_when_degraded,
             "shards": self.shards,
+            "backend_nodes": self.backend_nodes,
+            "backend_groups": self.backend_groups,
+            "backend_replicas": self.backend_replicas,
+            "backend_mode": self.backend_mode,
+            "backend_hedge_quantile": self.backend_hedge_quantile,
+            "backend_hedge_min_seconds": self.backend_hedge_min_seconds,
+            "backend_hedge_budget": self.backend_hedge_budget,
+            "backend_respawn_delay": self.backend_respawn_delay,
             "trace_sample_rate": self.trace_sample_rate,
             "trace_store_capacity": self.trace_store_capacity,
             "trace_tail_capacity": self.trace_tail_capacity,

@@ -17,6 +17,13 @@ on the service's bounded worker pool.  Endpoints:
 ``GET /healthz``                      liveness + pool/cache/config state
 ``GET /metrics``                      the shared registry snapshot (JSON);
                                       ``?format=prometheus`` for text
+``GET /backends``                     frontier topology: placement,
+                                      breakers, latency, subprocesses
+``POST /shard/query``                 backend-role RPC: evaluate query
+                                      texts against one shard slice;
+                                      ``X-Repro-Deadline`` /
+                                      ``X-Repro-Trace`` headers carry
+                                      the cross-process context
 ====================================  =======================================
 
 Status mapping: ``400`` parse/validation errors, ``404`` unknown corpus
@@ -143,6 +150,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._trace_listing(url)
             elif url.path.startswith("/debug/trace/"):
                 self._trace_tree(url.path[len("/debug/trace/") :])
+            elif url.path == "/backends":
+                self._json(200, self.server.service.backends_info())
             elif url.path == "/query":
                 self._query_from_params(url)
             else:
@@ -158,6 +167,8 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if url.path == "/query":
                 self._run(self._body(), explain_only=False)
+            elif url.path == "/shard/query":
+                self._shard_query(self._body())
             elif url.path == "/explain":
                 self._run(self._body(), explain_only=True)
             elif url.path.startswith("/corpora/") and url.path.endswith(
@@ -272,6 +283,46 @@ class _Handler(BaseHTTPRequestHandler):
             deadline=deadline,
             use_cache=bool(request.get("use_cache", True)),
             explain_only=explain_only,
+        )
+        self._json(200, response)
+
+    def _shard_query(self, body: dict[str, Any]) -> None:
+        """The backend half of the frontier's shard RPC."""
+        queries = body.get("queries")
+        if not isinstance(queries, list) or not all(
+            isinstance(q, str) for q in queries
+        ):
+            self._json(
+                400,
+                {
+                    "error": "shard request needs a 'queries' list of strings",
+                    "code": "invalid_request",
+                },
+            )
+            return
+        deadline = None
+        header = self.headers.get("X-Repro-Deadline")
+        if header is not None:
+            try:
+                deadline = float(header)
+            except ValueError:
+                deadline = None  # advisory context, never fails the query
+        trace = None
+        header = self.headers.get("X-Repro-Trace")
+        if header is not None:
+            try:
+                trace = json.loads(header)
+            except json.JSONDecodeError:
+                trace = None  # a bad trace header never fails the query
+        response = self.server.service.shard_query(
+            body.get("corpus"),
+            int(body.get("group", 0)),
+            int(body.get("groups", 1)),
+            queries,
+            str(body.get("want", "sets")),
+            dict(body.get("bounds") or {}),
+            deadline=deadline,
+            trace=trace,
         )
         self._json(200, response)
 

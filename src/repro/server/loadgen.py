@@ -27,6 +27,12 @@ __all__ = ["LoadResult", "run_load", "percentile"]
 #: Longest single backoff honored from a ``Retry-After`` hint (seconds).
 _RETRY_AFTER_CAP = 1.0
 
+#: Backoff bounds after a transport-level failure (refused, reset, …):
+#: doubles per consecutive failure so a dead server is not hammered at
+#: full schedule speed, capped so recovery is noticed quickly.
+_TRANSPORT_BACKOFF_BASE = 0.05
+_TRANSPORT_BACKOFF_CAP = 0.5
+
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
     """Nearest-rank percentile of an ascending-sorted sequence."""
@@ -44,6 +50,13 @@ class LoadResult:
     duration: float  #: wall seconds the run actually took
     sent: int = 0
     dropped: int = 0  #: connection-level failures (refused, reset, timeout)
+    #: ``dropped`` broken down as a distinct outcome class: every
+    #: transport-level failure also counts here, labelled by exception
+    #: kind, so a run against a dying backend shows *how* requests were
+    #: lost (``ConnectionRefusedError`` vs ``ConnectionResetError`` vs a
+    #: read timeout), not just that they were.
+    transport_errors: int = 0
+    transport_error_kinds: dict[str, int] = field(default_factory=dict)
     retried: int = 0  #: 429/503 responses retried after their Retry-After
     status_counts: dict[str, int] = field(default_factory=dict)
     latencies: list[float] = field(default_factory=list)  #: seconds, ok only
@@ -78,6 +91,10 @@ class LoadResult:
             "sent": self.sent,
             "completed": self.completed,
             "dropped": self.dropped,
+            "transport_errors": self.transport_errors,
+            "transport_error_kinds": dict(
+                sorted(self.transport_error_kinds.items())
+            ),
             "retried": self.retried,
             "status_counts": dict(sorted(self.status_counts.items())),
             "cache_hits": self.cache_hits,
@@ -102,6 +119,14 @@ class LoadResult:
             + ", ".join(f"{k}: {v}" for k, v in s["status_counts"].items())
             + f"; retried: {s['retried']}; dropped: {s['dropped']}; "
             f"cache hits: {s['cache_hits']}",
+        ]
+        if s["transport_errors"]:
+            kinds = ", ".join(
+                f"{kind}: {count}"
+                for kind, count in s["transport_error_kinds"].items()
+            )
+            lines.append(f"transport errors: {s['transport_errors']} ({kinds})")
+        lines += [
             f"latency  p50 {lat['p50']:.1f} ms   p95 {lat['p95']:.1f} ms   "
             f"p99 {lat['p99']:.1f} ms   mean {lat['mean']:.1f} ms",
         ]
@@ -180,6 +205,15 @@ def run_load(
 
     def worker() -> None:
         connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        # Transport-failure cooldown: after a refused/reset connection
+        # the worker stops touching the socket until `blocked_until`
+        # (capped exponential backoff), fast-failing the requests that
+        # come due meanwhile.  The schedule keeps its pace — every slot
+        # is still counted — but a dead server sees one reconnect
+        # attempt per backoff window instead of the full request rate.
+        transport_failures = 0
+        blocked_until: float | None = None
+        blocked_kind = ""
         try:
             while True:
                 slot = clock.next_slot()
@@ -188,6 +222,18 @@ def run_load(
                 delay = slot - monotonic()
                 if delay > 0:
                     sleep(delay)
+                if blocked_until is not None:
+                    if monotonic() < blocked_until:
+                        with result_lock:
+                            result.sent += 1
+                            result.dropped += 1
+                            result.transport_errors += 1
+                            result.transport_error_kinds[blocked_kind] = (
+                                result.transport_error_kinds.get(blocked_kind, 0)
+                                + 1
+                            )
+                        continue
+                    blocked_until = None
                 index_query = planned[
                     min(len(planned) - 1, int((slot - started) * qps))
                 ]
@@ -236,6 +282,8 @@ def run_load(
                             trace_id = parsed.get("trace_id")
                         except (json.JSONDecodeError, UnicodeDecodeError):
                             pass
+                    transport_failures = 0
+                    blocked_until = None
                     with result_lock:
                         result.sent += 1
                         result.status_counts[status] = (
@@ -249,14 +297,31 @@ def run_load(
                                 result.trace_samples.append((latency, trace_id))
                     if on_response is not None:
                         on_response(response.status, payload)
-                except (OSError, http.client.HTTPException):
+                except (OSError, http.client.HTTPException) as exc:
+                    # A distinct outcome class, not just a drop: refused
+                    # and reset connections are what a killed backend
+                    # process looks like from out here.
+                    kind = type(exc).__name__
                     with result_lock:
                         result.sent += 1
                         result.dropped += 1
+                        result.transport_errors += 1
+                        result.transport_error_kinds[kind] = (
+                            result.transport_error_kinds.get(kind, 0) + 1
+                        )
                     connection.close()
                     connection = http.client.HTTPConnection(
                         host, port, timeout=timeout
                     )
+                    # Arm the cooldown: capped so a respawned server is
+                    # noticed within half a second.
+                    backoff = min(
+                        _TRANSPORT_BACKOFF_CAP,
+                        _TRANSPORT_BACKOFF_BASE * 2.0**transport_failures,
+                    )
+                    transport_failures += 1
+                    blocked_kind = kind
+                    blocked_until = monotonic() + backoff
         finally:
             connection.close()
 

@@ -40,8 +40,13 @@ import threading
 from time import monotonic, perf_counter
 from typing import Any
 
+from repro.algebra.parser import parse as _parse_query
+from repro.backend.base import SliceProvider, evaluate_slice
+from repro.backend.frontier import BackendNode, FrontierExecutor
 from repro.engine.session import Engine
 from repro.errors import (
+    BackendUnavailableError,
+    BackendUnsupportedError,
     CorpusUnavailableError,
     CorruptIndexError,
     FaultInjected,
@@ -59,9 +64,11 @@ from repro.obs import Telemetry
 from repro.obs import context as _trace_context
 from repro.obs.sampling import HeadSampler, TraceStore
 from repro.obs.slo import SLOObservatory
+from repro.obs.trace import maybe_span, span_to_dict
 from repro.obs.metrics import (
     BREAKER_STATE,
     BREAKER_TRANSITIONS_TOTAL,
+    FRONTIER_FALLBACK_TOTAL,
     INDEX_REBUILDS_TOTAL,
     POOL_WORKER_DEATHS_TOTAL,
     RETRY_ATTEMPTS_TOTAL,
@@ -369,6 +376,21 @@ class QueryService:
         self._closed = False
         for spec in self.config.corpora:
             self.add_corpus(spec)
+        # Backend topology (docs/server.md, "Topology & failover").  The
+        # slice provider exists regardless: it also answers the
+        # ``/shard/query`` endpoint when *this* process is someone
+        # else's backend.
+        self._slice_provider = SliceProvider(
+            self._slice_lookup, tracer=self.telemetry.tracer
+        )
+        self._frontier_fallback = metrics.counter(
+            FRONTIER_FALLBACK_TOTAL,
+            help="frontier queries answered by local evaluation, by reason",
+        )
+        self.frontier: FrontierExecutor | None = None
+        self.supervisor = None
+        if self.config.backend_nodes > 0:
+            self._start_frontier()
 
     # ------------------------------------------------------------------
     # Health / breaker plumbing.
@@ -403,6 +425,154 @@ class QueryService:
             reset_timeout=self.config.breaker_reset,
             on_transition=on_transition,
         )
+
+    def _make_backend_breaker(self, node_id: str) -> CircuitBreaker:
+        def on_transition(old: str, new: str) -> None:
+            self._breaker_state.set(
+                CircuitBreaker.STATE_VALUES[new], node=node_id
+            )
+            self._breaker_transitions.inc(
+                node=node_id, **{"from": old, "to": new}
+            )
+            # A dead backend is degradation pressure while its replicas
+            # carry the load — never unhealthy, since queries still work.
+            self.health.set_pressure(
+                f"backend:{node_id}", new != CircuitBreaker.CLOSED
+            )
+
+        return CircuitBreaker(
+            failure_threshold=self.config.breaker_threshold,
+            reset_timeout=self.config.breaker_reset,
+            on_transition=on_transition,
+        )
+
+    # ------------------------------------------------------------------
+    # Backend topology.
+    # ------------------------------------------------------------------
+
+    def _slice_lookup(self, corpus: str):
+        handle = self._handle(corpus)
+        return handle.engine.instance, handle.generation
+
+    def _start_frontier(self) -> None:
+        config = self.config
+        tracer = self.telemetry.tracer
+        if config.backend_mode == "http":
+            from repro.backend.httpclient import HTTPBackend
+            from repro.backend.supervisor import BackendSupervisor
+
+            extra_args: list[str] = []
+            if config.tracing:
+                extra_args += [
+                    "--trace",
+                    "--trace-sample",
+                    str(config.trace_sample_rate),
+                ]
+            self.supervisor = BackendSupervisor(
+                corpora=config.corpora,
+                count=config.backend_nodes,
+                host=config.host,
+                respawn_delay=config.backend_respawn_delay,
+                extra_args=extra_args,
+                metrics=self.telemetry.metrics,
+            )
+            backends = [
+                HTTPBackend(node_id, host, port)
+                for node_id, host, port in self.supervisor.start()
+            ]
+        else:
+            from repro.backend.inprocess import InProcessBackend
+
+            backends = [
+                InProcessBackend(f"b{i}", self._slice_provider, tracer=tracer)
+                for i in range(config.backend_nodes)
+            ]
+        nodes = [
+            BackendNode(backend, self._make_backend_breaker(backend.node_id))
+            for backend in backends
+        ]
+        self.frontier = FrontierExecutor(
+            nodes,
+            groups=config.backend_groups,
+            replicas=config.backend_replicas,
+            hedge_quantile=config.backend_hedge_quantile,
+            hedge_min_seconds=config.backend_hedge_min_seconds,
+            hedge_budget=config.backend_hedge_budget,
+            metrics=self.telemetry.metrics,
+            tracer=tracer,
+        )
+
+    def shard_query(
+        self,
+        corpus: str | None,
+        group: int,
+        groups: int,
+        queries: list[str],
+        want: str,
+        bounds: dict[str, int | None],
+        deadline: float | None = None,
+        trace: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Answer one backend RPC against this process's slice of
+        ``corpus`` — the service half of ``POST /shard/query``.
+
+        Any ``repro serve`` process can play the backend role; slices
+        are built lazily from the ``(group, groups)`` coordinates and
+        cached per corpus generation.  When ``trace`` carries the
+        frontier's :class:`~repro.obs.context.TraceContext`, the
+        evaluation runs under it and the finished ``backend.query`` span
+        subtree is returned for frontier-side adoption.
+        """
+        handle = self._handle(corpus)
+        slice_ = self._slice_provider.slice_for(handle.spec.name, group, groups)
+        tracer = self.telemetry.tracer
+        token = None
+        if trace is not None and tracer.enabled:
+            token = _trace_context.activate(
+                _trace_context.TraceContext.from_dict(trace)
+            )
+        try:
+            span_dict = None
+            if tracer.enabled:
+                with tracer.span(
+                    "backend.query",
+                    corpus=handle.spec.name,
+                    group=group,
+                    groups=groups,
+                ) as span:
+                    payload, seconds = evaluate_slice(
+                        slice_, queries, want, bounds, deadline=deadline
+                    )
+                if span is not None:
+                    span_dict = span_to_dict(span)
+            else:
+                payload, seconds = evaluate_slice(
+                    slice_, queries, want, bounds, deadline=deadline
+                )
+        finally:
+            if token is not None:
+                _trace_context.restore(token)
+        return {
+            "payload": payload,
+            "generation": slice_.generation,
+            "seconds": seconds,
+            "node": f"{self.config.host}:{self.config.port}",
+            "span": span_dict,
+        }
+
+    def backends_info(self) -> dict[str, Any]:
+        """Topology, breaker, and latency state (``GET /backends``)."""
+        if self.frontier is None:
+            return {"enabled": False}
+        info: dict[str, Any] = {
+            "enabled": True,
+            "mode": self.config.backend_mode,
+            **self.frontier.snapshot(),
+            "placement": self.frontier.placement(self.corpus_names),
+        }
+        if self.supervisor is not None:
+            info["processes"] = self.supervisor.describe()
+        return info
 
     # ------------------------------------------------------------------
     # Corpus management.
@@ -720,7 +890,7 @@ class QueryService:
                 if stale is not None:
                     self._stale_served.inc()
                     return {**stale, "cached": True, "stale": True}
-        response = self._dispatch(engine, query, optimize, budget)
+        response = self._dispatch(handle, query, optimize, budget)
         response.update(
             corpus=handle.spec.name, generation=generation, query=query
         )
@@ -756,7 +926,7 @@ class QueryService:
         return dict(value)
 
     def _dispatch(
-        self, engine: Engine, query: str, optimize: bool, budget: float
+        self, handle: _CorpusHandle, query: str, optimize: bool, budget: float
     ) -> dict[str, Any]:
         """Submit to the pool, re-dispatching when a worker dies holding
         the job (``dispatch_retries`` budget)."""
@@ -764,7 +934,7 @@ class QueryService:
         for attempt in range(attempts):
             admitted_at = monotonic()
             future = self.pool.submit(
-                self._run_query, engine, query, optimize, budget, admitted_at
+                self._run_query, handle, query, optimize, budget, admitted_at
             )
             try:
                 return self._await(future, budget)
@@ -794,7 +964,7 @@ class QueryService:
 
     def _run_query(
         self,
-        engine: Engine,
+        handle: _CorpusHandle,
         query: str,
         optimize: bool,
         budget: float,
@@ -811,20 +981,99 @@ class QueryService:
         if remaining <= 0:
             raise QueryTimeout(budget)
         self._inflight_gauge.inc()
+        backend_info = None
         try:
             eval_started = perf_counter()
-            result = engine.query(
-                query, optimize_query=optimize, deadline=remaining
-            )
+            if self.frontier is not None:
+                result, backend_info = self._frontier_query(
+                    handle, query, optimize, remaining
+                )
+            else:
+                result = handle.engine.query(
+                    query, optimize_query=optimize, deadline=remaining
+                )
             eval_seconds = perf_counter() - eval_started
         finally:
             self._inflight_gauge.dec()
-        return {
+        response = {
             "regions": [[r.left, r.right] for r in result],
             "cardinality": len(result),
             "optimized": optimize,
             "eval_seconds": eval_seconds,
             "queued_seconds": monotonic() - admitted_at - eval_seconds,
+        }
+        if backend_info is not None:
+            response["backend"] = backend_info
+        return response
+
+    def _frontier_query(
+        self, handle: _CorpusHandle, query: str, optimize: bool, remaining: float
+    ) -> tuple[Any, dict[str, Any]]:
+        """Evaluate via the backend topology, falling back locally.
+
+        Two fallbacks, both returning complete and correct results:
+        ``unsupported`` (the plan cannot be sharded — e.g. a word
+        occurrence spans a partition cut) is routine; ``unavailable``
+        (some shard group lost *all* its replicas) marks the response
+        degraded — the PR-5 invariant, now across processes: losing
+        backends may cost the distributed path, never correctness.
+        """
+        engine = handle.engine
+        frontier = self.frontier
+        assert frontier is not None
+        expr = (
+            engine.plan(query).optimized
+            if optimize
+            else _parse_query(engine.normalize(query))
+        )
+        tracer = self.telemetry.tracer
+        try:
+            with maybe_span(
+                tracer, "shard.query", mode="backend", groups=frontier.groups
+            ):
+                result, stats = frontier.run(
+                    handle.spec.name, expr, deadline=remaining
+                )
+        except BackendUnsupportedError as exc:
+            return self._frontier_fallback_query(
+                handle, query, optimize, remaining, "unsupported", str(exc)
+            )
+        except BackendUnavailableError as exc:
+            return self._frontier_fallback_query(
+                handle, query, optimize, remaining, "unavailable", str(exc)
+            )
+        return result, {
+            "mode": self.config.backend_mode,
+            "groups": stats.groups,
+            "replicas": frontier.replicas,
+            "hedges": stats.hedges,
+            "hedge_wins": stats.hedge_wins,
+            "failovers": stats.failovers,
+            "nodes": sorted(set(stats.nodes_used)),
+            "degraded": False,
+        }
+
+    def _frontier_fallback_query(
+        self,
+        handle: _CorpusHandle,
+        query: str,
+        optimize: bool,
+        remaining: float,
+        reason: str,
+        detail: str,
+    ) -> tuple[Any, dict[str, Any]]:
+        self._frontier_fallback.inc(reason=reason)
+        result = handle.engine.query(
+            query, optimize_query=optimize, deadline=remaining
+        )
+        return result, {
+            "mode": self.config.backend_mode,
+            "groups": self.config.backend_groups,
+            "fallback": reason,
+            "detail": detail,
+            # Only replica exhaustion means the topology is limping;
+            # an unsupported plan is a routine local evaluation.
+            "degraded": reason == "unavailable",
         }
 
     @staticmethod
@@ -896,6 +1145,10 @@ class QueryService:
         """Stop admitting work and drain the pool."""
         self._closed = True
         self.pool.shutdown(wait=True)
+        if self.frontier is not None:
+            self.frontier.close()
+        if self.supervisor is not None:
+            self.supervisor.stop()
         with self._corpora_lock:
             handles = list(self._corpora.values())
         for handle in handles:

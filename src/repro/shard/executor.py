@@ -58,7 +58,7 @@ from repro.errors import (
 from repro.faults import registry as _faults
 from repro.obs import context as _trace_context
 from repro.obs.trace import maybe_span
-from repro.shard.merge import merge_region_sets
+from repro.shard.merge import merge_region_sets, summarize_result as _summarize
 from repro.shard.partition import Partition, partition_instance
 from repro.shard.planner import ShardPlan, classify
 from repro.shard.rewrite import ShardEvaluator, rewrite
@@ -117,15 +117,6 @@ class _Degrade(ReproError):
         self.phase = phase
         self.shard = shard
         super().__init__(f"shard {shard} failed twice in phase {phase!r}")
-
-
-def _summarize(result: RegionSet) -> tuple[int | None, int | None]:
-    """The two exchange scalars of a per-shard result: (max left
-    endpoint, min right endpoint), ``None``s when empty."""
-    regions = result.regions
-    if not regions:
-        return (None, None)
-    return (regions[-1].left, min(r.right for r in regions))
 
 
 def _remaining(deadline_at: float | None, budget: float | None) -> float | None:

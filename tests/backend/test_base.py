@@ -1,0 +1,136 @@
+"""Slice building and evaluation: the backend side of the text protocol.
+
+Every test checks the same invariant the frontier relies on: the union
+of per-group slice evaluations equals single-process evaluation, for
+any group count — including more groups than the corpus has top-level
+trees (surplus groups own nothing and answer with empty sets).
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.evaluator import Evaluator
+from repro.algebra.parser import parse
+from repro.backend.base import SliceProvider, evaluate_slice
+from repro.engine.corpus import Corpus
+from repro.errors import BackendUnsupportedError
+from repro.shard.merge import merge_region_sets, summarize_result
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+from repro.workloads.corpora import generate_play
+
+ORDER_FREE_QUERIES = [
+    'speech containing (speaker @ "ROMEO")',
+    'scene containing (line @ "love")',
+    'line @ "night" within act',
+    "speech dwithin scene",
+    "(act containing scene) + (speech within scene)",
+]
+
+
+@pytest.fixture(scope="module")
+def instance():
+    rng = random.Random(42)
+    corpus = Corpus()
+    for _ in range(4):
+        corpus.add(
+            generate_play(
+                rng,
+                acts=2,
+                scenes_per_act=2,
+                speeches_per_scene=3,
+                lines_per_speech=2,
+            )
+        )
+    return corpus.engine().instance
+
+
+@pytest.fixture
+def provider(instance):
+    return SliceProvider(lambda name: (instance, 1))
+
+
+def _union_of_slices(provider, query, groups):
+    payloads = []
+    for group in range(groups):
+        slice_ = provider.slice_for("play", group, groups)
+        payload, seconds = evaluate_slice(slice_, [query], "sets", {})
+        assert seconds >= 0.0
+        payloads.append(
+            RegionSet(Region(int(l), int(r)) for l, r in payload[0])
+        )
+    return merge_region_sets(payloads)
+
+
+class TestSliceEvaluation:
+    @pytest.mark.parametrize("groups", [1, 2, 3])
+    @pytest.mark.parametrize("query", ORDER_FREE_QUERIES)
+    def test_union_of_slices_equals_single_process(
+        self, provider, instance, query, groups
+    ):
+        expected = Evaluator("indexed").evaluate(parse(query), instance)
+        assert list(_union_of_slices(provider, query, groups)) == list(expected)
+
+    def test_surplus_groups_answer_empty(self, provider, instance):
+        # 4 top-level trees, 8 groups: groups 4..7 own nothing.
+        query = ORDER_FREE_QUERIES[0]
+        for group in range(4, 8):
+            slice_ = provider.slice_for("play", group, 8)
+            payload, _ = evaluate_slice(slice_, [query], "sets", {})
+            assert payload == [[]]
+        expected = Evaluator("indexed").evaluate(parse(query), instance)
+        assert list(_union_of_slices(provider, query, 8)) == list(expected)
+
+    def test_exchange_scalars_fold_to_global_summary(self, provider, instance):
+        query = "speech dwithin scene"
+        global_summary = summarize_result(
+            Evaluator("indexed").evaluate(parse(query), instance)
+        )
+        max_left = None
+        min_right = None
+        for group in range(3):
+            slice_ = provider.slice_for("play", group, 3)
+            payload, _ = evaluate_slice(slice_, [query], "exchange", {})
+            ml, mr = payload[0]
+            if ml is not None and (max_left is None or ml > max_left):
+                max_left = ml
+            if mr is not None and (min_right is None or mr < min_right):
+                min_right = mr
+        assert (max_left, min_right) == global_summary
+
+    def test_multiple_queries_share_one_call(self, provider, instance):
+        slice_ = provider.slice_for("play", 0, 2)
+        payload, _ = evaluate_slice(slice_, ORDER_FREE_QUERIES[:3], "sets", {})
+        assert len(payload) == 3
+
+    def test_unknown_want_rejected(self, provider):
+        slice_ = provider.slice_for("play", 0, 2)
+        with pytest.raises(BackendUnsupportedError):
+            evaluate_slice(slice_, ["speech"], "everything", {})
+
+    def test_bad_coordinates_rejected(self, provider):
+        with pytest.raises(BackendUnsupportedError):
+            provider.slice_for("play", 2, 2)
+        with pytest.raises(BackendUnsupportedError):
+            provider.slice_for("play", -1, 2)
+        with pytest.raises(BackendUnsupportedError):
+            provider.slice_for("play", 0, 0)
+
+
+class TestSliceProviderCache:
+    def test_new_generation_invalidates(self, instance):
+        generation = {"value": 1}
+        provider = SliceProvider(lambda name: (instance, generation["value"]))
+        first = provider.slice_for("play", 0, 2)
+        again = provider.slice_for("play", 0, 2)
+        assert again.segment is first.segment
+        generation["value"] = 2
+        rebuilt = provider.slice_for("play", 0, 2)
+        assert rebuilt.generation == 2
+
+    def test_surplus_segment_is_cached(self, instance):
+        provider = SliceProvider(lambda name: (instance, 1))
+        a = provider.slice_for("play", 6, 8)
+        b = provider.slice_for("play", 7, 8)
+        assert a.segment is b.segment

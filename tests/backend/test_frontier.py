@@ -1,0 +1,204 @@
+"""The frontier over in-process backends: equivalence, failover,
+breakers, and hedging.  All the machinery the subprocess topology uses,
+none of the subprocesses."""
+
+import random
+from time import sleep
+
+import pytest
+
+from repro.algebra.evaluator import Evaluator
+from repro.algebra.parser import parse
+from repro.backend.base import SliceProvider
+from repro.backend.frontier import BackendNode, FrontierExecutor
+from repro.backend.inprocess import InProcessBackend
+from repro.engine.corpus import Corpus
+from repro.errors import BackendUnavailableError
+from repro.faults.retry import CircuitBreaker
+from repro.workloads.corpora import generate_play
+from repro.workloads.queries import PLAY_QUERIES
+
+
+@pytest.fixture(scope="module")
+def instance():
+    rng = random.Random(42)
+    corpus = Corpus()
+    for _ in range(4):
+        corpus.add(
+            generate_play(
+                rng,
+                acts=2,
+                scenes_per_act=2,
+                speeches_per_scene=3,
+                lines_per_speech=2,
+            )
+        )
+    return corpus.engine().instance
+
+
+def make_frontier(
+    instance,
+    count=3,
+    groups=2,
+    replicas=2,
+    hedge_budget=0.0,
+    hedge_min_seconds=0.05,
+    breaker_threshold=2,
+    breaker_reset=0.2,
+):
+    provider = SliceProvider(lambda name: (instance, 1))
+    backends = [InProcessBackend(f"b{i}", provider) for i in range(count)]
+    nodes = [
+        BackendNode(
+            backend,
+            CircuitBreaker(
+                failure_threshold=breaker_threshold,
+                reset_timeout=breaker_reset,
+            ),
+        )
+        for backend in backends
+    ]
+    frontier = FrontierExecutor(
+        nodes,
+        groups=groups,
+        replicas=replicas,
+        hedge_budget=hedge_budget,
+        hedge_min_seconds=hedge_min_seconds,
+    )
+    return frontier, {node.id: node for node in nodes}
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("query", sorted(PLAY_QUERIES.values()))
+    def test_frontier_matches_single_process(self, instance, query):
+        frontier, _ = make_frontier(instance)
+        try:
+            expr = parse(query)
+            expected = Evaluator("indexed").evaluate(expr, instance)
+            result, stats = frontier.run("play", expr)
+            assert list(result) == list(expected)
+            assert stats.groups == 2
+            assert stats.nodes_used
+        finally:
+            frontier.close()
+
+    def test_single_group_topology(self, instance):
+        frontier, _ = make_frontier(instance, count=1, groups=1, replicas=1)
+        try:
+            expr = parse("speech dwithin scene")
+            expected = Evaluator("indexed").evaluate(expr, instance)
+            result, _ = frontier.run("play", expr)
+            assert list(result) == list(expected)
+        finally:
+            frontier.close()
+
+
+class TestFailover:
+    def test_one_dead_replica_is_absorbed(self, instance):
+        frontier, nodes = make_frontier(instance)
+        try:
+            expr = parse("speech dwithin scene")
+            expected = Evaluator("indexed").evaluate(expr, instance)
+            victim = frontier.replicas_for("play", 0)[0]
+            # The same node may be primary for several groups; make every
+            # call to it in this run fail.
+            victim.backend.fail_requests = 10
+            result, stats = frontier.run("play", expr)
+            assert list(result) == list(expected)
+            assert stats.failovers >= 1
+            assert victim.id not in stats.nodes_used
+        finally:
+            frontier.close()
+
+    def test_all_replicas_dead_raises_unavailable(self, instance):
+        frontier, nodes = make_frontier(instance)
+        try:
+            for node in frontier.replicas_for("play", 0):
+                node.backend.fail_requests = 10
+            with pytest.raises(BackendUnavailableError) as info:
+                frontier.run("play", parse("speech dwithin scene"))
+            assert info.value.corpus == "play"
+        finally:
+            frontier.close()
+
+    def test_breaker_opens_and_recovers(self, instance):
+        frontier, nodes = make_frontier(
+            instance, breaker_threshold=2, breaker_reset=0.1
+        )
+        try:
+            expr = parse("speech dwithin scene")
+            victim = frontier.replicas_for("play", 0)[0]
+            victim.backend.fail_requests = 2
+            frontier.run("play", expr)
+            frontier.run("play", expr)
+            assert victim.breaker.state == CircuitBreaker.OPEN
+            # While open, the victim is skipped without being called.
+            _, stats = frontier.run("play", expr)
+            assert victim.id not in stats.nodes_used
+            assert stats.breaker_skips >= 1
+            # After the reset timeout a probe goes through (the backend
+            # is healthy again) and the breaker closes.
+            sleep(0.15)
+            frontier.run("play", expr)
+            sleep(0.15)
+            frontier.run("play", expr)
+            assert victim.breaker.state == CircuitBreaker.CLOSED
+        finally:
+            frontier.close()
+
+
+class TestHedging:
+    def test_slow_primary_is_hedged(self, instance):
+        frontier, nodes = make_frontier(
+            instance, hedge_budget=1.0, hedge_min_seconds=0.02
+        )
+        try:
+            expr = parse("speech dwithin scene")
+            expected = Evaluator("indexed").evaluate(expr, instance)
+            primary = frontier.replicas_for("play", 0)[0]
+            primary.backend.inject_latency = 0.3
+            result, stats = frontier.run("play", expr)
+            assert list(result) == list(expected)
+            assert stats.hedges >= 1
+            assert stats.hedge_wins >= 1
+        finally:
+            frontier.close()
+
+    def test_budget_zero_never_hedges(self, instance):
+        frontier, nodes = make_frontier(
+            instance, hedge_budget=0.0, hedge_min_seconds=0.02
+        )
+        try:
+            expr = parse("speech dwithin scene")
+            primary = frontier.replicas_for("play", 0)[0]
+            primary.backend.inject_latency = 0.1
+            _, stats = frontier.run("play", expr)
+            assert stats.hedges == 0
+        finally:
+            frontier.close()
+
+
+class TestIntrospection:
+    def test_placement_covers_every_group(self, instance):
+        frontier, _ = make_frontier(instance)
+        try:
+            placement = frontier.placement(["play"])
+            assert set(placement["play"]) == {"0", "1"}
+            for replicas in placement["play"].values():
+                assert len(replicas) == 2
+                assert len(set(replicas)) == 2
+        finally:
+            frontier.close()
+
+    def test_snapshot_shape(self, instance):
+        frontier, _ = make_frontier(instance)
+        try:
+            frontier.run("play", parse("speech dwithin scene"))
+            snapshot = frontier.snapshot()
+            assert snapshot["groups"] == 2
+            assert snapshot["replicas"] == 2
+            assert len(snapshot["nodes"]) == 3
+            assert all("breaker" in node for node in snapshot["nodes"])
+            assert snapshot["hedge"]["primaries"] >= 1
+        finally:
+            frontier.close()

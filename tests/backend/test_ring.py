@@ -1,0 +1,51 @@
+"""Consistent-hash placement: deterministic, distinct, and balanced."""
+
+import pytest
+
+from repro.backend.ring import HashRing
+
+
+class TestHashRing:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["a"], vnodes=0)
+
+    def test_placement_is_deterministic_across_instances(self):
+        a = HashRing(["b0", "b1", "b2"])
+        b = HashRing(["b0", "b1", "b2"])
+        for i in range(50):
+            key = f"corpus|{i}"
+            assert a.nodes_for(key, 2) == b.nodes_for(key, 2)
+
+    def test_replica_sets_are_distinct_nodes(self):
+        ring = HashRing(["b0", "b1", "b2", "b3"])
+        for i in range(50):
+            nodes = ring.nodes_for(f"k{i}", 3)
+            assert len(nodes) == 3
+            assert len(set(nodes)) == 3
+
+    def test_n_capped_at_node_count(self):
+        ring = HashRing(["b0", "b1"])
+        assert sorted(ring.nodes_for("key", 10)) == ["b0", "b1"]
+        assert len(ring.nodes_for("key", 0)) == 1  # floor of 1
+
+    def test_every_node_owns_some_keys(self):
+        ring = HashRing([f"b{i}" for i in range(4)])
+        owners = {ring.nodes_for(f"corpus|{i}")[0] for i in range(200)}
+        assert owners == {"b0", "b1", "b2", "b3"}
+
+    def test_removing_a_node_only_moves_its_keys(self):
+        full = HashRing(["b0", "b1", "b2"])
+        reduced = HashRing(["b0", "b1"])
+        keys = [f"k{i}" for i in range(100)]
+        for key in keys:
+            before = full.nodes_for(key)[0]
+            after = reduced.nodes_for(key)[0]
+            if before != "b2":
+                assert after == before
+
+    def test_duplicate_ids_collapse(self):
+        ring = HashRing(["b0", "b0", "b1"])
+        assert len(ring) == 2

@@ -222,3 +222,74 @@ class TestCircuitBreaker:
         assert snapshot["state"] == CircuitBreaker.OPEN
         assert snapshot["trips"] == 1
         assert snapshot["consecutive_failures"] == 3
+
+
+class TestHalfOpenProbeSemantics:
+    """Regressions for the half-open race: exactly one probe in flight,
+    concurrent callers fast-fail, and a probe whose caller vanished
+    expires instead of wedging the breaker."""
+
+    def make(self, reset_timeout=5.0):
+        clock = _Clock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, reset_timeout=reset_timeout, clock=clock
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        return breaker, clock
+
+    def test_exactly_one_probe_while_in_flight(self):
+        breaker, clock = self.make()
+        clock.now = 6.0
+        grants = [breaker.allow() for _ in range(5)]
+        assert grants == [True, False, False, False, False]
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_concurrent_threads_get_one_probe(self):
+        import threading
+
+        breaker, clock = self.make()
+        clock.now = 6.0
+        grants = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def contend():
+            barrier.wait()
+            granted = breaker.allow()
+            with lock:
+                grants.append(granted)
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert grants.count(True) == 1
+
+    def test_wedged_probe_expires_and_rearms(self):
+        breaker, clock = self.make(reset_timeout=5.0)
+        clock.now = 6.0
+        assert breaker.allow()  # the probe whose caller will vanish
+        assert not breaker.allow()
+        # Nobody ever reports on the probe; once reset_timeout passes
+        # again, a fresh probe is granted instead of wedging half-open.
+        clock.now = 10.5
+        assert not breaker.allow()
+        clock.now = 11.5
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_probe_state_cleared_on_outcome(self):
+        breaker, clock = self.make()
+        clock.now = 6.0
+        assert breaker.allow()
+        breaker.record_failure()  # re-opens, restarting the timer
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.now = 12.0
+        # A fresh half-open cycle hands out a fresh probe immediately —
+        # no stale probe bookkeeping from the failed cycle.
+        assert breaker.allow()
+        assert not breaker.allow()

@@ -41,3 +41,43 @@ class TestServerConfig:
     def test_invalid_knobs(self, kwargs):
         with pytest.raises(ReproError):
             ServerConfig(**kwargs)
+
+
+class TestBackendTopologyKnobs:
+    def test_topology_defaults_disabled(self):
+        config = ServerConfig()
+        assert config.backend_nodes == 0
+        assert config.to_dict()["backend_mode"] == "inprocess"
+
+    def test_valid_topology_roundtrips(self):
+        config = ServerConfig(
+            backend_nodes=3,
+            backend_groups=2,
+            backend_replicas=2,
+            backend_mode="http",
+            backend_hedge_budget=0.25,
+        )
+        dumped = config.to_dict()
+        assert dumped["backend_nodes"] == 3
+        assert dumped["backend_replicas"] == 2
+        assert dumped["backend_mode"] == "http"
+        assert dumped["backend_hedge_budget"] == 0.25
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend_mode": "carrier-pigeon"},
+            {"backend_nodes": -1},
+            {"backend_groups": 0},
+            {"backend_replicas": 0},
+            {"backend_nodes": 1, "backend_replicas": 2},
+            {"backend_hedge_quantile": 0.0},
+            {"backend_hedge_quantile": 1.5},
+            {"backend_hedge_min_seconds": -0.1},
+            {"backend_hedge_budget": -0.5},
+            {"backend_respawn_delay": 0.0},
+        ],
+    )
+    def test_invalid_topology_knobs(self, kwargs):
+        with pytest.raises(ReproError):
+            ServerConfig(**kwargs)

@@ -207,3 +207,52 @@ class TestRetryAfter:
         finally:
             server.shutdown()
             server.server_close()
+
+
+class TestTransportErrorClassification:
+    def test_dead_server_counts_transport_errors_without_stalling(self):
+        """Against a port nobody listens on, every scheduled request is
+        classified as a transport error (still counted as dropped, so
+        existing dashboards keep working), the exception kind is
+        recorded, and the cooldown keeps the open-loop schedule on pace
+        instead of serializing on reconnect attempts."""
+        from time import monotonic
+
+        started = monotonic()
+        result = run_load(
+            "127.0.0.1",
+            9,  # discard port: connections are refused
+            ["speech"],
+            qps=40.0,
+            duration=1.0,
+            concurrency=2,
+        )
+        elapsed = monotonic() - started
+        assert elapsed < 3.0  # the schedule never fell behind
+        assert result.sent > 0
+        assert result.transport_errors == result.sent
+        assert result.dropped == result.sent
+        assert result.completed == 0
+        kinds = result.transport_error_kinds
+        assert sum(kinds.values()) == result.transport_errors
+        assert all(kind.endswith("Error") for kind in kinds)
+
+    def test_summary_and_report_expose_transport_errors(self):
+        result = LoadResult(target_qps=10.0, duration=1.0)
+        result.sent = 5
+        result.dropped = 5
+        result.transport_errors = 5
+        result.transport_error_kinds = {"ConnectionRefusedError": 5}
+        summary = result.summary()
+        assert summary["transport_errors"] == 5
+        assert summary["transport_error_kinds"] == {
+            "ConnectionRefusedError": 5
+        }
+        report = result.format_report()
+        assert "transport errors: 5" in report
+        assert "ConnectionRefusedError: 5" in report
+
+    def test_healthy_run_reports_zero_transport_errors(self):
+        result = LoadResult(target_qps=10.0, duration=1.0)
+        assert result.summary()["transport_errors"] == 0
+        assert "transport errors" not in result.format_report()
