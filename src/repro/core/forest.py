@@ -65,6 +65,52 @@ class Forest:
             stack.append(i)
         return cls(order, parent, children)
 
+    def appended(self, regions: Iterable[Region]) -> "Forest":
+        """A new forest with ``regions`` appended *after* every existing
+        region (the caller guarantees every new left endpoint lies past
+        every existing right endpoint, as :meth:`Instance.appended`
+        validates).
+
+        No new region can attach below an existing one, so the old
+        ``parent``/``children``/``depth`` entries are reused verbatim
+        (the shared child lists are never mutated — appended regions
+        only ever parent other appended regions) and the stack sweep
+        runs over the new suffix alone.  This keeps the live-ingestion
+        commit path's forest warm-up proportional to the new segment
+        instead of the whole corpus.
+        """
+        new_order = sorted(regions, key=lambda r: (r.left, -r.right))
+        if not new_order:
+            return self
+        base = len(self._order)
+        order = self._order + tuple(new_order)
+        parent = list(self._parent)
+        children = list(self._children)
+        index = dict(self._index)
+        depth = list(self._depth)
+        stack: list[int] = []
+        for offset, region in enumerate(new_order):
+            i = base + offset
+            while stack and not order[stack[-1]].includes(region):
+                stack.pop()
+            if stack:
+                parent.append(stack[-1])
+                children[stack[-1]].append(i)
+                depth.append(depth[stack[-1]] + 1)
+            else:
+                parent.append(None)
+                depth.append(0)
+            children.append([])
+            index[region] = i
+            stack.append(i)
+        clone = Forest.__new__(Forest)
+        clone._order = order
+        clone._parent = parent
+        clone._children = children
+        clone._index = index
+        clone._depth = depth
+        return clone
+
     # ------------------------------------------------------------------
     # Basic structure.
     # ------------------------------------------------------------------

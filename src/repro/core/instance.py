@@ -168,6 +168,83 @@ class Instance:
         keep = set(kept)
         return self.without_regions(r for r in self._all if r not in keep)
 
+    def appended(
+        self,
+        additions: Mapping[str, Iterable[Region]],
+        word_index: WordIndex,
+    ) -> "Instance":
+        """A copy with new regions appended wholly *after* every existing
+        region, carrying a replacement word index.
+
+        This is the live-ingestion segment-append fast path: when a new
+        document segment lands at the end of the corpus text, every
+        existing region set simply gains a sorted tail, the combined
+        region universe stays sorted by concatenation, and hierarchy
+        validation reduces to checking that the new regions start past
+        the old extent (the appended regions themselves come from a
+        parse that already validated their nesting).  Cost is
+        ``O(new regions + touched region sets)`` instead of a full
+        re-validation sweep.
+
+        ``additions`` maps region names to regions sorted by
+        ``(left, right)``; every new left endpoint must exceed every
+        existing right endpoint.
+        """
+        flat: list[Region] = []
+        for regions in additions.values():
+            flat.extend(regions)
+        if not flat:
+            if word_index is self._word_index:
+                return self
+            flat = []
+        flat.sort(key=lambda r: (r.left, r.right))
+        if flat and self._rights_max() >= flat[0].left:
+            raise HierarchyError(
+                f"appended region {flat[0]} does not lie after the "
+                "existing extent"
+            )
+        clone = Instance.__new__(Instance)
+        clone._word_index = word_index
+        clone._sets = dict(self._sets)
+        clone._name_of = dict(self._name_of)
+        for name, regions in additions.items():
+            new = sorted(regions, key=lambda r: (r.left, r.right))
+            if not new:
+                continue
+            for region in new:
+                if region in clone._name_of:
+                    raise HierarchyError(
+                        f"region {region} appears in both "
+                        f"{clone._name_of[region]!r} and {name!r}"
+                    )
+                clone._name_of[region] = name
+            existing = clone._sets.get(name)
+            if existing is None:
+                clone._sets[name] = RegionSet._from_sorted(new)
+            else:
+                clone._sets[name] = RegionSet._from_sorted(
+                    list(existing) + new
+                )
+        clone._names = (
+            tuple(sorted(clone._sets))
+            if len(clone._sets) != len(self._sets)
+            else self._names
+        )
+        clone._all = RegionSet._from_sorted(list(self._all) + flat)
+        # An already-materialized forest extends incrementally: the new
+        # regions all lie past the old extent, so the old structure is
+        # reused and only the appended suffix is swept.  Cold instances
+        # keep lazy construction.
+        clone._forest = (
+            None if self._forest is None else self._forest.appended(flat)
+        )
+        return clone
+
+    def _rights_max(self) -> int:
+        """The maximum right endpoint over all regions (−1 when empty)."""
+        rights = self._all._rights
+        return max(rights) if rights else -1
+
     def shifted(self, offset: int) -> "Instance":
         """A copy with every region translated by ``offset`` positions.
 

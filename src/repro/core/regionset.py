@@ -86,6 +86,24 @@ class RegionSet:
         return _EMPTY
 
     @classmethod
+    def _from_sorted(cls, items: list[Region]) -> "RegionSet":
+        """Internal: build from already ``(left, right)``-sorted,
+        duplicate-free regions, skipping the constructor's sort.
+
+        The live-ingestion append path concatenates an existing sorted
+        set with new regions that all lie strictly after it, so the
+        result is sorted by construction and re-sorting would waste the
+        O(new) guarantee.  Callers are responsible for the precondition.
+        """
+        out = cls.__new__(cls)
+        out._regions = tuple(items)
+        out._lefts = [r.left for r in items]
+        out._rights = [r.right for r in items]
+        out._suffix_min_right = None
+        out._prefix_max_right = None
+        return out
+
+    @classmethod
     def of(cls, *pairs: tuple[int, int]) -> "RegionSet":
         """Build a set from ``(left, right)`` tuples — test/demo shorthand."""
         return cls(Region(left, right) for left, right in pairs)

@@ -142,6 +142,63 @@ class TextWordIndex:
                 return True
         return False
 
+    def extended(self, tokens: Iterable[Token]) -> "TextWordIndex":
+        """A new index with ``tokens`` appended *after* every existing
+        occurrence (every new left endpoint must be strictly greater
+        than every existing one).
+
+        This is the segment-append fast path of live ingestion: because
+        the new occurrences sit wholly to the right, the per-token
+        sorted lists extend in place and every existing suffix-minimum
+        value is already correct (``min`` over a suffix cannot drop when
+        only larger right endpoints are appended).  Untouched tokens
+        share their occurrence tuples with ``self``; the result is a
+        fully independent, immutable index built in
+        ``O(new tokens + touched vocabulary)``.
+        """
+        by_token: dict[str, list[tuple[int, int]]] = {}
+        for text, left, right in tokens:
+            by_token.setdefault(text, []).append((left, right))
+        clone = TextWordIndex.__new__(TextWordIndex)
+        clone._occurrences = dict(self._occurrences)
+        clone._pattern_cache = {}
+        fresh = []
+        for text, occs in by_token.items():
+            occs.sort()
+            existing = clone._occurrences.get(text)
+            if existing is not None and (
+                occs[0][0] <= existing[0][-1]
+                or min(r for _, r in occs) < existing[1][-1]
+            ):
+                raise ValueError(
+                    f"extended() occurrence of {text!r} at {occs[0][0]} is "
+                    "not after the existing occurrences"
+                )
+            suffix = [r for _, r in occs]
+            for i in range(len(suffix) - 2, -1, -1):
+                if suffix[i + 1] < suffix[i]:
+                    suffix[i] = suffix[i + 1]
+            if existing is None:
+                clone._occurrences[text] = (
+                    [l for l, _ in occs],
+                    [r for _, r in occs],
+                    suffix,
+                )
+                fresh.append(text)
+            else:
+                lefts, rights, old_suffix = existing
+                clone._occurrences[text] = (
+                    lefts + [l for l, _ in occs],
+                    rights + [r for _, r in occs],
+                    old_suffix + suffix,
+                )
+        if fresh:
+            vocabulary = sorted(self._vocabulary + fresh)
+        else:
+            vocabulary = self._vocabulary
+        clone._vocabulary = vocabulary
+        return clone
+
 
 class LabelWordIndex:
     """An abstract word index: an explicit region → pattern-set labelling.

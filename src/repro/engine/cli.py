@@ -247,6 +247,35 @@ def build_parser() -> argparse.ArgumentParser:
         help=argparse.SUPPRESS,
     )
     serve.add_argument(
+        "--ingest",
+        action="store_true",
+        help="accept writes on POST /ingest (docs/server.md)",
+    )
+    serve.add_argument(
+        "--ingest-dir",
+        type=Path,
+        default=None,
+        help="directory for WALs and checkpoints (default: a temp dir "
+        "that vanishes on shutdown)",
+    )
+    serve.add_argument(
+        "--no-ingest-fsync",
+        action="store_true",
+        help="skip fsync on WAL commits (faster, loses the crash-"
+        "durability guarantee; tests only)",
+    )
+    serve.add_argument(
+        "--compaction-interval",
+        type=float,
+        default=5.0,
+        help="seconds between background compactor ticks",
+    )
+    serve.add_argument(
+        "--no-compaction",
+        action="store_true",
+        help="disable the background compactor (POST /compact still works)",
+    )
+    serve.add_argument(
         "--trace", action="store_true", help="collect span trees per request"
     )
     serve.add_argument(
@@ -285,7 +314,61 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="ask the server to skip its cache"
     )
     loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument(
+        "--ingest-rate",
+        type=float,
+        default=0.0,
+        help="writes per second to POST /ingest alongside the query mix "
+        "(0 = read-only; needs a server started with --ingest)",
+    )
     loadgen.add_argument("--json", action="store_true")
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="commit a mutation batch against a running server (docs/server.md)",
+    )
+    ingest.add_argument("corpus", help="corpus to write to")
+    ingest.add_argument("--host", default="127.0.0.1")
+    ingest.add_argument("--port", type=int, required=True)
+    ingest.add_argument(
+        "--append",
+        action="append",
+        nargs=2,
+        metavar=("ID", "PATH"),
+        default=None,
+        help="append the tagged text in PATH as document ID (repeatable)",
+    )
+    ingest.add_argument(
+        "--update",
+        action="append",
+        nargs=2,
+        metavar=("ID", "PATH"),
+        default=None,
+        help="replace document ID with the tagged text in PATH (repeatable)",
+    )
+    ingest.add_argument(
+        "--delete",
+        action="append",
+        metavar="ID",
+        default=None,
+        help="tombstone document ID (repeatable)",
+    )
+    ingest.add_argument(
+        "--ops",
+        type=Path,
+        default=None,
+        help="JSON file holding a full ops list (overrides the flags above)",
+    )
+    ingest.add_argument("--json", action="store_true")
+
+    compact = commands.add_parser(
+        "compact",
+        help="merge a corpus's ingest segments and checkpoint its WAL",
+    )
+    compact.add_argument("corpus", help="corpus to compact")
+    compact.add_argument("--host", default="127.0.0.1")
+    compact.add_argument("--port", type=int, required=True)
+    compact.add_argument("--json", action="store_true")
 
     backends = commands.add_parser(
         "backends",
@@ -320,11 +403,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--mode",
-        choices=("service", "backend-kill"),
+        choices=("service", "backend-kill", "ingest"),
         default="service",
         help="service = fault-point injection against an in-process "
         "service; backend-kill = SIGKILL shard backend subprocesses "
-        "under load (docs/robustness.md)",
+        "under load; ingest = concurrent writes under WAL faults and a "
+        "mid-run restart, verified against a rebuilt-from-scratch "
+        "oracle (docs/robustness.md)",
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--scale", type=int, default=2, help="corpus size")
@@ -629,6 +714,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend_replicas=replicas,
         backend_mode=args.backend_mode,
         backend_hedge_budget=args.hedge_budget,
+        ingest_enabled=args.ingest,
+        ingest_dir=str(args.ingest_dir) if args.ingest_dir else None,
+        ingest_fsync=not args.no_ingest_fsync,
+        compaction_enabled=not args.no_compaction,
+        compaction_interval=args.compaction_interval,
     )
     service = QueryService(config)
     server = create_server(
@@ -647,6 +737,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"backend topology: {config.backend_groups} group(s) x "
             f"{config.backend_replicas} replica(s) on "
             f"{config.backend_nodes} {config.backend_mode} node(s)",
+            flush=True,
+        )
+    if config.ingest_enabled:
+        where = config.ingest_dir or "a temporary directory"
+        print(
+            f"ingest enabled: WALs in {where}, compaction "
+            f"{'off' if not config.compaction_enabled else f'every {config.compaction_interval:g}s'}",
             flush=True,
         )
     # serve_forever runs on a helper thread so the main thread can wait
@@ -686,6 +783,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         optimize=args.optimize,
         use_cache=not args.no_cache,
         seed=args.seed,
+        ingest_rate=args.ingest_rate,
     )
     if args.json:
         print(json.dumps(result.summary()))
@@ -693,6 +791,110 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(result.format_report())
     # Non-zero exit when nothing succeeded, so smoke scripts fail loudly.
     return 0 if result.status_counts.get("200", 0) > 0 else 1
+
+
+def _post_json(host: str, port: int, path: str, body: dict) -> tuple[int, dict]:
+    """POST a JSON body, returning ``(status, parsed_response)`` —
+    error statuses come back as values (their envelope carries the
+    machine-readable ``code``), not exceptions."""
+    import http.client
+
+    connection = http.client.HTTPConnection(host, port, timeout=30.0)
+    try:
+        connection.request(
+            "POST",
+            path,
+            body=json.dumps(body),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        payload = response.read()
+        try:
+            parsed = json.loads(payload.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            parsed = {"error": payload.decode("utf-8", "replace")}
+        return response.status, parsed
+    finally:
+        connection.close()
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    if args.ops is not None:
+        ops = json.loads(args.ops.read_text(encoding="utf-8"))
+    else:
+        ops = []
+        for doc_id, path in args.append or ():
+            ops.append(
+                {
+                    "op": "append",
+                    "id": doc_id,
+                    "text": Path(path).read_text(encoding="utf-8"),
+                }
+            )
+        for doc_id, path in args.update or ():
+            ops.append(
+                {
+                    "op": "update",
+                    "id": doc_id,
+                    "text": Path(path).read_text(encoding="utf-8"),
+                }
+            )
+        for doc_id in args.delete or ():
+            ops.append({"op": "delete", "id": doc_id})
+    if not ops:
+        print(
+            "error: nothing to do (pass --append/--update/--delete or --ops)",
+            file=sys.stderr,
+        )
+        return 1
+    status, body = _post_json(
+        args.host, args.port, "/ingest", {"corpus": args.corpus, "ops": ops}
+    )
+    if args.json:
+        print(json.dumps(body))
+    elif status == 200:
+        print(
+            f"committed batch {body['batch_seq']} ({body['applied']} op(s)) "
+            f"to {body['corpus']}: generation {body['generation']}, "
+            f"{body['documents']} live doc(s), {body['segments']} segment(s), "
+            f"{body['tombstones']} tombstone(s)"
+        )
+    else:
+        print(
+            f"error: {body.get('error')} (code {body.get('code')}, "
+            f"http {status})",
+            file=sys.stderr,
+        )
+    return 0 if status == 200 else 1
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    status, body = _post_json(
+        args.host, args.port, "/compact", {"corpus": args.corpus}
+    )
+    if args.json:
+        print(json.dumps(body))
+    elif status == 200:
+        merged = body.get("merged_segments")
+        action = (
+            f"merged {merged} segment(s), dropped "
+            f"{body.get('dropped_tombstones', 0)} tombstone(s)"
+            if body["compacted"]
+            else "nothing to merge"
+        )
+        checkpoint = (
+            "checkpointed + truncated WAL"
+            if body["checkpointed"]
+            else "WAL already empty"
+        )
+        print(f"{body['corpus']}: {action}; {checkpoint}")
+    else:
+        print(
+            f"error: {body.get('error')} (code {body.get('code')}, "
+            f"http {status})",
+            file=sys.stderr,
+        )
+    return 0 if status == 200 else 1
 
 
 def _cmd_backends(args: argparse.Namespace) -> int:
@@ -782,6 +984,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(backend_report.format_report())
         return 0 if backend_report.ok else 1
 
+    if args.mode == "ingest":
+        from repro.faults.ingestchaos import (
+            IngestChaosConfig,
+            run_ingest_chaos,
+        )
+
+        ingest_config = IngestChaosConfig(
+            seed=args.seed,
+            scale=args.scale,
+            qps=args.qps,
+            concurrency=args.concurrency,
+            warmup_seconds=args.warmup_seconds,
+            fault_seconds=args.fault_seconds,
+            recovery_seconds=args.recovery_seconds,
+            # The shared --fault-rate is calibrated for high-volume read
+            # paths; WAL records are only a few per second, so scale it
+            # up to get a comparable number of fires per run.
+            wal_fault_rate=min(0.9, args.fault_rate * 7.0),
+        )
+        ingest_report = run_ingest_chaos(ingest_config)
+        if args.json:
+            print(json.dumps(ingest_report.summary()))
+        else:
+            print(ingest_report.format_report())
+        return 0 if ingest_report.ok else 1
+
     from repro.faults.chaos import ChaosConfig, run_chaos
 
     config = ChaosConfig(
@@ -816,6 +1044,8 @@ _COMMANDS = {
     "kwic": _cmd_kwic,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "ingest": _cmd_ingest,
+    "compact": _cmd_compact,
     "backends": _cmd_backends,
     "top": _cmd_top,
     "chaos": _cmd_chaos,

@@ -206,6 +206,12 @@ class Engine:
         return self._rig
 
     @property
+    def text(self) -> str | None:
+        """The raw indexed text, when the engine was built from text
+        (``None`` for engines loaded from a saved index)."""
+        return self._text
+
+    @property
     def region_names(self) -> tuple[str, ...]:
         return self._instance.names
 

@@ -254,3 +254,34 @@ class BackendUnavailableError(ReproError):
         super().__init__(
             f"no live replica for shard group {group} of corpus {corpus!r}{detail}"
         )
+
+
+class IngestError(ReproError):
+    """Base class for live-ingestion failures.
+
+    Raised when an ingest batch is malformed or cannot be applied; the
+    corpus is left exactly as it was (batches are all-or-nothing)."""
+
+    code = "ingest_error"
+
+
+class IngestDisabledError(IngestError):
+    """Ingestion was requested for a corpus that does not accept writes
+    (the server was started without ``--ingest``, or the corpus kind
+    has no text-backed index to extend)."""
+
+    code = "ingest_disabled"
+
+
+class UnknownDocumentError(IngestError):
+    """An update or delete referenced a document id that does not exist
+    (or was already deleted) in the target corpus."""
+
+    code = "unknown_document"
+
+
+class DuplicateDocumentError(IngestError):
+    """An append used a document id that is already live in the target
+    corpus, or the same id appeared twice in one batch."""
+
+    code = "duplicate_document"

@@ -87,6 +87,10 @@ class FaultSpec:
     ``probability`` is the chance of firing per traversal of the point;
     ``max_fires`` bounds the total number of fires (``None`` = no
     budget), letting a chaos scenario inject exactly-N faults.
+    ``skip_fires`` swallows the first N would-be fires — with
+    ``probability=1.0`` and ``max_fires=1`` this targets exactly the
+    (N+1)-th traversal, which is how the WAL recovery property test
+    kills a writer at every record boundary in turn.
     """
 
     point: str
@@ -94,6 +98,7 @@ class FaultSpec:
     probability: float = 1.0
     latency: float = 0.0  #: seconds slept per fire in ``latency`` mode
     max_fires: int | None = None
+    skip_fires: int = 0
     error: type[ReproError] = field(default=FaultInjected)
 
     def __post_init__(self) -> None:
@@ -113,6 +118,8 @@ class FaultSpec:
             raise ReproError("fault latency cannot be negative")
         if self.max_fires is not None and self.max_fires < 0:
             raise ReproError("max_fires cannot be negative")
+        if self.skip_fires < 0:
+            raise ReproError("skip_fires cannot be negative")
 
 
 def corrupt_bytes(data: bytes, rng: random.Random) -> bytes:
@@ -143,6 +150,7 @@ class FaultRegistry:
         self._lock = threading.Lock()
         self._specs: list[FaultSpec] = []
         self._spec_fires: list[int] = []
+        self._spec_skips: list[int] = []
         self._fires: dict[tuple[str, str], int] = {}
         self._counter = (metrics or global_registry()).counter(
             FAULT_INJECTIONS_TOTAL, help="injected faults by point and mode"
@@ -159,21 +167,25 @@ class FaultRegistry:
         with self._lock:
             self._specs.append(spec)
             self._spec_fires.append(0)
+            self._spec_skips.append(0)
         return spec
 
     def disarm(self, point: str | None = None) -> None:
         """Drop every spec at ``point`` (or all specs)."""
         with self._lock:
             if point is None:
-                self._specs, self._spec_fires = [], []
+                self._specs, self._spec_fires, self._spec_skips = [], [], []
                 return
             kept = [
-                (s, n)
-                for s, n in zip(self._specs, self._spec_fires)
+                (s, n, k)
+                for s, n, k in zip(
+                    self._specs, self._spec_fires, self._spec_skips
+                )
                 if s.point != point
             ]
-            self._specs = [s for s, _ in kept]
-            self._spec_fires = [n for _, n in kept]
+            self._specs = [s for s, _, _ in kept]
+            self._spec_fires = [n for _, n, _ in kept]
+            self._spec_skips = [k for _, _, k in kept]
 
     # ------------------------------------------------------------------
 
@@ -196,6 +208,9 @@ class FaultRegistry:
                 ):
                     continue
                 if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                    continue
+                if self._spec_skips[i] < spec.skip_fires:
+                    self._spec_skips[i] += 1
                     continue
                 self._spec_fires[i] += 1
                 key = (point, spec.mode)

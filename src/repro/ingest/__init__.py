@@ -1,0 +1,28 @@
+"""Live ingestion: generation-versioned corpus writes under traffic.
+
+The write path of the serving stack (see ``docs/internals.md``,
+"Segments, generations, and the WAL"):
+
+* :mod:`repro.ingest.wal` — the checksummed, fsync'd write-ahead log
+  every mutation hits first, with committed-batch-only replay and
+  atomic snapshot checkpoints;
+* :mod:`repro.ingest.live` — :class:`LiveCorpus`, the segment +
+  tombstone document overlay whose assembled instance is bit-identical
+  to re-parsing the combined corpus text from scratch;
+* :mod:`repro.ingest.compactor` — the rate-limited, health-yielding
+  background thread that merges small segments and drops tombstones
+  without ever changing a query answer.
+"""
+
+from repro.ingest.compactor import BackgroundCompactor
+from repro.ingest.live import INGEST_OP_KINDS, LiveCorpus, PreparedBatch
+from repro.ingest.wal import WriteAheadLog, wal_checksum
+
+__all__ = [
+    "BackgroundCompactor",
+    "INGEST_OP_KINDS",
+    "LiveCorpus",
+    "PreparedBatch",
+    "WriteAheadLog",
+    "wal_checksum",
+]

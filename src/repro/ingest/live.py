@@ -1,0 +1,448 @@
+"""Live corpora: segment-based document stores over a frozen base.
+
+A :class:`LiveCorpus` holds an (optional) immutable *base* instance —
+whatever the corpus was loaded with — plus ingested documents grouped
+into **segments**: each committed append batch lands in a fresh segment
+(the shard partitioner already cuts at top-level-tree boundaries, so a
+segment is also a natural shard slice).  Deletes and updates never
+rewrite a segment; they mark the old entry as a **tombstone** and (for
+updates) re-append the new text at the end.
+
+The assembled corpus is defined by its *layout*: the base text, then
+every surviving document wrapped in the reserved ``<document>`` tag,
+joined by single newlines — byte-for-byte the text
+:class:`~repro.engine.corpus.Corpus` would have indexed.  That gives a
+very strong oracle: the assembled :class:`~repro.core.Instance` must be
+**bit-identical** (via :func:`~repro.engine.storage.instance_to_dict`)
+to parsing the combined text from scratch, and the chaos harness holds
+the server to exactly that.
+
+Each document is parsed exactly once, in its own local coordinates;
+assembly shifts the cached regions and tokens by cumulative offsets.
+Two paths build the assembled instance:
+
+* **append fast path** — a batch of pure appends extends the previous
+  instance in ``O(new)`` via :meth:`Instance.appended` and
+  :meth:`TextWordIndex.extended` (no region re-validation, no word
+  index rebuild);
+* **reassembly** — deletes/updates shift every later document, so the
+  survivors are re-concatenated from their cached parses (still no
+  re-parsing).
+
+Compaction (:meth:`LiveCorpus.compact`) merges all segments into one
+and physically drops tombstoned entries.  Because survivors keep their
+order, the assembled layout — and therefore every query result — is
+unchanged: compaction is pure maintenance and never bumps the corpus
+generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.instance import Instance
+from repro.core.region import Region
+from repro.core.regionset import RegionSet
+from repro.core.wordindex import TextWordIndex, Token
+from repro.engine.corpus import DOCUMENT_REGION_NAME
+from repro.errors import (
+    DuplicateDocumentError,
+    IngestError,
+    ParseError,
+    UnknownDocumentError,
+)
+
+__all__ = ["LiveCorpus", "PreparedBatch", "INGEST_OP_KINDS"]
+
+INGEST_OP_KINDS = ("append", "update", "delete")
+
+
+class _Doc:
+    """One ingested document: raw text plus its cached local parse."""
+
+    __slots__ = ("doc_id", "text", "wrapped_len", "sets", "tokens", "deleted")
+
+    def __init__(self, doc_id: str, text: str):
+        from repro.engine.tagged import parse_tagged_text
+
+        self.doc_id = doc_id
+        self.text = text
+        wrapped = f"<{DOCUMENT_REGION_NAME}>\n{text}\n</{DOCUMENT_REGION_NAME}>"
+        self.wrapped_len = len(wrapped)
+        document = parse_tagged_text(wrapped)
+        instance = document.instance
+        self.sets: dict[str, list[Region]] = {
+            name: list(instance.region_set(name)) for name in instance.names
+        }
+        self.tokens: list[Token] = _index_tokens(instance.word_index)
+        self.deleted = False
+
+    def wrapped(self) -> str:
+        return f"<{DOCUMENT_REGION_NAME}>\n{self.text}\n</{DOCUMENT_REGION_NAME}>"
+
+
+@dataclass
+class _Segment:
+    """A contiguous run of ingested documents (one per append batch)."""
+
+    docs: list[_Doc] = field(default_factory=list)
+
+    def live_count(self) -> int:
+        return sum(1 for doc in self.docs if not doc.deleted)
+
+
+@dataclass
+class PreparedBatch:
+    """A validated, parsed batch ready to commit (no state mutated yet)."""
+
+    ops: list[dict[str, Any]]
+    docs: dict[str, _Doc]  # parsed append/update payloads by id
+    appends_only: bool
+
+
+def _index_tokens(word_index: Any) -> list[Token]:
+    """The token occurrences of a :class:`TextWordIndex`, sorted by
+    position — the same flattening ``instance_to_dict`` uses."""
+    if not isinstance(word_index, TextWordIndex):
+        raise IngestError(
+            "live ingestion needs a text-backed word index; got "
+            f"{type(word_index).__name__}"
+        )
+    tokens: list[Token] = []
+    for token in word_index.vocabulary:
+        lefts, rights, _ = word_index._occurrences[token]
+        tokens.extend((token, l, r) for l, r in zip(lefts, rights))
+    tokens.sort(key=lambda t: (t[1], t[2]))
+    return tokens
+
+
+class LiveCorpus:
+    """The mutable document overlay of one ingest-enabled corpus.
+
+    Not thread-safe by itself — the service serializes writers with a
+    per-corpus lock; readers only ever see fully-built immutable
+    :class:`Instance` snapshots returned by :meth:`commit`.
+    """
+
+    def __init__(
+        self,
+        base_instance: Instance | None = None,
+        base_text: str | None = None,
+    ):
+        self._base_instance = base_instance
+        self._base_text = base_text
+        if base_instance is not None:
+            self._base_sets = {
+                name: list(base_instance.region_set(name))
+                for name in base_instance.names
+            }
+            self._base_tokens = _index_tokens(base_instance.word_index)
+            if base_text is not None:
+                self._base_extent = len(base_text)
+            else:
+                max_right = base_instance._rights_max()
+                for _, _, right in self._base_tokens:
+                    if right > max_right:
+                        max_right = right
+                self._base_extent = max_right + 1
+        else:
+            self._base_sets = {}
+            self._base_tokens = []
+            self._base_extent = 0
+        self._segments: list[_Segment] = []
+        self._index: dict[str, _Doc] = {}
+        self._tombstones = 0
+        self._assembled: Instance | None = base_instance
+        self._extent = self._base_extent
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    @property
+    def instance(self) -> Instance:
+        """The current assembled instance (the base when unmutated)."""
+        if self._assembled is None:
+            self._assembled = self._reassemble()
+        return self._assembled
+
+    @property
+    def document_count(self) -> int:
+        """Live ingested documents (the base is not counted)."""
+        return len(self._index)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def tombstone_count(self) -> int:
+        return self._tombstones
+
+    @property
+    def document_ids(self) -> list[str]:
+        return [
+            doc.doc_id
+            for segment in self._segments
+            for doc in segment.docs
+            if not doc.deleted
+        ]
+
+    def documents(self) -> list[tuple[str, str]]:
+        """``(id, text)`` for every surviving ingested document, in the
+        order they occupy the assembled instance (segment order)."""
+        return [
+            (doc.doc_id, doc.text)
+            for segment in self._segments
+            for doc in segment.docs
+            if not doc.deleted
+        ]
+
+    def combined_text(self) -> str | None:
+        """The full corpus text the assembled instance indexes, or
+        ``None`` when the base engine carried no raw text."""
+        if self._base_instance is not None and self._base_text is None:
+            return None
+        parts = [] if self._base_text is None else [self._base_text]
+        for segment in self._segments:
+            for doc in segment.docs:
+                if not doc.deleted:
+                    parts.append(doc.wrapped())
+        return "\n".join(parts)
+
+    def oracle_instance(self) -> Instance | None:
+        """The rebuilt-from-scratch instance: a full re-parse of the
+        combined text.  The bit-identity oracle of the chaos harness and
+        the recovery tests; ``None`` without raw base text."""
+        from repro.engine.tagged import parse_tagged_text
+
+        text = self.combined_text()
+        if text is None:
+            return None
+        return parse_tagged_text(text).instance
+
+    # ------------------------------------------------------------------
+    # Validation and application.
+    # ------------------------------------------------------------------
+
+    def prepare(self, ops: Any) -> PreparedBatch:
+        """Validate a batch against the current state and parse its
+        payloads; raises the :class:`~repro.errors.IngestError` family
+        without mutating anything (batches are all-or-nothing)."""
+        if not isinstance(ops, list) or not ops:
+            raise IngestError(
+                "an ingest batch must be a non-empty list of operations"
+            )
+        live = set(self._index)
+        seen: set[str] = set()
+        docs: dict[str, _Doc] = {}
+        appends_only = True
+        for position, op in enumerate(ops):
+            where = f"operation {position}"
+            if not isinstance(op, dict):
+                raise IngestError(f"{where} is not an object")
+            kind = op.get("op")
+            if kind not in INGEST_OP_KINDS:
+                raise IngestError(
+                    f"{where} has unknown op {kind!r} "
+                    f"(expected one of {', '.join(INGEST_OP_KINDS)})"
+                )
+            doc_id = op.get("id")
+            if not isinstance(doc_id, str) or not doc_id:
+                raise IngestError(f"{where} needs a non-empty string id")
+            if doc_id in seen:
+                raise DuplicateDocumentError(
+                    f"document {doc_id!r} appears twice in one batch"
+                )
+            seen.add(doc_id)
+            if kind == "append":
+                if doc_id in live:
+                    raise DuplicateDocumentError(
+                        f"document {doc_id!r} already exists"
+                    )
+                docs[doc_id] = self._parse_payload(op, where)
+                live.add(doc_id)
+            elif kind == "update":
+                appends_only = False
+                if doc_id not in live:
+                    raise UnknownDocumentError(
+                        f"document {doc_id!r} does not exist"
+                    )
+                docs[doc_id] = self._parse_payload(op, where)
+            else:  # delete
+                appends_only = False
+                if doc_id not in live:
+                    raise UnknownDocumentError(
+                        f"document {doc_id!r} does not exist"
+                    )
+                live.discard(doc_id)
+        return PreparedBatch(ops=ops, docs=docs, appends_only=appends_only)
+
+    def _parse_payload(self, op: dict[str, Any], where: str) -> _Doc:
+        text = op.get("text")
+        if not isinstance(text, str) or not text.strip():
+            raise IngestError(f"{where} needs a non-empty string text")
+        if f"<{DOCUMENT_REGION_NAME}" in text:
+            raise IngestError(
+                f"{where} uses the reserved <{DOCUMENT_REGION_NAME}> tag"
+            )
+        try:
+            return _Doc(op["id"], text)
+        except ParseError as exc:
+            raise IngestError(f"{where} does not parse: {exc}") from exc
+
+    def commit(self, prepared: PreparedBatch) -> Instance:
+        """Apply a prepared batch and return the new assembled instance.
+
+        Pure-append batches take the fast path; any delete or update
+        shifts later documents and triggers a full (parse-free)
+        reassembly from the cached per-document parses.
+        """
+        new_segment = _Segment()
+        for op in prepared.ops:
+            kind, doc_id = op["op"], op["id"]
+            if kind in ("update", "delete"):
+                old = self._index.pop(doc_id)
+                old.deleted = True
+                self._tombstones += 1
+            if kind in ("append", "update"):
+                doc = prepared.docs[doc_id]
+                new_segment.docs.append(doc)
+                self._index[doc_id] = doc
+        if new_segment.docs:
+            self._segments.append(new_segment)
+        if prepared.appends_only and self._assembled is not None:
+            self._assembled = self._append_assembled(new_segment.docs)
+        else:
+            self._assembled = self._reassemble()
+        return self._assembled
+
+    def apply(self, ops: Any) -> Instance:
+        """:meth:`prepare` + :meth:`commit` (the WAL-replay path)."""
+        return self.commit(self.prepare(ops))
+
+    # ------------------------------------------------------------------
+    # Assembly.
+    # ------------------------------------------------------------------
+
+    def _append_assembled(self, docs: list[_Doc]) -> Instance:
+        assert self._assembled is not None
+        additions: dict[str, list[Region]] = {}
+        new_tokens: list[Token] = []
+        for doc in docs:
+            offset = self._extent + 1 if self._extent > 0 else 0
+            for name, regions in doc.sets.items():
+                additions.setdefault(name, []).extend(
+                    region.shifted(offset) for region in regions
+                )
+            new_tokens.extend(
+                (text, left + offset, right + offset)
+                for text, left, right in doc.tokens
+            )
+            self._extent = offset + doc.wrapped_len
+        word_index = self._assembled.word_index
+        if not isinstance(word_index, TextWordIndex):
+            raise IngestError(
+                "live ingestion needs a text-backed word index"
+            )
+        return self._assembled.appended(
+            additions, word_index.extended(new_tokens)
+        )
+
+    def _reassemble(self) -> Instance:
+        sets: dict[str, list[Region]] = {
+            name: list(regions) for name, regions in self._base_sets.items()
+        }
+        tokens: list[Token] = list(self._base_tokens)
+        extent = self._base_extent
+        for segment in self._segments:
+            for doc in segment.docs:
+                if doc.deleted:
+                    continue
+                offset = extent + 1 if extent > 0 else 0
+                for name, regions in doc.sets.items():
+                    sets.setdefault(name, []).extend(
+                        region.shifted(offset) for region in regions
+                    )
+                tokens.extend(
+                    (text, left + offset, right + offset)
+                    for text, left, right in doc.tokens
+                )
+                extent = offset + doc.wrapped_len
+        self._extent = extent
+        return Instance(
+            {
+                name: RegionSet._from_sorted(sets[name])
+                for name in sorted(sets)
+            },
+            TextWordIndex(tokens),
+            validate=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Compaction and checkpointing.
+    # ------------------------------------------------------------------
+
+    def compact(self) -> dict[str, int] | None:
+        """Merge every segment into one and drop tombstoned entries.
+
+        Survivors keep their order, so the assembled layout — and every
+        query answer — is unchanged; no generation bump is needed.
+        Returns a summary, or ``None`` when there was nothing to do.
+        """
+        if len(self._segments) <= 1 and self._tombstones == 0:
+            return None
+        merged = _Segment(
+            [
+                doc
+                for segment in self._segments
+                for doc in segment.docs
+                if not doc.deleted
+            ]
+        )
+        summary = {
+            "merged_segments": len(self._segments),
+            "dropped_tombstones": self._tombstones,
+            "live_documents": len(merged.docs),
+        }
+        self._segments = [merged] if merged.docs else []
+        self._tombstones = 0
+        return summary
+
+    def small_segment_count(self, max_docs: int) -> int:
+        """Segments at or below the size tier (the compaction trigger)."""
+        return sum(
+            1 for segment in self._segments if segment.live_count() <= max_docs
+        )
+
+    def state(self, through_batch: int) -> dict[str, Any]:
+        """A checkpoint of the live overlay for the WAL snapshot file."""
+        return {
+            "through_batch": through_batch,
+            "docs": [
+                [doc.doc_id, doc.text]
+                for segment in self._segments
+                for doc in segment.docs
+                if not doc.deleted
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict[str, Any],
+        base_instance: Instance | None = None,
+        base_text: str | None = None,
+    ) -> "LiveCorpus":
+        """Rebuild the overlay from a checkpoint (one merged segment)."""
+        live = cls(base_instance, base_text)
+        docs = state.get("docs") or []
+        if docs:
+            live.apply(
+                [
+                    {"op": "append", "id": doc_id, "text": text}
+                    for doc_id, text in docs
+                ]
+            )
+        return live

@@ -84,6 +84,19 @@ __all__ = [
     "BACKEND_HEDGE_WINS_TOTAL",
     "BACKEND_RESPAWNS_TOTAL",
     "FRONTIER_FALLBACK_TOTAL",
+    "INGEST_OPS_TOTAL",
+    "INGEST_BATCHES_TOTAL",
+    "INGEST_COMMIT_SECONDS",
+    "INGEST_DOCUMENTS",
+    "INGEST_SEGMENTS",
+    "INGEST_TOMBSTONES",
+    "WAL_RECORDS_TOTAL",
+    "WAL_BYTES_TOTAL",
+    "WAL_REPLAYED_RECORDS_TOTAL",
+    "WAL_TRUNCATIONS_TOTAL",
+    "COMPACTION_RUNS_TOTAL",
+    "COMPACTION_MERGED_SEGMENTS_TOTAL",
+    "COMPACTION_SECONDS",
     "TRACES_KEPT_TOTAL",
     "TRACES_DROPPED_TOTAL",
     "SLO_EVENTS_TOTAL",
@@ -145,6 +158,22 @@ BACKEND_HEDGES_TOTAL = "backend_hedges_total"
 BACKEND_HEDGE_WINS_TOTAL = "backend_hedge_wins_total"
 BACKEND_RESPAWNS_TOTAL = "backend_respawns_total"
 FRONTIER_FALLBACK_TOTAL = "frontier_fallback_total"
+
+# The live-ingestion layer (repro.ingest) — see docs/internals.md
+# ("Segments, generations, and the WAL") and docs/server.md.
+INGEST_OPS_TOTAL = "ingest_ops_total"
+INGEST_BATCHES_TOTAL = "ingest_batches_total"
+INGEST_COMMIT_SECONDS = "ingest_commit_seconds"
+INGEST_DOCUMENTS = "ingest_documents"
+INGEST_SEGMENTS = "ingest_segments"
+INGEST_TOMBSTONES = "ingest_tombstones"
+WAL_RECORDS_TOTAL = "wal_records_total"
+WAL_BYTES_TOTAL = "wal_bytes_total"
+WAL_REPLAYED_RECORDS_TOTAL = "wal_replayed_records_total"
+WAL_TRUNCATIONS_TOTAL = "wal_truncations_total"
+COMPACTION_RUNS_TOTAL = "compaction_runs_total"
+COMPACTION_MERGED_SEGMENTS_TOTAL = "compaction_merged_segments_total"
+COMPACTION_SECONDS = "compaction_seconds"
 
 # The tracing/SLO layer (repro.obs.sampling + repro.obs.slo) —
 # see docs/observability.md.

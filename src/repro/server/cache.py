@@ -115,6 +115,32 @@ class ResultCache:
             self.stats.invalidations += len(doomed)
             return len(doomed)
 
+    def invalidate_generations_below(self, corpus: str, floor: int) -> int:
+        """Drop every entry of ``corpus`` whose generation is below
+        ``floor``, keeping newer generations intact.
+
+        The live-ingestion commit path: a reload invalidates the whole
+        corpus eagerly (``invalidate((corpus,))``), but an ingest commit
+        only retires generations that have aged out of the configured
+        keep-window — entries from recent older generations stay
+        resident so degraded mode can still serve them stale.  Returns
+        the number of entries dropped.
+        """
+        with self._lock:
+            doomed = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple)
+                and len(key) >= 2
+                and key[0] == corpus
+                and isinstance(key[1], int)
+                and key[1] < floor
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
+
     def clear(self) -> int:
         with self._lock:
             dropped = len(self._entries)

@@ -164,6 +164,32 @@ class ServerConfig:
         Seconds the supervisor waits before respawning a dead backend
         subprocess on its old port.
 
+    Live-ingestion knobs (``docs/internals.md``, "Segments, generations,
+    and the WAL"):
+
+    ``ingest_enabled``
+        Accept ``POST /ingest`` mutations.  Off by default: a read-only
+        service never pays the write path's locks or disk I/O.
+    ``ingest_dir``
+        Directory for the per-corpus write-ahead logs and checkpoint
+        snapshots; a temporary directory is created (and the WAL is
+        non-durable across restarts) when unset.
+    ``ingest_fsync``
+        fsync every committed batch (and checkpoint).  Turning it off
+        trades crash durability for commit latency — tests only.
+    ``ingest_keep_generations``
+        How many recent generations of a corpus's cache entries an
+        ingest commit keeps resident (older ones are dropped).  Kept
+        entries from superseded generations are what degraded mode
+        serves stale; a reload still invalidates the whole corpus.
+    ``compaction_enabled`` / ``compaction_interval`` /
+    ``compaction_min_segments`` / ``compaction_small_docs``
+        The background compactor: every ``compaction_interval`` seconds
+        (skipped entirely while the service is not healthy) it merges
+        the segments of at most one corpus that has tombstones or at
+        least ``compaction_min_segments`` segments holding
+        ``compaction_small_docs`` or fewer live documents each.
+
     SLO knobs (always active; they only read request outcomes):
 
     ``slo_availability_objective``
@@ -215,6 +241,14 @@ class ServerConfig:
     backend_hedge_min_seconds: float = 0.05
     backend_hedge_budget: float = 0.1
     backend_respawn_delay: float = 0.5
+    ingest_enabled: bool = False
+    ingest_dir: str | None = None
+    ingest_fsync: bool = True
+    ingest_keep_generations: int = 2
+    compaction_enabled: bool = True
+    compaction_interval: float = 5.0
+    compaction_min_segments: int = 4
+    compaction_small_docs: int = 32
     trace_sample_rate: float = 0.1
     trace_store_capacity: int = 256
     trace_tail_capacity: int = 256
@@ -279,6 +313,14 @@ class ServerConfig:
             raise ReproError("backend_hedge_budget cannot be negative")
         if self.backend_respawn_delay <= 0:
             raise ReproError("backend_respawn_delay must be positive seconds")
+        if self.ingest_keep_generations < 1:
+            raise ReproError("ingest_keep_generations must be at least 1")
+        if self.compaction_interval <= 0:
+            raise ReproError("compaction_interval must be positive seconds")
+        if self.compaction_min_segments < 2:
+            raise ReproError("compaction_min_segments must be at least 2")
+        if self.compaction_small_docs < 1:
+            raise ReproError("compaction_small_docs must be at least 1")
         if not (0.0 <= self.trace_sample_rate <= 1.0):
             raise ReproError("trace_sample_rate must be in [0, 1]")
         if self.trace_store_capacity < 1 or self.trace_tail_capacity < 1:
@@ -330,6 +372,14 @@ class ServerConfig:
             "backend_hedge_min_seconds": self.backend_hedge_min_seconds,
             "backend_hedge_budget": self.backend_hedge_budget,
             "backend_respawn_delay": self.backend_respawn_delay,
+            "ingest_enabled": self.ingest_enabled,
+            "ingest_dir": self.ingest_dir,
+            "ingest_fsync": self.ingest_fsync,
+            "ingest_keep_generations": self.ingest_keep_generations,
+            "compaction_enabled": self.compaction_enabled,
+            "compaction_interval": self.compaction_interval,
+            "compaction_min_segments": self.compaction_min_segments,
+            "compaction_small_docs": self.compaction_small_docs,
             "trace_sample_rate": self.trace_sample_rate,
             "trace_store_capacity": self.trace_store_capacity,
             "trace_tail_capacity": self.trace_tail_capacity,

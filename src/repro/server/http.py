@@ -14,6 +14,15 @@ on the service's bounded worker pool.  Endpoints:
 ``GET /corpora``                      served corpora with generations
 ``POST /corpora/<name>/reload``       hot-reload one corpus (bumps its
                                       generation, invalidates its cache)
+``POST /ingest``                      commit one mutation batch; body
+                                      ``{"corpus": …, "ops": [{"op":
+                                      "append"|"update"|"delete",
+                                      "id": …, "text": …}, …]}`` —
+                                      all-or-nothing, WAL'd, publishes
+                                      a new generation
+``POST /compact``                     merge segments, drop tombstones,
+                                      checkpoint + truncate the WAL;
+                                      body ``{"corpus": …}``
 ``GET /healthz``                      liveness + pool/cache/config state
 ``GET /metrics``                      the shared registry snapshot (JSON);
                                       ``?format=prometheus`` for text
@@ -26,8 +35,10 @@ on the service's bounded worker pool.  Endpoints:
                                       the cross-process context
 ====================================  =======================================
 
-Status mapping: ``400`` parse/validation errors, ``404`` unknown corpus
-or path, ``408`` client-requested deadline ≤ 0, ``429`` admission
+Status mapping: ``400`` parse/validation errors (including rejected
+ingest batches and ingest-disabled corpora), ``404`` unknown corpus,
+document, or path, ``408`` client-requested deadline ≤ 0, ``409``
+duplicate document id, ``429`` admission
 rejection (with ``Retry-After``), ``503`` load shed or corpus breaker
 open (with ``Retry-After``), ``504`` query deadline exceeded, ``500``
 worker crashes, injected faults, and anything unexpected.
@@ -48,10 +59,12 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import (
     CorpusUnavailableError,
+    DuplicateDocumentError,
     QueryTimeout,
     ReproError,
     ServerOverloadedError,
     ServiceUnhealthyError,
+    UnknownDocumentError,
     error_code,
 )
 from repro.obs.metrics import parse_label_text
@@ -167,6 +180,13 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if url.path == "/query":
                 self._run(self._body(), explain_only=False)
+            elif url.path == "/ingest":
+                self._ingest(self._body())
+            elif url.path == "/compact":
+                body = self._body()
+                self._json(
+                    200, self.server.service.compact(body.get("corpus"))
+                )
             elif url.path == "/shard/query":
                 self._shard_query(self._body())
             elif url.path == "/explain":
@@ -286,6 +306,20 @@ class _Handler(BaseHTTPRequestHandler):
         )
         self._json(200, response)
 
+    def _ingest(self, body: dict[str, Any]) -> None:
+        ops = body.get("ops")
+        if not isinstance(ops, list) or not ops:
+            self._json(
+                400,
+                {
+                    "error": "ingest request needs a non-empty 'ops' list",
+                    "code": "invalid_request",
+                },
+            )
+            return
+        response = self.server.service.ingest(body.get("corpus"), ops)
+        self._json(200, response)
+
     def _shard_query(self, body: dict[str, Any]) -> None:
         """The backend half of the frontier's shard RPC."""
         queries = body.get("queries")
@@ -351,8 +385,10 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif isinstance(exc, QueryTimeout):
             self._json(504, {**envelope, "budget": exc.budget})
-        elif isinstance(exc, UnknownCorpusError):
+        elif isinstance(exc, (UnknownCorpusError, UnknownDocumentError)):
             self._json(404, envelope)
+        elif isinstance(exc, DuplicateDocumentError):
+            self._json(409, envelope)
         elif isinstance(exc, ReproError) and code in (
             "worker_crashed",
             "fault_injected",

@@ -63,6 +63,18 @@ class LoadResult:
     cache_hits: int = 0
     #: (latency_seconds, trace_id) per 200 response that carried one.
     trace_samples: list[tuple[float, str]] = field(default_factory=list)
+    #: The write stream (``ingest_rate > 0``): ``POST /ingest`` requests
+    #: on their own open-loop schedule, measured separately so write
+    #: latency never pollutes the query percentiles.
+    ingest_rate: float = 0.0
+    ingest_sent: int = 0
+    ingest_dropped: int = 0
+    ingest_status_counts: dict[str, int] = field(default_factory=dict)
+    ingest_latencies: list[float] = field(default_factory=list)
+
+    @property
+    def ingest_ok(self) -> int:
+        return self.ingest_status_counts.get("200", 0)
 
     @property
     def completed(self) -> int:
@@ -107,6 +119,33 @@ class LoadResult:
                 ),
             },
             "slowest_traces": self.slowest_traces(),
+            **(
+                {
+                    "ingest": {
+                        "target_rate": self.ingest_rate,
+                        "sent": self.ingest_sent,
+                        "ok": self.ingest_ok,
+                        "dropped": self.ingest_dropped,
+                        "status_counts": dict(
+                            sorted(self.ingest_status_counts.items())
+                        ),
+                        "latency_ms": {
+                            "p50": round(
+                                percentile(sorted(self.ingest_latencies), 0.50)
+                                * 1e3,
+                                3,
+                            ),
+                            "p99": round(
+                                percentile(sorted(self.ingest_latencies), 0.99)
+                                * 1e3,
+                                3,
+                            ),
+                        },
+                    }
+                }
+                if self.ingest_rate > 0
+                else {}
+            ),
         }
 
     def format_report(self) -> str:
@@ -136,7 +175,52 @@ class LoadResult:
                 f"  {t['latency_ms']:8.1f} ms  trace {t['trace_id']}"
                 for t in s["slowest_traces"]
             )
+        ingest = s.get("ingest")
+        if ingest:
+            lines.append(
+                f"ingest   sent {ingest['sent']} (target "
+                f"{ingest['target_rate']:g}/s), ok {ingest['ok']}, dropped "
+                f"{ingest['dropped']}; commit p50 "
+                f"{ingest['latency_ms']['p50']:.1f} ms  p99 "
+                f"{ingest['latency_ms']['p99']:.1f} ms"
+            )
         return "\n".join(lines)
+
+
+#: Vocabulary for generated ingest documents — ordinary words so the
+#: appended text exercises the same token paths the seeded plays do.
+_INGEST_WORDS = (
+    "alarum", "battle", "crown", "daggers", "exeunt", "fortune",
+    "ghost", "herald", "kingdom", "midnight", "prophecy", "throne",
+)
+
+
+def _ingest_op(
+    rng: random.Random, prefix: str, serial: int, acked: list[str]
+) -> dict[str, Any]:
+    """The next deterministic write: mostly appends of small play-shaped
+    documents, with occasional updates and deletes of already-acked ids
+    (so the corpus both grows and churns under load).  ``prefix``
+    carries the run's seed so back-to-back runs against one server never
+    collide on document ids."""
+    roll = rng.random()
+    line = " ".join(rng.choice(_INGEST_WORDS) for _ in range(rng.randrange(3, 9)))
+    if acked and roll < 0.10:
+        return {"op": "delete", "id": acked.pop(rng.randrange(len(acked)))}
+    if acked and roll < 0.25:
+        doc_id = acked[rng.randrange(len(acked))]
+        return {
+            "op": "update",
+            "id": doc_id,
+            "text": f"<speech><speaker>Loadgen</speaker>"
+            f"<line>{line}</line></speech>",
+        }
+    return {
+        "op": "append",
+        "id": f"{prefix}-{serial}",
+        "text": f"<speech><speaker>Loadgen</speaker>"
+        f"<line>{line}</line></speech>",
+    }
 
 
 class _Clock:
@@ -174,6 +258,9 @@ def run_load(
     seed: int = 7,
     max_retries: int = 2,
     on_response: Callable[[int, bytes], None] | None = None,
+    ingest_rate: float = 0.0,
+    on_ingest_response: Callable[[list[dict[str, Any]], int, bytes], None]
+    | None = None,
 ) -> LoadResult:
     """Drive ``host:port`` with ``queries`` at ``qps`` for ``duration``
     seconds using ``concurrency`` keep-alive client threads.
@@ -189,6 +276,16 @@ def run_load(
     the final status lands in ``status_counts``.  ``on_response``, when
     given, is called with ``(status, body_bytes)`` for every final
     response — the hook the chaos harness uses to verify payloads.
+
+    ``ingest_rate > 0`` adds a write mix: one dedicated writer thread
+    POSTs single-op ``/ingest`` batches on its own open-loop schedule
+    (same start-time discipline as the query stream, so a slow commit
+    path shows up as concurrent writes backing up, not a lower write
+    rate).  Writes are deterministic by ``seed`` — mostly appends of
+    small play-shaped documents, with occasional updates/deletes of
+    already-acknowledged ids.  ``on_ingest_response(ops, status, body)``
+    sees every write outcome; write latencies land in
+    ``LoadResult.ingest_latencies``, never in the query percentiles.
     """
     if qps <= 0:
         raise ValueError("qps must be positive")
@@ -198,10 +295,67 @@ def run_load(
     rng = random.Random(seed)
     # Pre-draw the request sequence so randomness is schedule-independent.
     planned = [pool[rng.randrange(len(pool))] for _ in range(int(qps * duration) + concurrency)]
-    result = LoadResult(target_qps=qps, duration=0.0)
+    result = LoadResult(target_qps=qps, duration=0.0, ingest_rate=ingest_rate)
     result_lock = threading.Lock()
     started = monotonic()
     clock = _Clock(qps, started + duration)
+    ingest_clock = (
+        _Clock(ingest_rate, started + duration) if ingest_rate > 0 else None
+    )
+
+    def ingest_worker() -> None:
+        # A single writer keeps the op stream deterministic by seed:
+        # delete/update targets depend only on which earlier writes were
+        # acknowledged, never on thread interleaving.
+        connection = http.client.HTTPConnection(host, port, timeout=timeout)
+        write_rng = random.Random(seed + 0x1096)
+        acked: list[str] = []
+        serial = 0
+        try:
+            while True:
+                assert ingest_clock is not None
+                slot = ingest_clock.next_slot()
+                if slot is None:
+                    return
+                delay = slot - monotonic()
+                if delay > 0:
+                    sleep(delay)
+                ops = [_ingest_op(write_rng, f"loadgen-{seed}", serial, acked)]
+                serial += 1
+                body = json.dumps({"corpus": corpus, "ops": ops})
+                sent_at = monotonic()
+                try:
+                    connection.request(
+                        "POST",
+                        "/ingest",
+                        body=body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    payload = response.read()
+                    latency = monotonic() - sent_at
+                    status = str(response.status)
+                    with result_lock:
+                        result.ingest_sent += 1
+                        result.ingest_status_counts[status] = (
+                            result.ingest_status_counts.get(status, 0) + 1
+                        )
+                        if response.status == 200:
+                            result.ingest_latencies.append(latency)
+                    if response.status == 200 and ops[0]["op"] == "append":
+                        acked.append(ops[0]["id"])
+                    if on_ingest_response is not None:
+                        on_ingest_response(ops, response.status, payload)
+                except (OSError, http.client.HTTPException):
+                    with result_lock:
+                        result.ingest_sent += 1
+                        result.ingest_dropped += 1
+                    connection.close()
+                    connection = http.client.HTTPConnection(
+                        host, port, timeout=timeout
+                    )
+        finally:
+            connection.close()
 
     def worker() -> None:
         connection = http.client.HTTPConnection(host, port, timeout=timeout)
@@ -329,6 +483,12 @@ def run_load(
         threading.Thread(target=worker, name=f"loadgen-{i}", daemon=True)
         for i in range(max(1, concurrency))
     ]
+    if ingest_clock is not None:
+        threads.append(
+            threading.Thread(
+                target=ingest_worker, name="loadgen-ingest", daemon=True
+            )
+        )
     for thread in threads:
         thread.start()
     for thread in threads:

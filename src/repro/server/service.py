@@ -36,7 +36,9 @@ with ``503`` except for a trickle of probes.
 
 from __future__ import annotations
 
+import tempfile
 import threading
+from pathlib import Path
 from time import monotonic, perf_counter
 from typing import Any
 
@@ -50,6 +52,8 @@ from repro.errors import (
     CorpusUnavailableError,
     CorruptIndexError,
     FaultInjected,
+    IngestDisabledError,
+    IngestError,
     QueryTimeout,
     ReproError,
     ServerOverloadedError,
@@ -65,11 +69,21 @@ from repro.obs import context as _trace_context
 from repro.obs.sampling import HeadSampler, TraceStore
 from repro.obs.slo import SLOObservatory
 from repro.obs.trace import maybe_span, span_to_dict
+from repro.ingest import BackgroundCompactor, LiveCorpus, WriteAheadLog
 from repro.obs.metrics import (
     BREAKER_STATE,
     BREAKER_TRANSITIONS_TOTAL,
+    COMPACTION_MERGED_SEGMENTS_TOTAL,
+    COMPACTION_RUNS_TOTAL,
+    COMPACTION_SECONDS,
     FRONTIER_FALLBACK_TOTAL,
     INDEX_REBUILDS_TOTAL,
+    INGEST_BATCHES_TOTAL,
+    INGEST_COMMIT_SECONDS,
+    INGEST_DOCUMENTS,
+    INGEST_OPS_TOTAL,
+    INGEST_SEGMENTS,
+    INGEST_TOMBSTONES,
     POOL_WORKER_DEATHS_TOTAL,
     RETRY_ATTEMPTS_TOTAL,
     RETRY_EXHAUSTED_TOTAL,
@@ -220,18 +234,36 @@ def _synthesize(spec: CorpusSpec) -> str:
 
 
 class _CorpusHandle:
-    """One served corpus: engine + generation + reload lock + breaker."""
+    """One served corpus: engine + generation + reload lock + breaker.
 
-    __slots__ = ("spec", "engine", "generation", "loaded_at", "lock", "breaker")
+    The engine and its generation are published together as one tuple
+    so a reader can capture a consistent ``(engine, generation)`` pair
+    with a single attribute load — two separate reads could interleave
+    with :meth:`install` and pair a new engine with an old generation
+    (or vice versa), which breaks generation-keyed caching.
+    """
+
+    __slots__ = ("spec", "_published", "loaded_at", "lock", "breaker")
 
     def __init__(self, spec: CorpusSpec, engine: Engine, breaker: CircuitBreaker):
         self.spec = spec
-        self.engine = engine
-        self.generation = 1
+        self._published: tuple[Engine, int] = (engine, 1)
         self.loaded_at = monotonic()
         self.lock = threading.Lock()  # serializes reloads, not queries
         self.breaker = breaker
         self._warm(engine)
+
+    @property
+    def engine(self) -> Engine:
+        return self._published[0]
+
+    @property
+    def generation(self) -> int:
+        return self._published[1]
+
+    def snapshot(self) -> tuple[Engine, int]:
+        """The atomically consistent ``(engine, generation)`` pair."""
+        return self._published
 
     @staticmethod
     def _warm(engine: Engine) -> None:
@@ -247,10 +279,10 @@ class _CorpusHandle:
         """
         with self.lock:
             self._warm(engine)
-            self.engine = engine
-            self.generation += 1
+            generation = self._published[1] + 1
+            self._published = (engine, generation)
             self.loaded_at = monotonic()
-            return self.generation
+            return generation
 
     def info(self) -> dict[str, Any]:
         stats = self.engine.statistics()
@@ -265,6 +297,53 @@ class _CorpusHandle:
         if "shards" in stats:
             info["shards"] = stats["shards"]
         return info
+
+
+class _IngestState:
+    """The write path of one ingest-enabled corpus.
+
+    ``lock`` serializes writers (batch commits, compaction, reload
+    rebasing) — readers never take it; they see engine swaps through
+    :meth:`_CorpusHandle.install` exactly as reloads do, which is what
+    makes reads snapshot-isolated against concurrent writes.
+    """
+
+    __slots__ = (
+        "live",
+        "wal",
+        "lock",
+        "rig",
+        "batches",
+        "replayed_batches",
+        "compactions",
+    )
+
+    def __init__(
+        self,
+        live: LiveCorpus,
+        wal: WriteAheadLog,
+        rig: Any = None,
+        replayed_batches: int = 0,
+    ):
+        self.live = live
+        self.wal = wal
+        self.lock = threading.Lock()
+        self.rig = rig
+        self.batches = 0
+        self.replayed_batches = replayed_batches
+        self.compactions = 0
+
+    def info(self) -> dict[str, Any]:
+        return {
+            "documents": self.live.document_count,
+            "segments": self.live.segment_count,
+            "tombstones": self.live.tombstone_count,
+            "batches": self.batches,
+            "replayed_batches": self.replayed_batches,
+            "compactions": self.compactions,
+            "wal_bytes": self.wal.size_bytes(),
+            "next_batch_seq": self.wal.next_seq,
+        }
 
 
 #: Load failures worth retrying: transient I/O, injected faults, and
@@ -369,6 +448,48 @@ class QueryService:
                 slow_threshold=self.config.trace_slow_seconds,
                 metrics=metrics,
             )
+        # Live ingestion (docs/internals.md, "Segments, generations, and
+        # the WAL"): per-corpus write state, plus the WAL directory — a
+        # private temporary one when the config names none.
+        self._ingest_ops = metrics.counter(
+            INGEST_OPS_TOTAL, help="ingest operations applied, by kind"
+        )
+        self._ingest_batches = metrics.counter(
+            INGEST_BATCHES_TOTAL, help="ingest batches by outcome"
+        )
+        self._ingest_commit_seconds = metrics.histogram(
+            INGEST_COMMIT_SECONDS, help="ingest batch commit wall time"
+        )
+        self._ingest_documents = metrics.gauge(
+            INGEST_DOCUMENTS, help="live ingested documents per corpus"
+        )
+        self._ingest_segments = metrics.gauge(
+            INGEST_SEGMENTS, help="segments per corpus"
+        )
+        self._ingest_tombstones = metrics.gauge(
+            INGEST_TOMBSTONES, help="tombstoned documents per corpus"
+        )
+        self._compaction_runs = metrics.counter(
+            COMPACTION_RUNS_TOTAL, help="compactions that merged segments"
+        )
+        self._compaction_merged = metrics.counter(
+            COMPACTION_MERGED_SEGMENTS_TOTAL, help="segments merged away"
+        )
+        self._compaction_seconds = metrics.histogram(
+            COMPACTION_SECONDS, help="compaction wall time"
+        )
+        self._ingest: dict[str, _IngestState] = {}
+        self._ingest_tmpdir: tempfile.TemporaryDirectory | None = None
+        self._ingest_dir: Path | None = None
+        if self.config.ingest_enabled:
+            if self.config.ingest_dir is not None:
+                self._ingest_dir = Path(self.config.ingest_dir)
+            else:
+                self._ingest_tmpdir = tempfile.TemporaryDirectory(
+                    prefix="repro-ingest-"
+                )
+                self._ingest_dir = Path(self._ingest_tmpdir.name)
+        self.compactor: BackgroundCompactor | None = None
         self._corpora: dict[str, _CorpusHandle] = {}
         self._corpora_lock = threading.Lock()
         self._started_at = monotonic()
@@ -376,6 +497,14 @@ class QueryService:
         self._closed = False
         for spec in self.config.corpora:
             self.add_corpus(spec)
+        if self.config.ingest_enabled and self.config.compaction_enabled:
+            self.compactor = BackgroundCompactor(
+                self._compaction_candidates,
+                self.compact,
+                interval=self.config.compaction_interval,
+                health=self.health,
+            )
+            self.compactor.start()
         # Backend topology (docs/server.md, "Topology & failover").  The
         # slice provider exists regardless: it also answers the
         # ``/shard/query`` endpoint when *this* process is someone
@@ -451,8 +580,8 @@ class QueryService:
     # ------------------------------------------------------------------
 
     def _slice_lookup(self, corpus: str):
-        handle = self._handle(corpus)
-        return handle.engine.instance, handle.generation
+        engine, generation = self._handle(corpus).snapshot()
+        return engine.instance, generation
 
     def _start_frontier(self) -> None:
         config = self.config
@@ -619,11 +748,215 @@ class QueryService:
             if spec.name in self._corpora:
                 raise ReproError(f"corpus {spec.name!r} is already served")
         engine = self._load_engine(spec)
+        ingest_state = None
+        if self.config.ingest_enabled:
+            engine, ingest_state = self._recover_ingest(spec, engine)
         handle = _CorpusHandle(spec, engine, self._make_breaker(spec.name))
         with self._corpora_lock:
             if spec.name in self._corpora:
                 raise ReproError(f"corpus {spec.name!r} is already served")
             self._corpora[spec.name] = handle
+            if ingest_state is not None:
+                self._ingest[spec.name] = ingest_state
+
+    def _recover_ingest(
+        self, spec: CorpusSpec, engine: Engine
+    ) -> tuple[Engine, _IngestState | None]:
+        """Attach the write path to a freshly loaded corpus: open its
+        WAL, fold in the checkpoint snapshot, re-apply every committed
+        batch past the watermark, and — when anything was recovered —
+        rebuild the serving engine over the assembled instance.
+
+        A corpus whose word index is not text-backed stays read-only
+        (``None`` state; writes get :class:`IngestDisabledError`).
+        """
+        try:
+            live = LiveCorpus(engine.instance, engine.text)
+        except IngestError:
+            return engine, None
+        assert self._ingest_dir is not None
+        wal = WriteAheadLog(
+            self._ingest_dir,
+            spec.name,
+            fsync=self.config.ingest_fsync,
+            metrics=self.telemetry.metrics,
+        )
+        snapshot = wal.load_snapshot()
+        through = 0
+        if snapshot is not None:
+            live = LiveCorpus.from_state(snapshot, engine.instance, engine.text)
+            through = int(snapshot["through_batch"])
+        replayed = 0
+        for _seq, ops in wal.replay(after=through):
+            live.apply(ops)
+            replayed += 1
+        state = _IngestState(
+            live, wal, rig=engine.rig, replayed_batches=replayed
+        )
+        if live.document_count or live.tombstone_count:
+            engine = self._engine_from_live(spec, state)
+        self._sync_ingest_gauges(spec.name, state)
+        return engine, state
+
+    def _engine_from_live(self, spec: CorpusSpec, state: _IngestState) -> Engine:
+        """A serving engine over the current assembled instance."""
+        return Engine(
+            state.live.instance,
+            rig=state.rig,
+            telemetry=self.telemetry,
+            shards=self._shards_for(spec),
+        )
+
+    def _ingest_state(self, name: str) -> _IngestState:
+        state = self._ingest.get(name)
+        if state is None:
+            if not self.config.ingest_enabled:
+                raise IngestDisabledError(
+                    "ingestion is disabled; start the server with ingest "
+                    "enabled to accept writes"
+                )
+            raise IngestDisabledError(
+                f"corpus {name!r} does not accept writes "
+                "(its word index is not text-backed)"
+            )
+        return state
+
+    def _sync_ingest_gauges(self, name: str, state: _IngestState) -> None:
+        self._ingest_documents.set(state.live.document_count, corpus=name)
+        self._ingest_segments.set(state.live.segment_count, corpus=name)
+        self._ingest_tombstones.set(state.live.tombstone_count, corpus=name)
+
+    def ingest(
+        self, corpus: str | None, ops: list[dict[str, Any]]
+    ) -> dict[str, Any]:
+        """Commit one mutation batch; the unit behind ``POST /ingest``.
+
+        Order of operations is the durability contract: validate (bad
+        batches are rejected before touching disk), WAL-append (fsync'd;
+        an acknowledged batch is exactly a durable one), apply to the
+        live overlay, build the new engine, and atomically publish it as
+        the next generation.  In-flight queries keep their snapshot; the
+        result cache only retires generations that aged out of the
+        keep-window, so degraded mode can still serve recent stale
+        entries.
+        """
+        handle = self._handle(corpus)
+        state = self._ingest_state(handle.spec.name)
+        started = perf_counter()
+        count = len(ops) if isinstance(ops, list) else 0
+        with maybe_span(
+            self.telemetry.tracer,
+            "ingest.commit",
+            corpus=handle.spec.name,
+            ops=count,
+        ):
+            with state.lock:
+                try:
+                    prepared = state.live.prepare(ops)
+                except IngestError:
+                    self._ingest_batches.inc(outcome="rejected")
+                    raise
+                try:
+                    seq = state.wal.append_batch(prepared.ops)
+                except Exception:
+                    self._ingest_batches.inc(outcome="wal_failed")
+                    raise
+                state.live.commit(prepared)
+                engine = self._engine_from_live(handle.spec, state)
+                generation = handle.install(engine)
+                state.batches += 1
+        floor = generation - self.config.ingest_keep_generations + 1
+        invalidated = self.cache.invalidate_generations_below(
+            handle.spec.name, floor
+        )
+        for op in prepared.ops:
+            self._ingest_ops.inc(kind=op["op"])
+        self._ingest_batches.inc(outcome="committed")
+        elapsed = perf_counter() - started
+        self._ingest_commit_seconds.observe(elapsed, corpus=handle.spec.name)
+        self._sync_ingest_gauges(handle.spec.name, state)
+        return {
+            "corpus": handle.spec.name,
+            "generation": generation,
+            "batch_seq": seq,
+            "applied": len(prepared.ops),
+            "documents": state.live.document_count,
+            "segments": state.live.segment_count,
+            "tombstones": state.live.tombstone_count,
+            "cache_invalidated": invalidated,
+            "seconds": elapsed,
+        }
+
+    def compact(self, corpus: str | None = None) -> dict[str, Any]:
+        """Merge segments, drop tombstones, checkpoint, truncate the WAL.
+
+        Safe at any time: the merged overlay assembles to the exact same
+        layout, so no generation bump (and no cache invalidation) is
+        needed — in-flight and future queries are untouched.  The
+        checkpoint happens whenever the WAL is non-empty, even when no
+        segments needed merging, so replay work stays bounded.
+        """
+        handle = self._handle(corpus)
+        state = self._ingest_state(handle.spec.name)
+        started = perf_counter()
+        with maybe_span(
+            self.telemetry.tracer, "ingest.compact", corpus=handle.spec.name
+        ):
+            with state.lock:
+                summary = state.live.compact()
+                checkpointed = False
+                if summary is not None or state.wal.size_bytes() > 0:
+                    state.wal.save_snapshot(
+                        state.live.state(through_batch=state.wal.last_seq)
+                    )
+                    state.wal.truncate()
+                    checkpointed = True
+                if summary is not None:
+                    state.compactions += 1
+        elapsed = perf_counter() - started
+        if summary is not None:
+            self._compaction_runs.inc(corpus=handle.spec.name)
+            self._compaction_merged.inc(
+                summary["merged_segments"], corpus=handle.spec.name
+            )
+        self._compaction_seconds.observe(elapsed, corpus=handle.spec.name)
+        self._sync_ingest_gauges(handle.spec.name, state)
+        return {
+            "corpus": handle.spec.name,
+            "compacted": summary is not None,
+            "checkpointed": checkpointed,
+            "generation": handle.generation,
+            "segments": state.live.segment_count,
+            "documents": state.live.document_count,
+            "tombstones": state.live.tombstone_count,
+            "seconds": elapsed,
+            **(summary or {}),
+        }
+
+    def _compaction_candidates(self) -> list[str]:
+        """Corpora the background compactor should visit: tombstones to
+        drop, or enough small segments to cross the size-tier trigger."""
+        config = self.config
+        names = []
+        for name, state in list(self._ingest.items()):
+            live = state.live
+            if live.tombstone_count > 0 or (
+                live.small_segment_count(config.compaction_small_docs)
+                >= config.compaction_min_segments
+            ):
+                names.append(name)
+        return sorted(names)
+
+    def ingest_info(self) -> dict[str, Any]:
+        """Write-path state per corpus (surfaced in ``/healthz``)."""
+        return {
+            "enabled": self.config.ingest_enabled,
+            "directory": str(self._ingest_dir) if self._ingest_dir else None,
+            "corpora": {
+                name: state.info()
+                for name, state in sorted(self._ingest.items())
+            },
+        }
 
     def _handle(self, name: str | None) -> _CorpusHandle:
         with self._corpora_lock:
@@ -664,7 +997,32 @@ class QueryService:
             breaker.record_failure()
             raise
         breaker.record_success()
-        generation = handle.install(engine)
+        state = self._ingest.get(handle.spec.name)
+        if state is not None:
+            # Rebase the live overlay onto the fresh base: surviving
+            # ingested documents are re-appended on top of the reloaded
+            # engine, so a reload never silently drops committed writes.
+            with state.lock:
+                rebased = LiveCorpus(engine.instance, engine.text)
+                survivors = state.live.documents()
+                if survivors:
+                    rebased.apply(
+                        [
+                            {"op": "append", "id": doc_id, "text": text}
+                            for doc_id, text in survivors
+                        ]
+                    )
+                state.live = rebased
+                state.rig = engine.rig
+                if survivors:
+                    engine = self._engine_from_live(handle.spec, state)
+                generation = handle.install(engine)
+            self._sync_ingest_gauges(handle.spec.name, state)
+        else:
+            generation = handle.install(engine)
+        # A reload is a wholesale base swap: every cached generation of
+        # this corpus is suspect, so invalidate by corpus prefix (the
+        # generation-window retirement is only for ingest commits).
         invalidated = self.cache.invalidate((handle.spec.name,))
         return {
             "corpus": handle.spec.name,
@@ -853,7 +1211,7 @@ class QueryService:
             )
         degraded = self.health.state != HEALTHY
         handle = self._handle(corpus)
-        engine, generation = handle.engine, handle.generation
+        engine, generation = handle.snapshot()
         optimize = (
             self.config.optimize_default if optimize is None else bool(optimize)
         )
@@ -890,7 +1248,7 @@ class QueryService:
                 if stale is not None:
                     self._stale_served.inc()
                     return {**stale, "cached": True, "stale": True}
-        response = self._dispatch(handle, query, optimize, budget)
+        response = self._dispatch(handle, engine, query, optimize, budget)
         response.update(
             corpus=handle.spec.name, generation=generation, query=query
         )
@@ -926,15 +1284,34 @@ class QueryService:
         return dict(value)
 
     def _dispatch(
-        self, handle: _CorpusHandle, query: str, optimize: bool, budget: float
+        self,
+        handle: _CorpusHandle,
+        engine: Engine,
+        query: str,
+        optimize: bool,
+        budget: float,
     ) -> dict[str, Any]:
         """Submit to the pool, re-dispatching when a worker dies holding
-        the job (``dispatch_retries`` budget)."""
+        the job (``dispatch_retries`` budget).
+
+        ``engine`` is the snapshot captured alongside the generation in
+        :meth:`_execute`; the worker must evaluate against it rather
+        than re-reading ``handle.engine``, or an ingest commit landing
+        between capture and evaluation would pair a new engine with the
+        old generation — breaking snapshot isolation and poisoning the
+        generation-keyed cache.
+        """
         attempts = self.config.dispatch_retries + 1
         for attempt in range(attempts):
             admitted_at = monotonic()
             future = self.pool.submit(
-                self._run_query, handle, query, optimize, budget, admitted_at
+                self._run_query,
+                handle,
+                engine,
+                query,
+                optimize,
+                budget,
+                admitted_at,
             )
             try:
                 return self._await(future, budget)
@@ -965,6 +1342,7 @@ class QueryService:
     def _run_query(
         self,
         handle: _CorpusHandle,
+        engine: Engine,
         query: str,
         optimize: bool,
         budget: float,
@@ -986,10 +1364,10 @@ class QueryService:
             eval_started = perf_counter()
             if self.frontier is not None:
                 result, backend_info = self._frontier_query(
-                    handle, query, optimize, remaining
+                    handle, engine, query, optimize, remaining
                 )
             else:
-                result = handle.engine.query(
+                result = engine.query(
                     query, optimize_query=optimize, deadline=remaining
                 )
             eval_seconds = perf_counter() - eval_started
@@ -1007,7 +1385,12 @@ class QueryService:
         return response
 
     def _frontier_query(
-        self, handle: _CorpusHandle, query: str, optimize: bool, remaining: float
+        self,
+        handle: _CorpusHandle,
+        engine: Engine,
+        query: str,
+        optimize: bool,
+        remaining: float,
     ) -> tuple[Any, dict[str, Any]]:
         """Evaluate via the backend topology, falling back locally.
 
@@ -1018,7 +1401,6 @@ class QueryService:
         degraded — the PR-5 invariant, now across processes: losing
         backends may cost the distributed path, never correctness.
         """
-        engine = handle.engine
         frontier = self.frontier
         assert frontier is not None
         expr = (
@@ -1036,11 +1418,11 @@ class QueryService:
                 )
         except BackendUnsupportedError as exc:
             return self._frontier_fallback_query(
-                handle, query, optimize, remaining, "unsupported", str(exc)
+                engine, query, optimize, remaining, "unsupported", str(exc)
             )
         except BackendUnavailableError as exc:
             return self._frontier_fallback_query(
-                handle, query, optimize, remaining, "unavailable", str(exc)
+                engine, query, optimize, remaining, "unavailable", str(exc)
             )
         return result, {
             "mode": self.config.backend_mode,
@@ -1055,7 +1437,7 @@ class QueryService:
 
     def _frontier_fallback_query(
         self,
-        handle: _CorpusHandle,
+        engine: Engine,
         query: str,
         optimize: bool,
         remaining: float,
@@ -1063,7 +1445,7 @@ class QueryService:
         detail: str,
     ) -> tuple[Any, dict[str, Any]]:
         self._frontier_fallback.inc(reason=reason)
-        result = handle.engine.query(
+        result = engine.query(
             query, optimize_query=optimize, deadline=remaining
         )
         return result, {
@@ -1100,6 +1482,7 @@ class QueryService:
             "faults": faults.snapshot() if faults is not None else None,
             "pool": self.pool.stats(),
             "cache": self.cache.snapshot(),
+            "ingest": self.ingest_info(),
             "config": self.config.to_dict(),
         }
 
@@ -1144,6 +1527,11 @@ class QueryService:
     def close(self) -> None:
         """Stop admitting work and drain the pool."""
         self._closed = True
+        # The compactor goes first: it calls back into compact(), which
+        # takes writer locks and touches the WAL — none of that should
+        # race the teardown below.
+        if self.compactor is not None:
+            self.compactor.close()
         self.pool.shutdown(wait=True)
         if self.frontier is not None:
             self.frontier.close()
@@ -1153,3 +1541,6 @@ class QueryService:
             handles = list(self._corpora.values())
         for handle in handles:
             handle.engine.close()
+        if self._ingest_tmpdir is not None:
+            self._ingest_tmpdir.cleanup()
+            self._ingest_tmpdir = None

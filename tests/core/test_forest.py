@@ -126,3 +126,60 @@ class TestDirectOperators:
         universe = instance.all_regions()
         direct = forest.directly_including(universe, universe)
         assert direct == universe.including(universe).intersection(direct)
+
+
+class TestAppended:
+    """The live-ingestion fast path: extending a forest past its extent."""
+
+    @staticmethod
+    def _structure(forest):
+        return [
+            (
+                region,
+                forest.parent_of(region),
+                tuple(forest.children_of(region)),
+                forest.depth_of(region),
+            )
+            for region in forest.preorder
+        ]
+
+    @given(hierarchical_instances(), hierarchical_instances())
+    def test_appended_matches_from_scratch(self, base, extra):
+        old_regions = list(base.all_regions())
+        new_min_left = min(r.left for r in extra.all_regions())
+        offset = base._rights_max() + 1 - new_min_left
+        new_regions = [r.shifted(offset) for r in extra.all_regions()]
+        incremental = Forest.from_regions(old_regions).appended(new_regions)
+        scratch = Forest.from_regions(old_regions + new_regions)
+        assert self._structure(incremental) == self._structure(scratch)
+
+    @given(hierarchical_instances(), hierarchical_instances())
+    def test_appended_leaves_the_old_forest_untouched(self, base, extra):
+        # Snapshot isolation depends on this: the old generation keeps
+        # using its forest while the new one extends it.
+        old_regions = list(base.all_regions())
+        old = Forest.from_regions(old_regions)
+        before = self._structure(old)
+        new_min_left = min(r.left for r in extra.all_regions())
+        offset = base._rights_max() + 1 - new_min_left
+        old.appended([r.shifted(offset) for r in extra.all_regions()])
+        assert self._structure(old) == before
+
+    def test_appended_nothing_is_self(self):
+        forest = Forest.from_regions([Region(0, 3), Region(1, 2)])
+        assert forest.appended([]) is forest
+
+    def test_warm_instance_append_carries_the_forest(self, small_instance):
+        # Instance.appended on a forest-warmed instance must hand the
+        # clone an equivalent forest without a cold rebuild.
+        small_instance.forest()
+        start = small_instance._rights_max() + 1
+        added = [Region(start, start + 5), Region(start + 1, start + 3)]
+        clone = small_instance.appended(
+            {"A": [added[0]], "B": [added[1]]},
+            small_instance.word_index,
+        )
+        assert clone._forest is not None
+        assert self._structure(clone._forest) == self._structure(
+            Forest.from_regions(clone.all_regions())
+        )

@@ -1,0 +1,75 @@
+"""BackgroundCompactor: one corpus per tick, health yields, lifecycle."""
+
+import time
+
+import pytest
+
+from repro.ingest import BackgroundCompactor
+
+
+class _Health:
+    def __init__(self, state: str = "healthy"):
+        self.state = state
+
+
+class TestRunOnce:
+    def test_no_candidates_does_nothing(self):
+        compactor = BackgroundCompactor(lambda: [], lambda name: None)
+        assert compactor.run_once() is None
+        assert compactor.ticks == 1
+        assert compactor.runs == 0
+
+    def test_compacts_only_the_first_candidate(self):
+        compacted = []
+        compactor = BackgroundCompactor(
+            lambda: ["alpha", "beta"], compacted.append
+        )
+        assert compactor.run_once() == "alpha"
+        assert compacted == ["alpha"]  # one corpus per tick, never two
+        assert compactor.runs == 1
+
+    def test_yields_while_not_healthy(self):
+        health = _Health("degraded")
+        compacted = []
+        compactor = BackgroundCompactor(
+            lambda: ["alpha"], compacted.append, health=health
+        )
+        assert compactor.run_once() is None
+        assert compactor.yields == 1
+        assert compacted == []
+        # Query load recovered: maintenance resumes.
+        health.state = "healthy"
+        assert compactor.run_once() == "alpha"
+        assert compacted == ["alpha"]
+
+    def test_missing_health_monitor_means_always_go(self):
+        compactor = BackgroundCompactor(lambda: ["alpha"], lambda name: None)
+        assert compactor.run_once() == "alpha"
+        assert compactor.yields == 0
+
+
+class TestLifecycle:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BackgroundCompactor(lambda: [], lambda name: None, interval=0)
+
+    def test_thread_ticks_and_survives_compaction_errors(self):
+        def compact(name: str) -> None:
+            raise RuntimeError("disk on fire")
+
+        compactor = BackgroundCompactor(
+            lambda: ["alpha"], compact, interval=0.01
+        )
+        compactor.start()
+        compactor.start()  # idempotent
+        try:
+            deadline = time.monotonic() + 2.0
+            while compactor.ticks < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            compactor.close()
+        # The loop kept ticking through the failing compaction.
+        assert compactor.ticks >= 3
+
+    def test_close_without_start_is_fine(self):
+        BackgroundCompactor(lambda: [], lambda name: None).close()

@@ -1,0 +1,240 @@
+"""LiveCorpus: the bit-identity oracle, batch validation, compaction,
+and checkpoint state round-trips."""
+
+import pytest
+
+from repro.engine.storage import instance_to_dict
+from repro.engine.tagged import parse_tagged_text
+from repro.errors import (
+    DuplicateDocumentError,
+    IngestError,
+    UnknownDocumentError,
+)
+from repro.ingest import LiveCorpus
+
+BASE = (
+    "<document>\n"
+    "<speech><speaker>First</speaker><line>crown and throne</line></speech>\n"
+    "</document>"
+)
+
+
+def _doc(word: str) -> str:
+    return (
+        f"<speech><speaker>Ingest</speaker>"
+        f"<line>{word} at midnight</line></speech>"
+    )
+
+
+def _append(doc_id: str, word: str) -> dict:
+    return {"op": "append", "id": doc_id, "text": _doc(word)}
+
+
+def _live() -> LiveCorpus:
+    return LiveCorpus(parse_tagged_text(BASE).instance, BASE)
+
+
+def _assert_bit_identical(live: LiveCorpus) -> None:
+    """The invariant everything hangs on: the incrementally assembled
+    instance equals a full re-parse of the combined text."""
+    assert instance_to_dict(live.instance) == instance_to_dict(
+        live.oracle_instance()
+    )
+
+
+class TestBitIdentity:
+    def test_append_fast_path(self):
+        live = _live()
+        live.apply([_append("a", "prophecy"), _append("b", "dagger")])
+        live.apply([_append("c", "ghost")])
+        assert live.document_count == 3
+        assert live.segment_count == 2
+        _assert_bit_identical(live)
+
+    def test_update_reassembles(self):
+        live = _live()
+        live.apply([_append("a", "prophecy"), _append("b", "dagger")])
+        live.apply([{"op": "update", "id": "a", "text": _doc("storm")}])
+        # The update tombstones the old entry and re-appends at the end.
+        assert live.document_ids == ["b", "a"]
+        assert live.tombstone_count == 1
+        _assert_bit_identical(live)
+
+    def test_delete_reassembles(self):
+        live = _live()
+        live.apply([_append("a", "prophecy"), _append("b", "dagger")])
+        live.apply([{"op": "delete", "id": "a"}])
+        assert live.document_ids == ["b"]
+        assert live.tombstone_count == 1
+        _assert_bit_identical(live)
+
+    def test_baseless_corpus(self):
+        live = LiveCorpus()
+        live.apply([_append("a", "prophecy")])
+        live.apply([{"op": "update", "id": "a", "text": _doc("storm")}])
+        _assert_bit_identical(live)
+
+    def test_documents_lists_survivors_in_layout_order(self):
+        live = _live()
+        live.apply([_append("a", "prophecy"), _append("b", "dagger")])
+        live.apply([_append("c", "ghost")])
+        live.apply([{"op": "delete", "id": "b"}])
+        assert live.documents() == [
+            ("a", _doc("prophecy")),
+            ("c", _doc("ghost")),
+        ]
+
+    def test_combined_text_matches_layout(self):
+        live = _live()
+        live.apply([_append("a", "prophecy")])
+        assert live.combined_text() == (
+            BASE + "\n<document>\n" + _doc("prophecy") + "\n</document>"
+        )
+
+
+class TestValidation:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(IngestError):
+            _live().prepare([])
+
+    def test_non_object_op_rejected(self):
+        with pytest.raises(IngestError):
+            _live().prepare(["append"])
+
+    def test_unknown_op_kind_rejected(self):
+        with pytest.raises(IngestError):
+            _live().prepare([{"op": "upsert", "id": "a", "text": _doc("x")}])
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(IngestError):
+            _live().prepare([{"op": "append", "text": _doc("x")}])
+
+    def test_duplicate_append_rejected(self):
+        live = _live()
+        live.apply([_append("a", "prophecy")])
+        with pytest.raises(DuplicateDocumentError):
+            live.prepare([_append("a", "again")])
+
+    def test_same_id_twice_in_one_batch_rejected(self):
+        with pytest.raises(DuplicateDocumentError):
+            _live().prepare([_append("a", "x"), _append("a", "y")])
+
+    def test_update_unknown_document_rejected(self):
+        with pytest.raises(UnknownDocumentError):
+            _live().prepare([{"op": "update", "id": "nope", "text": _doc("x")}])
+
+    def test_delete_unknown_document_rejected(self):
+        with pytest.raises(UnknownDocumentError):
+            _live().prepare([{"op": "delete", "id": "nope"}])
+
+    def test_reserved_document_tag_rejected(self):
+        with pytest.raises(IngestError):
+            _live().prepare(
+                [{"op": "append", "id": "a", "text": "<document>x</document>"}]
+            )
+
+    def test_unparsable_text_rejected(self):
+        with pytest.raises(IngestError):
+            _live().prepare(
+                [{"op": "append", "id": "a", "text": "<speech>unclosed"}]
+            )
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(IngestError):
+            _live().prepare([{"op": "append", "id": "a", "text": "  "}])
+
+    def test_batch_is_all_or_nothing(self):
+        # A batch that fails validation mid-way leaves no trace: prepare
+        # never mutates, and the failed commit never happens.
+        live = _live()
+        live.apply([_append("a", "prophecy")])
+        before = instance_to_dict(live.instance)
+        with pytest.raises(UnknownDocumentError):
+            live.prepare([_append("b", "dagger"), {"op": "delete", "id": "x"}])
+        assert live.document_count == 1
+        assert live.segment_count == 1
+        assert instance_to_dict(live.instance) == before
+
+    def test_appends_only_flag(self):
+        live = _live()
+        live.apply([_append("a", "prophecy")])
+        assert live.prepare([_append("b", "x")]).appends_only is True
+        assert (
+            live.prepare([{"op": "delete", "id": "a"}]).appends_only is False
+        )
+
+
+class TestCompaction:
+    def test_nothing_to_do_returns_none(self):
+        live = _live()
+        assert live.compact() is None
+        live.apply([_append("a", "prophecy")])
+        assert live.compact() is None  # one segment, no tombstones
+
+    def test_merges_segments_and_drops_tombstones(self):
+        live = _live()
+        live.apply([_append("a", "prophecy"), _append("b", "dagger")])
+        live.apply([_append("c", "ghost")])
+        live.apply([{"op": "delete", "id": "b"}])
+        before = instance_to_dict(live.instance)
+        summary = live.compact()
+        assert summary == {
+            "merged_segments": 2,
+            "dropped_tombstones": 1,
+            "live_documents": 2,
+        }
+        assert live.segment_count == 1
+        assert live.tombstone_count == 0
+        assert live.document_ids == ["a", "c"]
+        # Survivors keep their order, so the layout — and every query
+        # answer — is unchanged: compaction never bumps the generation.
+        assert instance_to_dict(live.instance) == before
+        _assert_bit_identical(live)
+
+    def test_compacting_away_everything_leaves_no_segments(self):
+        live = _live()
+        live.apply([_append("a", "prophecy")])
+        live.apply([{"op": "delete", "id": "a"}])
+        summary = live.compact()
+        assert summary["live_documents"] == 0
+        assert live.segment_count == 0
+        assert instance_to_dict(live.instance) == instance_to_dict(
+            parse_tagged_text(BASE).instance
+        )
+
+    def test_small_segment_count(self):
+        live = _live()
+        live.apply([_append("a", "prophecy")])
+        live.apply([_append("b", "dagger"), _append("c", "ghost")])
+        assert live.small_segment_count(1) == 1
+        assert live.small_segment_count(2) == 2
+
+
+class TestCheckpointState:
+    def test_state_round_trip_is_bit_identical(self):
+        live = _live()
+        live.apply([_append("a", "prophecy"), _append("b", "dagger")])
+        live.apply([{"op": "update", "id": "a", "text": _doc("storm")}])
+        live.apply([{"op": "delete", "id": "b"}])
+        state = live.state(through_batch=3)
+        assert state["through_batch"] == 3
+        restored = LiveCorpus.from_state(
+            state, parse_tagged_text(BASE).instance, BASE
+        )
+        assert restored.document_ids == live.document_ids
+        assert restored.tombstone_count == 0  # checkpoints fold tombstones
+        assert instance_to_dict(restored.instance) == instance_to_dict(
+            live.instance
+        )
+
+    def test_empty_state_round_trip(self):
+        live = _live()
+        restored = LiveCorpus.from_state(
+            live.state(through_batch=0),
+            parse_tagged_text(BASE).instance,
+            BASE,
+        )
+        assert restored.document_count == 0
+        assert instance_to_dict(restored.instance) == instance_to_dict(
+            live.instance
+        )

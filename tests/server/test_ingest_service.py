@@ -1,0 +1,366 @@
+"""The service write path: ingest commits, generation-window cache
+invalidation, compaction, WAL recovery across restarts, and the HTTP
+``/ingest`` + ``/compact`` adapters."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateDocumentError,
+    IngestDisabledError,
+    UnknownDocumentError,
+)
+from repro.server import CorpusSpec, QueryService, ServerConfig, create_server
+
+PLAY = CorpusSpec(name="play", kind="synthetic", path="play", seed=11, scale=2)
+
+
+def _config(tmp_path, **overrides) -> ServerConfig:
+    settings = dict(
+        workers=2,
+        queue_depth=8,
+        corpora=(PLAY,),
+        ingest_enabled=True,
+        ingest_dir=str(tmp_path / "wal"),
+        ingest_fsync=False,  # these tests measure semantics, not disks
+        compaction_enabled=False,  # ticked explicitly where needed
+    )
+    settings.update(overrides)
+    return ServerConfig(**settings)
+
+
+def _doc(word: str) -> str:
+    return (
+        f"<speech><speaker>Ingest</speaker>"
+        f"<line>{word} at midnight</line></speech>"
+    )
+
+
+def _append(doc_id: str, word: str) -> dict:
+    return {"op": "append", "id": doc_id, "text": _doc(word)}
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = QueryService(_config(tmp_path))
+    yield svc
+    svc.close()
+
+
+class TestIngestCommit:
+    def test_append_publishes_a_new_generation(self, service):
+        before = service.execute("speech", use_cache=False)
+        response = service.ingest("play", [_append("a", "prophecy")])
+        assert response["generation"] == before["generation"] + 1
+        assert response["batch_seq"] == 1
+        assert response["applied"] == 1
+        assert response["documents"] == 1
+        after = service.execute("speech", use_cache=False)
+        assert after["generation"] == response["generation"]
+        assert after["cardinality"] == before["cardinality"] + 1
+
+    def test_update_and_delete_change_the_layout(self, service):
+        service.ingest("play", [_append("a", "prophecy"), _append("b", "x")])
+        base = service.execute("speech", use_cache=False)["cardinality"]
+        service.ingest("play", [{"op": "delete", "id": "b"}])
+        assert (
+            service.execute("speech", use_cache=False)["cardinality"]
+            == base - 1
+        )
+        response = service.ingest(
+            "play", [{"op": "update", "id": "a", "text": _doc("storm")}]
+        )
+        assert response["tombstones"] == 2
+
+    def test_rejected_batch_commits_nothing(self, service):
+        generation = service._handle("play").generation
+        with pytest.raises(UnknownDocumentError):
+            service.ingest(
+                "play", [_append("a", "x"), {"op": "delete", "id": "nope"}]
+            )
+        assert service._handle("play").generation == generation
+        assert service.ingest_info()["corpora"]["play"]["documents"] == 0
+
+    def test_duplicate_append_rejected(self, service):
+        service.ingest("play", [_append("a", "x")])
+        with pytest.raises(DuplicateDocumentError):
+            service.ingest("play", [_append("a", "y")])
+
+    def test_healthz_reports_ingest_state(self, service):
+        service.ingest("play", [_append("a", "x")])
+        info = service.healthz()["ingest"]
+        assert info["enabled"] is True
+        assert info["corpora"]["play"]["documents"] == 1
+        assert info["corpora"]["play"]["batches"] == 1
+
+
+class TestIngestDisabled:
+    def test_writes_rejected_when_globally_disabled(self, tmp_path):
+        service = QueryService(
+            ServerConfig(workers=2, corpora=(PLAY,), ingest_enabled=False)
+        )
+        try:
+            with pytest.raises(IngestDisabledError):
+                service.ingest("play", [_append("a", "x")])
+        finally:
+            service.close()
+
+
+class TestCacheInvalidation:
+    def test_ingest_retires_only_aged_out_generations(self, service):
+        # keep_generations=2: a commit to generation g keeps g-1 warm.
+        cache = service.cache
+        cache.put(("play", 1, "plan", False), {"regions": []})
+        service.ingest("play", [_append("a", "x")])  # generation 2
+        assert ("play", 1, "plan", False) in cache
+        service.ingest("play", [_append("b", "y")])  # generation 3
+        assert ("play", 1, "plan", False) not in cache
+
+    def test_reload_still_invalidates_the_whole_corpus(self, service):
+        first = service.execute("speech")
+        assert service.execute("speech")["cached"] is True
+        service.ingest("play", [_append("a", "x")])
+        service.reload_corpus("play")
+        response = service.execute("speech")
+        assert response["cached"] is False
+        assert response["generation"] > first["generation"]
+
+    def test_stale_generation_served_while_degraded(self, service):
+        # The satellite regression: entries from a superseded-but-kept
+        # generation must stay servable when degraded mode misses.
+        warm = service.execute("speech dwithin scene")  # cached at gen 1
+        service.ingest("play", [_append("a", "x")])  # gen 2 misses
+        service.health.set_pressure("test", True)
+        try:
+            response = service.execute("speech dwithin scene")
+            assert response["stale"] is True
+            assert response["cached"] is True
+            assert response["generation"] == warm["generation"]
+        finally:
+            service.health.set_pressure("test", False)
+
+
+class TestReloadRebase:
+    def test_reload_preserves_ingested_documents(self, service):
+        service.ingest("play", [_append("a", "prophecy")])
+        before = service.execute("speech", use_cache=False)["cardinality"]
+        service.reload_corpus("play")
+        after = service.execute("speech", use_cache=False)
+        assert after["cardinality"] == before
+        assert service.ingest_info()["corpora"]["play"]["documents"] == 1
+
+    def test_reload_drops_deleted_documents_for_good(self, service):
+        service.ingest("play", [_append("a", "x"), _append("b", "y")])
+        service.ingest("play", [{"op": "delete", "id": "a"}])
+        service.reload_corpus("play")
+        info = service.ingest_info()["corpora"]["play"]
+        assert info["documents"] == 1
+        assert info["tombstones"] == 0  # the rebase re-appends survivors
+
+
+class TestCompaction:
+    def test_compact_keeps_answers_and_generation(self, service):
+        service.ingest("play", [_append("a", "x")])
+        service.ingest("play", [_append("b", "y")])
+        service.ingest("play", [{"op": "delete", "id": "a"}])
+        before = service.execute("speech", use_cache=False)
+        response = service.compact("play")
+        assert response["compacted"] is True
+        assert response["checkpointed"] is True
+        assert response["segments"] == 1
+        assert response["tombstones"] == 0
+        after = service.execute("speech", use_cache=False)
+        # Compaction is pure maintenance: same generation, same answer.
+        assert after["generation"] == before["generation"]
+        assert after["cardinality"] == before["cardinality"]
+
+    def test_compact_checkpoints_a_nonempty_wal_even_without_merging(
+        self, service
+    ):
+        service.ingest("play", [_append("a", "x")])
+        response = service.compact("play")
+        assert response["compacted"] is False  # one segment, nothing to merge
+        assert response["checkpointed"] is True
+        assert service.ingest_info()["corpora"]["play"]["wal_bytes"] == 0
+
+    def test_candidates_need_tombstones_or_enough_small_segments(
+        self, tmp_path
+    ):
+        service = QueryService(
+            _config(tmp_path, compaction_min_segments=2)
+        )
+        try:
+            assert service._compaction_candidates() == []
+            service.ingest("play", [_append("a", "x")])
+            assert service._compaction_candidates() == []
+            service.ingest("play", [_append("b", "y")])
+            assert service._compaction_candidates() == ["play"]
+            service.compact("play")
+            assert service._compaction_candidates() == []
+            service.ingest("play", [{"op": "delete", "id": "a"}])
+            assert service._compaction_candidates() == ["play"]
+        finally:
+            service.close()
+
+    def test_background_compactor_wiring(self, tmp_path):
+        service = QueryService(
+            _config(
+                tmp_path,
+                compaction_enabled=True,
+                compaction_interval=60.0,  # ticked by hand below
+                compaction_min_segments=2,
+            )
+        )
+        try:
+            service.ingest("play", [_append("a", "x")])
+            service.ingest("play", [_append("b", "y")])
+            assert service.compactor.run_once() == "play"
+            assert (
+                service.ingest_info()["corpora"]["play"]["compactions"] == 1
+            )
+        finally:
+            service.close()
+
+
+class TestRestartRecovery:
+    def test_wal_replay_restores_documents(self, tmp_path):
+        config = _config(tmp_path)
+        service = QueryService(config)
+        try:
+            service.ingest("play", [_append("a", "prophecy")])
+            service.ingest("play", [{"op": "update", "id": "a", "text": _doc("storm")}])
+            cardinality = service.execute("speech", use_cache=False)[
+                "cardinality"
+            ]
+        finally:
+            service.close()
+        revived = QueryService(config)
+        try:
+            info = revived.ingest_info()["corpora"]["play"]
+            assert info["documents"] == 1
+            assert info["replayed_batches"] == 2
+            assert (
+                revived.execute("speech", use_cache=False)["cardinality"]
+                == cardinality
+            )
+        finally:
+            revived.close()
+
+    def test_checkpoint_bounds_replay(self, tmp_path):
+        config = _config(tmp_path)
+        service = QueryService(config)
+        try:
+            service.ingest("play", [_append("a", "x")])
+            service.compact("play")  # snapshot + truncate
+            service.ingest("play", [_append("b", "y")])
+        finally:
+            service.close()
+        revived = QueryService(config)
+        try:
+            info = revived.ingest_info()["corpora"]["play"]
+            assert info["documents"] == 2
+            # Only the post-checkpoint batch needed replaying.
+            assert info["replayed_batches"] == 1
+            # Sequence numbers continue past everything ever logged.
+            assert info["next_batch_seq"] == 3
+        finally:
+            revived.close()
+
+
+class TestHttpAdapters:
+    @pytest.fixture
+    def server(self, service):
+        srv = create_server(service, port=0)
+        srv.serve_in_background()
+        yield srv
+        srv.stop()
+
+    def _request(self, server, method, path, body=None):
+        import http.client
+        import json
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.bound_port, timeout=10
+        )
+        try:
+            payload = json.dumps(body) if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            return response.status, json.loads(response.read())
+        finally:
+            connection.close()
+
+    def test_post_ingest_commits(self, server):
+        status, body = self._request(
+            server,
+            "POST",
+            "/ingest",
+            {"corpus": "play", "ops": [_append("a", "prophecy")]},
+        )
+        assert status == 200
+        assert body["applied"] == 1
+        assert body["documents"] == 1
+
+    def test_empty_ops_is_invalid_request(self, server):
+        status, body = self._request(
+            server, "POST", "/ingest", {"corpus": "play", "ops": []}
+        )
+        assert status == 400
+        assert body["code"] == "invalid_request"
+
+    def test_unknown_document_maps_to_404(self, server):
+        status, body = self._request(
+            server,
+            "POST",
+            "/ingest",
+            {"corpus": "play", "ops": [{"op": "delete", "id": "nope"}]},
+        )
+        assert status == 404
+        assert body["code"] == "unknown_document"
+
+    def test_duplicate_document_maps_to_409(self, server):
+        self._request(
+            server,
+            "POST",
+            "/ingest",
+            {"corpus": "play", "ops": [_append("dup", "x")]},
+        )
+        status, body = self._request(
+            server,
+            "POST",
+            "/ingest",
+            {"corpus": "play", "ops": [_append("dup", "y")]},
+        )
+        assert status == 409
+        assert body["code"] == "duplicate_document"
+
+    def test_post_compact(self, server):
+        self._request(
+            server,
+            "POST",
+            "/ingest",
+            {"corpus": "play", "ops": [_append("a", "x")]},
+        )
+        status, body = self._request(
+            server, "POST", "/compact", {"corpus": "play"}
+        )
+        assert status == 200
+        assert body["checkpointed"] is True
+
+    def test_ingest_disabled_maps_to_400(self, tmp_path):
+        service = QueryService(
+            ServerConfig(workers=2, corpora=(PLAY,), ingest_enabled=False)
+        )
+        srv = create_server(service, port=0)
+        srv.serve_in_background()
+        try:
+            status, body = self._request(
+                srv,
+                "POST",
+                "/ingest",
+                {"corpus": "play", "ops": [_append("a", "x")]},
+            )
+            assert status == 400
+            assert body["code"] == "ingest_disabled"
+        finally:
+            srv.stop()

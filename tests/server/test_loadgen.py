@@ -256,3 +256,120 @@ class TestTransportErrorClassification:
         result = LoadResult(target_qps=10.0, duration=1.0)
         assert result.summary()["transport_errors"] == 0
         assert "transport errors" not in result.format_report()
+
+
+class TestIngestMix:
+    def test_op_stream_is_deterministic_by_seed(self):
+        import random
+
+        from repro.server.loadgen import _ingest_op
+
+        def stream(seed: int) -> list:
+            rng = random.Random(seed)
+            acked: list[str] = []
+            ops = []
+            for serial in range(40):
+                op = _ingest_op(rng, f"loadgen-{seed}", serial, acked)
+                ops.append(op)
+                if op["op"] == "append":
+                    acked.append(op["id"])
+            return ops
+
+        assert stream(7) == stream(7)
+        assert stream(7) != stream(8)
+
+    def test_only_appends_until_something_is_acked(self):
+        import random
+
+        from repro.server.loadgen import _ingest_op
+
+        rng = random.Random(0)
+        op = _ingest_op(rng, "loadgen-0", 0, [])
+        assert op["op"] == "append"
+        assert op["id"] == "loadgen-0-0"
+
+    def test_mix_includes_updates_and_deletes(self):
+        import random
+
+        from repro.server.loadgen import _ingest_op
+
+        rng = random.Random(3)
+        acked: list[str] = []
+        kinds = set()
+        for serial in range(200):
+            op = _ingest_op(rng, "loadgen-3", serial, acked)
+            kinds.add(op["op"])
+            if op["op"] == "append":
+                acked.append(op["id"])
+        assert kinds == {"append", "update", "delete"}
+
+    def test_summary_gains_ingest_section_only_with_writes(self):
+        quiet = LoadResult(target_qps=10.0, duration=1.0)
+        assert "ingest" not in quiet.summary()
+        writing = LoadResult(
+            target_qps=10.0, duration=1.0, ingest_rate=5.0
+        )
+        writing.ingest_sent = 5
+        writing.ingest_status_counts = {"200": 4, "409": 1}
+        writing.ingest_latencies = [0.002] * 4
+        summary = writing.summary()["ingest"]
+        assert summary["sent"] == 5
+        assert summary["ok"] == 4
+        assert writing.ingest_ok == 4
+        assert "ingest" in writing.format_report()
+
+    def test_live_run_commits_writes(self, tmp_path):
+        service = QueryService(
+            ServerConfig(
+                workers=4,
+                queue_depth=16,
+                corpora=(
+                    CorpusSpec(
+                        name="play",
+                        kind="synthetic",
+                        path="play",
+                        seed=11,
+                        scale=2,
+                    ),
+                ),
+                ingest_enabled=True,
+                ingest_dir=str(tmp_path / "wal"),
+                ingest_fsync=False,
+                compaction_enabled=False,
+            )
+        )
+        server = create_server(service, port=0)
+        server.serve_in_background()
+        seen: list[tuple[list, int]] = []
+        try:
+            result = run_load(
+                "127.0.0.1",
+                server.bound_port,
+                PLAY_QUERIES,
+                corpus="play",
+                qps=10.0,
+                duration=1.0,
+                concurrency=2,
+                seed=5,
+                ingest_rate=15.0,
+                on_ingest_response=lambda ops, status, body: seen.append(
+                    (ops, status)
+                ),
+            )
+            assert result.ingest_sent > 0
+            assert result.ingest_ok > 0
+            assert result.ingest_dropped == 0
+            assert len(result.ingest_latencies) == result.ingest_sent
+            assert len(seen) == result.ingest_sent
+            assert all(status == 200 for _, status in seen)
+            documents = service.ingest_info()["corpora"]["play"]["documents"]
+            appended = sum(
+                1 for ops, _ in seen for op in ops if op["op"] == "append"
+            )
+            deleted = sum(
+                1 for ops, _ in seen for op in ops if op["op"] == "delete"
+            )
+            assert documents == appended - deleted
+        finally:
+            server.stop()
+            service.close()
