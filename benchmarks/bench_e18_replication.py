@@ -1,0 +1,223 @@
+"""E18 — replicated ingestion: read-your-writes overhead across an
+HTTP backend topology.
+
+One measurement, written to ``BENCH_e18.json``: the real HTTP stack
+over a 2-group x 2-replica subprocess topology with WAL log shipping
+on, driven by the load generator twice with the same seed — once
+read-only, once with ``WRITE_RATE`` single-op ``/ingest`` batches per
+second.  Every commit ships synchronously to both backend nodes and
+stamps subsequent reads with a generation floor, so the comparison
+prices the whole read-your-writes pipeline: ship + replica apply +
+floor-checked scatter.  Caching is off in both runs so the numbers are
+evaluation latency, not hit rate.
+
+Bound: query p99 under writes <= 1.5x the read-only p99 (+2 ms noise
+floor for sub-millisecond baselines) — replication must not fall back
+to quorum waits or lagging-replica retry storms on the read path.
+
+A convergence epilogue re-asserts the write path did its job: every
+shipped batch applied on every node, the final anti-entropy sweep
+finds all replicas current, and the frontier's next read serves the
+last write undegraded.
+
+The bound function is a plain assert so the file also runs (and gates)
+under ``pytest --benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.server.config import CorpusSpec, ServerConfig
+from repro.server.http import create_server
+from repro.server.loadgen import percentile, run_load
+from repro.server.service import QueryService
+from repro.workloads.queries import PLAY_QUERIES
+
+QPS = 40.0
+WRITE_RATE = 10.0
+DURATION = 4.0
+CONCURRENCY = 4
+_PROBE = "speech dwithin scene"
+
+PLAY = CorpusSpec(name="play", kind="synthetic", path="play", seed=11, scale=2)
+
+
+def _build_service(ingest_dir: Path) -> QueryService:
+    return QueryService(
+        ServerConfig(
+            workers=4,
+            queue_depth=64,
+            cache_enabled=False,
+            corpora=(PLAY,),
+            backend_nodes=2,
+            backend_groups=2,
+            backend_replicas=2,
+            backend_mode="http",
+            ingest_enabled=True,
+            ingest_dir=str(ingest_dir),
+            ingest_fsync=False,
+            compaction_enabled=False,
+            replication_enabled=True,
+            replication_interval=0.5,
+        )
+    )
+
+
+def _doc(i: int) -> str:
+    return (
+        f"<speech><speaker>Bench {i}</speaker>"
+        f"<line>crown prophecy midnight throne {i}</line></speech>"
+    )
+
+
+def _measure_load(ingest_rate: float, seed: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-e18-") as tmp:
+        service = _build_service(Path(tmp) / "wal")
+        server = create_server(service, port=0)
+        server.serve_in_background()
+        try:
+            result = run_load(
+                "127.0.0.1",
+                server.bound_port,
+                PLAY_QUERIES,
+                corpus="play",
+                qps=QPS,
+                duration=DURATION,
+                concurrency=CONCURRENCY,
+                use_cache=False,
+                seed=seed,
+                ingest_rate=ingest_rate,
+            )
+            # Convergence epilogue (write runs only): the topology the
+            # load generator just hammered must already be caught up.
+            replication = service.replication.snapshot()
+            sweep = service.replication.sweep()["corpora"].get("play", {})
+            truth = service._handle("play").generation
+            applied = {
+                node: state["applied"].get("play", 0)
+                for node, state in replication["nodes"].items()
+            }
+            final = service.execute(_PROBE, use_cache=False)
+        finally:
+            server.stop()
+    ordered = sorted(result.latencies)
+    return {
+        "ingest_rate": ingest_rate,
+        "queries_ok": result.status_counts.get("200", 0),
+        "status_counts": dict(sorted(result.status_counts.items())),
+        "p50_ms": percentile(ordered, 0.50) * 1e3,
+        "p95_ms": percentile(ordered, 0.95) * 1e3,
+        "p99_ms": percentile(ordered, 0.99) * 1e3,
+        "writes_sent": result.ingest_sent,
+        "writes_ok": result.ingest_ok,
+        "writes_retried": result.ingest_retried,
+        "write_p99_ms": percentile(sorted(result.ingest_latencies), 0.99)
+        * 1e3,
+        "generation": truth,
+        "applied": applied,
+        "sweep": sweep,
+        "final_degraded": final["backend"]["degraded"],
+        "final_generation": final["generation"],
+    }
+
+
+# ----------------------------------------------------------------------
+# Latency chart.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def replicated_service():
+    with tempfile.TemporaryDirectory(prefix="bench-e18-") as tmp:
+        service = _build_service(Path(tmp) / "wal")
+        try:
+            yield service
+        finally:
+            service.close()
+
+
+@pytest.mark.benchmark(group="e18-replication")
+def bench_e18_read_latency(benchmark, replicated_service):
+    replicated_service.execute(_PROBE, use_cache=False)  # warm
+    benchmark(
+        replicated_service.execute, _PROBE, use_cache=False
+    )
+
+
+@pytest.mark.benchmark(group="e18-replication")
+def bench_e18_replicated_commit_latency(benchmark, replicated_service):
+    counter = iter(range(10**9))
+
+    def commit():
+        i = next(counter)
+        replicated_service.ingest(
+            "play",
+            [{"op": "append", "id": f"bench-lat-{i}", "text": _doc(i)}],
+        )
+
+    benchmark(commit)
+
+
+# ----------------------------------------------------------------------
+# The acceptance assertion + JSON artifact.
+# ----------------------------------------------------------------------
+
+
+def _measure_load_best(ingest_rate: float, runs: int = 2) -> dict:
+    """Min-of-N over whole load runs (keyed by query p99) — the E15/E17
+    discipline: one background hiccup on a noisy container can blow a
+    4-second run's tail, and the best run measures the service."""
+    samples = [
+        _measure_load(ingest_rate=ingest_rate, seed=18 + attempt)
+        for attempt in range(runs)
+    ]
+    return min(samples, key=lambda s: s["p99_ms"])
+
+
+def bench_e18_replication_bound():
+    read_only = _measure_load_best(ingest_rate=0.0)
+    under_writes = _measure_load_best(ingest_rate=WRITE_RATE)
+
+    report = {
+        "experiment": "e18-replication",
+        "cpu_count": os.cpu_count(),
+        "topology": {"nodes": 2, "groups": 2, "replicas": 2, "mode": "http"},
+        "qps": QPS,
+        "write_rate": WRITE_RATE,
+        "duration_seconds": DURATION,
+        "read_only": read_only,
+        "under_writes": under_writes,
+        "overhead_ratio": under_writes["p99_ms"]
+        / max(read_only["p99_ms"], 1e-9),
+        "overhead_bound": 1.5,
+    }
+    out = Path(__file__).resolve().parents[1] / "BENCH_e18.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    # Both runs must actually have done their job …
+    assert read_only["queries_ok"] > 0, read_only
+    assert under_writes["queries_ok"] > 0, under_writes
+    assert (
+        under_writes["writes_ok"] >= WRITE_RATE * DURATION * 0.5
+    ), under_writes
+    # … every write converged onto both replicas and the topology still
+    # serves the last generation undegraded …
+    assert all(
+        generation == under_writes["generation"]
+        for generation in under_writes["applied"].values()
+    ), under_writes
+    assert all(
+        outcome == "current" for outcome in under_writes["sweep"].values()
+    ), under_writes
+    assert under_writes["final_degraded"] is False, under_writes
+    assert under_writes["final_generation"] == under_writes["generation"]
+    # … and read-your-writes must not tax the read tail beyond its
+    # bound (2 ms noise floor keeps sub-millisecond baselines from
+    # flaking the ratio).
+    assert under_writes["p99_ms"] <= 1.5 * read_only["p99_ms"] + 2.0, report

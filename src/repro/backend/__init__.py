@@ -21,7 +21,11 @@ serving layer survives the death of a whole evaluation process:
 * :mod:`repro.backend.frontier` — scatter-gather with per-backend
   circuit breakers, replica failover, and hedged requests;
 * :mod:`repro.backend.supervisor` — subprocess lifecycle: spawn, watch,
-  respawn after a crash (and SIGKILL on demand, for the chaos harness).
+  respawn after a crash (and SIGKILL on demand, for the chaos harness);
+* :mod:`repro.backend.replication` — WAL log shipping of committed
+  ingest batches to every backend replica, generation-floor reads,
+  batch/snapshot catch-up for lagging nodes, and the periodic
+  anti-entropy checksum sweep.
 
 ``docs/server.md`` ("Topology & failover") is the operator guide;
 ``docs/robustness.md`` documents the backend-kill chaos mode.
@@ -32,10 +36,12 @@ from repro.backend.base import (
     ShardBackend,
     SliceProvider,
     evaluate_slice,
+    slice_checksum,
 )
 from repro.backend.frontier import BackendNode, FrontierExecutor, FrontierStats
 from repro.backend.httpclient import HTTPBackend
 from repro.backend.inprocess import InProcessBackend
+from repro.backend.replication import ReplicationCoordinator
 from repro.backend.ring import HashRing
 from repro.backend.supervisor import BackendSupervisor
 
@@ -48,7 +54,9 @@ __all__ = [
     "HTTPBackend",
     "HashRing",
     "InProcessBackend",
+    "ReplicationCoordinator",
     "ShardBackend",
     "SliceProvider",
     "evaluate_slice",
+    "slice_checksum",
 ]

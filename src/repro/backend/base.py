@@ -52,6 +52,7 @@ __all__ = [
     "ShardSlice",
     "SliceProvider",
     "evaluate_slice",
+    "slice_checksum",
 ]
 
 
@@ -95,15 +96,65 @@ class ShardBackend:
         bounds: Mapping[str, int | None],
         deadline: float | None = None,
         trace: Mapping[str, Any] | None = None,
+        floor: int = 0,
     ) -> BackendResult:
         """Evaluate ``queries`` against group ``group`` of ``groups``.
 
+        ``floor`` is the read's generation floor: the lowest corpus
+        generation this answer may come from (the generation the
+        frontier acknowledged the caller's writes at).  A backend whose
+        replica is still behind raises
+        :class:`~repro.errors.ReplicaLaggingError` — a failover-able
+        :class:`~repro.errors.BackendError` — instead of answering from
+        the past.
+
         Raises :class:`~repro.errors.BackendError` for failures worth
-        failing over (transport, remote crash),
+        failing over (transport, remote crash, lagging replica),
         :class:`~repro.errors.BackendUnsupportedError` when no replica
         could answer soundly, and :class:`~repro.errors.QueryTimeout`
         when the propagated deadline expired remotely.
         """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Replication (WAL log shipping) — see repro.backend.replication.
+    # ------------------------------------------------------------------
+
+    def replicate_apply(
+        self,
+        corpus: str,
+        seq: int,
+        ops: Sequence[Mapping[str, Any]],
+        generation: int,
+        checksum: str,
+    ) -> dict[str, Any]:
+        """Apply one committed WAL batch to this node's replica of
+        ``corpus``, publishing exactly ``generation``.
+
+        Returns ``{"corpus", "applied", "status"}`` where ``applied`` is
+        the node's replica generation after the call and ``status`` is
+        ``"applied"`` (the batch landed), ``"stale"`` (already at or past
+        ``generation`` — an idempotent re-ship), ``"out_of_order"`` (a
+        gap: the node needs catch-up first), or ``"checksum_mismatch"``
+        (the shipped payload failed verification and was rejected).
+        """
+        raise NotImplementedError
+
+    def replicate_snapshot(
+        self, corpus: str, state: Mapping[str, Any], generation: int
+    ) -> dict[str, Any]:
+        """Replace this node's replica of ``corpus`` wholesale with
+        ``state`` (a :meth:`LiveCorpus.state`-shaped document dump),
+        publishing ``generation`` — the catch-up path when shipped batch
+        history no longer covers the node's gap, and the repair path
+        when anti-entropy finds divergence."""
+        raise NotImplementedError
+
+    def replicate_status(self, corpus: str, groups: int) -> dict[str, Any]:
+        """This node's replica position for ``corpus``: ``{"corpus",
+        "applied", "checksums"}`` with one content checksum per shard
+        group (``groups`` of them) — what the anti-entropy sweep
+        compares against the frontier's own slices."""
         raise NotImplementedError
 
     def describe(self) -> dict[str, Any]:
@@ -191,6 +242,17 @@ class SliceProvider:
             evaluator=evaluator,
         )
 
+    def invalidate(self, corpus: str) -> None:
+        """Drop every cached partition of ``corpus``.
+
+        The generation check on lookup already catches normal churn;
+        this exists for the one case content changes *without* a bump —
+        a replication snapshot repair re-publishing the same generation
+        with corrected regions."""
+        with self._lock:
+            for key in [k for k in self._cache if k[0] == corpus]:
+                del self._cache[key]
+
 
 def _empty_segment(instance: Instance) -> Segment:
     """A segment owning no positions and holding no regions — what a
@@ -276,6 +338,24 @@ def evaluate_slice(
         else:
             payload.append([[r.left, r.right] for r in result])
     return payload, perf_counter() - started
+
+
+def slice_checksum(slice_: ShardSlice) -> str:
+    """A content checksum of one slice's served region data: sha256 of
+    the canonical JSON of every region set in the slice's segment
+    instance, by name.  Generation-independent — two replicas at
+    different generations with identical content compare equal — so the
+    anti-entropy sweep flags real divergence, not clock skew."""
+    import hashlib
+    import json as _json
+
+    instance = slice_.segment.instance
+    content = {
+        name: [[r.left, r.right] for r in instance.region_set(name)]
+        for name in sorted(instance.names)
+    }
+    canonical = _json.dumps(content, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 #: Sentinel distinguishing "no bound sent" from "bound is None (empty)".

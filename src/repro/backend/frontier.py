@@ -50,6 +50,7 @@ from repro.errors import (
     BackendUnsupportedError,
     FaultInjected,
     QueryTimeout,
+    ReplicaLaggingError,
 )
 from repro.faults import registry as _faults
 from repro.faults.retry import CircuitBreaker
@@ -257,10 +258,16 @@ class FrontierExecutor:
         corpus: str,
         expr: A.Expr,
         deadline: float | None = None,
+        floor: int = 0,
     ) -> tuple[RegionSet, FrontierStats]:
         """Evaluate ``expr`` over all shard groups of ``corpus``.
 
-        Same result as single-process evaluation.  Raises
+        Same result as single-process evaluation.  ``floor`` stamps
+        every backend call with the read's generation floor (see
+        :meth:`~repro.backend.base.ShardBackend.shard_query`); a replica
+        behind the floor fails over like any other backend failure, so
+        the caller never reads a generation older than the one its
+        writes were acknowledged at.  Raises
         :class:`~repro.errors.BackendUnsupportedError` (caller must
         evaluate locally), :class:`~repro.errors.BackendUnavailableError`
         (caller should evaluate locally and mark the response degraded),
@@ -278,7 +285,8 @@ class FrontierExecutor:
             rights = list(dict.fromkeys(b.node.right for b in nodes_in_round))
             texts = [to_text(right) for right in rights]
             per_group = self._scatter(
-                corpus, texts, "exchange", dict(bounds_text), deadline_at, trace_dict, stats
+                corpus, texts, "exchange", dict(bounds_text), deadline_at,
+                trace_dict, stats, floor,
             )
             for j, right in enumerate(rights):
                 max_left: int | None = None
@@ -304,6 +312,7 @@ class FrontierExecutor:
             deadline_at,
             trace_dict,
             stats,
+            floor,
         )
         merged = merge_region_sets(
             [
@@ -316,12 +325,14 @@ class FrontierExecutor:
     # ------------------------------------------------------------------
 
     def _scatter(
-        self, corpus, texts, want, bounds, deadline_at, trace, stats
+        self, corpus, texts, want, bounds, deadline_at, trace, stats, floor=0
     ) -> list[list[Any]]:
         """One parallel phase: every group's payload, in group order."""
         if self.groups == 1:
             return [
-                self._call_group(corpus, 0, texts, want, bounds, deadline_at, trace, stats)
+                self._call_group(
+                    corpus, 0, texts, want, bounds, deadline_at, trace, stats, floor
+                )
             ]
         futures = []
         for group in range(self.groups):
@@ -338,6 +349,7 @@ class FrontierExecutor:
                     deadline_at,
                     trace,
                     stats,
+                    floor,
                 )
             )
         outs: list[list[Any]] = []
@@ -352,7 +364,7 @@ class FrontierExecutor:
         return outs
 
     def _call_group(
-        self, corpus, group, texts, want, bounds, deadline_at, trace, stats
+        self, corpus, group, texts, want, bounds, deadline_at, trace, stats, floor=0
     ) -> list[Any]:
         """One group's payload: hedged first wave, then failover."""
         order = self.replicas_for(corpus, group)
@@ -362,7 +374,7 @@ class FrontierExecutor:
         if primary is not None:
             payload = self._hedged_call(
                 primary, order, tried, attempts,
-                corpus, group, texts, want, bounds, deadline_at, trace, stats,
+                corpus, group, texts, want, bounds, deadline_at, trace, stats, floor,
             )
             if payload is not None:
                 return payload
@@ -373,7 +385,8 @@ class FrontierExecutor:
             tried.add(node.id)
             try:
                 payload = self._invoke(
-                    node, corpus, group, texts, want, bounds, deadline_at, trace, stats
+                    node, corpus, group, texts, want, bounds, deadline_at,
+                    trace, stats, floor,
                 )
                 node.breaker.record_success()
                 return payload
@@ -404,7 +417,7 @@ class FrontierExecutor:
 
     def _hedged_call(
         self, primary, order, tried, attempts,
-        corpus, group, texts, want, bounds, deadline_at, trace, stats,
+        corpus, group, texts, want, bounds, deadline_at, trace, stats, floor=0,
     ) -> list[Any] | None:
         """First wave: primary, plus one hedge if it dawdles.  Returns
         the winning payload, or ``None`` when the whole wave failed
@@ -415,7 +428,8 @@ class FrontierExecutor:
         futures: dict[Future, BackendNode] = {
             self._call_pool.submit(
                 ctx.run, self._invoke,
-                primary, corpus, group, texts, want, bounds, deadline_at, trace, stats,
+                primary, corpus, group, texts, want, bounds, deadline_at,
+                trace, stats, floor,
             ): primary
         }
         hedge_node: BackendNode | None = None
@@ -434,7 +448,7 @@ class FrontierExecutor:
                         self._call_pool.submit(
                             ctx2.run, self._invoke,
                             hedge_node, corpus, group, texts, want, bounds,
-                            deadline_at, trace, stats,
+                            deadline_at, trace, stats, floor,
                         )
                     ] = hedge_node
                 elif hedge_node is not None:
@@ -503,7 +517,8 @@ class FrontierExecutor:
     # ------------------------------------------------------------------
 
     def _invoke(
-        self, node, corpus, group, texts, want, bounds, deadline_at, trace, stats
+        self, node, corpus, group, texts, want, bounds, deadline_at, trace,
+        stats, floor=0,
     ) -> list[Any]:
         """One attempt against one node: fault point, deadline math,
         latency/metric accounting, and trace adoption."""
@@ -523,11 +538,14 @@ class FrontierExecutor:
         try:
             result = node.backend.shard_query(
                 corpus, group, self.groups, texts, want, bounds,
-                deadline=remaining, trace=trace,
+                deadline=remaining, trace=trace, floor=floor,
             )
-        except BackendError:
+        except BackendError as exc:
             if self._requests is not None:
-                self._requests.inc(node=node.id, outcome="error")
+                outcome = (
+                    "lagging" if isinstance(exc, ReplicaLaggingError) else "error"
+                )
+                self._requests.inc(node=node.id, outcome=outcome)
             raise
         seconds = perf_counter() - started
         node.observe(seconds)

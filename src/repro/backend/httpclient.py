@@ -32,7 +32,12 @@ import threading
 from typing import Any, Mapping, Sequence
 
 from repro.backend.base import BackendResult, ShardBackend
-from repro.errors import BackendError, BackendUnsupportedError, QueryTimeout
+from repro.errors import (
+    BackendError,
+    BackendUnsupportedError,
+    QueryTimeout,
+    ReplicaLaggingError,
+)
 
 __all__ = ["HTTPBackend"]
 
@@ -87,6 +92,7 @@ class HTTPBackend(ShardBackend):
         bounds: Mapping[str, int | None],
         deadline: float | None = None,
         trace: Mapping[str, Any] | None = None,
+        floor: int = 0,
     ) -> BackendResult:
         body = json.dumps(
             {
@@ -96,6 +102,7 @@ class HTTPBackend(ShardBackend):
                 "queries": list(queries),
                 "want": want,
                 "bounds": dict(bounds),
+                "floor": floor,
             }
         )
         headers = {"Content-Type": "application/json"}
@@ -144,8 +151,88 @@ class HTTPBackend(ShardBackend):
             raise QueryTimeout(deadline if deadline is not None else 0.0)
         if code == "backend_unsupported":
             raise BackendUnsupportedError(message)
+        if code == "replica_lagging":
+            raise ReplicaLaggingError(
+                str(data.get("corpus", "")),
+                int(data.get("applied", 0)),
+                int(data.get("floor", 0)),
+            )
         raise BackendError(
             f"backend {self.node_id}: HTTP {status} {code or '?'}: {message}"
+        )
+
+    # ------------------------------------------------------------------
+    # Replication RPCs — plain JSON POSTs, no deadline/trace context
+    # (shipping is a background activity with its own retry discipline
+    # in the coordinator; a failure here is "node lagging", not a
+    # request failure).
+    # ------------------------------------------------------------------
+
+    def _post_json(
+        self, path: str, body: dict[str, Any], timeout: float = _DEFAULT_TIMEOUT
+    ) -> dict[str, Any]:
+        payload_out = json.dumps(body)
+        connection = self._connection(timeout)
+        try:
+            connection.request(
+                "POST",
+                path,
+                body=payload_out,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = response.read()
+        except (OSError, http.client.HTTPException) as exc:
+            self._drop_connection()
+            raise BackendError(
+                f"backend {self.node_id} ({self.host}:{self.port}): "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        try:
+            data = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._drop_connection()
+            raise BackendError(
+                f"backend {self.node_id}: unparseable {path} response "
+                f"(HTTP {response.status})"
+            ) from exc
+        if response.status != 200:
+            raise BackendError(
+                f"backend {self.node_id}: {path} HTTP {response.status} "
+                f"{data.get('code', '?')}: {data.get('error', '')}"
+            )
+        return data
+
+    def replicate_apply(
+        self,
+        corpus: str,
+        seq: int,
+        ops: Sequence[Mapping[str, Any]],
+        generation: int,
+        checksum: str,
+    ) -> dict[str, Any]:
+        return self._post_json(
+            "/replicate/apply",
+            {
+                "corpus": corpus,
+                "seq": seq,
+                "ops": [dict(op) for op in ops],
+                "generation": generation,
+                "checksum": checksum,
+            },
+        )
+
+    def replicate_snapshot(
+        self, corpus: str, state: Mapping[str, Any], generation: int
+    ) -> dict[str, Any]:
+        return self._post_json(
+            "/replicate/snapshot",
+            {"corpus": corpus, "state": dict(state), "generation": generation},
+        )
+
+    def replicate_status(self, corpus: str, groups: int) -> dict[str, Any]:
+        return self._post_json(
+            "/replicate/status", {"corpus": corpus, "groups": groups}
         )
 
     def describe(self) -> dict[str, Any]:

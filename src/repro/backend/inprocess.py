@@ -28,8 +28,9 @@ from repro.backend.base import (
     ShardBackend,
     SliceProvider,
     evaluate_slice,
+    slice_checksum,
 )
-from repro.errors import BackendError
+from repro.errors import BackendError, ReplicaLaggingError
 from repro.obs.trace import maybe_span
 
 __all__ = ["InProcessBackend"]
@@ -55,6 +56,7 @@ class InProcessBackend(ShardBackend):
         bounds: Mapping[str, int | None],
         deadline: float | None = None,
         trace: Mapping[str, Any] | None = None,
+        floor: int = 0,
     ) -> BackendResult:
         if self.fail_requests > 0:
             self.fail_requests -= 1
@@ -62,6 +64,11 @@ class InProcessBackend(ShardBackend):
         if self.inject_latency > 0:
             sleep(self.inject_latency)
         slice_ = self._slices.slice_for(corpus, group, groups)
+        if floor > 0 and slice_.generation < floor:
+            # Cannot happen in a healthy in-process topology (slices
+            # come from the frontier's own handles) — but the contract
+            # is uniform, so tests can drive the lagging path here too.
+            raise ReplicaLaggingError(corpus, slice_.generation, floor)
         # The span lands directly in the frontier's tracer (same
         # process, contextvars carried the parent in), mirroring the
         # ``backend.query`` span a subprocess ships back for adoption.
@@ -77,6 +84,36 @@ class InProcessBackend(ShardBackend):
             seconds=seconds,
             node=self.node_id,
         )
+
+    # ------------------------------------------------------------------
+    # Replication: an in-process node reads the frontier's own corpus
+    # handles, so every committed batch is visible the moment it is
+    # installed — shipping is acknowledged as already-applied.
+    # ------------------------------------------------------------------
+
+    def replicate_apply(
+        self,
+        corpus: str,
+        seq: int,
+        ops: Sequence[Mapping[str, Any]],
+        generation: int,
+        checksum: str,
+    ) -> dict[str, Any]:
+        return {"corpus": corpus, "applied": generation, "status": "applied"}
+
+    def replicate_snapshot(
+        self, corpus: str, state: Mapping[str, Any], generation: int
+    ) -> dict[str, Any]:
+        return {"corpus": corpus, "applied": generation, "status": "applied"}
+
+    def replicate_status(self, corpus: str, groups: int) -> dict[str, Any]:
+        checksums = {}
+        applied = 0
+        for group in range(groups):
+            slice_ = self._slices.slice_for(corpus, group, groups)
+            applied = slice_.generation
+            checksums[group] = slice_checksum(slice_)
+        return {"corpus": corpus, "applied": applied, "checksums": checksums}
 
     def describe(self) -> dict[str, Any]:
         return {"node": self.node_id, "transport": "inprocess"}

@@ -276,6 +276,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the background compactor (POST /compact still works)",
     )
     serve.add_argument(
+        "--no-replication",
+        action="store_true",
+        help="serve HTTP backends without WAL log shipping; ingest on "
+        "remote topologies then answers 409 ingest_unreplicated",
+    )
+    serve.add_argument(
+        "--replication-interval",
+        type=float,
+        default=2.0,
+        help="seconds between anti-entropy sweeps over backend replicas",
+    )
+    serve.add_argument(
         "--trace", action="store_true", help="collect span trees per request"
     )
     serve.add_argument(
@@ -403,13 +415,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--mode",
-        choices=("service", "backend-kill", "ingest"),
+        choices=("service", "backend-kill", "ingest", "replication"),
         default="service",
         help="service = fault-point injection against an in-process "
         "service; backend-kill = SIGKILL shard backend subprocesses "
         "under load; ingest = concurrent writes under WAL faults and a "
         "mid-run restart, verified against a rebuilt-from-scratch "
-        "oracle (docs/robustness.md)",
+        "oracle; replication = writes against a replicated HTTP "
+        "topology with ship faults and a replica SIGKILL, verified for "
+        "read-your-writes and bit-identical convergence "
+        "(docs/robustness.md)",
     )
     chaos.add_argument("--seed", type=int, default=0)
     chaos.add_argument("--scale", type=int, default=2, help="corpus size")
@@ -719,6 +734,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ingest_fsync=not args.no_ingest_fsync,
         compaction_enabled=not args.no_compaction,
         compaction_interval=args.compaction_interval,
+        replication_enabled=not args.no_replication,
+        replication_interval=args.replication_interval,
     )
     service = QueryService(config)
     server = create_server(
@@ -983,6 +1000,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         else:
             print(backend_report.format_report())
         return 0 if backend_report.ok else 1
+
+    if args.mode == "replication":
+        from repro.faults.replicationchaos import (
+            ReplicationChaosConfig,
+            run_replication_chaos,
+        )
+
+        replication_config = ReplicationChaosConfig(
+            seed=args.seed,
+            scale=args.scale,
+            groups=max(2, args.shards),
+            qps=args.qps,
+            concurrency=args.concurrency,
+            warmup_seconds=args.warmup_seconds,
+            fault_seconds=args.fault_seconds,
+            recovery_seconds=args.recovery_seconds,
+            # Ship batches are low-volume like WAL records; scale the
+            # shared --fault-rate up so a short run still fires faults.
+            ship_fault_rate=min(0.9, args.fault_rate * 7.0),
+        )
+        replication_report = run_replication_chaos(replication_config)
+        if args.json:
+            print(json.dumps(replication_report.summary()))
+        else:
+            print(replication_report.format_report())
+        return 0 if replication_report.ok else 1
 
     if args.mode == "ingest":
         from repro.faults.ingestchaos import (

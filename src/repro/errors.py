@@ -228,6 +228,33 @@ class BackendError(ReproError):
     code = "backend_error"
 
 
+class ReplicaLaggingError(BackendError):
+    """A backend answered a generation-floored read while its replica of
+    the corpus was still behind the floor.  A :class:`BackendError`
+    subclass so the frontier's normal failover machinery (breaker
+    bookkeeping, next-replica retry, hedging) applies; HTTP callers that
+    hit a lagging backend directly see ``503`` with a ``Retry-After``
+    hint sized to the replication interval."""
+
+    code = "replica_lagging"
+
+    def __init__(
+        self,
+        corpus: str,
+        applied: int,
+        floor: int,
+        retry_after: float = 0.5,
+    ):
+        self.corpus = corpus
+        self.applied = applied
+        self.floor = floor
+        self.retry_after = retry_after
+        super().__init__(
+            f"replica of corpus {corpus!r} is at generation {applied}, "
+            f"behind the read floor {floor}"
+        )
+
+
 class BackendUnsupportedError(ReproError):
     """A backend cannot evaluate its slice of this query soundly (a word
     occurrence spans a partition cut, or the corpus has no text-backed
@@ -285,3 +312,20 @@ class DuplicateDocumentError(IngestError):
     corpus, or the same id appeared twice in one batch."""
 
     code = "duplicate_document"
+
+
+class IngestUnreplicatedError(IngestError):
+    """A write targeted a corpus that is actively served through remote
+    backend processes while WAL shipping to those backends is disabled —
+    committing it would silently fork the frontier's view from what the
+    replicas keep serving.  HTTP callers see ``409 Conflict``; enable
+    replication (the default) or drop to in-process backends to write."""
+
+    code = "ingest_unreplicated"
+
+    def __init__(self, corpus: str):
+        self.corpus = corpus
+        super().__init__(
+            f"corpus {corpus!r} is served by remote backends but "
+            f"replication is disabled; writes would diverge"
+        )

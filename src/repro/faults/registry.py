@@ -4,16 +4,17 @@ The serving stack is sprinkled with named **fault points** — call sites
 that ask the active registry "should something go wrong here?" before
 doing their real work:
 
-==================  ====================================================
-``storage.read``    reading an index file (:func:`load_instance`)
-``storage.write``   writing an index file (:func:`save_instance`)
-``index.build``     building an engine from text or a saved index
-``evaluator.step``  one operator evaluation inside the evaluator
-``pool.worker``     a worker picking up a job from the pool queue
-``cache.get``       a result-cache probe in the query service
-``shard.task``      one per-shard task of the sharded executor
-``backend.rpc``     one frontier→backend shard RPC (any transport)
-==================  ====================================================
+====================  ==================================================
+``storage.read``      reading an index file (:func:`load_instance`)
+``storage.write``     writing an index file (:func:`save_instance`)
+``index.build``       building an engine from text or a saved index
+``evaluator.step``    one operator evaluation inside the evaluator
+``pool.worker``       a worker picking up a job from the pool queue
+``cache.get``         a result-cache probe in the query service
+``shard.task``        one per-shard task of the sharded executor
+``backend.rpc``       one frontier→backend shard RPC (any transport)
+``replication.ship``  one WAL-batch ship from the frontier to a replica
+====================  ==================================================
 
 With no registry active (the default, and the only production state)
 every fault point is a single ``is None`` check — the hot paths stay
@@ -74,6 +75,7 @@ FAULT_POINTS = (
     "cache.get",
     "shard.task",
     "backend.rpc",
+    "replication.ship",
 )
 
 #: The ways a fault point can misbehave.

@@ -84,6 +84,14 @@ __all__ = [
     "BACKEND_HEDGE_WINS_TOTAL",
     "BACKEND_RESPAWNS_TOTAL",
     "FRONTIER_FALLBACK_TOTAL",
+    "REPLICATION_BATCHES_SHIPPED_TOTAL",
+    "REPLICATION_SHIP_FAILURES_TOTAL",
+    "REPLICATION_APPLY_SECONDS",
+    "REPLICATION_LAG",
+    "REPLICATION_LAGGING_READS_TOTAL",
+    "REPLICATION_CATCHUPS_TOTAL",
+    "REPLICATION_ANTI_ENTROPY_RUNS_TOTAL",
+    "REPLICATION_DIVERGENCE_TOTAL",
     "INGEST_OPS_TOTAL",
     "INGEST_BATCHES_TOTAL",
     "INGEST_COMMIT_SECONDS",
@@ -158,6 +166,17 @@ BACKEND_HEDGES_TOTAL = "backend_hedges_total"
 BACKEND_HEDGE_WINS_TOTAL = "backend_hedge_wins_total"
 BACKEND_RESPAWNS_TOTAL = "backend_respawns_total"
 FRONTIER_FALLBACK_TOTAL = "frontier_fallback_total"
+
+# WAL log shipping to backend replicas (repro.backend.replication) —
+# see docs/robustness.md ("Replication & anti-entropy").
+REPLICATION_BATCHES_SHIPPED_TOTAL = "replication_batches_shipped_total"
+REPLICATION_SHIP_FAILURES_TOTAL = "replication_ship_failures_total"
+REPLICATION_APPLY_SECONDS = "replication_apply_seconds"
+REPLICATION_LAG = "replication_lag"
+REPLICATION_LAGGING_READS_TOTAL = "replication_lagging_reads_total"
+REPLICATION_CATCHUPS_TOTAL = "replication_catchups_total"
+REPLICATION_ANTI_ENTROPY_RUNS_TOTAL = "replication_anti_entropy_runs_total"
+REPLICATION_DIVERGENCE_TOTAL = "replication_divergence_total"
 
 # The live-ingestion layer (repro.ingest) — see docs/internals.md
 # ("Segments, generations, and the WAL") and docs/server.md.

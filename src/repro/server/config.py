@@ -164,6 +164,26 @@ class ServerConfig:
         Seconds the supervisor waits before respawning a dead backend
         subprocess on its old port.
 
+    Replication knobs (``docs/robustness.md``, "Replication &
+    anti-entropy"), meaningful only with ``backend_mode="http"`` —
+    in-process backends share the frontier's corpus handles and are
+    always current:
+
+    ``replication_enabled``
+        Ship every committed WAL batch to every backend node so
+        replicas serve the generation the write was acknowledged at.
+        When off, writes to a corpus served through remote backends are
+        rejected with ``409 ingest_unreplicated`` rather than silently
+        diverging from what the replicas keep serving.
+    ``replication_interval``
+        Seconds between background replication sweeps — each sweep
+        catches up lagging or respawned nodes and runs the anti-entropy
+        checksum comparison.
+    ``replication_lag_limit``
+        A node this many generations behind on any corpus raises
+        replication pressure on the health monitor (degraded state)
+        until it catches back up.
+
     Live-ingestion knobs (``docs/internals.md``, "Segments, generations,
     and the WAL"):
 
@@ -241,6 +261,9 @@ class ServerConfig:
     backend_hedge_min_seconds: float = 0.05
     backend_hedge_budget: float = 0.1
     backend_respawn_delay: float = 0.5
+    replication_enabled: bool = True
+    replication_interval: float = 2.0
+    replication_lag_limit: int = 8
     ingest_enabled: bool = False
     ingest_dir: str | None = None
     ingest_fsync: bool = True
@@ -313,6 +336,10 @@ class ServerConfig:
             raise ReproError("backend_hedge_budget cannot be negative")
         if self.backend_respawn_delay <= 0:
             raise ReproError("backend_respawn_delay must be positive seconds")
+        if self.replication_interval <= 0:
+            raise ReproError("replication_interval must be positive seconds")
+        if self.replication_lag_limit < 1:
+            raise ReproError("replication_lag_limit must be at least 1")
         if self.ingest_keep_generations < 1:
             raise ReproError("ingest_keep_generations must be at least 1")
         if self.compaction_interval <= 0:
@@ -372,6 +399,9 @@ class ServerConfig:
             "backend_hedge_min_seconds": self.backend_hedge_min_seconds,
             "backend_hedge_budget": self.backend_hedge_budget,
             "backend_respawn_delay": self.backend_respawn_delay,
+            "replication_enabled": self.replication_enabled,
+            "replication_interval": self.replication_interval,
+            "replication_lag_limit": self.replication_lag_limit,
             "ingest_enabled": self.ingest_enabled,
             "ingest_dir": self.ingest_dir,
             "ingest_fsync": self.ingest_fsync,

@@ -32,15 +32,29 @@ on the service's bounded worker pool.  Endpoints:
                                       texts against one shard slice;
                                       ``X-Repro-Deadline`` /
                                       ``X-Repro-Trace`` headers carry
-                                      the cross-process context
+                                      the cross-process context; a
+                                      ``floor`` body field is the read's
+                                      generation floor (``503
+                                      replica_lagging`` when behind)
+``POST /replicate/apply``             backend-role RPC: apply one
+                                      shipped WAL batch at the
+                                      frontier's generation
+``POST /replicate/snapshot``          backend-role RPC: replace the
+                                      replica wholesale (catch-up /
+                                      anti-entropy repair)
+``POST /replicate/status``            backend-role RPC: applied
+                                      generation + per-group content
+                                      checksums for the sweep
 ====================================  =======================================
 
 Status mapping: ``400`` parse/validation errors (including rejected
 ingest batches and ingest-disabled corpora), ``404`` unknown corpus,
 document, or path, ``408`` client-requested deadline ≤ 0, ``409``
-duplicate document id, ``429`` admission
-rejection (with ``Retry-After``), ``503`` load shed or corpus breaker
-open (with ``Retry-After``), ``504`` query deadline exceeded, ``500``
+duplicate document id or a write to a corpus whose remote backends are
+not replicated (``ingest_unreplicated``), ``429`` admission
+rejection (with ``Retry-After``), ``503`` load shed, corpus breaker
+open, or a shard replica behind the read floor (``replica_lagging``;
+all with ``Retry-After``), ``504`` query deadline exceeded, ``500``
 worker crashes, injected faults, and anything unexpected.
 
 Every error envelope carries a stable machine-readable ``code``
@@ -60,7 +74,9 @@ from urllib.parse import parse_qs, urlsplit
 from repro.errors import (
     CorpusUnavailableError,
     DuplicateDocumentError,
+    IngestUnreplicatedError,
     QueryTimeout,
+    ReplicaLaggingError,
     ReproError,
     ServerOverloadedError,
     ServiceUnhealthyError,
@@ -189,6 +205,18 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif url.path == "/shard/query":
                 self._shard_query(self._body())
+            elif url.path == "/replicate/apply":
+                self._replicate_apply(self._body())
+            elif url.path == "/replicate/snapshot":
+                self._replicate_snapshot(self._body())
+            elif url.path == "/replicate/status":
+                body = self._body()
+                self._json(
+                    200,
+                    self.server.service.replicate_status(
+                        body.get("corpus"), int(body.get("groups", 1))
+                    ),
+                )
             elif url.path == "/explain":
                 self._run(self._body(), explain_only=True)
             elif url.path.startswith("/corpora/") and url.path.endswith(
@@ -357,6 +385,45 @@ class _Handler(BaseHTTPRequestHandler):
             dict(body.get("bounds") or {}),
             deadline=deadline,
             trace=trace,
+            floor=int(body.get("floor", 0)),
+        )
+        self._json(200, response)
+
+    def _replicate_apply(self, body: dict[str, Any]) -> None:
+        """The backend half of WAL log shipping (one batch)."""
+        ops = body.get("ops")
+        if not isinstance(ops, list):
+            self._json(
+                400,
+                {
+                    "error": "replicate request needs an 'ops' list",
+                    "code": "invalid_request",
+                },
+            )
+            return
+        response = self.server.service.replicate_apply(
+            body.get("corpus"),
+            int(body.get("seq", 0)),
+            ops,
+            int(body.get("generation", 0)),
+            str(body.get("checksum", "")),
+        )
+        self._json(200, response)
+
+    def _replicate_snapshot(self, body: dict[str, Any]) -> None:
+        """The backend half of snapshot catch-up / divergence repair."""
+        state = body.get("state")
+        if not isinstance(state, dict):
+            self._json(
+                400,
+                {
+                    "error": "replicate request needs a 'state' object",
+                    "code": "invalid_request",
+                },
+            )
+            return
+        response = self.server.service.replicate_snapshot(
+            body.get("corpus"), state, int(body.get("generation", 0))
         )
         self._json(200, response)
 
@@ -377,6 +444,22 @@ class _Handler(BaseHTTPRequestHandler):
                 {**envelope, "retry_after": exc.retry_after},
                 extra_headers={"Retry-After": f"{exc.retry_after:.3f}"},
             )
+        elif isinstance(exc, ReplicaLaggingError):
+            # A shard read refused for being behind the generation
+            # floor: retryable — the replica is catching up.  The
+            # corpus/applied/floor fields let the frontier's transport
+            # rebuild the typed error for its failover machinery.
+            self._json(
+                503,
+                {
+                    **envelope,
+                    "corpus": exc.corpus,
+                    "applied": exc.applied,
+                    "floor": exc.floor,
+                    "retry_after": exc.retry_after,
+                },
+                extra_headers={"Retry-After": f"{exc.retry_after:.3f}"},
+            )
         elif isinstance(exc, (ServiceUnhealthyError, CorpusUnavailableError)):
             self._json(
                 503,
@@ -387,7 +470,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._json(504, {**envelope, "budget": exc.budget})
         elif isinstance(exc, (UnknownCorpusError, UnknownDocumentError)):
             self._json(404, envelope)
-        elif isinstance(exc, DuplicateDocumentError):
+        elif isinstance(exc, (DuplicateDocumentError, IngestUnreplicatedError)):
             self._json(409, envelope)
         elif isinstance(exc, ReproError) and code in (
             "worker_crashed",

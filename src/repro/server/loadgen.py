@@ -69,6 +69,9 @@ class LoadResult:
     ingest_rate: float = 0.0
     ingest_sent: int = 0
     ingest_dropped: int = 0
+    #: write-side 429/503s retried after their ``Retry-After`` hint —
+    #: what a lagging replica's backpressure looks like to the writer.
+    ingest_retried: int = 0
     ingest_status_counts: dict[str, int] = field(default_factory=dict)
     ingest_latencies: list[float] = field(default_factory=list)
 
@@ -96,6 +99,7 @@ class LoadResult:
 
     def summary(self) -> dict[str, Any]:
         ordered = sorted(self.latencies)
+        ordered_ingest = sorted(self.ingest_latencies)
         return {
             "target_qps": self.target_qps,
             "achieved_qps": round(self.achieved_qps, 2),
@@ -126,18 +130,31 @@ class LoadResult:
                         "sent": self.ingest_sent,
                         "ok": self.ingest_ok,
                         "dropped": self.ingest_dropped,
+                        "retried": self.ingest_retried,
                         "status_counts": dict(
                             sorted(self.ingest_status_counts.items())
                         ),
+                        # Same quantile set as the read side, kept in a
+                        # separate block so write commits (WAL fsync +
+                        # replication ship) never blur the read tail.
                         "latency_ms": {
                             "p50": round(
-                                percentile(sorted(self.ingest_latencies), 0.50)
-                                * 1e3,
-                                3,
+                                percentile(ordered_ingest, 0.50) * 1e3, 3
+                            ),
+                            "p95": round(
+                                percentile(ordered_ingest, 0.95) * 1e3, 3
                             ),
                             "p99": round(
-                                percentile(sorted(self.ingest_latencies), 0.99)
-                                * 1e3,
+                                percentile(ordered_ingest, 0.99) * 1e3, 3
+                            ),
+                            "mean": round(
+                                (
+                                    sum(ordered_ingest)
+                                    / len(ordered_ingest)
+                                    * 1e3
+                                )
+                                if ordered_ingest
+                                else 0.0,
                                 3,
                             ),
                         },
@@ -177,12 +194,16 @@ class LoadResult:
             )
         ingest = s.get("ingest")
         if ingest:
+            wlat = ingest["latency_ms"]
             lines.append(
                 f"ingest   sent {ingest['sent']} (target "
-                f"{ingest['target_rate']:g}/s), ok {ingest['ok']}, dropped "
-                f"{ingest['dropped']}; commit p50 "
-                f"{ingest['latency_ms']['p50']:.1f} ms  p99 "
-                f"{ingest['latency_ms']['p99']:.1f} ms"
+                f"{ingest['target_rate']:g}/s), ok {ingest['ok']}, retried "
+                f"{ingest['retried']}, dropped {ingest['dropped']}"
+            )
+            lines.append(
+                f"ingest latency  p50 {wlat['p50']:.1f} ms   "
+                f"p95 {wlat['p95']:.1f} ms   p99 {wlat['p99']:.1f} ms   "
+                f"mean {wlat['mean']:.1f} ms"
             )
         return "\n".join(lines)
 
@@ -283,8 +304,11 @@ def run_load(
     path shows up as concurrent writes backing up, not a lower write
     rate).  Writes are deterministic by ``seed`` — mostly appends of
     small play-shaped documents, with occasional updates/deletes of
-    already-acknowledged ids.  ``on_ingest_response(ops, status, body)``
-    sees every write outcome; write latencies land in
+    already-acknowledged ids.  Write-side ``429``/``503`` responses
+    (e.g. ``replica_lagging`` backpressure) are retried with the same
+    capped ``Retry-After`` discipline as reads, counted in
+    ``LoadResult.ingest_retried``.  ``on_ingest_response(ops, status,
+    body)`` sees every final write outcome; write latencies land in
     ``LoadResult.ingest_latencies``, never in the query percentiles.
     """
     if qps <= 0:
@@ -325,14 +349,34 @@ def run_load(
                 body = json.dumps({"corpus": corpus, "ops": ops})
                 sent_at = monotonic()
                 try:
-                    connection.request(
-                        "POST",
-                        "/ingest",
-                        body=body,
-                        headers={"Content-Type": "application/json"},
-                    )
-                    response = connection.getresponse()
-                    payload = response.read()
+                    retries_left = max(0, max_retries)
+                    while True:
+                        connection.request(
+                            "POST",
+                            "/ingest",
+                            body=body,
+                            headers={"Content-Type": "application/json"},
+                        )
+                        response = connection.getresponse()
+                        payload = response.read()
+                        if response.status in (429, 503) and retries_left > 0:
+                            # A replicated server answers 503 with a
+                            # Retry-After while replicas are lagging;
+                            # honor the hint (capped) like the read side
+                            # does instead of dropping the write.
+                            hint = response.getheader("Retry-After")
+                            try:
+                                retry_delay = float(hint) if hint else 0.1
+                            except ValueError:
+                                retry_delay = 0.1
+                            retries_left -= 1
+                            with result_lock:
+                                result.ingest_retried += 1
+                            sleep(
+                                max(0.0, min(retry_delay, _RETRY_AFTER_CAP))
+                            )
+                            continue
+                        break
                     latency = monotonic() - sent_at
                     status = str(response.status)
                     with result_lock:

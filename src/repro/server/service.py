@@ -43,7 +43,7 @@ from time import monotonic, perf_counter
 from typing import Any
 
 from repro.algebra.parser import parse as _parse_query
-from repro.backend.base import SliceProvider, evaluate_slice
+from repro.backend.base import SliceProvider, evaluate_slice, slice_checksum
 from repro.backend.frontier import BackendNode, FrontierExecutor
 from repro.engine.session import Engine
 from repro.errors import (
@@ -54,7 +54,9 @@ from repro.errors import (
     FaultInjected,
     IngestDisabledError,
     IngestError,
+    IngestUnreplicatedError,
     QueryTimeout,
+    ReplicaLaggingError,
     ReproError,
     ServerOverloadedError,
     ServiceUnhealthyError,
@@ -69,7 +71,12 @@ from repro.obs import context as _trace_context
 from repro.obs.sampling import HeadSampler, TraceStore
 from repro.obs.slo import SLOObservatory
 from repro.obs.trace import maybe_span, span_to_dict
-from repro.ingest import BackgroundCompactor, LiveCorpus, WriteAheadLog
+from repro.ingest import (
+    BackgroundCompactor,
+    LiveCorpus,
+    WriteAheadLog,
+    wal_checksum,
+)
 from repro.obs.metrics import (
     BREAKER_STATE,
     BREAKER_TRANSITIONS_TOTAL,
@@ -85,6 +92,7 @@ from repro.obs.metrics import (
     INGEST_SEGMENTS,
     INGEST_TOMBSTONES,
     POOL_WORKER_DEATHS_TOTAL,
+    REPLICATION_LAGGING_READS_TOTAL,
     RETRY_ATTEMPTS_TOTAL,
     RETRY_EXHAUSTED_TOTAL,
     SERVER_CACHE_EVICTIONS_TOTAL,
@@ -271,18 +279,24 @@ class _CorpusHandle:
         # queries don't race on its construction.
         engine.instance.forest()
 
-    def install(self, engine: Engine) -> int:
+    def install(self, engine: Engine, generation: int | None = None) -> int:
         """Swap in a freshly loaded engine; returns the new generation.
 
         Queries already running keep the old engine (their reference
         keeps it alive); new requests see the new generation atomically.
+
+        ``generation`` forces the published generation instead of
+        bumping — the replication apply path, where the number is the
+        *frontier's* and must match exactly so generation-floor reads
+        compare like with like across the topology.
         """
         with self.lock:
             self._warm(engine)
-            generation = self._published[1] + 1
-            self._published = (engine, generation)
+            if generation is None:
+                generation = self._published[1] + 1
+            self._published = (engine, int(generation))
             self.loaded_at = monotonic()
-            return generation
+            return int(generation)
 
     def info(self) -> dict[str, Any]:
         stats = self.engine.statistics()
@@ -344,6 +358,31 @@ class _IngestState:
             "wal_bytes": self.wal.size_bytes(),
             "next_batch_seq": self.wal.next_seq,
         }
+
+
+class _ReplicaState:
+    """The replica side of WAL log shipping, on a backend node.
+
+    A backend process holds no WAL of its own — the frontier's WAL *is*
+    the durability story — so a replica is just a
+    :class:`~repro.ingest.live.LiveCorpus` overlay rebased on the base
+    engine this process loaded at spawn.  The base is captured at the
+    first replicate call, before any shipped batch replaces the served
+    engine, so a snapshot catch-up can always rebuild from scratch.
+
+    ``lock`` serializes applies and snapshot replacements; reads never
+    take it (they go through the handle's atomic publish, exactly like
+    frontier-side ingest commits).
+    """
+
+    __slots__ = ("base_instance", "base_text", "rig", "live", "lock")
+
+    def __init__(self, base_instance: Any, base_text: str, rig: Any):
+        self.base_instance = base_instance
+        self.base_text = base_text
+        self.rig = rig
+        self.live = LiveCorpus(base_instance, base_text)
+        self.lock = threading.Lock()
 
 
 #: Load failures worth retrying: transient I/O, injected faults, and
@@ -516,8 +555,17 @@ class QueryService:
             FRONTIER_FALLBACK_TOTAL,
             help="frontier queries answered by local evaluation, by reason",
         )
+        self._replication_lagging_reads = metrics.counter(
+            REPLICATION_LAGGING_READS_TOTAL,
+            help="shard reads refused for being behind the generation floor",
+        )
+        # Replica-side state for WAL log shipping: populated lazily on
+        # the first replicate RPC when *this* process is a backend.
+        self._replicas: dict[str, _ReplicaState] = {}
+        self._replicas_lock = threading.Lock()
         self.frontier: FrontierExecutor | None = None
         self.supervisor = None
+        self.replication = None
         if self.config.backend_nodes > 0:
             self._start_frontier()
 
@@ -630,6 +678,57 @@ class QueryService:
             metrics=self.telemetry.metrics,
             tracer=tracer,
         )
+        # Log shipping only matters across processes: in-process
+        # backends read this service's own corpus handles, so every
+        # commit is visible the instant it is installed.
+        if (
+            config.backend_mode == "http"
+            and config.replication_enabled
+            and config.ingest_enabled
+        ):
+            from repro.backend.replication import ReplicationCoordinator
+
+            self.replication = ReplicationCoordinator(
+                self.frontier,
+                corpora=lambda: tuple(self._ingest),
+                state_provider=self._replication_state,
+                checksum_provider=self._replication_checksums,
+                generation_provider=lambda name: self._handle(name).generation,
+                metrics=self.telemetry.metrics,
+                tracer=tracer,
+                health=self.health,
+                interval=config.replication_interval,
+                lag_limit=config.replication_lag_limit,
+            )
+            self.replication.start()
+
+    def _replication_state(self, corpus: str) -> tuple[dict[str, Any], int]:
+        """A consistent ``(LiveCorpus.state dump, generation)`` pair for
+        snapshot catch-up — the writer lock makes them agree."""
+        handle = self._handle(corpus)
+        state = self._ingest.get(handle.spec.name)
+        if state is None:
+            return {"through_batch": 0, "docs": []}, handle.generation
+        with state.lock:
+            return (
+                state.live.state(through_batch=state.wal.last_seq),
+                handle.generation,
+            )
+
+    def _replication_checksums(self, corpus: str) -> tuple[int, dict[int, str]]:
+        """The frontier's own per-group content checksums — the truth
+        the anti-entropy sweep measures replicas against."""
+        handle = self._handle(corpus)
+        groups = self.config.backend_groups
+        generation = handle.generation
+        checksums: dict[int, str] = {}
+        for group in range(groups):
+            slice_ = self._slice_provider.slice_for(
+                handle.spec.name, group, groups
+            )
+            generation = slice_.generation
+            checksums[group] = slice_checksum(slice_)
+        return generation, checksums
 
     def shard_query(
         self,
@@ -641,6 +740,7 @@ class QueryService:
         bounds: dict[str, int | None],
         deadline: float | None = None,
         trace: dict[str, Any] | None = None,
+        floor: int = 0,
     ) -> dict[str, Any]:
         """Answer one backend RPC against this process's slice of
         ``corpus`` — the service half of ``POST /shard/query``.
@@ -650,10 +750,18 @@ class QueryService:
         cached per corpus generation.  When ``trace`` carries the
         frontier's :class:`~repro.obs.context.TraceContext`, the
         evaluation runs under it and the finished ``backend.query`` span
-        subtree is returned for frontier-side adoption.
+        subtree is returned for frontier-side adoption.  A non-zero
+        ``floor`` is the frontier's generation floor: answering from an
+        older generation would time-travel an acknowledged write, so a
+        behind replica refuses with
+        :class:`~repro.errors.ReplicaLaggingError` (a 503 on the wire)
+        and lets the frontier fail over.
         """
         handle = self._handle(corpus)
         slice_ = self._slice_provider.slice_for(handle.spec.name, group, groups)
+        if floor > 0 and slice_.generation < floor:
+            self._replication_lagging_reads.inc(corpus=handle.spec.name)
+            raise ReplicaLaggingError(handle.spec.name, slice_.generation, floor)
         tracer = self.telemetry.tracer
         token = None
         if trace is not None and tracer.enabled:
@@ -689,6 +797,125 @@ class QueryService:
             "span": span_dict,
         }
 
+    # ------------------------------------------------------------------
+    # Replica-side replication RPCs (``POST /replicate/*``) — this
+    # process playing backend to someone else's frontier.  See
+    # :mod:`repro.backend.replication` for the shipping side.
+    # ------------------------------------------------------------------
+
+    def _replica_state(self, handle: _CorpusHandle) -> _ReplicaState:
+        with self._replicas_lock:
+            replica = self._replicas.get(handle.spec.name)
+            if replica is None:
+                engine = handle.engine
+                replica = _ReplicaState(engine.instance, engine.text, engine.rig)
+                self._replicas[handle.spec.name] = replica
+            return replica
+
+    def _replica_install(
+        self, handle: _CorpusHandle, replica: _ReplicaState, generation: int
+    ) -> int:
+        engine = Engine(
+            replica.live.instance,
+            rig=replica.rig,
+            telemetry=self.telemetry,
+            shards=self._shards_for(handle.spec),
+        )
+        return handle.install(engine, generation=generation)
+
+    def replicate_apply(
+        self,
+        corpus: str | None,
+        seq: int,
+        ops: list[dict[str, Any]],
+        generation: int,
+        checksum: str,
+    ) -> dict[str, Any]:
+        """Apply one shipped WAL batch, publishing exactly the
+        frontier's ``generation``.
+
+        The checksum is recomputed over the reassembled record — the
+        same canonical-JSON sha256 the WAL uses on disk — so a payload
+        corrupted in flight is rejected, never applied.  Statuses per
+        :meth:`~repro.backend.base.ShardBackend.replicate_apply`.
+        """
+        handle = self._handle(corpus)
+        name = handle.spec.name
+        generation = int(generation)
+        record = {
+            "corpus": name,
+            "seq": int(seq),
+            "generation": generation,
+            "ops": [dict(op) for op in ops],
+        }
+        replica = self._replica_state(handle)
+        with replica.lock:
+            current = handle.generation
+            if wal_checksum(record) != str(checksum):
+                return {
+                    "corpus": name,
+                    "applied": current,
+                    "status": "checksum_mismatch",
+                }
+            if current >= generation:
+                return {"corpus": name, "applied": current, "status": "stale"}
+            if current != generation - 1:
+                return {
+                    "corpus": name,
+                    "applied": current,
+                    "status": "out_of_order",
+                }
+            try:
+                replica.live.apply(record["ops"])
+            except IngestError:
+                # The frontier validated this batch before committing it,
+                # so a rejection here means the replica's state drifted;
+                # report it and let the sweep snapshot-repair.
+                return {
+                    "corpus": name,
+                    "applied": current,
+                    "status": "out_of_order",
+                }
+            applied = self._replica_install(handle, replica, generation)
+        return {"corpus": name, "applied": applied, "status": "applied"}
+
+    def replicate_snapshot(
+        self, corpus: str | None, state: dict[str, Any], generation: int
+    ) -> dict[str, Any]:
+        """Replace this process's replica of ``corpus`` wholesale — the
+        catch-up path when shipped history no longer covers the gap, and
+        the anti-entropy repair.  The generation is forced to the
+        frontier's even when it is not an increment (a divergence repair
+        re-publishes the *same* generation with corrected content), so
+        the slice and result caches are invalidated explicitly."""
+        handle = self._handle(corpus)
+        name = handle.spec.name
+        replica = self._replica_state(handle)
+        with replica.lock:
+            replica.live = LiveCorpus.from_state(
+                dict(state), replica.base_instance, replica.base_text
+            )
+            applied = self._replica_install(handle, replica, int(generation))
+        self._slice_provider.invalidate(name)
+        self.cache.invalidate((name,))
+        return {"corpus": name, "applied": applied, "status": "applied"}
+
+    def replicate_status(
+        self, corpus: str | None, groups: int
+    ) -> dict[str, Any]:
+        """This process's replica position: applied generation plus one
+        content checksum per shard group, for the anti-entropy sweep."""
+        handle = self._handle(corpus)
+        name = handle.spec.name
+        groups = int(groups)
+        applied = handle.generation
+        checksums: dict[str, str] = {}
+        for group in range(groups):
+            slice_ = self._slice_provider.slice_for(name, group, groups)
+            applied = slice_.generation
+            checksums[str(group)] = slice_checksum(slice_)
+        return {"corpus": name, "applied": applied, "checksums": checksums}
+
     def backends_info(self) -> dict[str, Any]:
         """Topology, breaker, and latency state (``GET /backends``)."""
         if self.frontier is None:
@@ -701,6 +928,13 @@ class QueryService:
         }
         if self.supervisor is not None:
             info["processes"] = self.supervisor.describe()
+        if self.replication is not None:
+            info["replication"] = {
+                "enabled": True,
+                **self.replication.snapshot(),
+            }
+        else:
+            info["replication"] = {"enabled": False}
         return info
 
     # ------------------------------------------------------------------
@@ -842,6 +1076,15 @@ class QueryService:
         """
         handle = self._handle(corpus)
         state = self._ingest_state(handle.spec.name)
+        if (
+            self.frontier is not None
+            and self.config.backend_mode == "http"
+            and self.replication is None
+        ):
+            # Remote backends serve their spawn-time snapshot; without
+            # log shipping an accepted write would never reach them and
+            # reads through the topology would silently diverge.
+            raise IngestUnreplicatedError(handle.spec.name)
         started = perf_counter()
         count = len(ops) if isinstance(ops, list) else 0
         with maybe_span(
@@ -865,6 +1108,16 @@ class QueryService:
                 engine = self._engine_from_live(handle.spec, state)
                 generation = handle.install(engine)
                 state.batches += 1
+                shipped = None
+                if self.replication is not None:
+                    # Ship inside the writer lock: batches leave in
+                    # commit order, so replicas apply a pure sequence.
+                    # A ship failure never fails the ingest — the batch
+                    # is already durable in the WAL, and the sweep will
+                    # walk lagging nodes forward.
+                    shipped = self.replication.ship(
+                        handle.spec.name, seq, prepared.ops, generation
+                    )
         floor = generation - self.config.ingest_keep_generations + 1
         invalidated = self.cache.invalidate_generations_below(
             handle.spec.name, floor
@@ -875,7 +1128,7 @@ class QueryService:
         elapsed = perf_counter() - started
         self._ingest_commit_seconds.observe(elapsed, corpus=handle.spec.name)
         self._sync_ingest_gauges(handle.spec.name, state)
-        return {
+        response = {
             "corpus": handle.spec.name,
             "generation": generation,
             "batch_seq": seq,
@@ -886,6 +1139,9 @@ class QueryService:
             "cache_invalidated": invalidated,
             "seconds": elapsed,
         }
+        if shipped is not None:
+            response["replication"] = shipped
+        return response
 
     def compact(self, corpus: str | None = None) -> dict[str, Any]:
         """Merge segments, drop tombstones, checkpoint, truncate the WAL.
@@ -1248,7 +1504,9 @@ class QueryService:
                 if stale is not None:
                     self._stale_served.inc()
                     return {**stale, "cached": True, "stale": True}
-        response = self._dispatch(handle, engine, query, optimize, budget)
+        response = self._dispatch(
+            handle, engine, generation, query, optimize, budget
+        )
         response.update(
             corpus=handle.spec.name, generation=generation, query=query
         )
@@ -1287,6 +1545,7 @@ class QueryService:
         self,
         handle: _CorpusHandle,
         engine: Engine,
+        generation: int,
         query: str,
         optimize: bool,
         budget: float,
@@ -1294,12 +1553,13 @@ class QueryService:
         """Submit to the pool, re-dispatching when a worker dies holding
         the job (``dispatch_retries`` budget).
 
-        ``engine`` is the snapshot captured alongside the generation in
+        ``engine`` is the snapshot captured alongside ``generation`` in
         :meth:`_execute`; the worker must evaluate against it rather
         than re-reading ``handle.engine``, or an ingest commit landing
         between capture and evaluation would pair a new engine with the
         old generation — breaking snapshot isolation and poisoning the
-        generation-keyed cache.
+        generation-keyed cache.  The same captured generation doubles as
+        the read's replication floor.
         """
         attempts = self.config.dispatch_retries + 1
         for attempt in range(attempts):
@@ -1308,6 +1568,7 @@ class QueryService:
                 self._run_query,
                 handle,
                 engine,
+                generation,
                 query,
                 optimize,
                 budget,
@@ -1343,6 +1604,7 @@ class QueryService:
         self,
         handle: _CorpusHandle,
         engine: Engine,
+        generation: int,
         query: str,
         optimize: bool,
         budget: float,
@@ -1364,7 +1626,7 @@ class QueryService:
             eval_started = perf_counter()
             if self.frontier is not None:
                 result, backend_info = self._frontier_query(
-                    handle, engine, query, optimize, remaining
+                    handle, engine, generation, query, optimize, remaining
                 )
             else:
                 result = engine.query(
@@ -1388,6 +1650,7 @@ class QueryService:
         self,
         handle: _CorpusHandle,
         engine: Engine,
+        generation: int,
         query: str,
         optimize: bool,
         remaining: float,
@@ -1400,9 +1663,17 @@ class QueryService:
         (some shard group lost *all* its replicas) marks the response
         degraded — the PR-5 invariant, now across processes: losing
         backends may cost the distributed path, never correctness.
+
+        With replication active, the captured ``generation`` is stamped
+        on the scatter as the read's floor: read-your-writes, because a
+        replica still behind the acknowledged generation refuses rather
+        than answers from the past (and if *every* replica of a group
+        is behind, the local fallback — whose engine IS the captured
+        snapshot — serves the exact floor generation).
         """
         frontier = self.frontier
         assert frontier is not None
+        floor = generation if self.replication is not None else 0
         expr = (
             engine.plan(query).optimized
             if optimize
@@ -1414,7 +1685,7 @@ class QueryService:
                 tracer, "shard.query", mode="backend", groups=frontier.groups
             ):
                 result, stats = frontier.run(
-                    handle.spec.name, expr, deadline=remaining
+                    handle.spec.name, expr, deadline=remaining, floor=floor
                 )
         except BackendUnsupportedError as exc:
             return self._frontier_fallback_query(
@@ -1533,6 +1804,11 @@ class QueryService:
         if self.compactor is not None:
             self.compactor.close()
         self.pool.shutdown(wait=True)
+        # The replication sweep talks to backends, so it stops before
+        # the frontier (whose close drops the transports) and the
+        # supervisor (whose stop kills the processes it would dial).
+        if self.replication is not None:
+            self.replication.close()
         if self.frontier is not None:
             self.frontier.close()
         if self.supervisor is not None:

@@ -1,0 +1,186 @@
+"""Replicated ingestion over a real subprocess topology, end to end:
+read-your-writes through shipped WAL batches, the generation floor,
+lagging-replica failover, snapshot catch-up after a kill, and the
+``ingest_unreplicated`` guard.  One module-scoped service — subprocess
+spawns are the expensive part."""
+
+from time import monotonic, sleep
+
+import pytest
+
+from repro.errors import IngestUnreplicatedError, ReplicaLaggingError
+from repro.faults.retry import CircuitBreaker
+from repro.server import CorpusSpec, QueryService, ServerConfig
+
+PLAY = CorpusSpec(name="play", kind="synthetic", path="play", seed=11, scale=1)
+
+QUERY = "speech"
+
+
+def _append(doc_id: str, word: str) -> dict:
+    return {
+        "op": "append",
+        "id": doc_id,
+        "text": f"<speech><speaker>Repl</speaker>"
+        f"<line>{word} at midnight</line></speech>",
+    }
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    svc = QueryService(
+        ServerConfig(
+            workers=2,
+            queue_depth=8,
+            cache_enabled=False,
+            corpora=(PLAY,),
+            backend_nodes=2,
+            backend_groups=2,
+            backend_replicas=2,
+            backend_mode="http",
+            breaker_threshold=2,
+            breaker_reset=0.5,
+            backend_respawn_delay=0.3,
+            ingest_enabled=True,
+            ingest_dir=str(tmp_path_factory.mktemp("wal")),
+            ingest_fsync=False,
+            compaction_enabled=False,
+            replication_enabled=True,
+            replication_interval=0.5,
+        )
+    )
+    yield svc
+    svc.close()
+
+
+def _await_current(service, seconds=15.0):
+    deadline = monotonic() + seconds
+    outcomes = {}
+    while monotonic() < deadline:
+        outcomes = service.replication.sweep()["corpora"].get("play", {})
+        if outcomes and all(o == "current" for o in outcomes.values()):
+            return outcomes
+        sleep(0.2)
+    return outcomes
+
+
+def test_read_your_writes_through_replicas(service):
+    before = service.execute(QUERY, use_cache=False)
+    assert before["backend"]["mode"] == "http"
+
+    response = service.ingest("play", [_append("ryw-1", "prophecy")])
+    shipped = response["replication"]
+    assert shipped["nodes"] == 2
+    assert shipped["applied"] == 2
+    assert shipped["failed"] == 0
+
+    # The very next read must see the write — at the new generation,
+    # off the distributed path, with no replica allowed to answer
+    # below the floor.
+    after = service.execute(QUERY, use_cache=False)
+    assert after["generation"] == response["generation"]
+    assert after["cardinality"] == before["cardinality"] + 1
+    assert after["backend"]["degraded"] is False
+
+
+def test_backends_info_reports_replication(service):
+    info = service.backends_info()
+    replication = info["replication"]
+    assert replication["enabled"] is True
+    truth = service._handle("play").generation
+    for node_state in replication["nodes"].values():
+        assert node_state["applied"].get("play") == truth
+        assert node_state["reachable"] is True
+
+
+def test_floor_rejects_a_lagging_replica(service):
+    # Ask one backend directly for a generation it cannot have yet:
+    # the typed replica_lagging refusal — decoded from the 503 — is
+    # what the frontier's failover machinery is built from.
+    node = service.frontier.replicas_for("play", 0)[0]
+    current = service._handle("play").generation
+    with pytest.raises(ReplicaLaggingError) as excinfo:
+        node.backend.shard_query(
+            corpus="play",
+            group=0,
+            groups=service.frontier.groups,
+            queries=[QUERY],
+            want=QUERY,
+            bounds={},
+            floor=current + 10,
+        )
+    assert excinfo.value.applied <= current
+    assert excinfo.value.floor == current + 10
+
+
+def test_killed_replica_catches_up_by_snapshot(service):
+    victim = service.frontier.replicas_for("play", 0)[0].id
+    victim_node = next(
+        node for node in service.frontier.nodes if node.id == victim
+    )
+    respawns_before = service.supervisor.respawns(victim)
+    service.supervisor.kill(victim)
+
+    # Writes keep committing while the victim is down — the ship to it
+    # fails, the ingest still acks.
+    response = service.ingest("play", [_append("kill-1", "daggers")])
+    assert response["replication"]["failed"] >= 1
+    readback = service.execute(QUERY, use_cache=False)
+    assert readback["generation"] == response["generation"]
+
+    deadline = monotonic() + 15.0
+    while (
+        service.supervisor.respawns(victim) <= respawns_before
+        and monotonic() < deadline
+    ):
+        sleep(0.1)
+    assert service.supervisor.respawns(victim) > respawns_before
+
+    # Probe the breaker closed again, then let the sweep repair the
+    # blank respawn (it remembers nothing — snapshot catch-up).
+    deadline = monotonic() + 15.0
+    while (
+        victim_node.breaker.state != CircuitBreaker.CLOSED
+        and monotonic() < deadline
+    ):
+        service.execute(QUERY, use_cache=False)
+        sleep(0.1)
+    assert victim_node.breaker.state == CircuitBreaker.CLOSED
+
+    outcomes = _await_current(service)
+    assert outcomes and all(o == "current" for o in outcomes.values())
+    truth = service._handle("play").generation
+    applied = service.replication.snapshot()["nodes"][victim]["applied"]
+    assert applied.get("play") == truth
+
+    # And the caught-up topology serves the write everywhere.
+    final = service.execute(QUERY, use_cache=False)
+    assert final["generation"] == truth
+    assert final["backend"]["degraded"] is False
+
+
+def test_unreplicated_remote_topology_rejects_ingest(tmp_path):
+    svc = QueryService(
+        ServerConfig(
+            workers=2,
+            queue_depth=8,
+            cache_enabled=False,
+            corpora=(PLAY,),
+            backend_nodes=2,
+            backend_groups=2,
+            backend_replicas=2,
+            backend_mode="http",
+            ingest_enabled=True,
+            ingest_dir=str(tmp_path / "wal"),
+            ingest_fsync=False,
+            compaction_enabled=False,
+            replication_enabled=False,
+        )
+    )
+    try:
+        with pytest.raises(IngestUnreplicatedError):
+            svc.ingest("play", [_append("nope", "unshipped")])
+        # Nothing was committed: reads still serve the base corpus.
+        assert svc._handle("play").generation == 1
+    finally:
+        svc.close()

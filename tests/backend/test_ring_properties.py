@@ -1,0 +1,103 @@
+"""Property-based HashRing stability.
+
+Two properties the replication layer leans on:
+
+* **Bounded relocation** — adding or removing one node may only move
+  keys adjacent to that node's vnodes.  Primary ownership of a key
+  either stays put or involves the changed node; across the whole key
+  population the moved share stays near 1/N (we allow generous slack
+  because md5 placement is uneven at small N).
+* **Insertion-order independence** — placement is a pure function of
+  the node-id *set*: frontier restarts enumerate nodes in whatever
+  order config iteration yields, and replicas must not move because
+  of it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend.ring import HashRing
+
+_node_sets = st.lists(
+    st.sampled_from([f"b{i}" for i in range(12)]),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+_keys = [f"corpus-{c}|{g}" for c in range(40) for g in range(4)]
+
+
+class TestRelocationBounds:
+    @given(nodes=_node_sets, newcomer=st.integers(min_value=12, max_value=20))
+    @settings(max_examples=60, deadline=None)
+    def test_adding_one_node_relocates_at_most_its_share(
+        self, nodes, newcomer
+    ):
+        before = HashRing(nodes)
+        after = HashRing(nodes + [f"b{newcomer}"])
+        moved = 0
+        for key in _keys:
+            old = before.nodes_for(key)[0]
+            new = after.nodes_for(key)[0]
+            if new != old:
+                # A key may only move TO the newcomer; any other
+                # reshuffle means placement is not consistent hashing.
+                assert new == f"b{newcomer}"
+                moved += 1
+        # Expected share is |keys|/(N+1); allow 3x slack for the
+        # unevenness of 64 vnodes at small N.
+        assert moved <= 3 * len(_keys) / (len(nodes) + 1)
+
+    @given(nodes=_node_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_removing_one_node_strands_only_its_keys(self, nodes):
+        full = HashRing(nodes)
+        departed = nodes[0]
+        survivors = nodes[1:]
+        if not survivors:
+            return
+        reduced = HashRing(survivors)
+        for key in _keys:
+            old = full.nodes_for(key)[0]
+            if old != departed:
+                # Keys the departed node never owned must not move.
+                assert reduced.nodes_for(key)[0] == old
+
+    @given(nodes=_node_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_replica_sets_shrink_gracefully(self, nodes):
+        # Losing one node keeps every surviving member of a key's
+        # replica set in place (order may compact, membership may not
+        # drop a survivor).
+        full = HashRing(nodes)
+        reduced = HashRing(nodes[1:]) if len(nodes) > 2 else None
+        if reduced is None:
+            return
+        for key in _keys[:40]:
+            before = set(full.nodes_for(key, 2))
+            after = set(reduced.nodes_for(key, 2))
+            survivors = before - {nodes[0]}
+            assert survivors <= after
+
+
+class TestOrderIndependence:
+    @given(nodes=_node_sets, seed=st.integers(min_value=0, max_value=999))
+    @settings(max_examples=60, deadline=None)
+    def test_placement_ignores_insertion_order(self, nodes, seed):
+        import random
+
+        shuffled = list(nodes)
+        random.Random(seed).shuffle(shuffled)
+        a = HashRing(nodes)
+        b = HashRing(shuffled)
+        for key in _keys[:60]:
+            assert a.nodes_for(key, 2) == b.nodes_for(key, 2)
+
+    @given(nodes=_node_sets)
+    @settings(max_examples=30, deadline=None)
+    def test_vnode_count_does_not_change_determinism(self, nodes):
+        a = HashRing(nodes, vnodes=32)
+        b = HashRing(nodes, vnodes=32)
+        for key in _keys[:40]:
+            assert a.nodes_for(key, 2) == b.nodes_for(key, 2)

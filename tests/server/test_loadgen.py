@@ -373,3 +373,99 @@ class TestIngestMix:
         finally:
             server.stop()
             service.close()
+
+
+class TestIngestRetryAfter:
+    def _stub_server(self, ingest_script):
+        """An HTTP stub whose ``POST /ingest`` answers from
+        ``ingest_script`` — (status, headers, body) tuples, repeating
+        the last — while ``POST /query`` always answers 200."""
+        import http.server
+        import threading
+
+        ingest_calls = []
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_POST(self):
+                self.rfile.read(int(self.headers.get("Content-Length") or 0))
+                if self.path == "/ingest":
+                    status, headers, body = ingest_script[
+                        min(len(ingest_calls), len(ingest_script) - 1)
+                    ]
+                    ingest_calls.append(status)
+                else:
+                    status, headers, body = 200, {}, '{"regions": []}'
+                payload = body.encode()
+                self.send_response(status)
+                for key, value in headers.items():
+                    self.send_header(key, value)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+            def log_message(self, *args):
+                pass
+
+        server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        return server, ingest_calls
+
+    def test_write_503_retried_after_hint_and_counted(self):
+        # A replicated server sheds writes with 503 + Retry-After while
+        # replicas lag; the writer must honor the hint, not drop the op.
+        server, calls = self._stub_server(
+            [
+                (503, {"Retry-After": "0.01"}, '{"error": "replica_lagging"}'),
+                (200, {}, '{"generation": 2}'),
+            ]
+        )
+        try:
+            result = run_load(
+                "127.0.0.1",
+                server.server_address[1],
+                ["speech"],
+                qps=1.0,
+                duration=0.5,
+                concurrency=1,
+                ingest_rate=2.0,  # exactly one scheduled write
+            )
+            assert result.ingest_retried == 1
+            assert result.ingest_status_counts == {"200": 1}
+            assert calls == [503, 200]
+            # Reads and writes report their quantiles separately.
+            summary = result.summary()
+            assert set(summary["ingest"]["latency_ms"]) == {
+                "p50",
+                "p95",
+                "p99",
+                "mean",
+            }
+            assert summary["ingest"]["retried"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_write_retries_exhausted_record_final_status(self):
+        server, calls = self._stub_server(
+            [(503, {"Retry-After": "0.01"}, '{"error": "replica_lagging"}')]
+        )
+        try:
+            result = run_load(
+                "127.0.0.1",
+                server.server_address[1],
+                ["speech"],
+                qps=1.0,
+                duration=0.5,
+                concurrency=1,
+                max_retries=2,
+                ingest_rate=2.0,
+            )
+            assert result.ingest_retried == 2
+            assert result.ingest_status_counts == {"503": 1}
+            assert len(calls) == 3  # original + two retries
+        finally:
+            server.shutdown()
+            server.server_close()
