@@ -8,6 +8,11 @@ by *shadowing* ``_eval`` with the instrumented twin only when a tracer
 or metrics registry is attached, so the disabled path executes the
 seed's exact code with zero per-node checks.
 
+Every rung of this ladder pins ``vm=False``: the contract is about the
+*interpreter* hot path, and the compiled engine (repro.vm) would bypass
+the seed clone's ``_eval`` entirely.  A compiled rung rides along for
+the chart; its speedup is asserted in bench E19, not here.
+
 ``bench_e12_overhead_bound`` re-measures the claim directly (min-of-N
 interleaved timing against an in-file clone of the seed ``_eval``) and
 asserts the ≤5% acceptance bound; the ``benchmark``-fixture functions
@@ -81,25 +86,34 @@ def _workload(evaluator, queries, corpus):
 
 @pytest.mark.benchmark(group="e12-obs-overhead")
 def bench_e12_seed_baseline(benchmark, corpus, queries):
-    evaluator = _SeedEvaluator("indexed")
+    evaluator = _SeedEvaluator("indexed", vm=False)
     benchmark(_workload, evaluator, queries, corpus)
 
 
 @pytest.mark.benchmark(group="e12-obs-overhead")
 def bench_e12_obs_disabled(benchmark, corpus, queries):
-    evaluator = Evaluator("indexed")  # no tracer, no metrics: the default
+    evaluator = Evaluator("indexed", vm=False)  # no tracer, no metrics
     benchmark(_workload, evaluator, queries, corpus)
 
 
 @pytest.mark.benchmark(group="e12-obs-overhead")
 def bench_e12_metrics_only(benchmark, corpus, queries):
-    evaluator = Evaluator("indexed", metrics=MetricsRegistry())
+    evaluator = Evaluator("indexed", metrics=MetricsRegistry(), vm=False)
     benchmark(_workload, evaluator, queries, corpus)
 
 
 @pytest.mark.benchmark(group="e12-obs-overhead")
 def bench_e12_tracing_enabled(benchmark, corpus, queries):
-    evaluator = Evaluator("indexed", tracer=Tracer(enabled=True, max_roots=8))
+    evaluator = Evaluator(
+        "indexed", tracer=Tracer(enabled=True, max_roots=8), vm=False
+    )
+    benchmark(_workload, evaluator, queries, corpus)
+
+
+@pytest.mark.benchmark(group="e12-obs-overhead")
+def bench_e12_vm_compiled(benchmark, corpus, queries):
+    # The production default (VM on, observability off), for scale.
+    evaluator = Evaluator("indexed")
     benchmark(_workload, evaluator, queries, corpus)
 
 
@@ -125,8 +139,8 @@ def bench_e12_overhead_bound(corpus, queries):
     against scheduler noise, and interleaving the two evaluators keeps
     thermal/frequency drift from biasing either side.
     """
-    seed = _SeedEvaluator("indexed")
-    current = Evaluator("indexed")
+    seed = _SeedEvaluator("indexed", vm=False)
+    current = Evaluator("indexed", vm=False)
     for evaluator in (seed, current):  # warm caches and bytecode
         _workload(evaluator, queries, corpus)
 

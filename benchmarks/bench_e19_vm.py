@@ -1,0 +1,141 @@
+"""E19 — compiled plan execution vs the memoizing interpreter.
+
+ISSUE 10's contract: lowering optimized plans to register programs of
+set-at-a-time kernels over the flat ``(lefts, rights)`` arrays buys
+≥5x on the E2-style query mix at the largest instance size, with the
+interpreter kept as the bit-identical fallback.  The gap is pure
+dispatch and materialization overhead: the kernels compute the same
+extreme-table semi-joins the interpreter does, but per *set* instead of
+per Region object, with no per-node memo dict, span bookkeeping, or
+Region tuple construction.
+
+``bench_e19_vm_speedup_bound`` re-measures the claim (interleaved
+min-of-N) across SIZES and writes ``BENCH_e19.json``; CI fails the job
+when the largest size falls under 3x (target: 5x).
+"""
+
+import gc
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.algebra.evaluator import Evaluator
+from repro.algebra.parser import parse
+from repro.workloads.generators import random_instance
+
+#: The E2 mix: containment chains, a shared-subtree union, order folds.
+QUERIES = [
+    parse("R0 containing R1 before R2"),
+    parse("(R0 within R1) union (R2 within R1)"),
+    parse("R0 containing (R1 containing R2)"),
+    parse("R0 before R1 after R2"),
+]
+
+SIZES = (100, 400, 1600)
+
+SPEEDUP_TARGET = 5.0  #: the ISSUE 10 acceptance line, at SIZES[-1]
+SPEEDUP_FLOOR = 3.0  #: CI fails below this
+
+
+def _instance(size: int):
+    rng = random.Random(size)
+    return random_instance(
+        rng,
+        names=("R0", "R1", "R2"),
+        max_nodes=size,
+        min_nodes=size,
+        max_depth=12,
+        max_children=6,
+    )
+
+
+def _workload(evaluator, instance):
+    for query in QUERIES:
+        evaluator.evaluate(query, instance)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.benchmark(group="e19-vm")
+def bench_e19_compiled(benchmark, size):
+    instance = _instance(size)
+    vm = Evaluator("indexed")
+    interp = Evaluator("indexed", vm=False)
+    for query in QUERIES:  # the oracle first: results must be identical
+        assert list(vm.evaluate(query, instance)) == list(
+            interp.evaluate(query, instance)
+        )
+    benchmark(_workload, vm, instance)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.benchmark(group="e19-vm")
+def bench_e19_interpreted(benchmark, size):
+    instance = _instance(size)
+    benchmark(_workload, Evaluator("indexed", vm=False), instance)
+
+
+def _best_of(evaluator, instance, rounds: int, iterations: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        gc.collect()
+        gc.disable()
+        try:
+            started = time.perf_counter()
+            for _ in range(iterations):
+                _workload(evaluator, instance)
+            best = min(best, time.perf_counter() - started)
+        finally:
+            gc.enable()
+    return best
+
+
+def bench_e19_vm_speedup_bound():
+    """Compiled execution is ≥3x (target 5x) the interpreter at scale.
+
+    Interleaved min-of-N per size so frequency drift cannot bias either
+    executor; the ratio at the largest size is the acceptance gate.
+    """
+    vm = Evaluator("indexed")
+    interp = Evaluator("indexed", vm=False)
+    rounds, iterations = 12, 10
+    ladder = {}
+    for size in SIZES:
+        instance = _instance(size)
+        for query in QUERIES:
+            assert list(vm.evaluate(query, instance)) == list(
+                interp.evaluate(query, instance)
+            ), f"size={size} query={query}"
+        best_vm = best_interp = float("inf")
+        for _ in range(rounds):
+            best_vm = min(best_vm, _best_of(vm, instance, 1, iterations))
+            best_interp = min(
+                best_interp, _best_of(interp, instance, 1, iterations)
+            )
+        ladder[size] = {
+            "compiled_seconds": best_vm,
+            "interpreted_seconds": best_interp,
+            "speedup": best_interp / best_vm,
+        }
+
+    report = {
+        "experiment": "e19-vm",
+        "queries": [str(q) for q in QUERIES],
+        "cpu_count": os.cpu_count(),
+        "rounds": rounds,
+        "iterations_per_round": iterations,
+        "sizes": ladder,
+        "speedup_target": SPEEDUP_TARGET,
+        "speedup_floor": SPEEDUP_FLOOR,
+    }
+    out = Path(__file__).resolve().parents[1] / "BENCH_e19.json"
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    headline = ladder[SIZES[-1]]["speedup"]
+    assert headline >= SPEEDUP_FLOOR, (
+        f"compiled execution is only {headline:.2f}x the interpreter at "
+        f"n={SIZES[-1]} (floor: {SPEEDUP_FLOOR}x, target: {SPEEDUP_TARGET}x)"
+    )

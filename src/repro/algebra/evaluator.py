@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left, bisect_right
+from collections import OrderedDict
 from dataclasses import dataclass
 from time import monotonic, perf_counter
 from typing import TYPE_CHECKING, Literal, Protocol, runtime_checkable
@@ -54,10 +55,22 @@ class CancelToken(Protocol):
 
 @dataclass
 class EvalStats:
-    """Per-:meth:`Evaluator.evaluate` accounting (observed mode only)."""
+    """Per-:meth:`Evaluator.evaluate` accounting (observed mode only).
+
+    ``compiled`` marks that the call executed a :mod:`repro.vm` program
+    rather than walking the AST.  The VM mirrors the interpreter's
+    counts exactly: ``nodes_evaluated = instructions + cse_hits`` and
+    ``memo_hits = cse_hits`` (a compile-time CSE register read is the
+    same elided work as a memo-table hit).
+    """
 
     nodes_evaluated: int = 0
     memo_hits: int = 0
+    compiled: bool = False
+
+
+#: Distinguishes "never compiled" from a cached ``None`` (compiler declined).
+_PROGRAM_MISS = object()
 
 
 class _Limits:
@@ -201,12 +214,16 @@ class Evaluator:
     ``benchmarks/bench_e12_obs_overhead.py``).
     """
 
+    #: Capacity of the per-evaluator compiled-program LRU cache.
+    PROGRAM_CACHE_CAPACITY = 256
+
     def __init__(
         self,
         strategy: Strategy = "indexed",
         memoize: bool = True,
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        vm: bool = True,
     ):
         if strategy not in ("indexed", "naive"):
             raise EvaluationError(f"unknown strategy {strategy!r}")
@@ -214,6 +231,9 @@ class Evaluator:
         self.memoize = memoize
         self.tracer = tracer
         self.metrics = metrics
+        # The plan VM only implements the indexed operator semantics;
+        # the naive strategy is the oracle and always interprets.
+        self.vm_enabled = bool(vm) and strategy == "indexed"
         self._observed = tracer is not None or metrics is not None
         self._node_hist = None
         if self._observed:
@@ -221,10 +241,30 @@ class Evaluator:
             # the uninstrumented hot path stays byte-for-byte the seed
             # code — no per-node "is observability on?" check at all.
             self._eval = self._eval_observed
+        self._vm_compile_counter = None
+        self._vm_fallback_counter = None
+        self._vm_kernel_counter = None
+        self._vm_exec_hist = None
         if metrics is not None:
-            from repro.obs.metrics import EVAL_NODE_SECONDS
+            from repro.obs.metrics import (
+                EVAL_NODE_SECONDS,
+                VM_COMPILE_TOTAL,
+                VM_EXEC_SECONDS,
+                VM_FALLBACK_TOTAL,
+                VM_KERNEL_INVOCATIONS_TOTAL,
+            )
 
             self._node_hist = metrics.histogram(EVAL_NODE_SECONDS)
+            self._vm_compile_counter = metrics.counter(VM_COMPILE_TOTAL)
+            self._vm_fallback_counter = metrics.counter(VM_FALLBACK_TOTAL)
+            self._vm_kernel_counter = metrics.counter(VM_KERNEL_INVOCATIONS_TOTAL)
+            self._vm_exec_hist = metrics.histogram(VM_EXEC_SECONDS)
+        # Compiled-program cache (expr -> Program, or None for plans the
+        # compiler declined).  Engines build a fresh evaluator per index
+        # generation, so the cache is generation-invalidated for free —
+        # the same lifecycle as the Engine's CostModel cache.
+        self._programs: "OrderedDict[A.Expr, object]" = OrderedDict()
+        self._programs_lock = threading.Lock()
         # Per-thread call state (deadline/cancel limits, last stats), so
         # one evaluator instance is safe to share across server workers.
         self._local = threading.local()
@@ -262,7 +302,6 @@ class Evaluator:
         """
         if isinstance(expr, str):
             expr = parse(expr)
-        memo: dict[A.Expr, RegionSet] = {}
         limited = deadline is not None or cancel is not None
         if limited:
             if deadline is not None and deadline < 0:
@@ -271,10 +310,22 @@ class Evaluator:
         try:
             if limited:
                 limits.check()  # an already-expired budget aborts up front
-            if not self._observed:
-                return self._eval(expr, instance, memo)
-            self.last_stats = stats = EvalStats()
-            result = self._eval(expr, instance, memo)
+            program = self._vm_program(expr) if self.vm_enabled else None
+            if program is not None:
+                if not self._observed:
+                    return self._run_program(program, instance)
+                self.last_stats = stats = EvalStats(
+                    nodes_evaluated=program.size + program.cse_hits,
+                    memo_hits=program.cse_hits,
+                    compiled=True,
+                )
+                result = self._run_program(program, instance)
+            else:
+                memo: dict[A.Expr, RegionSet] = {}
+                if not self._observed:
+                    return self._eval(expr, instance, memo)
+                self.last_stats = stats = EvalStats()
+                result = self._eval(expr, instance, memo)
         finally:
             if limited:
                 self._local.limits = None
@@ -284,6 +335,89 @@ class Evaluator:
             self.metrics.counter(EVAL_NODES_TOTAL).inc(stats.nodes_evaluated)
             if stats.memo_hits:
                 self.metrics.counter(MEMO_HITS_TOTAL).inc(stats.memo_hits)
+        return result
+
+    # ------------------------------------------------------------------
+    # Compiled execution (repro.vm).
+    # ------------------------------------------------------------------
+
+    def compiled_program(self, expr: A.Expr) -> tuple[object, bool]:
+        """``(program, was_cached)`` for ``expr``.
+
+        ``program`` is ``None`` when the compiler declined the plan
+        (unknown node type) — the miss is cached too, so the fallback
+        decision is O(1) on repeat queries.
+        """
+        _MISS = _PROGRAM_MISS
+        with self._programs_lock:
+            program = self._programs.get(expr, _MISS)
+            if program is not _MISS:
+                self._programs.move_to_end(expr)
+                if self._vm_compile_counter is not None:
+                    self._vm_compile_counter.inc(outcome="hit")
+                return program, True
+        from repro.vm.compiler import compile_expr
+
+        program = compile_expr(expr)
+        if self._vm_compile_counter is not None:
+            outcome = "compiled" if program is not None else "uncompilable"
+            self._vm_compile_counter.inc(outcome=outcome)
+        with self._programs_lock:
+            self._programs[expr] = program
+            while len(self._programs) > self.PROGRAM_CACHE_CAPACITY:
+                self._programs.popitem(last=False)
+        return program, False
+
+    def program_cached(self, expr: A.Expr) -> bool:
+        """Is a compiled program for ``expr`` already in the cache?"""
+        with self._programs_lock:
+            return self._programs.get(expr) is not None
+
+    def _vm_program(self, expr: A.Expr):
+        """The program to execute for this call, or ``None`` to fall back.
+
+        Fallback rules: per-node detail tracing needs one span per AST
+        node (the interpreter's shape), and ``memoize=False`` ablations
+        must not silently regain CSE through registers.
+        """
+        fallback_reason = None
+        if not self.memoize:
+            fallback_reason = "memoize-off"
+        else:
+            tracer = self.tracer
+            if tracer is not None and tracer.enabled and _context.detail_enabled():
+                fallback_reason = "trace-detail"
+        if fallback_reason is None:
+            program, _cached = self.compiled_program(expr)
+            if program is not None:
+                return program
+            fallback_reason = "uncompilable"
+        if self._vm_fallback_counter is not None:
+            self._vm_fallback_counter.inc(reason=fallback_reason)
+        return None
+
+    def _run_program(self, program, instance: Instance) -> RegionSet:
+        from repro.vm.machine import execute
+
+        limits = getattr(self._local, "limits", None)
+        metrics = self.metrics
+        tracer = self.tracer
+        started = perf_counter() if metrics is not None else 0.0
+        if tracer is not None and tracer.enabled:
+            with tracer.span(
+                "vm.execute",
+                instructions=program.size,
+                cse_hits=program.cse_hits,
+            ) as span:
+                result = execute(program, instance, limits, self._node_hist)
+                span.set("cardinality", len(result))
+        else:
+            result = execute(program, instance, limits, self._node_hist)
+        if metrics is not None:
+            self._vm_exec_hist.observe(perf_counter() - started)
+            kernel_counter = self._vm_kernel_counter
+            for op, count in program.op_counts.items():
+                kernel_counter.inc(count, op=op)
         return result
 
     # ------------------------------------------------------------------

@@ -197,10 +197,12 @@ class SliceProvider:
         lookup: Callable[[str], tuple[Instance, int]],
         strategy: str = "indexed",
         tracer: Any = None,
+        vm: bool = True,
     ):
         self._lookup = lookup
         self._strategy = strategy
         self._tracer = tracer
+        self._vm = vm
         self._lock = threading.Lock()
         #: (corpus, groups) ->
         #:     (generation, partition, evaluator, empty segment | None)
@@ -219,7 +221,9 @@ class SliceProvider:
                 _, partition, evaluator, empty = cached
             else:
                 partition = partition_instance(instance, groups)
-                evaluator = ShardEvaluator(self._strategy, tracer=self._tracer)
+                evaluator = ShardEvaluator(
+                    self._strategy, tracer=self._tracer, vm=self._vm
+                )
                 empty = None
                 cached = [generation, partition, evaluator, empty]
                 self._cache[key] = cached

@@ -1,11 +1,18 @@
 """Immutable, sorted sets of regions with set-at-a-time operators.
 
 :class:`RegionSet` is the carrier type of the region algebra
-(Definition 2.2/2.3).  It stores regions sorted by ``(left, right)`` with
-duplicates removed, which is the representation the PAT engine's
-efficiency rests on: every structural semi-join below runs in
+(Definition 2.2/2.3).  Internally a set is a *struct of arrays*: two
+parallel int lists ``_lefts``/``_rights`` sorted by ``(left, right)``
+with duplicates removed.  That flat layout is what the PAT engine's
+efficiency rests on — every structural semi-join below runs in
 ``O((n + m) log m)`` using binary search plus prefix/suffix extreme
-tables, instead of the naive ``O(n * m)`` pairwise scan.
+tables, and the :mod:`repro.vm` kernels consume the arrays directly
+without touching per-region Python objects.
+
+The tuple of :class:`Region` objects (the *object view*) is materialised
+lazily on first access through :attr:`regions` / iteration, so existing
+region-at-a-time callers keep working unchanged while array-to-array
+pipelines never pay for it.
 
 Two implementations of each structural operator are provided:
 
@@ -53,6 +60,34 @@ def _prefix_max(values: list[int]) -> list[int]:
     return out
 
 
+def _layer_peel(lefts: list[int], rights: list[int]) -> tuple[list[int], list[int]]:
+    """One array sweep computing ``R - (R ⊂ R)`` over sorted endpoint arrays.
+
+    Walking in ``(left, right)`` order, a region is outermost iff its
+    right endpoint exceeds every right endpoint seen at strictly smaller
+    lefts (a later region can never include an earlier one), and within a
+    run of equal lefts only the last — maximal-right — element can be
+    outermost (it strictly includes the rest of the run).
+    """
+    out_l: list[int] = []
+    out_r: list[int] = []
+    n = len(lefts)
+    best = _NEG_INF  # max right endpoint over strictly smaller lefts
+    i = 0
+    while i < n:
+        left = lefts[i]
+        j = i
+        while j + 1 < n and lefts[j + 1] == left:
+            j += 1
+        right = rights[j]
+        if right > best:
+            out_l.append(left)
+            out_r.append(right)
+            best = right
+        i = j + 1
+    return out_l, out_r
+
+
 _POS_INF = float("inf")
 _NEG_INF = float("-inf")
 
@@ -69,7 +104,7 @@ class RegionSet:
 
     def __init__(self, regions: Iterable[Region] = ()):
         items = sorted(set(regions))
-        self._regions: tuple[Region, ...] = tuple(items)
+        self._regions: tuple[Region, ...] | None = tuple(items)
         self._lefts: list[int] = [r.left for r in items]
         self._rights: list[int] = [r.right for r in items]
         # Extreme tables are built lazily: most intermediate results are
@@ -86,35 +121,14 @@ class RegionSet:
         return _EMPTY
 
     @classmethod
-    def _from_sorted(cls, items: list[Region]) -> "RegionSet":
-        """Internal: build from already ``(left, right)``-sorted,
-        duplicate-free regions, skipping the constructor's sort.
-
-        The live-ingestion append path concatenates an existing sorted
-        set with new regions that all lie strictly after it, so the
-        result is sorted by construction and re-sorting would waste the
-        O(new) guarantee.  Callers are responsible for the precondition.
-        """
-        out = cls.__new__(cls)
-        out._regions = tuple(items)
-        out._lefts = [r.left for r in items]
-        out._rights = [r.right for r in items]
-        out._suffix_min_right = None
-        out._prefix_max_right = None
-        return out
-
-    @classmethod
-    def of(cls, *pairs: tuple[int, int]) -> "RegionSet":
-        """Build a set from ``(left, right)`` tuples — test/demo shorthand."""
-        return cls(Region(left, right) for left, right in pairs)
-
-    @classmethod
     def _from_sorted(cls, regions: list[Region]) -> "RegionSet":
         """Wrap a list already in ``(left, right)`` order with no duplicates.
 
-        The shard merge produces exactly that (per-shard results are
-        sorted and span-disjoint), so this skips the ``sorted(set(...))``
-        of ``__init__``.  Callers must uphold the invariant.
+        The shard merge and the live-ingestion append path both produce
+        exactly that (per-shard results are sorted and span-disjoint;
+        appended regions all lie strictly after the existing set), so
+        this skips the ``sorted(set(...))`` of ``__init__``.  Callers
+        must uphold the invariant.
         """
         out = cls.__new__(cls)
         out._regions = tuple(regions)
@@ -124,42 +138,81 @@ class RegionSet:
         out._prefix_max_right = None
         return out
 
+    @classmethod
+    def _from_arrays(cls, lefts: list[int], rights: list[int]) -> "RegionSet":
+        """Wrap parallel endpoint arrays already sorted and duplicate-free.
+
+        This is the :mod:`repro.vm` kernel output path: no Region objects
+        are created until someone asks for the object view.  Callers must
+        uphold the ``(left, right)``-sorted, no-duplicates invariant.
+        """
+        out = cls.__new__(cls)
+        out._regions = None
+        out._lefts = lefts
+        out._rights = rights
+        out._suffix_min_right = None
+        out._prefix_max_right = None
+        return out
+
+    @classmethod
+    def of(cls, *pairs: tuple[int, int]) -> "RegionSet":
+        """Build a set from ``(left, right)`` tuples — test/demo shorthand."""
+        return cls(Region(left, right) for left, right in pairs)
+
     # ------------------------------------------------------------------
     # Container protocol.
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._regions)
+        return len(self._lefts)
 
     def __iter__(self) -> Iterator[Region]:
-        return iter(self._regions)
+        return iter(self.regions)
 
     def __contains__(self, region: object) -> bool:
         if not isinstance(region, Region):
             return False
-        i = bisect_left(self._regions, region)
-        return i < len(self._regions) and self._regions[i] == region
+        lefts = self._lefts
+        rights = self._rights
+        n = len(lefts)
+        i = bisect_left(lefts, region.left)
+        # Within a run of equal lefts the rights are ascending.
+        while i < n and lefts[i] == region.left:
+            if rights[i] == region.right:
+                return True
+            if rights[i] > region.right:
+                return False
+            i += 1
+        return False
 
     def __bool__(self) -> bool:
-        return bool(self._regions)
+        return bool(self._lefts)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, RegionSet):
             return NotImplemented
-        return self._regions == other._regions
+        return self._lefts == other._lefts and self._rights == other._rights
 
     def __hash__(self) -> int:
-        return hash(self._regions)
+        return hash((tuple(self._lefts), tuple(self._rights)))
 
     def __repr__(self) -> str:  # pragma: no cover - display helper
-        inner = ", ".join(str(r) for r in self._regions[:8])
-        if len(self._regions) > 8:
-            inner += f", … ({len(self._regions)} total)"
+        regions = self.regions
+        inner = ", ".join(str(r) for r in regions[:8])
+        if len(regions) > 8:
+            inner += f", … ({len(regions)} total)"
         return f"RegionSet({inner})"
 
     @property
     def regions(self) -> tuple[Region, ...]:
-        """The regions in canonical ``(left, right)`` order."""
+        """The regions in canonical ``(left, right)`` order.
+
+        Materialised lazily from the endpoint arrays: sets produced by
+        the array kernels never build Region objects unless a caller
+        actually walks them.
+        """
+        if self._regions is None:
+            self._regions = tuple(map(Region, self._lefts, self._rights))
         return self._regions
 
     # ------------------------------------------------------------------
@@ -171,7 +224,7 @@ class RegionSet:
             return self
         if not self:
             return other
-        return RegionSet(self._regions + other._regions)
+        return RegionSet(self.regions + other.regions)
 
     def intersection(self, other: "RegionSet") -> "RegionSet":
         if not self or not other:
@@ -298,9 +351,13 @@ class RegionSet:
     def top_layer(self) -> "RegionSet":
         """``R - (R ⊂ R)``: the maximal (outermost) regions of the set.
 
-        This is the layer-peeling step of the Section 6 while-programs.
+        This is the layer-peeling step of the Section 6 while-programs,
+        computed with a single O(n) sweep over the endpoint arrays.
         """
-        return self.difference(self.included_in(self))
+        if not self:
+            return _EMPTY
+        lefts, rights = _layer_peel(self._lefts, self._rights)
+        return RegionSet._from_arrays(lefts, rights)
 
     def max_nesting_depth(self) -> int:
         """Length of the longest chain of strictly nested regions in the set.
@@ -310,7 +367,7 @@ class RegionSet:
         """
         depth = 0
         stack: list[Region] = []
-        for r in sorted(self._regions, key=lambda t: (t.left, -t.right)):
+        for r in sorted(self.regions, key=lambda t: (t.left, -t.right)):
             while stack and not stack[-1].includes(r):
                 stack.pop()
             stack.append(r)

@@ -193,6 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the result cache"
     )
     serve.add_argument(
+        "--no-vm",
+        action="store_true",
+        help="disable compiled plan execution (repro.vm); always interpret",
+    )
+    serve.add_argument(
         "--deadline",
         type=float,
         default=5.0,
@@ -722,6 +727,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         optimize_default=args.optimize,
         tracing=args.trace,
         trace_sample_rate=args.trace_sample,
+        vm_enabled=not args.no_vm,
         corpora=tuple(specs),
         shards=args.shards,
         backend_nodes=nodes,

@@ -63,13 +63,22 @@ __all__ = ["Engine", "QueryPlan"]
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """What ``explain`` returns: the plan for one query."""
+    """What ``explain`` returns: the plan for one query.
+
+    ``compiled`` says the optimized expression lowers to a
+    :mod:`repro.vm` program; ``program`` is its listing (one line per
+    instruction).  Both are deterministic functions of the plan, so two
+    ``explain`` calls for the same query compare equal regardless of
+    what the caches did in between.
+    """
 
     original: A.Expr
     optimized: A.Expr
     original_cost: float
     optimized_cost: float
     steps: tuple[str, ...]
+    compiled: bool = False
+    program: tuple[str, ...] = ()
 
     def __str__(self) -> str:  # pragma: no cover - display helper
         lines = [
@@ -79,6 +88,9 @@ class QueryPlan:
         ]
         if self.steps:
             lines.append(f"rewrites:  {', '.join(self.steps)}")
+        if self.compiled:
+            lines.append("program:")
+            lines.extend(f"  {line}" for line in self.program)
         return "\n".join(lines)
 
 
@@ -94,6 +106,7 @@ class Engine:
         telemetry: Telemetry | None = None,
         shards: int | None = None,
         shard_pool: str = "thread",
+        vm: bool = True,
     ):
         self._instance = instance
         self._text = text
@@ -103,6 +116,7 @@ class Engine:
             strategy,
             tracer=self._telemetry.tracer,
             metrics=self._telemetry.metrics,
+            vm=vm,
         )
         self._views: dict[str, A.Expr] = {}
         self._cost_model: CostModel | None = None
@@ -117,6 +131,7 @@ class Engine:
                 strategy=strategy,
                 tracer=self._telemetry.tracer,
                 metrics=self._telemetry.metrics,
+                vm=vm,
             )
 
     # ------------------------------------------------------------------
@@ -327,6 +342,21 @@ class Engine:
         Built by the same :meth:`plan` path :meth:`query` executes, so
         what is explained is exactly what would run.
         """
+        return self.explain_with_caches(query)[0]
+
+    def explain_with_caches(
+        self, query: str | A.Expr
+    ) -> tuple[QueryPlan, dict[str, bool]]:
+        """:meth:`explain` plus which engine caches the call hit.
+
+        The second element reports ``plan_cache_hit`` (the per-engine
+        CostModel was already built) and ``program_cache_hit`` (the
+        compiled VM program was already cached) *separately* — a
+        cost-model hit alone does not mean the query skipped
+        compilation.  These are observations about cache state, not
+        part of the plan, which stays deterministic.
+        """
+        plan_cache_hit = self._cost_model is not None
         tracer = self._telemetry.tracer
         started = perf_counter()
         with maybe_span(tracer, "explain"):
@@ -334,7 +364,7 @@ class Engine:
                 parse_started = perf_counter()
                 expr = self._prepare(query)
                 parse_seconds = perf_counter() - parse_started
-            plan = self._plan(expr)
+            plan, program_cache_hit = self._plan_ex(expr)
         self._record(
             kind="explain",
             query=query,
@@ -345,7 +375,10 @@ class Engine:
             parse_seconds=parse_seconds,
             stats=None,
         )
-        return plan
+        return plan, {
+            "plan_cache_hit": plan_cache_hit,
+            "program_cache_hit": program_cache_hit,
+        }
 
     def plan(self, query: str | A.Expr) -> QueryPlan:
         """The plan ``query(..., optimize_query=True)`` would execute."""
@@ -360,6 +393,12 @@ class Engine:
 
     def _plan(self, expr: A.Expr) -> QueryPlan:
         """The single plan-construction path shared by query/explain."""
+        return self._plan_ex(expr)[0]
+
+    def _plan_ex(self, expr: A.Expr) -> tuple[QueryPlan, bool]:
+        """Build the plan and report whether its compiled program was
+        already cached.  Compiling here warms the evaluator's program
+        cache, so ``explain`` → ``query`` executes without recompiling."""
         result = optimize(
             expr,
             rig=self._rig,
@@ -367,13 +406,22 @@ class Engine:
             tracer=self._telemetry.tracer,
             metrics=self._telemetry.metrics,
         )
-        return QueryPlan(
+        program = None
+        program_cached = False
+        if self._evaluator.vm_enabled:
+            program, program_cached = self._evaluator.compiled_program(
+                result.expression
+            )
+        plan = QueryPlan(
             original=expr,
             optimized=result.expression,
             original_cost=result.original_cost,
             optimized_cost=result.optimized_cost,
             steps=result.steps,
+            compiled=program is not None,
+            program=program.listing() if program is not None else (),
         )
+        return plan, program_cached
 
     def _ensure_cost_model(self) -> CostModel:
         if self._cost_model is None:

@@ -62,6 +62,8 @@ class ChaosConfig:
     #: per-traversal probabilities for the armed fault points
     storage_fault_rate: float = 0.05
     evaluator_fault_rate: float = 0.004  #: per evaluator *node*
+    vm_fault_rate: float = 0.004  #: per VM *kernel* execution
+    vm_latency_rate: float = 0.01
     latency_fault_rate: float = 0.02
     latency_seconds: float = 0.002
     kill_rate: float = 0.01
@@ -83,6 +85,7 @@ class ChaosReport:
     corrupted_responses: int = 0
     reduction_checks: int = 0
     fault_fires: dict[str, int] = field(default_factory=dict)
+    vm_kernel_faults: int = 0
     reloads: dict[str, int] = field(default_factory=dict)
     breaker_trips: int = 0
     breaker_final_state: str = ""
@@ -115,6 +118,7 @@ class ChaosReport:
             "corrupted_responses": self.corrupted_responses,
             "reduction_checks": self.reduction_checks,
             "fault_fires": self.fault_fires,
+            "vm_kernel_faults": self.vm_kernel_faults,
             "reloads": self.reloads,
             "breaker_trips": self.breaker_trips,
             "breaker_final_state": self.breaker_final_state,
@@ -160,6 +164,8 @@ class ChaosReport:
             f"breaker: {self.breaker_trips} trip(s), final state "
             f"{self.breaker_final_state}; worker deaths: "
             f"{self.worker_deaths}; index rebuilds: {self.rebuilds}",
+            f"vm: {self.vm_kernel_faults} kernel fault(s) injected into "
+            "the compiled path (interpreter oracle held)",
             f"shards: {self.shard_task_errors} task error(s) injected, "
             f"{self.shard_retries} retried, {self.shard_degraded} "
             f"quer{'y' if self.shard_degraded == 1 else 'ies'} degraded "
@@ -220,7 +226,7 @@ class _Oracles:
         order_free: dict[str, A.Expr] = {}
         # Baseline truth comes from a plain single-shard evaluator, so a
         # sharded serving engine is checked against an independent path.
-        baseline_evaluator = Evaluator("indexed")
+        baseline_evaluator = Evaluator("indexed", vm=False)
         for text in queries.values():
             expr = parse(text)
             exprs[text] = expr
@@ -245,7 +251,7 @@ class _Oracles:
                     (r.left, r.right): (mapping[r].left, mapping[r].right)
                     for r in instance.all_regions()
                 }
-                evaluator = Evaluator("indexed")
+                evaluator = Evaluator("indexed", vm=False)
                 for text, expr in order_free.items():
                     result = evaluator.evaluate(expr, reduced)
                     self.reduction[text] = {
@@ -503,6 +509,21 @@ def _run_phases(config, report, service, server, queries, workdir) -> None:
             )
         )
         registry.arm(
+            FaultSpec(
+                "vm.kernel",
+                "error",
+                probability=config.vm_fault_rate,
+            )
+        )
+        registry.arm(
+            FaultSpec(
+                "vm.kernel",
+                "latency",
+                probability=config.vm_latency_rate,
+                latency=config.latency_seconds,
+            )
+        )
+        registry.arm(
             FaultSpec("pool.worker", "kill", probability=config.kill_rate)
         )
         registry.arm(
@@ -566,6 +587,9 @@ def _run_phases(config, report, service, server, queries, workdir) -> None:
     rebuilds = snapshot.get("index_rebuilds_total", {})
     report.rebuilds = int(sum(rebuilds.values()))
     report.shard_task_errors = registry.fires(point="shard.task", mode="error")
+    report.vm_kernel_faults = registry.fires(point="vm.kernel", mode="error") + registry.fires(
+        point="vm.kernel", mode="latency"
+    )
     report.shard_retries = int(
         sum(snapshot.get("shard_task_retries_total", {}).values())
     )
@@ -598,8 +622,10 @@ def _run_phases(config, report, service, server, queries, workdir) -> None:
     server_errors = fault_counts.get("500", 0) + fault_counts.get("504", 0)
     # Only evaluator errors and worker kills can surface as 5xx query
     # responses; storage/index faults fail reloads, not queries.
-    injected = registry.fires(point="evaluator.step", mode="error") + registry.fires(
-        point="pool.worker", mode="kill"
+    injected = (
+        registry.fires(point="evaluator.step", mode="error")
+        + registry.fires(point="vm.kernel", mode="error")
+        + registry.fires(point="pool.worker", mode="kill")
     )
     sheds = fault_counts.get("503", 0)
     if server_errors > injected + sheds + 2:
@@ -620,6 +646,11 @@ def _run_phases(config, report, service, server, queries, workdir) -> None:
     if config.corrupt_disk and report.rebuilds < 1:
         report.violations.append(
             "the corrupted index file was never rebuilt from source"
+        )
+    if report.vm_kernel_faults < 1:
+        report.violations.append(
+            "no vm.kernel fault ever fired — the compiled execution path "
+            "was not exercised under chaos"
         )
     if report.shard_task_errors and not (
         report.shard_retries or report.shard_degraded

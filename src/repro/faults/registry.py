@@ -9,6 +9,7 @@ doing their real work:
 ``storage.write``     writing an index file (:func:`save_instance`)
 ``index.build``       building an engine from text or a saved index
 ``evaluator.step``    one operator evaluation inside the evaluator
+``vm.kernel``         one kernel execution inside the plan VM (repro.vm)
 ``pool.worker``       a worker picking up a job from the pool queue
 ``cache.get``         a result-cache probe in the query service
 ``shard.task``        one per-shard task of the sharded executor
@@ -71,6 +72,7 @@ FAULT_POINTS = (
     "storage.write",
     "index.build",
     "evaluator.step",
+    "vm.kernel",
     "pool.worker",
     "cache.get",
     "shard.task",

@@ -50,6 +50,10 @@ __all__ = [
     "RESULT_CARDINALITY",
     "INDEX_BUILD_SECONDS",
     "OPTIMIZER_RULE_FIRES_TOTAL",
+    "VM_COMPILE_TOTAL",
+    "VM_FALLBACK_TOTAL",
+    "VM_KERNEL_INVOCATIONS_TOTAL",
+    "VM_EXEC_SECONDS",
     "SERVER_REQUESTS_TOTAL",
     "SERVER_REQUEST_SECONDS",
     "SERVER_QUEUE_DEPTH",
@@ -122,6 +126,12 @@ EVAL_NODES_TOTAL = "eval_nodes_total"
 RESULT_CARDINALITY = "result_cardinality"
 INDEX_BUILD_SECONDS = "index_build_seconds"
 OPTIMIZER_RULE_FIRES_TOTAL = "optimizer_rule_fires_total"
+
+# The compiled execution engine (repro.vm) — see docs/internals.md.
+VM_COMPILE_TOTAL = "vm_compile_total"
+VM_FALLBACK_TOTAL = "vm_fallback_total"
+VM_KERNEL_INVOCATIONS_TOTAL = "vm_kernel_invocations_total"
+VM_EXEC_SECONDS = "vm_exec_seconds"
 
 # The serving layer (repro.server) — see docs/server.md.
 SERVER_REQUESTS_TOTAL = "server_requests_total"

@@ -131,7 +131,10 @@ class UnknownCorpusError(ReproError):
 
 
 def _build_engine(
-    spec: CorpusSpec, telemetry: Telemetry, shards: int | None = None
+    spec: CorpusSpec,
+    telemetry: Telemetry,
+    shards: int | None = None,
+    vm: bool = True,
 ) -> Engine:
     """Load one corpus per its spec, sharing the service telemetry."""
     from pathlib import Path
@@ -150,6 +153,7 @@ def _build_engine(
             rig=document_engine.rig,
             telemetry=telemetry,
             shards=shards,
+            vm=vm,
         )
         return engine
     text = None
@@ -174,12 +178,15 @@ def _build_engine(
         instance, text = document.instance, document.text
         rig = figure_1_rig()
     return Engine(
-        instance, text=text, rig=rig, telemetry=telemetry, shards=shards
+        instance, text=text, rig=rig, telemetry=telemetry, shards=shards, vm=vm
     )
 
 
 def _rebuild_engine(
-    spec: CorpusSpec, telemetry: Telemetry, shards: int | None = None
+    spec: CorpusSpec,
+    telemetry: Telemetry,
+    shards: int | None = None,
+    vm: bool = True,
 ) -> Engine:
     """Rebuild an ``index`` corpus from its source document and try to
     re-save the index file (best-effort) — the corruption-recovery path."""
@@ -205,6 +212,7 @@ def _rebuild_engine(
         rig=rig,
         telemetry=telemetry,
         shards=shards,
+        vm=vm,
     )
     try:
         save_instance(engine.instance, spec.path)
@@ -549,7 +557,9 @@ class QueryService:
         # ``/shard/query`` endpoint when *this* process is someone
         # else's backend.
         self._slice_provider = SliceProvider(
-            self._slice_lookup, tracer=self.telemetry.tracer
+            self._slice_lookup,
+            tracer=self.telemetry.tracer,
+            vm=self.config.vm_enabled,
         )
         self._frontier_fallback = metrics.counter(
             FRONTIER_FALLBACK_TOTAL,
@@ -645,6 +655,8 @@ class QueryService:
                     "--trace-sample",
                     str(config.trace_sample_rate),
                 ]
+            if not config.vm_enabled:
+                extra_args.append("--no-vm")
             self.supervisor = BackendSupervisor(
                 corpora=config.corpora,
                 count=config.backend_nodes,
@@ -820,6 +832,7 @@ class QueryService:
             rig=replica.rig,
             telemetry=self.telemetry,
             shards=self._shards_for(handle.spec),
+            vm=self.config.vm_enabled,
         )
         return handle.install(engine, generation=generation)
 
@@ -960,7 +973,9 @@ class QueryService:
 
         try:
             return retry_call(
-                lambda: _build_engine(spec, self.telemetry, shards),
+                lambda: _build_engine(
+                    spec, self.telemetry, shards, vm=self.config.vm_enabled
+                ),
                 policy=self._retry_policy,
                 retry_on=_RETRYABLE_LOAD,
                 op=f"load:{spec.name}",
@@ -973,7 +988,9 @@ class QueryService:
             from repro.engine.storage import quarantine_index
 
             quarantine_index(spec.path)
-            engine = _rebuild_engine(spec, self.telemetry, shards)
+            engine = _rebuild_engine(
+                spec, self.telemetry, shards, vm=self.config.vm_enabled
+            )
             self._rebuilds.inc(corpus=spec.name)
             return engine
 
@@ -1039,6 +1056,7 @@ class QueryService:
             rig=state.rig,
             telemetry=self.telemetry,
             shards=self._shards_for(spec),
+            vm=self.config.vm_enabled,
         )
 
     def _ingest_state(self, name: str) -> _IngestState:
@@ -1481,7 +1499,11 @@ class QueryService:
         plan_key = engine.normalize(query)
         if endpoint == "explain":
             future = self.pool.submit(self._run_explain, engine, query)
-            plan = self._await(future, budget)
+            plan, cache_hits = self._await(future, budget)
+            # Cache hits are reported distinctly: "plan_cache_hit" is the
+            # engine's CostModel, "program_cache_hit" the compiled VM
+            # program — a cost-model hit alone no longer masquerades as
+            # a fully warmed query.
             return {
                 "corpus": handle.spec.name,
                 "generation": generation,
@@ -1490,6 +1512,10 @@ class QueryService:
                 "original_cost": plan.original_cost,
                 "optimized_cost": plan.optimized_cost,
                 "rewrites": list(plan.steps),
+                "compiled": plan.compiled,
+                "program": list(plan.program),
+                "plan_cache_hit": cache_hits["plan_cache_hit"],
+                "program_cache_hit": cache_hits["program_cache_hit"],
             }
         caching = use_cache and self.config.cache_enabled
         key = (handle.spec.name, generation, plan_key, optimize)
@@ -1731,7 +1757,7 @@ class QueryService:
 
     @staticmethod
     def _run_explain(engine: Engine, query: str):
-        return engine.explain(query)
+        return engine.explain_with_caches(query)
 
     # ------------------------------------------------------------------
     # Introspection.

@@ -138,10 +138,12 @@ _PROCESS_SEGMENTS: tuple[Instance, ...] | None = None
 _PROCESS_EVALUATOR: ShardEvaluator | None = None
 
 
-def _process_init(segments: tuple[Instance, ...], strategy: str) -> None:
+def _process_init(
+    segments: tuple[Instance, ...], strategy: str, vm: bool = True
+) -> None:
     global _PROCESS_SEGMENTS, _PROCESS_EVALUATOR
     _PROCESS_SEGMENTS = segments
-    _PROCESS_EVALUATOR = ShardEvaluator(strategy)
+    _PROCESS_EVALUATOR = ShardEvaluator(strategy, vm=vm)
 
 
 def _process_task(
@@ -176,7 +178,11 @@ def _process_task(
     from repro.obs.trace import Tracer, span_to_dict
 
     tracer = Tracer(enabled=True)
-    evaluator = ShardEvaluator(_PROCESS_EVALUATOR.strategy, tracer=tracer)
+    evaluator = ShardEvaluator(
+        _PROCESS_EVALUATOR.strategy,
+        tracer=tracer,
+        vm=_PROCESS_EVALUATOR.vm_enabled,
+    )
     token = _trace_context.activate(
         _trace_context.TraceContext.from_dict(trace)
     )
@@ -207,6 +213,7 @@ class ShardExecutor:
         max_workers: int | None = None,
         tracer: "Tracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        vm: bool = True,
     ):
         if pool not in POOL_KINDS:
             raise ReproError(
@@ -217,8 +224,11 @@ class ShardExecutor:
         self.strategy = strategy
         self.tracer = tracer
         self.metrics = metrics
+        self.vm = vm
         self._instance = instance
-        self._evaluator = ShardEvaluator(strategy, tracer=tracer, metrics=metrics)
+        self._evaluator = ShardEvaluator(
+            strategy, tracer=tracer, metrics=metrics, vm=vm
+        )
         self._max_workers = max_workers or max(len(self.partition), 1)
         self._pool: ThreadPoolExecutor | ProcessPoolExecutor | None = None
         self._pool_lock = threading.Lock()
@@ -261,7 +271,7 @@ class ShardExecutor:
                     self._pool = ProcessPoolExecutor(
                         max_workers=self._max_workers,
                         initializer=_process_init,
-                        initargs=(segments, self.strategy),
+                        initargs=(segments, self.strategy, self.vm),
                     )
             return self._pool
 

@@ -126,6 +126,21 @@ class ShardEvaluator(Evaluator):
         try:
             if limited:
                 limits.check()
+            if self.vm_enabled and self.memoize and memo.get(expr) is None:
+                program = self._vm_program(expr)
+                if program is not None:
+                    if self._observed:
+                        from repro.algebra.evaluator import EvalStats
+
+                        stats = self.last_stats
+                        if stats is None:
+                            self.last_stats = stats = EvalStats()
+                        stats.nodes_evaluated += program.size + program.cse_hits
+                        stats.memo_hits += program.cse_hits
+                        stats.compiled = True
+                    result = self._run_program(program, instance)
+                    memo[expr] = result
+                    return result
             return self._eval(expr, instance, memo)
         finally:
             if limited:

@@ -1,0 +1,18 @@
+"""Compiled plan execution: flat region arrays, set-at-a-time kernels,
+and a register plan VM.
+
+The paper claims the region algebra admits "a very efficient evaluation
+engine"; this package takes that claim seriously.  Optimized plans from
+:mod:`repro.optimize` are lowered once (:mod:`repro.vm.compiler`) into
+straight-line register programs (:mod:`repro.vm.program`) of
+set-at-a-time kernels over flat endpoint arrays (:mod:`repro.vm.kernels`)
+and executed by a tiny VM (:mod:`repro.vm.machine`).  The AST
+interpreter in :mod:`repro.algebra.evaluator` remains both the fallback
+for uncompilable plans and the bit-identical equivalence oracle.
+"""
+
+from repro.vm.compiler import compile_expr
+from repro.vm.machine import execute
+from repro.vm.program import Instr, Program
+
+__all__ = ["compile_expr", "execute", "Instr", "Program"]

@@ -1,0 +1,122 @@
+"""Lowering optimized algebra expressions into VM programs.
+
+The compiler walks the expression DFS in the *same child order* as the
+interpreter's ``_dispatch`` (Select → child; BothIncluded → source,
+first, second; binary ops → left, right), emitting one instruction per
+distinct sub-expression.  A repeated sub-expression compiles to a
+register re-read and bumps ``cse_hits`` — exactly the visits the
+interpreter would satisfy from its memo table — so
+
+    ``instructions + cse_hits == interpreter nodes_evaluated``
+    ``cse_hits == interpreter memo_hits``
+
+and the executed-program statistics mirror ``EvalStats`` bit for bit.
+
+:func:`compile_expr` returns ``None`` for expressions containing node
+types the VM has no kernel for; the caller falls back to the
+interpreter (which stays the semantics oracle).
+"""
+
+from __future__ import annotations
+
+from repro.algebra import ast as A
+from repro.vm import program as P
+from repro.vm.program import Instr, Program
+
+__all__ = ["compile_expr"]
+
+_BINARY_OPS = {
+    A.Union: P.OP_UNION,
+    A.Intersection: P.OP_INTERSECT,
+    A.Difference: P.OP_DIFFERENCE,
+    A.Including: P.OP_INCLUDING,
+    A.IncludedIn: P.OP_INCLUDED_IN,
+    A.Preceding: P.OP_PRECEDING,
+    A.Following: P.OP_FOLLOWING,
+    A.DirectlyIncluding: P.OP_DIRECT_INCLUDING,
+    A.DirectlyIncluded: P.OP_DIRECT_INCLUDED,
+}
+
+
+class _Uncompilable(Exception):
+    pass
+
+
+def compile_expr(expr: A.Expr) -> Program | None:
+    """Lower ``expr`` to a :class:`Program`, or ``None`` if any node has
+    no kernel (the interpreter fallback handles it)."""
+    instrs: list[Instr] = []
+    registers: dict[A.Expr, int] = {}
+    constants: list[object] = []
+    cse_hits = 0
+
+    def emit(op: int, a: int = -1, b: int = -1, c: int = -1,
+             arg: object = None, label: str = "", fires: bool = True) -> int:
+        dest = len(instrs)
+        instrs.append(Instr(op=op, dest=dest, a=a, b=b, c=c,
+                            arg=arg, label=label, fires=fires))
+        return dest
+
+    def lower(e: A.Expr) -> int:
+        nonlocal cse_hits
+        reg = registers.get(e)
+        if reg is not None:
+            cse_hits += 1
+            return reg
+        if isinstance(e, A.NameRef):
+            reg = emit(P.OP_LOAD_NAME, arg=e.name, label="NameRef")
+        elif isinstance(e, A.Empty):
+            reg = emit(P.OP_LOAD_EMPTY, label="Empty")
+        elif isinstance(e, A.Select):
+            child = lower(e.child)
+            reg = emit(P.OP_SELECT, a=child, arg=e.pattern, label="Select")
+        elif isinstance(e, A.MatchPoints):
+            reg = emit(P.OP_MATCH_POINTS, arg=e.pattern, label="MatchPoints")
+        elif isinstance(e, A.BothIncluded):
+            source = lower(e.source)
+            first = lower(e.first)
+            second = lower(e.second)
+            reg = emit(P.OP_BOTH_INCLUDED, a=source, b=first, c=second,
+                       label="BothIncluded")
+        elif isinstance(e, A.BinaryOp):
+            left = lower(e.left)
+            right = lower(e.right)
+            op = _BINARY_OPS.get(type(e))
+            if op is None:
+                raise _Uncompilable(type(e).__name__)
+            reg = emit(op, a=left, b=right, label=type(e).__name__)
+        else:
+            reg = _lower_shard_node(e, lower, emit, constants)
+        registers[e] = reg
+        return reg
+
+    try:
+        lower(expr)
+    except _Uncompilable:
+        return None
+    op_counts: dict[str, int] = {}
+    for ins in instrs:
+        op_counts[ins.label] = op_counts.get(ins.label, 0) + 1
+    return Program(
+        instructions=tuple(instrs),
+        constants=tuple(constants),
+        cse_hits=cse_hits,
+        op_counts=op_counts,
+    )
+
+
+def _lower_shard_node(e, lower, emit, constants) -> int:
+    # The shard planner's node types are resolved lazily so plain
+    # expressions never import the shard layer.
+    from repro.core.regionset import RegionSet
+    from repro.shard.rewrite import OrderBound, RegionLiteral
+
+    if isinstance(e, RegionLiteral):
+        constants.append(RegionSet(e.regions))
+        return emit(P.OP_LOAD_CONST, arg=len(constants) - 1,
+                    label="RegionLiteral", fires=False)
+    if isinstance(e, OrderBound):
+        child = lower(e.child)
+        op = P.OP_ORDER_BOUND_PRE if e.kind == "preceding" else P.OP_ORDER_BOUND_FOL
+        return emit(op, a=child, arg=e.bound, label="OrderBound", fires=False)
+    raise _Uncompilable(type(e).__name__)

@@ -1,0 +1,98 @@
+"""Fault injection through the compiled path (the ``vm.kernel`` point).
+
+The chaos harness (repro chaos) relies on two properties checked here:
+the VM traverses ``vm.kernel`` once per instruction *and* mirrors the
+interpreter's ``evaluator.step`` traversals, so injected fault budgets
+line up across both execution paths; and latency injection never
+changes results (zero divergence, interpreter as oracle).
+"""
+
+import pytest
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import Evaluator
+from repro.errors import FaultInjected
+from repro.faults.registry import FAULT_POINTS, FaultSpec, injected_faults
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.generators import random_instance
+
+SHARED = A.Union(
+    A.IncludedIn(A.NameRef("R0"), A.NameRef("R1")),
+    A.IncludedIn(A.NameRef("R0"), A.NameRef("R1")),
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    import random
+
+    return random_instance(
+        random.Random(55), ("R0", "R1", "R2"), max_nodes=50, patterns=("x",)
+    )
+
+
+def test_vm_kernel_is_a_registered_point():
+    assert "vm.kernel" in FAULT_POINTS
+
+
+def test_error_mode_aborts_compiled_execution(instance):
+    ev = Evaluator("indexed")
+    with injected_faults(
+        FaultSpec("vm.kernel", "error"), metrics=MetricsRegistry()
+    ) as registry:
+        with pytest.raises(FaultInjected):
+            ev.evaluate(SHARED, instance)
+        assert registry.fires(point="vm.kernel", mode="error") == 1
+
+
+def test_interpreter_never_traverses_vm_kernel(instance):
+    # With the VM off the point is dead: an always-fire spec is inert.
+    ev = Evaluator("indexed", vm=False)
+    expected = ev.evaluate(SHARED, instance)
+    with injected_faults(
+        FaultSpec("vm.kernel", "error"), metrics=MetricsRegistry()
+    ) as registry:
+        assert ev.evaluate(SHARED, instance) == expected
+        assert registry.fires(point="vm.kernel") == 0
+
+
+def test_latency_mode_zero_divergence(instance):
+    oracle = Evaluator("indexed", vm=False).evaluate(SHARED, instance)
+    ev = Evaluator("indexed")
+    with injected_faults(
+        FaultSpec("vm.kernel", "latency", latency=0.0),
+        metrics=MetricsRegistry(),
+    ) as registry:
+        got = ev.evaluate(SHARED, instance)
+        assert registry.fires(point="vm.kernel", mode="latency") == 4
+    assert list(got) == list(oracle)
+
+
+def test_evaluator_step_parity_with_interpreter(instance):
+    # Chaos arms evaluator.step on both paths; the VM must traverse it
+    # exactly as often as the memoizing interpreter (once per compiled
+    # instruction == once per non-memoized interpreter dispatch).
+    def count_steps(evaluator):
+        with injected_faults(
+            FaultSpec("evaluator.step", "latency", latency=0.0),
+            metrics=MetricsRegistry(),
+        ) as registry:
+            evaluator.evaluate(SHARED, instance)
+            return registry.fires(point="evaluator.step")
+
+    vm_steps = count_steps(Evaluator("indexed"))
+    interp_steps = count_steps(Evaluator("indexed", vm=False))
+    assert vm_steps == interp_steps == 4
+
+
+def test_error_spec_with_budget_then_clean_run(instance):
+    # After the injected budget is spent the compiled path recovers.
+    ev = Evaluator("indexed")
+    oracle = Evaluator("indexed", vm=False).evaluate(SHARED, instance)
+    with injected_faults(
+        FaultSpec("vm.kernel", "error", max_fires=1),
+        metrics=MetricsRegistry(),
+    ):
+        with pytest.raises(FaultInjected):
+            ev.evaluate(SHARED, instance)
+        assert list(ev.evaluate(SHARED, instance)) == list(oracle)

@@ -1,0 +1,257 @@
+"""The plan VM: compiler, program cache, stats mirroring, fallbacks.
+
+The compiled path must be an invisible substitution for the memoizing
+interpreter: same results, same ``EvalStats``, same error behaviour —
+plus an inspectable program listing through ``explain``.
+"""
+
+import pytest
+
+from repro.algebra import ast as A
+from repro.algebra.evaluator import EvalStats, Evaluator
+from repro.core.regionset import RegionSet
+from repro.engine.session import Engine
+from repro.errors import EvaluationError
+from repro.obs.metrics import (
+    VM_COMPILE_TOTAL,
+    VM_FALLBACK_TOTAL,
+    VM_KERNEL_INVOCATIONS_TOTAL,
+    MetricsRegistry,
+)
+from repro.vm import compile_expr, execute
+from repro.workloads.generators import random_instance
+
+SOURCE = """program Main {
+    var x;
+    proc Alpha {
+        var y;
+        proc Beta { var x; }
+    }
+}
+"""
+
+# (Var ⊂ Proc) ∪ (Var ⊂ Proc): the right operand repeats the left, so
+# the interpreter memoizes it and the compiler CSEs it to one register.
+SHARED = A.Union(
+    A.IncludedIn(A.NameRef("Var"), A.NameRef("Proc")),
+    A.IncludedIn(A.NameRef("Var"), A.NameRef("Proc")),
+)
+
+QUERIES = [
+    A.NameRef("Var"),
+    A.Union(A.NameRef("Var"), A.NameRef("Proc")),
+    A.Including(A.NameRef("Proc"), A.NameRef("Var")),
+    A.IncludedIn(A.NameRef("Var"), A.NameRef("Proc")),
+    A.Difference(A.NameRef("Var"), A.IncludedIn(A.NameRef("Var"), A.NameRef("Proc"))),
+    A.Preceding(A.NameRef("Var"), A.NameRef("Proc")),
+    A.Following(A.NameRef("Var"), A.NameRef("Proc")),
+    A.Select("x", A.NameRef("Var")),
+    A.DirectlyIncluding(A.NameRef("Proc"), A.NameRef("Proc_body")),
+    A.BothIncluded(A.NameRef("Var"), A.NameRef("Proc"), A.NameRef("Proc")),
+    SHARED,
+]
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return Engine.from_source(SOURCE).instance
+
+
+class TestCompiler:
+    def test_linear_program_with_cse(self):
+        program = compile_expr(SHARED)
+        assert program is not None
+        # NameRef(Var), NameRef(Proc), IncludedIn, Union — the repeated
+        # subtree collapses to a register read.
+        assert program.size == 4
+        assert program.cse_hits == 1
+        assert program.n_registers == 4
+        listing = program.listing()
+        assert listing[0] == "r0 = load_name 'Var'"
+        assert listing[2] == "r2 = included_in r0, r1"
+        assert listing[3] == "r3 = union r2, r2"
+
+    def test_op_counts(self):
+        program = compile_expr(SHARED)
+        # Keyed by AST node label so vm_kernel_invocations_total lines
+        # up with the interpreter's eval_node_seconds{op=...} labels.
+        assert program.op_counts == {
+            "NameRef": 2,
+            "IncludedIn": 1,
+            "Union": 1,
+        }
+
+    def test_unknown_node_is_uncompilable(self):
+        class Exotic(A.Expr):
+            pass
+
+        assert compile_expr(Exotic()) is None
+        assert compile_expr(A.Union(A.NameRef("Var"), Exotic())) is None
+
+    def test_execute_matches_interpreter(self, instance):
+        interp = Evaluator("indexed", vm=False)
+        for expr in QUERIES:
+            program = compile_expr(expr)
+            assert program is not None, expr
+            got = execute(program, instance)
+            expected = interp.evaluate(expr, instance)
+            assert list(got) == list(expected), expr
+
+    def test_match_points_error_parity(self):
+        # Abstract instances reject match-point queries with the same
+        # message on both paths.
+        import random
+
+        abstract = random_instance(random.Random(3), ("R0",), max_nodes=5)
+        program = compile_expr(A.MatchPoints("var"))
+        with pytest.raises(EvaluationError, match="text-backed"):
+            execute(program, abstract)
+        with pytest.raises(EvaluationError, match="text-backed"):
+            Evaluator("indexed", vm=False).evaluate(A.MatchPoints("var"), abstract)
+
+    def test_match_points_on_text_instance(self, instance):
+        # Text-backed instances answer match points on both paths.
+        program = compile_expr(A.MatchPoints("var"))
+        got = execute(program, instance)
+        want = Evaluator("indexed", vm=False).evaluate(A.MatchPoints("var"), instance)
+        assert list(got) == list(want)
+
+
+class TestEvaluatorIntegration:
+    def test_vm_enabled_gating(self):
+        assert Evaluator("indexed").vm_enabled
+        assert not Evaluator("indexed", vm=False).vm_enabled
+        assert not Evaluator("naive").vm_enabled
+
+    def test_stats_mirror_interpreter(self, instance):
+        vm = Evaluator("indexed", metrics=MetricsRegistry())
+        interp = Evaluator("indexed", metrics=MetricsRegistry(), vm=False)
+        for expr in QUERIES:
+            assert vm.evaluate(expr, instance) == interp.evaluate(expr, instance)
+            got, want = vm.last_stats, interp.last_stats
+            assert got.compiled and not want.compiled
+            assert got.nodes_evaluated == want.nodes_evaluated, expr
+            assert got.memo_hits == want.memo_hits, expr
+
+    def test_shared_query_stats(self, instance):
+        vm = Evaluator("indexed", metrics=MetricsRegistry())
+        vm.evaluate(SHARED, instance)
+        assert vm.last_stats == EvalStats(
+            nodes_evaluated=5, memo_hits=1, compiled=True
+        )
+
+    def test_program_cache_hit(self, instance):
+        ev = Evaluator("indexed", metrics=MetricsRegistry())
+        assert not ev.program_cached(SHARED)
+        program, cached = ev.compiled_program(SHARED)
+        assert program is not None and not cached
+        again, cached = ev.compiled_program(SHARED)
+        assert again is program and cached
+        assert ev.program_cached(SHARED)
+        assert ev.metrics.counter(VM_COMPILE_TOTAL).value(outcome="hit") == 1
+        assert ev.metrics.counter(VM_COMPILE_TOTAL).value(outcome="compiled") == 1
+
+    def test_cache_evicts_lru(self):
+        ev = Evaluator("indexed")
+        ev.PROGRAM_CACHE_CAPACITY = 3
+        exprs = [A.NameRef(f"N{i}") for i in range(5)]
+        for expr in exprs:
+            ev.compiled_program(expr)
+        assert not ev.program_cached(exprs[0])
+        assert not ev.program_cached(exprs[1])
+        assert all(ev.program_cached(e) for e in exprs[2:])
+
+    def test_memoize_off_falls_back(self, instance):
+        ev = Evaluator("indexed", memoize=False, metrics=MetricsRegistry())
+        ev.evaluate(SHARED, instance)
+        assert not ev.last_stats.compiled
+        # Without memoization the repeated subtree re-evaluates: more
+        # nodes, no memo hits — the VM must not silently regain CSE.
+        assert ev.last_stats.memo_hits == 0
+        assert ev.metrics.counter(VM_FALLBACK_TOTAL).value(reason="memoize-off") == 1
+
+    def test_uncompilable_falls_back(self, instance):
+        class Exotic(A.Expr):
+            def __eq__(self, other):
+                return isinstance(other, Exotic)
+
+            def __hash__(self):
+                return hash(Exotic)
+
+        ev = Evaluator("indexed", metrics=MetricsRegistry())
+        with pytest.raises(EvaluationError, match="cannot evaluate"):
+            ev.evaluate(Exotic(), instance)
+        assert ev.metrics.counter(VM_FALLBACK_TOTAL).value(reason="uncompilable") == 1
+        # The miss is cached: no recompilation on the next call.
+        with pytest.raises(EvaluationError, match="cannot evaluate"):
+            ev.evaluate(Exotic(), instance)
+        assert ev.metrics.counter(VM_COMPILE_TOTAL).value(outcome="hit") == 1
+
+    def test_kernel_invocation_metrics(self, instance):
+        ev = Evaluator("indexed", metrics=MetricsRegistry())
+        ev.evaluate(SHARED, instance)
+        counter = ev.metrics.counter(VM_KERNEL_INVOCATIONS_TOTAL)
+        assert counter.value(op="NameRef") == 2
+        assert counter.value(op="IncludedIn") == 1
+        assert counter.value(op="Union") == 1
+
+
+class TestEngineExplain:
+    def test_explain_lists_program(self):
+        engine = Engine.from_source(SOURCE)
+        plan = engine.explain("Var within Proc")
+        assert plan.compiled
+        assert plan.program
+        assert any("included_in" in line for line in plan.program)
+        assert "program:" in str(plan)
+
+    def test_plan_equals_explain(self):
+        engine = Engine.from_source(SOURCE)
+        query = "Var within Proc"
+        assert engine.plan(query) == engine.explain(query)
+
+    def test_explain_reports_cache_hits_distinctly(self):
+        engine = Engine.from_source(SOURCE)
+        _, caches = engine.explain_with_caches("Var within Proc")
+        assert caches == {"plan_cache_hit": False, "program_cache_hit": False}
+        _, caches = engine.explain_with_caches("Var within Proc")
+        assert caches == {"plan_cache_hit": True, "program_cache_hit": True}
+        # A new query re-uses the cost model but not the program.
+        _, caches = engine.explain_with_caches("Proc containing Var")
+        assert caches == {"plan_cache_hit": True, "program_cache_hit": False}
+
+    def test_vm_off_engine_interprets(self):
+        engine = Engine.from_source(SOURCE)
+        off = Engine(engine.instance, vm=False)
+        plan = off.explain("Var within Proc")
+        assert not plan.compiled
+        assert plan.program == ()
+        assert off.query("Var within Proc") == engine.query("Var within Proc")
+
+
+class TestRandomInstances:
+    def test_vm_matches_interpreter_on_random_instances(self):
+        import random
+
+        rng = random.Random(19)
+        vm = Evaluator("indexed")
+        interp = Evaluator("indexed", vm=False)
+        for _ in range(6):
+            instance = random_instance(
+                rng, ("R0", "R1", "R2"), max_nodes=60, patterns=("x", "y")
+            )
+            for expr in (
+                A.Including(A.NameRef("R0"), A.NameRef("R1")),
+                A.IncludedIn(
+                    A.NameRef("R2"),
+                    A.Union(A.NameRef("R0"), A.NameRef("R1")),
+                ),
+                A.Preceding(A.NameRef("R0"), A.NameRef("R1")),
+                SHARED.__class__(
+                    A.IncludedIn(A.NameRef("R0"), A.NameRef("R1")),
+                    A.IncludedIn(A.NameRef("R0"), A.NameRef("R1")),
+                ),
+            ):
+                assert list(vm.evaluate(expr, instance)) == list(
+                    interp.evaluate(expr, instance)
+                ), expr
